@@ -1,0 +1,641 @@
+// Benchmark harness: one benchmark per artifact of the paper's evaluation
+// (figures, worked example, counterexample, ordering ablation) plus the
+// engine-level measurements DESIGN.md section 5 calls out.  EXPERIMENTS.md
+// records the measured shapes against the paper's claims.
+//
+// Run with: go test -bench=. -benchmem .
+package sentinel_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/ddetect"
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/network"
+	"repro/internal/viz"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// --- FIG1: open/closed interval evaluation -------------------------------
+
+func BenchmarkFig1OpenClosedIntervals(b *testing.B) {
+	a := core.Stamp{Site: "site-a", Global: 10, Local: 100}
+	c := core.Stamp{Site: "site-b", Global: 16, Local: 160}
+	probes := make([]core.Stamp, 64)
+	for i := range probes {
+		g := int64(i % 20)
+		probes[i] = core.Stamp{Site: "p", Global: g, Local: g*10 + 5}
+	}
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		p := probes[i%len(probes)]
+		if p.InOpen(a, c) {
+			n++
+		}
+		if p.InClosed(a, c) {
+			n++
+		}
+	}
+	sinkInt = n
+}
+
+// --- FIG2: grid region classification ------------------------------------
+
+func BenchmarkFig2RegionClassification(b *testing.B) {
+	e := core.PaperFigure2Stamp()
+	sites := []core.SiteID{"Site1", "Site2", "Site3", "Site4", "Site5", "Site6", "Site7", "Site8"}
+	cells := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range sites {
+			for g := int64(2); g <= 14; g++ {
+				_ = viz.ClassifyCell(e, s, g, 10)
+				cells++
+			}
+		}
+	}
+	b.ReportMetric(float64(cells)/float64(b.N), "cells/op")
+}
+
+// --- EX51: the Section 5.1 worked example ---------------------------------
+
+func BenchmarkSec51Example(b *testing.B) {
+	ts := core.PaperSection51Stamps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ts[0].Relate(ts[1]) != core.SetIncomparable ||
+			ts[1].Relate(ts[2]) != core.SetIncomparable ||
+			ts[3].Relate(ts[2]) != core.SetConcurrent ||
+			ts[2].Relate(ts[4]) != core.SetBefore {
+			b.Fatalf("paper relations no longer hold")
+		}
+	}
+}
+
+// --- CEX: transitivity-witness search for the ∃∃ ordering -----------------
+
+func BenchmarkCounterexampleSearch(b *testing.B) {
+	b.ReportAllocs()
+	found := 0
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(int64(i)))
+		gen := core.Generator(r, 4, 4, 10, 400)
+		if w := core.FindNonTransitiveTriple(core.LessExistsExists, gen, 5_000); w != nil {
+			found++
+		}
+	}
+	b.ReportMetric(float64(found)/float64(b.N), "witness-rate")
+}
+
+// --- ALT: comparability of the candidate orderings ------------------------
+
+func BenchmarkOrderingComparabilityRate(b *testing.B) {
+	for _, ord := range core.Orderings() {
+		if !ord.Valid {
+			continue
+		}
+		ord := ord
+		b.Run(ord.Name, func(b *testing.B) {
+			r := rand.New(rand.NewSource(17))
+			gen := core.Generator(r, 6, 4, 10, 2000)
+			pairs := make([][2]core.SetStamp, 1024)
+			for i := range pairs {
+				pairs[i] = [2]core.SetStamp{gen(), gen()}
+			}
+			comparable := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				if ord.Less(p[0], p[1]) || ord.Less(p[1], p[0]) {
+					comparable++
+				}
+			}
+			b.ReportMetric(float64(comparable)/float64(b.N), "comparable/pair")
+		})
+	}
+}
+
+// --- Relation and Max cost vs set size (ablation: set stamps price) -------
+
+func BenchmarkRelationCostVsSetSize(b *testing.B) {
+	for _, comps := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("components=%d", comps), func(b *testing.B) {
+			r := rand.New(rand.NewSource(3))
+			gen := core.Generator(r, comps+1, comps, 10, 4000)
+			pairs := make([][2]core.SetStamp, 512)
+			for i := range pairs {
+				pairs[i] = [2]core.SetStamp{gen(), gen()}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				if p[0].Less(p[1]) {
+					sinkInt++
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMaxCostVsSetSize(b *testing.B) {
+	for _, comps := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("components=%d", comps), func(b *testing.B) {
+			r := rand.New(rand.NewSource(4))
+			gen := core.Generator(r, comps+1, comps, 10, 4000)
+			pairs := make([][2]core.SetStamp, 512)
+			for i := range pairs {
+				pairs[i] = [2]core.SetStamp{gen(), gen()}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				sinkSet = core.Max(p[0], p[1])
+			}
+		})
+	}
+}
+
+// --- SEM-C: centralized operator throughput by operator and context -------
+
+// centralizedEngine builds a single-site detector for one definition and
+// returns a publish function cycling through the given steady-state
+// pattern (a pattern whose detections consume what they buffer, so the
+// measurement is throughput, not buffer-scan growth).
+func centralizedEngine(b *testing.B, expression string, ctx detector.Context, pattern []string) (*detector.Detector, func(i int)) {
+	b.Helper()
+	reg := event.NewRegistry()
+	for _, n := range []string{"A", "B", "C"} {
+		reg.MustDeclare(n, event.Explicit)
+	}
+	d := detector.New("s1", reg, nil)
+	if _, err := d.DefineString("X", expression, ctx); err != nil {
+		b.Fatal(err)
+	}
+	d.Subscribe("X", func(*event.Occurrence) { sinkInt++ })
+	publish := func(i int) {
+		local := int64(i) * 25 // one granule apart: totally ordered
+		d.Publish(event.NewPrimitive(pattern[i%len(pattern)], event.Explicit,
+			core.DeriveStamp("s1", local, 10), nil))
+	}
+	return d, publish
+}
+
+func BenchmarkCentralizedOperators(b *testing.B) {
+	ops := []struct {
+		name, expr string
+		pattern    []string
+	}{
+		{"OR", "A OR B", []string{"A", "B"}},
+		{"AND", "A AND B", []string{"A", "B"}},
+		{"SEQ", "A ; B", []string{"A", "B"}},
+		{"ANY2of3", "ANY(2, A, B, C)", []string{"A", "B", "C"}},
+		// NOT's pattern has no spoiler: in the partial order a spoiled
+		// initiator can still pair with a terminator concurrent with the
+		// spoiler, so spoiled initiators are retained and a spoiler-heavy
+		// pattern measures buffer growth, not throughput.
+		{"NOT", "NOT(B)[A, C]", []string{"A", "C"}},
+		{"A-op", "A(A, B, C)", []string{"A", "B", "C"}},
+		{"Astar", "A*(A, B, C)", []string{"A", "B", "B", "C"}},
+	}
+	for _, op := range ops {
+		op := op
+		b.Run(op.name, func(b *testing.B) {
+			_, publish := centralizedEngine(b, op.expr, detector.Chronicle, op.pattern)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				publish(i)
+			}
+		})
+	}
+}
+
+func BenchmarkParameterContexts(b *testing.B) {
+	for _, ctx := range detector.Contexts() {
+		ctx := ctx
+		b.Run(ctx.String(), func(b *testing.B) {
+			// Unrestricted retains every initiator, so the engine is
+			// recreated every chunk to keep memory bounded — the chunk
+			// size is part of the measured cost, as it would be in
+			// production (periodic state truncation).
+			const chunk = 4096
+			_, publish := centralizedEngine(b, "A ; B", ctx, []string{"A", "B"})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%chunk == 0 && ctx == detector.Unrestricted {
+					b.StopTimer()
+					_, publish = centralizedEngine(b, "A ; B", ctx, []string{"A", "B"})
+					b.StartTimer()
+				}
+				publish(i)
+			}
+		})
+	}
+}
+
+// --- SEM-D / E2E: distributed detection end to end ------------------------
+
+func runDistributed(b *testing.B, sites int, net network.Config, events int) ddetect.Stats {
+	b.Helper()
+	sys := ddetect.MustNewSystem(ddetect.Config{Net: net})
+	rng := rand.New(rand.NewSource(1))
+	ids := make([]core.SiteID, sites)
+	for i := range ids {
+		ids[i] = core.SiteID(fmt.Sprintf("s%02d", i))
+		sys.MustAddSite(ids[i], rng.Int63n(61)-30, 0)
+	}
+	for _, typ := range []string{"A", "B", "C", "D"} {
+		if err := sys.Declare(typ, event.Explicit); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, def := range []struct{ name, expr string }{
+		{"Seq", "A ; B"}, {"Conj", "C AND D"}, {"Guard", "NOT(C)[A, D]"},
+	} {
+		if _, err := sys.DefineAt(ids[0], def.name, def.expr, detector.Chronicle); err != nil {
+			b.Fatal(err)
+		}
+	}
+	trace := workload.GenStream(workload.StreamConfig{
+		Sites: ids, Types: []string{"A", "B", "C", "D"}, MeanGap: 60, Count: events, Seed: 2,
+	})
+	for _, item := range trace.Items {
+		sys.Run(item.At, 100)
+		sys.Site(item.Site).MustRaise(item.Type, event.Explicit, nil)
+	}
+	if err := sys.Settle(10_000); err != nil {
+		b.Fatal(err)
+	}
+	return sys.Stats()
+}
+
+func BenchmarkEndToEndDetection(b *testing.B) {
+	for _, sites := range []int{2, 4, 8, 16} {
+		sites := sites
+		b.Run(fmt.Sprintf("sites=%d", sites), func(b *testing.B) {
+			net := network.Config{BaseLatency: 20, Jitter: 40, Seed: 9}
+			var st ddetect.Stats
+			for i := 0; i < b.N; i++ {
+				st = runDistributed(b, sites, net, 600)
+			}
+			b.ReportMetric(float64(st.Detections), "detections")
+			b.ReportMetric(st.MeanLatency(), "latency-microticks")
+		})
+	}
+}
+
+func BenchmarkNetworkAdversity(b *testing.B) {
+	cases := []struct {
+		name string
+		net  network.Config
+	}{
+		{"perfect", network.Config{}},
+		{"latency", network.Config{BaseLatency: 50}},
+		{"jitter", network.Config{BaseLatency: 20, Jitter: 150, Seed: 5}},
+		{"lossy", network.Config{BaseLatency: 20, Jitter: 50, DropRate: 0.1, RetransmitDelay: 200, Seed: 5}},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var st ddetect.Stats
+			for i := 0; i < b.N; i++ {
+				st = runDistributed(b, 4, c.net, 600)
+			}
+			b.ReportMetric(float64(st.Detections), "detections")
+			b.ReportMetric(st.MeanLatency(), "latency-microticks")
+		})
+	}
+}
+
+// --- TSSIZE: composite timestamp set size vs fan-in ------------------------
+
+func BenchmarkTimestampSetSize(b *testing.B) {
+	for _, sites := range []int{2, 4, 8, 16} {
+		sites := sites
+		b.Run(fmt.Sprintf("sites=%d", sites), func(b *testing.B) {
+			// One burst of concurrent stamps per iteration: MaxAll keeps
+			// them all (Theorem 5.1 bound: |T(e)| ≤ #sites).
+			stamps := make([]core.SetStamp, sites)
+			totalSize := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				base := int64(i) * 1000
+				for s := 0; s < sites; s++ {
+					stamps[s] = core.Singleton(core.DeriveStamp(
+						core.SiteID(fmt.Sprintf("s%02d", s)), base+int64(s)%10, 10))
+				}
+				m := core.MaxAll(stamps...)
+				totalSize += len(m)
+				if len(m) > sites {
+					b.Fatalf("Theorem 5.1 bound violated: %d > %d", len(m), sites)
+				}
+			}
+			b.ReportMetric(float64(totalSize)/float64(b.N), "set-size")
+		})
+	}
+}
+
+// --- Ablation: set timestamps vs scalar (max-global) timestamps ------------
+
+// scalarLess is the naive centralized-style comparison a scalar-timestamp
+// engine would use: compare max globals only.
+func scalarLess(a, b core.SetStamp) bool { return a.MaxGlobal() < b.MaxGlobal() }
+
+func BenchmarkMaxSetVsScalarTimestamps(b *testing.B) {
+	r := rand.New(rand.NewSource(23))
+	gen := core.Generator(r, 6, 4, 10, 2000)
+	pairs := make([][2]core.SetStamp, 2048)
+	disagreements := 0
+	for i := range pairs {
+		pairs[i] = [2]core.SetStamp{gen(), gen()}
+		if pairs[i][0].Less(pairs[i][1]) != scalarLess(pairs[i][0], pairs[i][1]) {
+			disagreements++
+		}
+	}
+	b.Run("set", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			if p[0].Less(p[1]) {
+				sinkInt++
+			}
+		}
+		b.ReportMetric(float64(disagreements)/float64(len(pairs)), "scalar-divergence")
+	})
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			if scalarLess(p[0], p[1]) {
+				sinkInt++
+			}
+		}
+		b.ReportMetric(float64(disagreements)/float64(len(pairs)), "scalar-divergence")
+	})
+	if disagreements == 0 {
+		b.Fatalf("expected the scalar shortcut to disagree with the paper's order on some pairs")
+	}
+}
+
+// --- Ablation: granularity ratio g_g/Π vs concurrency ----------------------
+
+func BenchmarkGranularitySweep(b *testing.B) {
+	// Larger g_g (relative to the event spread) coarsens global time:
+	// more pairs become concurrent and composite stamps grow.
+	for _, ratio := range []int64{2, 10, 50, 250} {
+		ratio := ratio
+		b.Run(fmt.Sprintf("localPerGlobal=%d", ratio), func(b *testing.B) {
+			// Pairs of events ~150 local ticks apart at distinct sites:
+			// whether they are ordered or concurrent depends on how the
+			// granularity buckets them.
+			r := rand.New(rand.NewSource(11))
+			type pair struct{ a, b core.Stamp }
+			pairs := make([]pair, 1024)
+			for i := range pairs {
+				base := r.Int63n(1_000_000)
+				gap := 50 + r.Int63n(200)
+				pairs[i] = pair{
+					a: core.DeriveStamp("s1", base, ratio),
+					b: core.DeriveStamp("s2", base+gap, ratio),
+				}
+			}
+			concurrent := 0
+			total := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				total++
+				if p.a.Concurrent(p.b) {
+					concurrent++
+				}
+			}
+			b.ReportMetric(float64(concurrent)/float64(total), "concurrent/pair")
+		})
+	}
+}
+
+// --- Detector scaling: throughput vs number of definitions -----------------
+
+func BenchmarkDetectorVsRuleCount(b *testing.B) {
+	for _, nDefs := range []int{1, 4, 16, 64} {
+		nDefs := nDefs
+		b.Run(fmt.Sprintf("defs=%d", nDefs), func(b *testing.B) {
+			reg := event.NewRegistry()
+			for _, n := range []string{"A", "B"} {
+				reg.MustDeclare(n, event.Explicit)
+			}
+			d := detector.New("s1", reg, nil)
+			for i := 0; i < nDefs; i++ {
+				if _, err := d.DefineString(fmt.Sprintf("X%d", i), "A ; B", detector.Chronicle); err != nil {
+					b.Fatal(err)
+				}
+			}
+			types := [2]string{"A", "B"}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				local := int64(i) * 25
+				d.Publish(event.NewPrimitive(types[i%2], event.Explicit,
+					core.DeriveStamp("s1", local, 10), nil))
+			}
+		})
+	}
+}
+
+// --- Heartbeat cadence vs detection latency --------------------------------
+
+func BenchmarkHeartbeatCadence(b *testing.B) {
+	for _, hb := range []clock.Microticks{50, 100, 400, 1600} {
+		hb := hb
+		b.Run(fmt.Sprintf("every=%d", hb), func(b *testing.B) {
+			var st ddetect.Stats
+			for i := 0; i < b.N; i++ {
+				sys := ddetect.MustNewSystem(ddetect.Config{
+					Net:            network.Config{BaseLatency: 20},
+					HeartbeatEvery: hb,
+				})
+				a := sys.MustAddSite("a", 0, 0)
+				sys.MustAddSite("hub", 0, 0)
+				if err := sys.Declare("A", event.Explicit); err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.Declare("B", event.Explicit); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sys.DefineAt("hub", "AB", "A ; B", detector.Chronicle); err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < 50; j++ {
+					a.MustRaise("A", event.Explicit, nil)
+					sys.Run(sys.Now()+300, 50)
+					a.MustRaise("B", event.Explicit, nil)
+					sys.Run(sys.Now()+300, 50)
+				}
+				if err := sys.Settle(10_000); err != nil {
+					b.Fatal(err)
+				}
+				st = sys.Stats()
+			}
+			b.ReportMetric(st.MeanLatency(), "latency-microticks")
+			b.ReportMetric(float64(st.Detections), "detections")
+		})
+	}
+}
+
+// --- Wire codec and serialization overhead ---------------------------------
+
+func BenchmarkWireCodec(b *testing.B) {
+	a := event.NewPrimitive("A", event.Explicit, core.DeriveStamp("s1", 100, 10),
+		event.Params{"qty": int64(40), "sym": "IBM"})
+	c := event.NewPrimitive("B", event.Explicit, core.DeriveStamp("s2", 105, 10), nil)
+	comp := event.NewComposite("AB", "hub", a, c)
+	env := wire.Envelope{Kind: wire.KindEvent, Occ: comp, RaisedAt: 5}
+	buf, err := wire.Encode(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Encode(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(buf)), "bytes/msg")
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Decode(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSerializeOverhead(b *testing.B) {
+	for _, serialize := range []bool{false, true} {
+		serialize := serialize
+		name := "pointers"
+		if serialize {
+			name = "wire"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := ddetect.MustNewSystem(ddetect.Config{
+					Net:       network.Config{BaseLatency: 20},
+					Serialize: serialize,
+				})
+				a := sys.MustAddSite("a", 0, 0)
+				sys.MustAddSite("hub", 0, 0)
+				if err := sys.Declare("A", event.Explicit); err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.Declare("B", event.Explicit); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sys.DefineAt("hub", "AB", "A ; B", detector.Chronicle); err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < 100; j++ {
+					a.MustRaise("A", event.Explicit, event.Params{"n": int64(j)})
+					sys.Run(sys.Now()+250, 50)
+					a.MustRaise("B", event.Explicit, nil)
+					sys.Run(sys.Now()+250, 50)
+				}
+				if err := sys.Settle(10_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Release-mode ablation: total-order determinism vs extension latency ----
+
+func BenchmarkReleaseModes(b *testing.B) {
+	for _, mode := range []ddetect.ReleaseMode{ddetect.ReleaseTotalOrder, ddetect.ReleaseExtension} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			var st ddetect.Stats
+			for i := 0; i < b.N; i++ {
+				sys := ddetect.MustNewSystem(ddetect.Config{
+					Net:     network.Config{BaseLatency: 20, Jitter: 40, Seed: 3},
+					Release: mode,
+				})
+				a := sys.MustAddSite("a", -20, 0)
+				sys.MustAddSite("hub", 20, 0)
+				if err := sys.Declare("A", event.Explicit); err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.Declare("B", event.Explicit); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sys.DefineAt("hub", "AB", "A ; B", detector.Chronicle); err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < 100; j++ {
+					a.MustRaise("A", event.Explicit, nil)
+					sys.Run(sys.Now()+250, 50)
+					a.MustRaise("B", event.Explicit, nil)
+					sys.Run(sys.Now()+250, 50)
+				}
+				if err := sys.Settle(10_000); err != nil {
+					b.Fatal(err)
+				}
+				st = sys.Stats()
+			}
+			b.ReportMetric(st.MeanLatency(), "latency-microticks")
+			b.ReportMetric(float64(st.Detections), "detections")
+		})
+	}
+}
+
+// --- Ablation: common-subexpression sharing ---------------------------------
+
+func BenchmarkSubexpressionSharing(b *testing.B) {
+	for _, sharing := range []bool{true, false} {
+		sharing := sharing
+		name := "shared"
+		if !sharing {
+			name = "unshared"
+		}
+		b.Run(name, func(b *testing.B) {
+			reg := event.NewRegistry()
+			for _, n := range []string{"A", "B", "C", "D"} {
+				reg.MustDeclare(n, event.Explicit)
+			}
+			d := detector.New("s1", reg, nil)
+			d.SetSharing(sharing)
+			// Eight definitions all embedding the same (A ; B) subgraph.
+			for i := 0; i < 8; i++ {
+				term := []string{"C", "D"}[i%2]
+				if _, err := d.DefineString(fmt.Sprintf("X%d", i), "(A ; B) ; "+term, detector.Chronicle); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(d.NodeCount()), "nodes")
+			pattern := [4]string{"A", "B", "C", "D"}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				local := int64(i) * 25
+				d.Publish(event.NewPrimitive(pattern[i%4], event.Explicit,
+					core.DeriveStamp("s1", local, 10), nil))
+			}
+		})
+	}
+}
+
+// sinks prevent dead-code elimination.
+var (
+	sinkInt int
+	sinkSet core.SetStamp
+)

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblationReportShape(t *testing.T) {
+	var b strings.Builder
+	report(&b, 5_000, 7)
+	out := b.String()
+	for _, want := range []string{"comparability rate", "<_p (chosen)", "<_10g (strawman)", "Max-operator"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report lacks %q:\n%s", want, out)
+		}
+	}
+	// The chosen ordering's rates must dominate the strawman's in every
+	// sweep column.
+	rates := func(name string) []float64 {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, name) {
+				var out []float64
+				for _, f := range strings.Fields(strings.TrimPrefix(line, name)) {
+					v, err := strconv.ParseFloat(f, 64)
+					if err == nil {
+						out = append(out, v)
+					}
+				}
+				return out
+			}
+		}
+		return nil
+	}
+	chosen := rates("<_p (chosen)")
+	straw := rates("<_10g (strawman)")
+	if len(chosen) == 0 || len(chosen) != len(straw) {
+		t.Fatalf("could not extract rate rows:\n%s", out)
+	}
+	for i := range chosen {
+		if chosen[i] < straw[i] {
+			t.Errorf("column %d: chosen %.4f < strawman %.4f", i, chosen[i], straw[i])
+		}
+	}
+}

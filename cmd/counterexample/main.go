@@ -1,0 +1,86 @@
+// Command counterexample reproduces the paper's Section 5.1 argument
+// against naive composite-timestamp orderings:
+//
+//  1. it evaluates every candidate ordering on the three published stamps
+//     the paper uses against [10] (Schwiderski's dissertation);
+//  2. it searches randomly for transitivity violations of each candidate,
+//     exhibiting a concrete witness for the ∃∃ ordering <_p1 (which the
+//     paper proves is not transitive) and verifying that no violation
+//     exists for the valid orderings;
+//  3. it verifies irreflexivity the same way.
+//
+// The exact happen-before definition of [10] is in an out-of-print
+// dissertation and cannot be recovered from the paper text (see
+// EXPERIMENTS.md, CEX); the harness therefore demonstrates the substance
+// of the claim — that quantifier choices other than the paper's ∀∃ break
+// the partial-order laws — rather than impersonating [10]'s exact
+// definition.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	tries := flag.Int("tries", 200_000, "random triples per ordering in the transitivity search")
+	seed := flag.Int64("seed", 1999, "random seed")
+	flag.Parse()
+	report(os.Stdout, *tries, *seed)
+}
+
+// report runs the whole analysis and writes it to w.
+func report(w io.Writer, tries int, seed int64) {
+
+	stamps := core.PaperCounterexampleStamps()
+	fmt.Fprintln(w, "published stamps (quoted verbatim from the paper):")
+	for i, s := range stamps {
+		validity := "valid composite stamp"
+		if err := s.Valid(); err != nil {
+			validity = "NOT internally concurrent as published"
+		}
+		fmt.Fprintf(w, "  T(e%d) = %-42s  [%s]\n", i+1, s.String(), validity)
+	}
+
+	fmt.Fprintln(w, "\npairwise verdicts of every candidate ordering on the published stamps:")
+	fmt.Fprintf(w, "  %-16s", "ordering")
+	pairs := [][2]int{{0, 1}, {1, 2}, {0, 2}}
+	for _, p := range pairs {
+		fmt.Fprintf(w, "  T(e%d)<T(e%d)", p[0]+1, p[1]+1)
+	}
+	fmt.Fprintln(w)
+	for _, ord := range core.Orderings() {
+		fmt.Fprintf(w, "  %-16s", ord.Name)
+		for _, p := range pairs {
+			fmt.Fprintf(w, "  %-11v", ord.Less(stamps[p[0]], stamps[p[1]]))
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "\ntransitivity / irreflexivity search (%d random valid triples per ordering):\n", tries)
+	r := rand.New(rand.NewSource(seed))
+	gen := core.Generator(r, 4, 4, 10, 400)
+	for _, ord := range core.Orderings() {
+		witness := core.FindNonTransitiveTriple(ord.Less, gen, tries)
+		irr := core.FindIrreflexivityViolation(ord.Less, gen, tries/10)
+		verdict := "strict partial order on the sample"
+		if witness != nil {
+			verdict = fmt.Sprintf("NOT TRANSITIVE — witness: %s", witness)
+		} else if irr != nil {
+			verdict = fmt.Sprintf("NOT IRREFLEXIVE — witness: %s", irr)
+		}
+		okness := "paper: valid"
+		if !ord.Valid {
+			okness = "paper: invalid"
+		}
+		fmt.Fprintf(w, "  %-16s [%s] %s\n", ord.Name, okness, verdict)
+	}
+
+	fmt.Fprintln(w, "\nconclusion: the chosen ∀∃ ordering <_p (and its dual <_g) survive the search;")
+	fmt.Fprintln(w, "the ∃∃ candidate is exhibited non-transitive, matching the paper's argument.")
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportContents(t *testing.T) {
+	var b strings.Builder
+	report(&b, 50_000, 1999)
+	out := b.String()
+	for _, want := range []string{
+		"NOT internally concurrent as published",
+		"<_p (chosen)",
+		"NOT TRANSITIVE — witness:", // the ∃∃ candidate must be refuted
+		"conclusion",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+	// The valid orderings must all survive.
+	if strings.Count(out, "strict partial order on the sample") != 5 {
+		t.Errorf("expected 5 surviving orderings:\n%s", out)
+	}
+	if strings.Count(out, "NOT TRANSITIVE") != 1 {
+		t.Errorf("expected exactly one non-transitive ordering:\n%s", out)
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runSim(t *testing.T, o options) string {
+	t.Helper()
+	var b strings.Builder
+	simulate(&b, o)
+	return b.String()
+}
+
+func baseOptions() options {
+	return options{
+		sites: 3, events: 300, meanGap: 60,
+		latency: 20, jitter: 40, drop: 0, skew: 30, seed: 42,
+	}
+}
+
+func TestSimulateReportShape(t *testing.T) {
+	out := runSim(t, baseOptions())
+	for _, want := range []string{
+		"sites=3 events=300",
+		"released=300",
+		"detections per definition:",
+		"Seq", "Conj", "Guard", "Sweep",
+		"composite timestamp set sizes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "unconsumed=0") {
+		t.Errorf("all four event types feed definitions; none should be unconsumed:\n%s", out)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a := runSim(t, baseOptions())
+	b := runSim(t, baseOptions())
+	if a != b {
+		t.Fatalf("same options produced different reports:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestSimulateWithAdversity(t *testing.T) {
+	o := baseOptions()
+	o.drop = 0.1
+	o.jitter = 120
+	out := runSim(t, o)
+	if !strings.Contains(out, "released=300") {
+		t.Errorf("adversity lost events:\n%s", out)
+	}
+	if strings.Contains(out, "retransmitted=0") {
+		t.Errorf("10%% drop should retransmit:\n%s", out)
+	}
+}

@@ -1,0 +1,72 @@
+// Command figures regenerates the paper's figures and worked example:
+//
+//	figures -fig 1       Figure 1: open/closed intervals of primitive stamps
+//	figures -fig 2       Figure 2: relation regions of a composite stamp
+//	figures -example 51  Section 5.1 worked example relations
+//	figures              everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/viz"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to render (1 or 2; 0 = all)")
+	example := flag.Int("example", 0, "worked example to run (51; 0 = all when no -fig)")
+	flag.Parse()
+
+	all := *fig == 0 && *example == 0
+	if *fig == 1 || all {
+		renderFig1(os.Stdout)
+	}
+	if *fig == 2 || all {
+		renderFig2(os.Stdout)
+	}
+	if *example == 51 || all {
+		runExample51(os.Stdout)
+	}
+}
+
+func renderFig1(w io.Writer) {
+	// Two cross-site stamps six granules apart, as in the Figure 1
+	// discussion: the open interval spans {g1+2 .. g2−2}, the closed
+	// interval {g1−1 .. g2+1}.
+	a := core.Stamp{Site: "site-a", Global: 10, Local: 100}
+	b := core.Stamp{Site: "site-b", Global: 16, Local: 160}
+	fmt.Fprintln(w, viz.RenderFig1(a, b, 10))
+}
+
+func renderFig2(w io.Writer) {
+	e := core.PaperFigure2Stamp()
+	fmt.Fprintln(w, viz.RenderFig2(e, viz.Fig2Options{
+		Sites: []core.SiteID{"Site1", "Site2", "Site3", "Site4", "Site5", "Site6", "Site7", "Site8"},
+		GMin:  2, GMax: 14, Ratio: 10, MarkWeakLE: true,
+		ReferenceLbl: "T(e)",
+	}))
+}
+
+func runExample51(w io.Writer) {
+	fmt.Fprintln(w, "Section 5.1 worked example (g = 1/100s, g_z = 1/1000s, Π < 1/10s, g_g = 1/10s)")
+	ts := core.PaperSection51Stamps()
+	for i, s := range ts {
+		fmt.Fprintf(w, "  T(e%d) = %s\n", i+1, s)
+	}
+	fmt.Fprintln(w)
+	report := func(i, j int) {
+		rel := ts[i-1].Relate(ts[j-1])
+		fmt.Fprintf(w, "  T(e%d) %s T(e%d)\n", i, rel, j)
+	}
+	// The relations the paper reports: e1 ≬ e2 ≬ e3, e4 ~ e3, e3 < e5.
+	report(1, 2)
+	report(2, 3)
+	report(4, 3)
+	report(3, 5)
+	fmt.Fprintln(w, "\npaper reports: T(e1) ≬ T(e2) ≬ T(e3), T(e4) ~ T(e3), T(e3) < T(e5)")
+	fmt.Fprintln(w, "(note: T(e5)'s k component is quoted verbatim; see EXPERIMENTS.md EX51)")
+}

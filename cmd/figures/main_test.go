@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderFig1Output(t *testing.T) {
+	var b strings.Builder
+	renderFig1(&b)
+	out := b.String()
+	for _, want := range []string{"Figure 1", "{12g_g .. 14g_g}", "{9g_g .. 17g_g}", "open:", "closed:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig1 output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFig2Output(t *testing.T) {
+	var b strings.Builder
+	renderFig2(&b)
+	out := b.String()
+	for _, want := range []string{"Figure 2", "Site3", "Site6", "*", "~", "<", ">"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig2 output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExample51Output(t *testing.T) {
+	var b strings.Builder
+	runExample51(&b)
+	out := b.String()
+	// The computed relations must match the paper's reported line.
+	for _, want := range []string{
+		"T(e1) ≬ T(e2)",
+		"T(e2) ≬ T(e3)",
+		"T(e4) ~ T(e3)",
+		"T(e3) < T(e5)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("example 51 output lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/ddetect"
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/network"
+)
+
+// scriptError is a script problem with its line number.
+type scriptError struct {
+	line int
+	msg  string
+}
+
+func (e *scriptError) Error() string {
+	return fmt.Sprintf("line %d: %s", e.line, e.msg)
+}
+
+// interp holds the evolving state of a scenario run.
+type interp struct {
+	w   io.Writer
+	out func(format string, args ...any)
+
+	clockCfg clock.Config
+	netCfg   network.Config
+	hbEvery  clock.Microticks
+
+	sys    *ddetect.System
+	counts map[string]int
+	failed []string
+}
+
+// Run executes a scenario script, writing detections and the final
+// summary to w.  It returns an error for script problems or failed
+// expectations.
+func Run(script string, w io.Writer) error {
+	ip := &interp{
+		w:        w,
+		clockCfg: clock.PaperConfig(),
+		counts:   make(map[string]int),
+	}
+	ip.out = func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
+
+	for i, raw := range strings.Split(script, "\n") {
+		lineNo := i + 1
+		line := strings.TrimSpace(raw)
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = strings.TrimSpace(line[:idx])
+		}
+		if line == "" {
+			continue
+		}
+		if err := ip.exec(lineNo, line); err != nil {
+			return err
+		}
+	}
+	if len(ip.failed) > 0 {
+		return fmt.Errorf("%d expectation(s) failed:\n  %s", len(ip.failed), strings.Join(ip.failed, "\n  "))
+	}
+	return nil
+}
+
+func (ip *interp) exec(lineNo int, line string) error {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	fail := func(format string, a ...any) error {
+		return &scriptError{line: lineNo, msg: fmt.Sprintf(format, a...)}
+	}
+	switch cmd {
+	case "clock":
+		if ip.sys != nil {
+			return fail("clock must precede the first site")
+		}
+		kv, err := parseKVs(args)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if v, ok := kv["local"]; ok {
+			ip.clockCfg.LocalGranularity = v.(int64)
+		}
+		if v, ok := kv["global"]; ok {
+			ip.clockCfg.GlobalGranularity = v.(int64)
+		}
+		if v, ok := kv["pi"]; ok {
+			ip.clockCfg.Precision = v.(int64)
+		}
+		return nil
+	case "net":
+		if ip.sys != nil {
+			return fail("net must precede the first site")
+		}
+		kv, err := parseKVs(args)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if v, ok := kv["latency"]; ok {
+			ip.netCfg.BaseLatency = v.(int64)
+		}
+		if v, ok := kv["jitter"]; ok {
+			ip.netCfg.Jitter = v.(int64)
+		}
+		if v, ok := kv["drop"]; ok {
+			f, isF := v.(float64)
+			if !isF {
+				f = float64(v.(int64))
+			}
+			ip.netCfg.DropRate = f
+		}
+		if v, ok := kv["rexmit"]; ok {
+			ip.netCfg.RetransmitDelay = v.(int64)
+		}
+		if v, ok := kv["seed"]; ok {
+			ip.netCfg.Seed = v.(int64)
+		}
+		return nil
+	case "heartbeat":
+		if ip.sys != nil {
+			return fail("heartbeat must precede the first site")
+		}
+		if len(args) != 1 {
+			return fail("usage: heartbeat <microticks>")
+		}
+		n, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return fail("bad heartbeat period %q", args[0])
+		}
+		ip.hbEvery = n
+		return nil
+	case "site":
+		if len(args) < 1 {
+			return fail("usage: site <name> [offset=N] [drift=N]")
+		}
+		if err := ip.ensureSystem(); err != nil {
+			return fail("%v", err)
+		}
+		kv, err := parseKVs(args[1:])
+		if err != nil {
+			return fail("%v", err)
+		}
+		var offset, drift int64
+		if v, ok := kv["offset"]; ok {
+			offset = v.(int64)
+		}
+		if v, ok := kv["drift"]; ok {
+			drift = v.(int64)
+		}
+		if _, err := ip.sys.AddSite(core.SiteID(args[0]), offset, drift); err != nil {
+			return fail("%v", err)
+		}
+		return nil
+	case "declare":
+		if err := ip.ensureSystem(); err != nil {
+			return fail("%v", err)
+		}
+		if len(args) < 1 || len(args) > 2 {
+			return fail("usage: declare <type> [class]")
+		}
+		class := event.Explicit
+		if len(args) == 2 {
+			c, ok := classes[args[1]]
+			if !ok {
+				return fail("unknown event class %q", args[1])
+			}
+			class = c
+		}
+		if err := ip.sys.Declare(args[0], class); err != nil {
+			return fail("%v", err)
+		}
+		return nil
+	case "define":
+		if ip.sys == nil {
+			return fail("define needs at least one site first")
+		}
+		if len(args) < 4 {
+			return fail("usage: define <host> <name> <context> <expression...>")
+		}
+		host, name := args[0], args[1]
+		ctx, ok := contexts[args[2]]
+		if !ok {
+			return fail("unknown context %q", args[2])
+		}
+		expression := strings.Join(args[3:], " ")
+		if _, err := ip.sys.DefineAt(core.SiteID(host), name, expression, ctx); err != nil {
+			return fail("%v", err)
+		}
+		name0 := name
+		if err := ip.sys.Subscribe(name, func(o *event.Occurrence) {
+			ip.counts[name0]++
+			parts := make([]string, 0, 4)
+			for _, c := range o.Flatten() {
+				parts = append(parts, fmt.Sprintf("%s@%s", c.Type, c.Site))
+			}
+			ip.out("[t=%d] %s %v (%s)", ip.sys.Now(), name0, o.Stamp, strings.Join(parts, " "))
+		}); err != nil {
+			return fail("%v", err)
+		}
+		return nil
+	case "at":
+		if ip.sys == nil {
+			return fail("at needs a system")
+		}
+		if len(args) != 1 {
+			return fail("usage: at <time>")
+		}
+		target, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return fail("bad time %q", args[0])
+		}
+		if target < ip.sys.Now() {
+			return fail("time %d is in the past (now %d)", target, ip.sys.Now())
+		}
+		if target > ip.sys.Now() {
+			ip.sys.Run(target, 50)
+		}
+		return nil
+	case "raise":
+		if ip.sys == nil {
+			return fail("raise needs a system")
+		}
+		if len(args) < 2 {
+			return fail("usage: raise <site> <type> [k=v ...]")
+		}
+		site := ip.sys.Site(core.SiteID(args[0]))
+		if site == nil {
+			return fail("unknown site %q", args[0])
+		}
+		kv, err := parseKVs(args[2:])
+		if err != nil {
+			return fail("%v", err)
+		}
+		params := event.Params{}
+		for k, v := range kv {
+			params[k] = v
+		}
+		if _, err := site.Raise(args[1], event.Explicit, params); err != nil {
+			return fail("%v", err)
+		}
+		return nil
+	case "settle":
+		if ip.sys == nil {
+			return fail("settle needs a system")
+		}
+		max := 10_000
+		if len(args) == 1 {
+			n, err := strconv.Atoi(args[0])
+			if err != nil {
+				return fail("bad settle bound %q", args[0])
+			}
+			max = n
+		}
+		if err := ip.sys.Settle(max); err != nil {
+			return fail("%v", err)
+		}
+		return nil
+	case "expect":
+		if len(args) != 2 {
+			return fail("usage: expect <definition> <count>")
+		}
+		want, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fail("bad count %q", args[1])
+		}
+		if got := ip.counts[args[0]]; got != want {
+			ip.failed = append(ip.failed,
+				fmt.Sprintf("line %d: %s detected %d times, expected %d", lineNo, args[0], got, want))
+		}
+		return nil
+	case "crash", "decommission":
+		if ip.sys == nil {
+			return fail("%s needs a system", cmd)
+		}
+		if len(args) != 1 {
+			return fail("usage: %s <site>", cmd)
+		}
+		var err error
+		if cmd == "crash" {
+			err = ip.sys.Crash(core.SiteID(args[0]))
+		} else {
+			err = ip.sys.Decommission(core.SiteID(args[0]))
+		}
+		if err != nil {
+			return fail("%v", err)
+		}
+		return nil
+	case "stats":
+		if ip.sys == nil {
+			return fail("stats needs a system")
+		}
+		st := ip.sys.Stats()
+		ip.out("stats: raised=%d released=%d detections=%d meanLatency=%.1f",
+			st.Raised, st.Released, st.Detections, st.MeanLatency())
+		return nil
+	default:
+		return fail("unknown command %q", cmd)
+	}
+}
+
+func (ip *interp) ensureSystem() error {
+	if ip.sys != nil {
+		return nil
+	}
+	sys, err := ddetect.NewSystem(ddetect.Config{
+		Clock:          ip.clockCfg,
+		Net:            ip.netCfg,
+		HeartbeatEvery: ip.hbEvery,
+	})
+	if err != nil {
+		return err
+	}
+	ip.sys = sys
+	return nil
+}
+
+var classes = map[string]event.Class{
+	"explicit":    event.Explicit,
+	"database":    event.Database,
+	"transaction": event.Transaction,
+	"temporal":    event.Temporal,
+}
+
+var contexts = map[string]detector.Context{
+	"unrestricted": detector.Unrestricted,
+	"recent":       detector.Recent,
+	"chronicle":    detector.Chronicle,
+	"continuous":   detector.Continuous,
+	"cumulative":   detector.Cumulative,
+}
+
+// parseKVs parses k=v pairs; values are int64, float64, quoted strings,
+// or true/false.
+func parseKVs(args []string) (map[string]any, error) {
+	out := make(map[string]any, len(args))
+	for _, a := range args {
+		eq := strings.IndexByte(a, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("expected k=v, found %q", a)
+		}
+		k, raw := a[:eq], a[eq+1:]
+		switch {
+		case raw == "true":
+			out[k] = true
+		case raw == "false":
+			out[k] = false
+		case len(raw) >= 2 && raw[0] == '"' && raw[len(raw)-1] == '"':
+			out[k] = raw[1 : len(raw)-1]
+		default:
+			if n, err := strconv.ParseInt(raw, 10, 64); err == nil {
+				out[k] = n
+			} else if f, err := strconv.ParseFloat(raw, 64); err == nil {
+				out[k] = f
+			} else {
+				return nil, fmt.Errorf("cannot parse value %q for key %q", raw, k)
+			}
+		}
+	}
+	return out, nil
+}

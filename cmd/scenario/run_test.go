@@ -1,0 +1,174 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const demoScript = `
+# two-site round trip
+net latency=20 jitter=30 seed=3
+site hub offset=0
+site edge offset=20
+declare Buy explicit
+declare Sell explicit
+define hub RoundTrip chronicle Buy ; Sell
+at 100
+raise edge Buy qty=5
+at 500
+raise hub Sell
+settle
+expect RoundTrip 1
+stats
+`
+
+func TestRunDemoScript(t *testing.T) {
+	var b strings.Builder
+	if err := Run(demoScript, &b); err != nil {
+		t.Fatalf("Run: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "RoundTrip") || !strings.Contains(out, "Buy@edge Sell@hub") {
+		t.Fatalf("missing detection line:\n%s", out)
+	}
+	if !strings.Contains(out, "stats: raised=2") {
+		t.Fatalf("missing stats line:\n%s", out)
+	}
+}
+
+func TestExpectFailureReported(t *testing.T) {
+	script := strings.Replace(demoScript, "expect RoundTrip 1", "expect RoundTrip 5", 1)
+	var b strings.Builder
+	err := Run(script, &b)
+	if err == nil || !strings.Contains(err.Error(), "expected 5") {
+		t.Fatalf("expectation failure not reported: %v", err)
+	}
+}
+
+func TestConcurrencyScenario(t *testing.T) {
+	script := `
+site hub
+site edge
+declare A
+declare B
+define hub Seq chronicle A ; B
+define hub Both chronicle A AND B
+at 100
+raise edge A
+raise hub B
+settle
+expect Seq 0
+expect Both 1
+`
+	var b strings.Builder
+	if err := Run(script, &b); err != nil {
+		t.Fatalf("Run: %v\n%s", err, b.String())
+	}
+}
+
+func TestMaskedScenario(t *testing.T) {
+	script := `
+site hub
+declare Transfer
+define hub Big chronicle Transfer[amount >= 1000] ; Transfer
+at 100
+raise hub Transfer amount=5
+at 300
+raise hub Transfer amount=5000
+at 600
+raise hub Transfer amount=7
+settle
+expect Big 1
+`
+	var b strings.Builder
+	if err := Run(script, &b); err != nil {
+		t.Fatalf("Run: %v\n%s", err, b.String())
+	}
+}
+
+func TestScriptErrors(t *testing.T) {
+	cases := []struct {
+		name, script, wantErr string
+	}{
+		{"unknown command", "bogus", `unknown command "bogus"`},
+		{"late net", "site a\nnet latency=5", "net must precede"},
+		{"late clock", "site a\nclock local=10", "clock must precede"},
+		{"bad kv", "site a x", `expected k=v`},
+		{"unknown context", "site a\ndeclare E\ndefine a X sideways E ; E", "unknown context"},
+		{"unknown site raise", "site a\ndeclare E\nraise b E", `unknown site "b"`},
+		{"past time", "site a\nat 500\nat 100", "in the past"},
+		{"bad class", "site a\ndeclare E alien", "unknown event class"},
+		{"define before site", "define a X chronicle E ; E", "needs at least one site"},
+		{"bad expect", "expect X nope", `bad count "nope"`},
+		{"bad heartbeat", "heartbeat xx", "bad heartbeat period"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var b strings.Builder
+			err := Run(c.script, &b)
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("err = %v, want contains %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	script := `
+# full-line comment
+
+site hub   # trailing comment
+declare A
+`
+	var b strings.Builder
+	if err := Run(script, &b); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestParseKVs(t *testing.T) {
+	kv, err := parseKVs([]string{`a=1`, `b=2.5`, `c="hi"`, `d=true`, `e=false`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv["a"] != int64(1) || kv["b"] != 2.5 || kv["c"] != "hi" || kv["d"] != true || kv["e"] != false {
+		t.Fatalf("parseKVs = %v", kv)
+	}
+	if _, err := parseKVs([]string{"novalue"}); err == nil {
+		t.Fatalf("bare token accepted")
+	}
+	if _, err := parseKVs([]string{"x=@@"}); err == nil {
+		t.Fatalf("garbage value accepted")
+	}
+}
+
+func TestCrashScenario(t *testing.T) {
+	script := `
+site hub
+site edge
+site flaky
+declare A
+declare B
+define hub Seq chronicle A ; B
+at 100
+raise edge A
+at 500
+raise hub B
+at 3000
+expect Seq 1
+crash flaky
+at 3100
+raise edge A
+at 3500
+raise hub B
+at 6000
+expect Seq 1      # stalled behind the dead site's watermark
+decommission flaky
+settle
+expect Seq 2
+`
+	var b strings.Builder
+	if err := Run(script, &b); err != nil {
+		t.Fatalf("Run: %v\n%s", err, b.String())
+	}
+}

@@ -1,0 +1,104 @@
+// Fraud watch: event masks and concurrent producers.
+//
+// Teller goroutines at two branches raise Transfer events concurrently
+// through the live.Runtime (the system itself stays single-threaded —
+// share memory by communicating).  Masked composite events watch only the
+// interesting slice of the stream:
+//
+//	Structuring = Transfer[amount < 10000] ; Transfer[amount < 10000] ; Transfer[amount < 10000]
+//	  three sub-reporting-threshold transfers in a row (classic
+//	  structuring pattern);
+//	Whale = Transfer[amount >= 250000]
+//	  any single transfer above a quarter million.
+//
+// Run with: go run ./examples/fraudwatch
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	sentinel "repro"
+)
+
+func main() {
+	sys := sentinel.MustNewSystem(sentinel.SystemConfig{
+		Net: sentinel.NetConfig{BaseLatency: 10, Jitter: 15, Seed: 8},
+	})
+	sys.MustAddSite("hq", 0, 0)
+	sys.MustAddSite("north", 20, 0)
+	sys.MustAddSite("south", -20, 0)
+	if err := sys.Declare("Transfer", sentinel.Explicit); err != nil {
+		panic(err)
+	}
+
+	must := func(_ *sentinel.Definition, err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(sys.DefineAt("hq", "Structuring",
+		"(Transfer[amount < 10000] ; Transfer[amount < 10000]) ; Transfer[amount < 10000]",
+		sentinel.Chronicle))
+	must(sys.DefineAt("hq", "Whale", "Transfer[amount >= 250000]", sentinel.Recent))
+
+	var mu sync.Mutex
+	alerts := map[string]int{}
+	report := func(o *sentinel.Occurrence) {
+		mu.Lock()
+		alerts[o.Type]++
+		mu.Unlock()
+		total := 0
+		for _, c := range o.Flatten() {
+			total += c.Params["amount"].(int)
+		}
+		fmt.Printf("[alert %-11s] total=%d stamp=%v\n", o.Type, total, o.Stamp)
+	}
+	if err := sys.Subscribe("Structuring", report); err != nil {
+		panic(err)
+	}
+	if err := sys.Subscribe("Whale", report); err != nil {
+		panic(err)
+	}
+
+	// The runtime owns the system from here; tellers are free to race.
+	rt := sentinel.NewRuntime(sys)
+	defer rt.Close()
+
+	var wg sync.WaitGroup
+	for t, branch := range []sentinel.SiteID{"north", "south"} {
+		t, branch := t, branch
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(t) + 1))
+			for i := 0; i < 12; i++ {
+				amount := 3_000 + rng.Intn(6_000) // mostly sub-threshold
+				if i == 7 && t == 0 {
+					amount = 300_000 // one whale from the north branch
+				}
+				if _, err := rt.Raise(branch, "Transfer", sentinel.Explicit,
+					sentinel.Params{"amount": amount, "teller": t}); err != nil {
+					panic(err)
+				}
+				if err := rt.Step(300); err != nil { // ticks pass between transfers
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := rt.Settle(1_000); err != nil {
+		panic(err)
+	}
+
+	st, err := rt.Stats()
+	if err != nil {
+		panic(err)
+	}
+	mu.Lock()
+	fmt.Printf("--- stats: raised=%d structuring=%d whale=%d\n",
+		st.Raised, alerts["Structuring"], alerts["Whale"])
+	mu.Unlock()
+}

@@ -1,0 +1,104 @@
+// Hospital monitoring: temporal operators over distributed wards.
+//
+//   - VitalsWatch = P(Admit, 30s, Discharge)            (Recent)
+//     while a patient is admitted, a periodic vitals check fires every
+//     30 simulated seconds until discharge;
+//   - SessionLog  = A*(Admit, Alarm, Discharge)         (Continuous)
+//     all alarms raised during a stay, delivered as one cumulative
+//     occurrence at discharge;
+//   - Escalate    = PLUS(Alarm, 10s)                    (Recent)
+//     ten seconds after any alarm, an escalation event fires (the rule
+//     below cancels the page if a nurse acknowledged in time).
+//
+// Run with: go run ./examples/hospital
+package main
+
+import (
+	"fmt"
+
+	sentinel "repro"
+)
+
+func main() {
+	sys := sentinel.MustNewSystem(sentinel.SystemConfig{
+		Net: sentinel.NetConfig{BaseLatency: 10, Jitter: 20, Seed: 5},
+	})
+	icu := sys.MustAddSite("icu", 15, 0)
+	wardA := sys.MustAddSite("wardA", -10, 0)
+
+	for _, typ := range []string{"Admit", "Discharge", "Alarm", "Ack"} {
+		if err := sys.Declare(typ, sentinel.Explicit); err != nil {
+			panic(err)
+		}
+	}
+
+	must := func(_ *sentinel.Definition, err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	// All composite definitions hosted at the ICU site, which therefore
+	// receives forwarded events from the wards.
+	must(sys.DefineAt("icu", "VitalsWatch", "P(Admit, 30s, Discharge)", sentinel.Recent))
+	must(sys.DefineAt("icu", "SessionLog", "A*(Admit, Alarm, Discharge)", sentinel.Continuous))
+	must(sys.DefineAt("icu", "Escalate", "PLUS(Alarm, 10s)", sentinel.Recent))
+	// A pass-through definition turns the primitive Ack into a named
+	// composite the dashboard can subscribe to.
+	must(sys.DefineAt("icu", "AckSeen", "Ack", sentinel.Recent))
+
+	acked := false
+	subscribe := func(name string, h sentinel.Handler) {
+		if err := sys.Subscribe(name, h); err != nil {
+			panic(err)
+		}
+	}
+	subscribe("VitalsWatch", func(o *sentinel.Occurrence) {
+		tick := o.Flatten()[1]
+		fmt.Printf("[vitals] periodic check #%v at stamp %v\n", tick.Params["count"], o.Stamp)
+	})
+	subscribe("SessionLog", func(o *sentinel.Occurrence) {
+		alarms := 0
+		for _, c := range o.Flatten() {
+			if c.Type == "Alarm" {
+				alarms++
+			}
+		}
+		fmt.Printf("[session] discharge summary: %d alarm(s) during stay, stamp %v\n", alarms, o.Stamp)
+	})
+	subscribe("Escalate", func(o *sentinel.Occurrence) {
+		if acked {
+			fmt.Println("[escalate] alarm was acknowledged in time — no page")
+			return
+		}
+		fmt.Printf("[escalate] alarm unacknowledged for 10s — paging physician (stamp %v)\n", o.Stamp)
+	})
+	subscribe("AckSeen", func(*sentinel.Occurrence) { acked = true })
+
+	// Admission at ward A; the ICU dashboard follows the stay.
+	fmt.Println("--- patient stay ---")
+	wardA.MustRaise("Admit", sentinel.Explicit, sentinel.Params{"patient": "p-17"})
+
+	// 70 simulated seconds pass: two vitals checks (at 30s and 60s).
+	sys.Run(sys.Now()+70_000, 1_000)
+
+	// An alarm, acknowledged 4 seconds later: escalation finds it acked.
+	icu.MustRaise("Alarm", sentinel.Explicit, sentinel.Params{"code": "SpO2"})
+	sys.Run(sys.Now()+4_000, 500)
+	icu.MustRaise("Ack", sentinel.Explicit, nil)
+	sys.Run(sys.Now()+8_000, 500)
+
+	// A second alarm that nobody acknowledges.
+	acked = false
+	wardA.MustRaise("Alarm", sentinel.Explicit, sentinel.Params{"code": "HR"})
+	sys.Run(sys.Now()+12_000, 500)
+
+	// Discharge ends the periodic watch and emits the session log.
+	wardA.MustRaise("Discharge", sentinel.Explicit, nil)
+	if err := sys.Settle(300); err != nil {
+		panic(err)
+	}
+
+	st := sys.Stats()
+	fmt.Printf("--- stats: raised=%d detections=%d forwarded=%d heartbeats=%d\n",
+		st.Raised, st.Detections, st.Forwarded, st.Heartbeats)
+}

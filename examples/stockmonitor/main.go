@@ -1,0 +1,129 @@
+// Stock monitor: the classic active-database motivation.  Price ticks
+// arrive at three exchange sites; composite events detect cross-site
+// patterns and ECA rules react:
+//
+//   - Spike      = IBM.rise ; IBM.rise ; IBM.rise   (Chronicle)
+//     three successive rises anywhere in the system — the rule issues a
+//     (simulated) portfolio rebalance;
+//   - Straddle   = NYSE.halt AND LSE.halt           (Chronicle)
+//     both exchanges halted, possibly concurrently — the rule pages the
+//     operator immediately;
+//   - QuietClose = NOT(IBM.trade)[Bell.open, Bell.close]  (Chronicle)
+//     a session with no IBM trade at all.
+//
+// Run with: go run ./examples/stockmonitor
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	sentinel "repro"
+)
+
+func main() {
+	sys := sentinel.MustNewSystem(sentinel.SystemConfig{
+		Net: sentinel.NetConfig{BaseLatency: 15, Jitter: 30, Seed: 11},
+	})
+	nyse := sys.MustAddSite("nyse", -20, 0)
+	lse := sys.MustAddSite("lse", 25, 0)
+	hub := sys.MustAddSite("hub", 0, 0)
+
+	for _, typ := range []string{"IBM.rise", "IBM.trade", "NYSE.halt", "LSE.halt", "Bell.open", "Bell.close"} {
+		if err := sys.Declare(typ, sentinel.Explicit); err != nil {
+			panic(err)
+		}
+	}
+
+	must := func(_ *sentinel.Definition, err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(sys.DefineAt("hub", "Spike", "(IBM.rise ; IBM.rise) ; IBM.rise", sentinel.Chronicle))
+	must(sys.DefineAt("hub", "Straddle", "NYSE.halt AND LSE.halt", sentinel.Chronicle))
+	must(sys.DefineAt("hub", "QuietClose", "NOT(IBM.trade)[Bell.open, Bell.close]", sentinel.Chronicle))
+
+	// ECA rules at the hub.
+	mgr := sentinel.NewRuleManager(sys.Site("hub").Detector(), 8)
+	mustRule := func(r sentinel.Rule) {
+		if _, err := mgr.Add(r); err != nil {
+			panic(err)
+		}
+	}
+	mustRule(sentinel.Rule{
+		Name: "rebalance", EventName: "Spike", Priority: 5,
+		Condition: func(o *sentinel.Occurrence) bool {
+			// Only rebalance when the spike is fast: constituents within
+			// 10 global granules.
+			flat := o.Flatten()
+			return flat[len(flat)-1].Stamp.MaxGlobal()-flat[0].Stamp.MaxGlobal() <= 10
+		},
+		Action: func(o *sentinel.Occurrence) error {
+			fmt.Printf("[rule rebalance] spike ending at %v — rebalancing portfolio\n", o.Stamp)
+			return nil
+		},
+	})
+	mustRule(sentinel.Rule{
+		Name: "page-operator", EventName: "Straddle", Priority: 10, Coupling: sentinel.Immediate,
+		Action: func(o *sentinel.Occurrence) error {
+			fmt.Printf("[rule page-operator] both exchanges halted, stamp %v (concurrent components: %d)\n",
+				o.Stamp, len(o.Stamp))
+			return nil
+		},
+	})
+	mustRule(sentinel.Rule{
+		Name: "audit-quiet-session", EventName: "QuietClose", Coupling: sentinel.Deferred,
+		Action: func(o *sentinel.Occurrence) error {
+			fmt.Printf("[rule audit-quiet-session] session with no IBM trades: %v\n", o.Stamp)
+			return nil
+		},
+	})
+
+	// --- Session 1: a quiet session (no trades) plus a fast spike. ---
+	fmt.Println("--- session 1 ---")
+	hub.MustRaise("Bell.open", sentinel.Explicit, nil)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 3; i++ {
+		sys.Run(sys.Now()+300+rng.Int63n(100), 50)
+		site := []*sentinel.Site{nyse, lse}[i%2]
+		site.MustRaise("IBM.rise", sentinel.Explicit, sentinel.Params{"px": 100 + i})
+	}
+	sys.Run(sys.Now()+400, 50)
+	hub.MustRaise("Bell.close", sentinel.Explicit, nil)
+	if err := sys.Settle(200); err != nil {
+		panic(err)
+	}
+	// End of "transaction": run deferred actions.
+	if n := mgr.FlushDeferred(); n > 0 {
+		fmt.Printf("(flushed %d deferred actions)\n", n)
+	}
+
+	// --- Session 2: concurrent halts at both exchanges. ---
+	fmt.Println("--- session 2 ---")
+	hub.MustRaise("Bell.open", sentinel.Explicit, nil)
+	sys.Run(sys.Now()+300, 50)
+	nyse.MustRaise("IBM.trade", sentinel.Explicit, sentinel.Params{"qty": 10})
+	sys.Run(sys.Now()+200, 50)
+	// Halts raised in the same instant at two sites: concurrent stamps.
+	nyse.MustRaise("NYSE.halt", sentinel.Explicit, nil)
+	lse.MustRaise("LSE.halt", sentinel.Explicit, nil)
+	sys.Run(sys.Now()+400, 50)
+	hub.MustRaise("Bell.close", sentinel.Explicit, nil)
+	if err := sys.Settle(200); err != nil {
+		panic(err)
+	}
+	if n := mgr.FlushDeferred(); n > 0 {
+		fmt.Printf("(flushed %d deferred actions)\n", n)
+	} else {
+		fmt.Println("(no deferred actions: the session traded)")
+	}
+
+	st := sys.Stats()
+	rs := mgr.Stats()
+	fmt.Printf("--- stats: raised=%d detections=%d rulesTriggered=%d executed=%d\n",
+		st.Raised, st.Detections, rs.Triggered, rs.Executed)
+	if errs := mgr.Errs(); len(errs) > 0 {
+		fmt.Println("rule errors:", errs)
+	}
+}

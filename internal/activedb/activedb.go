@@ -1,0 +1,356 @@
+// Package activedb is a minimal in-memory active object database — the
+// Sentinel substrate the paper's event semantics lives in.  It stores
+// typed objects, runs (single-writer) transactions, and raises the
+// primitive event classes of Section 3.1 as data is manipulated:
+//
+//   - database events: insert, update, delete, retrieve — one per class
+//     of object, named "<class>.<op>";
+//   - transaction events: "tx.begin", "tx.commit", "tx.abort".
+//
+// Raised events carry the object identity, the affected attributes and
+// the transaction id as parameters, and are stamped by the owning site's
+// clock through the EventSink the store is constructed with — usually a
+// ddetect.Site, making every database change visible to distributed
+// composite event detection, which is exactly the ECA coupling the paper
+// assumes.
+package activedb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/event"
+)
+
+// EventSink receives the primitive events the store raises.  Both
+// *ddetect.Site (via the adapter in that package's examples) and plain
+// functions can serve; the sink decides stamping and routing.
+type EventSink interface {
+	RaiseDB(typ string, class event.Class, params event.Params)
+}
+
+// SinkFunc adapts a function to EventSink.
+type SinkFunc func(typ string, class event.Class, params event.Params)
+
+// RaiseDB calls f.
+func (f SinkFunc) RaiseDB(typ string, class event.Class, params event.Params) {
+	f(typ, class, params)
+}
+
+// OID identifies an object in the store.
+type OID uint64
+
+// Object is a stored object: a class name plus attribute values.
+type Object struct {
+	OID   OID
+	Class string
+	Attrs map[string]any
+}
+
+func (o *Object) clone() *Object {
+	attrs := make(map[string]any, len(o.Attrs))
+	for k, v := range o.Attrs {
+		attrs[k] = v
+	}
+	return &Object{OID: o.OID, Class: o.Class, Attrs: attrs}
+}
+
+// Op names a data-manipulation operation.
+type Op string
+
+// Data-manipulation operations that raise database events.
+const (
+	OpInsert   Op = "insert"
+	OpUpdate   Op = "update"
+	OpDelete   Op = "delete"
+	OpRetrieve Op = "retrieve"
+)
+
+// EventName returns the primitive event type raised for an operation on a
+// class, e.g. "Stock.update".
+func EventName(class string, op Op) string {
+	return class + "." + string(op)
+}
+
+// TxState is a transaction's lifecycle state.
+type TxState int
+
+// Transaction states.
+const (
+	TxActive TxState = iota
+	TxCommitted
+	TxAborted
+)
+
+func (s TxState) String() string {
+	switch s {
+	case TxActive:
+		return "active"
+	case TxCommitted:
+		return "committed"
+	case TxAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("TxState(%d)", int(s))
+	}
+}
+
+// Errors returned by the store.
+var (
+	ErrNoSuchObject  = errors.New("activedb: no such object")
+	ErrNoSuchClass   = errors.New("activedb: class not declared")
+	ErrTxDone        = errors.New("activedb: transaction already finished")
+	ErrWriteConflict = errors.New("activedb: object written by another active transaction")
+)
+
+// Store is an in-memory active object store.  It is single-threaded by
+// design: the owning site drives it (and the simulated clock) from one
+// goroutine, which is what makes runs reproducible.
+type Store struct {
+	sink    EventSink
+	classes map[string]bool
+	objects map[OID]*Object
+	nextOID OID
+	nextTx  uint64
+	// writeLocks maps an OID to the transaction holding it.
+	writeLocks map[OID]*Tx
+	active     map[uint64]*Tx
+}
+
+// NewStore creates a store raising events into sink.
+func NewStore(sink EventSink) *Store {
+	return &Store{
+		sink:       sink,
+		classes:    make(map[string]bool),
+		objects:    make(map[OID]*Object),
+		nextOID:    1,
+		writeLocks: make(map[OID]*Tx),
+		active:     make(map[uint64]*Tx),
+	}
+}
+
+// DeclareClass registers an object class.  The corresponding database
+// event types (class.insert etc.) should be declared with the event
+// registry by the caller; EventTypes lists them.
+func (s *Store) DeclareClass(name string) error {
+	if name == "" {
+		return errors.New("activedb: empty class name")
+	}
+	if s.classes[name] {
+		return fmt.Errorf("activedb: class %q already declared", name)
+	}
+	s.classes[name] = true
+	return nil
+}
+
+// EventTypes returns the primitive event type names a class raises.
+func EventTypes(class string) []string {
+	return []string{
+		EventName(class, OpInsert),
+		EventName(class, OpUpdate),
+		EventName(class, OpDelete),
+		EventName(class, OpRetrieve),
+	}
+}
+
+// TxEventTypes returns the transaction event type names.
+func TxEventTypes() []string { return []string{"tx.begin", "tx.commit", "tx.abort"} }
+
+// Classes returns declared class names in sorted order.
+func (s *Store) Classes() []string {
+	out := make([]string, 0, len(s.classes))
+	for c := range s.classes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int { return len(s.objects) }
+
+// Tx is a single-writer transaction with pessimistic write locks and
+// rollback on abort.
+type Tx struct {
+	ID    uint64
+	store *Store
+	state TxState
+	// undo records pre-images (nil for inserts) in apply order.
+	undo []undoRecord
+}
+
+type undoRecord struct {
+	oid      OID
+	preImage *Object // nil means the object did not exist
+}
+
+// Begin starts a transaction and raises tx.begin.
+func (s *Store) Begin() *Tx {
+	s.nextTx++
+	tx := &Tx{ID: s.nextTx, store: s}
+	s.active[tx.ID] = tx
+	s.sink.RaiseDB("tx.begin", event.Transaction, event.Params{"tx": tx.ID})
+	return tx
+}
+
+// State returns the transaction state.
+func (tx *Tx) State() TxState { return tx.state }
+
+func (tx *Tx) usable() error {
+	if tx.state != TxActive {
+		return fmt.Errorf("%w: tx %d is %s", ErrTxDone, tx.ID, tx.state)
+	}
+	return nil
+}
+
+// lock acquires the write lock on oid or fails with ErrWriteConflict.
+func (tx *Tx) lock(oid OID) error {
+	holder, locked := tx.store.writeLocks[oid]
+	if locked && holder != tx {
+		return fmt.Errorf("%w: oid %d held by tx %d", ErrWriteConflict, oid, holder.ID)
+	}
+	tx.store.writeLocks[oid] = tx
+	return nil
+}
+
+// Insert creates an object and raises class.insert.
+func (tx *Tx) Insert(class string, attrs map[string]any) (*Object, error) {
+	if err := tx.usable(); err != nil {
+		return nil, err
+	}
+	if !tx.store.classes[class] {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchClass, class)
+	}
+	oid := tx.store.nextOID
+	tx.store.nextOID++
+	obj := &Object{OID: oid, Class: class, Attrs: map[string]any{}}
+	for k, v := range attrs {
+		obj.Attrs[k] = v
+	}
+	if err := tx.lock(oid); err != nil {
+		return nil, err
+	}
+	tx.store.objects[oid] = obj
+	tx.undo = append(tx.undo, undoRecord{oid: oid, preImage: nil})
+	params := event.Params{"oid": oid, "class": class, "tx": tx.ID}
+	for k, v := range obj.Attrs {
+		params[k] = v
+	}
+	tx.store.sink.RaiseDB(EventName(class, OpInsert), event.Database, params)
+	return obj.clone(), nil
+}
+
+// Update modifies attributes of an object and raises class.update with
+// old and new values.
+func (tx *Tx) Update(oid OID, attrs map[string]any) error {
+	if err := tx.usable(); err != nil {
+		return err
+	}
+	obj, ok := tx.store.objects[oid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchObject, oid)
+	}
+	if err := tx.lock(oid); err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoRecord{oid: oid, preImage: obj.clone()})
+	params := event.Params{"oid": oid, "class": obj.Class, "tx": tx.ID}
+	for k, v := range attrs {
+		if old, had := obj.Attrs[k]; had {
+			params["old."+k] = old
+		}
+		obj.Attrs[k] = v
+		params[k] = v
+	}
+	tx.store.sink.RaiseDB(EventName(obj.Class, OpUpdate), event.Database, params)
+	return nil
+}
+
+// Delete removes an object and raises class.delete.
+func (tx *Tx) Delete(oid OID) error {
+	if err := tx.usable(); err != nil {
+		return err
+	}
+	obj, ok := tx.store.objects[oid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchObject, oid)
+	}
+	if err := tx.lock(oid); err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoRecord{oid: oid, preImage: obj.clone()})
+	delete(tx.store.objects, oid)
+	tx.store.sink.RaiseDB(EventName(obj.Class, OpDelete), event.Database,
+		event.Params{"oid": oid, "class": obj.Class, "tx": tx.ID})
+	return nil
+}
+
+// Retrieve reads an object (a copy) and raises class.retrieve.
+func (tx *Tx) Retrieve(oid OID) (*Object, error) {
+	if err := tx.usable(); err != nil {
+		return nil, err
+	}
+	obj, ok := tx.store.objects[oid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchObject, oid)
+	}
+	tx.store.sink.RaiseDB(EventName(obj.Class, OpRetrieve), event.Database,
+		event.Params{"oid": oid, "class": obj.Class, "tx": tx.ID})
+	return obj.clone(), nil
+}
+
+// Select returns copies of all objects of a class matching pred (pred nil
+// matches all), without raising events (bulk scans are not "interesting
+// occurrences" in Sentinel's sense).
+func (s *Store) Select(class string, pred func(*Object) bool) []*Object {
+	var out []*Object
+	for _, obj := range s.objects {
+		if obj.Class == class && (pred == nil || pred(obj)) {
+			out = append(out, obj.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].OID < out[j].OID })
+	return out
+}
+
+// Commit finishes the transaction, releases its locks and raises
+// tx.commit.
+func (tx *Tx) Commit() error {
+	if err := tx.usable(); err != nil {
+		return err
+	}
+	tx.state = TxCommitted
+	tx.release()
+	tx.store.sink.RaiseDB("tx.commit", event.Transaction, event.Params{"tx": tx.ID})
+	return nil
+}
+
+// Abort rolls the transaction back (restoring pre-images in reverse
+// order), releases its locks and raises tx.abort.
+func (tx *Tx) Abort() error {
+	if err := tx.usable(); err != nil {
+		return err
+	}
+	tx.state = TxAborted
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		if u.preImage == nil {
+			delete(tx.store.objects, u.oid)
+		} else {
+			tx.store.objects[u.oid] = u.preImage
+		}
+	}
+	tx.release()
+	tx.store.sink.RaiseDB("tx.abort", event.Transaction, event.Params{"tx": tx.ID})
+	return nil
+}
+
+func (tx *Tx) release() {
+	delete(tx.store.active, tx.ID)
+	for oid, holder := range tx.store.writeLocks {
+		if holder == tx {
+			delete(tx.store.writeLocks, oid)
+		}
+	}
+}

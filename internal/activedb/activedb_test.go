@@ -1,0 +1,274 @@
+package activedb
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// recordingSink captures raised events.
+type recordingSink struct {
+	types  []string
+	params []event.Params
+}
+
+func (r *recordingSink) RaiseDB(typ string, class event.Class, params event.Params) {
+	r.types = append(r.types, typ)
+	r.params = append(r.params, params)
+}
+
+func newStore(t *testing.T) (*Store, *recordingSink) {
+	t.Helper()
+	sink := &recordingSink{}
+	s := NewStore(sink)
+	if err := s.DeclareClass("Stock"); err != nil {
+		t.Fatal(err)
+	}
+	return s, sink
+}
+
+func TestInsertRaisesEvent(t *testing.T) {
+	s, sink := newStore(t)
+	tx := s.Begin()
+	obj, err := tx.Insert("Stock", map[string]any{"symbol": "IBM", "price": 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.OID == 0 || obj.Attrs["symbol"] != "IBM" {
+		t.Fatalf("inserted object wrong: %+v", obj)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"tx.begin", "Stock.insert", "tx.commit"}
+	if len(sink.types) != len(want) {
+		t.Fatalf("events = %v, want %v", sink.types, want)
+	}
+	for i := range want {
+		if sink.types[i] != want[i] {
+			t.Fatalf("events = %v, want %v", sink.types, want)
+		}
+	}
+	if sink.params[1]["symbol"] != "IBM" || sink.params[1]["class"] != "Stock" {
+		t.Errorf("insert params = %v", sink.params[1])
+	}
+}
+
+func TestUpdateCarriesOldAndNew(t *testing.T) {
+	s, sink := newStore(t)
+	tx := s.Begin()
+	obj, _ := tx.Insert("Stock", map[string]any{"price": 100})
+	if err := tx.Update(obj.OID, map[string]any{"price": 120}); err != nil {
+		t.Fatal(err)
+	}
+	last := sink.params[len(sink.params)-1]
+	if last["old.price"] != 100 || last["price"] != 120 {
+		t.Errorf("update params = %v", last)
+	}
+}
+
+func TestDeleteAndRetrieve(t *testing.T) {
+	s, sink := newStore(t)
+	tx := s.Begin()
+	obj, _ := tx.Insert("Stock", map[string]any{"price": 1})
+	if _, err := tx.Retrieve(obj.OID); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete(obj.OID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Retrieve(obj.OID); !errors.Is(err, ErrNoSuchObject) {
+		t.Fatalf("retrieve after delete = %v", err)
+	}
+	found := false
+	for _, typ := range sink.types {
+		if typ == "Stock.retrieve" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no retrieve event raised: %v", sink.types)
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	s, _ := newStore(t)
+	tx := s.Begin()
+	obj, _ := tx.Insert("Stock", map[string]any{"price": 100})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx2 := s.Begin()
+	if err := tx2.Update(obj.OID, map[string]any{"price": 999}); err != nil {
+		t.Fatal(err)
+	}
+	inserted, _ := tx2.Insert("Stock", map[string]any{"price": 5})
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx3 := s.Begin()
+	got, err := tx3.Retrieve(obj.OID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attrs["price"] != 100 {
+		t.Errorf("abort did not restore price: %v", got.Attrs)
+	}
+	if _, err := tx3.Retrieve(inserted.OID); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("abort did not remove inserted object: %v", err)
+	}
+}
+
+func TestAbortRestoresMultipleUpdatesInOrder(t *testing.T) {
+	s, _ := newStore(t)
+	tx := s.Begin()
+	obj, _ := tx.Insert("Stock", map[string]any{"price": 1})
+	tx.Commit()
+
+	tx2 := s.Begin()
+	_ = tx2.Update(obj.OID, map[string]any{"price": 2})
+	_ = tx2.Update(obj.OID, map[string]any{"price": 3})
+	tx2.Abort()
+
+	got := s.Select("Stock", nil)
+	if len(got) != 1 || got[0].Attrs["price"] != 1 {
+		t.Errorf("multi-update abort wrong: %v", got)
+	}
+}
+
+func TestWriteConflictDetected(t *testing.T) {
+	s, _ := newStore(t)
+	setup := s.Begin()
+	obj, _ := setup.Insert("Stock", map[string]any{"price": 1})
+	setup.Commit()
+
+	tx1 := s.Begin()
+	tx2 := s.Begin()
+	if err := tx1.Update(obj.OID, map[string]any{"price": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Update(obj.OID, map[string]any{"price": 3}); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("conflicting update = %v, want ErrWriteConflict", err)
+	}
+	tx1.Commit()
+	// Lock released: tx2 can now write.
+	if err := tx2.Update(obj.OID, map[string]any{"price": 3}); err != nil {
+		t.Fatalf("update after release failed: %v", err)
+	}
+	tx2.Commit()
+}
+
+func TestFinishedTxUnusable(t *testing.T) {
+	s, _ := newStore(t)
+	tx := s.Begin()
+	tx.Commit()
+	if _, err := tx.Insert("Stock", nil); !errors.Is(err, ErrTxDone) {
+		t.Errorf("insert on committed tx = %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("double commit = %v", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("abort after commit = %v", err)
+	}
+}
+
+func TestUndeclaredClassRejected(t *testing.T) {
+	s, _ := newStore(t)
+	tx := s.Begin()
+	if _, err := tx.Insert("Ghost", nil); !errors.Is(err, ErrNoSuchClass) {
+		t.Errorf("insert into undeclared class = %v", err)
+	}
+}
+
+func TestDeclareClassValidation(t *testing.T) {
+	s, _ := newStore(t)
+	if err := s.DeclareClass(""); err == nil {
+		t.Errorf("empty class accepted")
+	}
+	if err := s.DeclareClass("Stock"); err == nil {
+		t.Errorf("duplicate class accepted")
+	}
+	got := s.Classes()
+	if len(got) != 1 || got[0] != "Stock" {
+		t.Errorf("Classes = %v", got)
+	}
+}
+
+func TestSelectFiltersAndSorts(t *testing.T) {
+	s, _ := newStore(t)
+	tx := s.Begin()
+	for i := 1; i <= 5; i++ {
+		if _, err := tx.Insert("Stock", map[string]any{"price": i * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx.Commit()
+	got := s.Select("Stock", func(o *Object) bool { return o.Attrs["price"].(int) >= 30 })
+	if len(got) != 3 {
+		t.Fatalf("Select = %d objects, want 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].OID <= got[i-1].OID {
+			t.Errorf("Select not OID-sorted: %v", got)
+		}
+	}
+	if s.Len() != 5 {
+		t.Errorf("Len = %d, want 5", s.Len())
+	}
+}
+
+func TestSelectReturnsCopies(t *testing.T) {
+	s, _ := newStore(t)
+	tx := s.Begin()
+	obj, _ := tx.Insert("Stock", map[string]any{"price": 1})
+	tx.Commit()
+	s.Select("Stock", nil)[0].Attrs["price"] = 999
+	tx2 := s.Begin()
+	got, _ := tx2.Retrieve(obj.OID)
+	if got.Attrs["price"] != 1 {
+		t.Errorf("Select leaked internal state")
+	}
+}
+
+func TestEventTypeNames(t *testing.T) {
+	types := EventTypes("Stock")
+	want := []string{"Stock.insert", "Stock.update", "Stock.delete", "Stock.retrieve"}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("EventTypes = %v", types)
+		}
+	}
+	txTypes := TxEventTypes()
+	if len(txTypes) != 3 || txTypes[0] != "tx.begin" {
+		t.Fatalf("TxEventTypes = %v", txTypes)
+	}
+}
+
+func TestTxStateStrings(t *testing.T) {
+	if TxActive.String() != "active" || TxCommitted.String() != "committed" || TxAborted.String() != "aborted" {
+		t.Errorf("TxState strings wrong")
+	}
+	s, _ := newStore(t)
+	tx := s.Begin()
+	if tx.State() != TxActive {
+		t.Errorf("fresh tx state = %v", tx.State())
+	}
+	tx.Abort()
+	if tx.State() != TxAborted {
+		t.Errorf("aborted tx state = %v", tx.State())
+	}
+}
+
+func TestSinkFuncAdapter(t *testing.T) {
+	var got string
+	sink := SinkFunc(func(typ string, _ event.Class, _ event.Params) { got = typ })
+	s := NewStore(sink)
+	s.Begin()
+	if got != "tx.begin" {
+		t.Errorf("SinkFunc not invoked: %q", got)
+	}
+}

@@ -1,0 +1,107 @@
+package clock
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the clock model hypotheses the timestamp algebra
+// depends on (Proposition 4.1 and Theorem 4.1 rely on them).
+
+func randomSystem(t *testing.T, seed int64, sites int) *System {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	s := MustNewSystem(PaperConfig())
+	for i := 0; i < sites; i++ {
+		offset := r.Int63n(99) - 49 // within Π/2
+		s.MustAddSite(string(rune('a'+i)), offset, r.Int63n(3))
+	}
+	return s
+}
+
+// Local ticks never decrease as reference time advances.
+func TestLocalTickMonotone(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		s := randomSystem(t, seed, 4)
+		for _, name := range s.Sites() {
+			sc := s.Site(name)
+			prev := sc.LocalTick(0)
+			for ref := Microticks(1); ref < 50_000; ref += 13 {
+				cur := sc.LocalTick(ref)
+				if cur < prev {
+					t.Fatalf("seed %d site %s: local tick decreased %d -> %d at ref %d",
+						seed, name, prev, cur, ref)
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+// Global ticks are monotone in local ticks (the Proposition 4.1 backbone).
+func TestGlobalTickMonotoneInLocal(t *testing.T) {
+	s := randomSystem(t, 3, 2)
+	sc := s.Site("a")
+	prev := sc.GlobalTick(-100)
+	for l := int64(-99); l < 5_000; l++ {
+		cur := sc.GlobalTick(l)
+		if cur < prev {
+			t.Fatalf("global tick decreased %d -> %d at local %d", prev, cur, l)
+		}
+		if cur > prev+1 {
+			// With local granularity 10 and global 100, one local tick
+			// advances global by at most... 10 locals per global: jumps
+			// of more than one global per local tick are impossible.
+			t.Fatalf("global tick jumped %d -> %d at local %d", prev, cur, l)
+		}
+		prev = cur
+	}
+}
+
+// Simultaneous readings at any two synchronized sites stay within one
+// global granule — the guarantee g_g > Π buys (Section 4.1).
+func TestSimultaneousReadingsWithinOneGranuleProperty(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		s := randomSystem(t, seed, 5)
+		names := s.Sites()
+		r := rand.New(rand.NewSource(seed + 100))
+		for trial := 0; trial < 2_000; trial++ {
+			ref := r.Int63n(1_000_000)
+			a := s.Site(names[r.Intn(len(names))])
+			b := s.Site(names[r.Intn(len(names))])
+			ga := a.GlobalTick(a.LocalTick(ref))
+			gb := b.GlobalTick(b.LocalTick(ref))
+			d := ga - gb
+			if d < 0 {
+				d = -d
+			}
+			if d > 1 {
+				t.Fatalf("seed %d ref %d: sites %s/%s globals differ by %d",
+					seed, ref, a.Name(), b.Name(), d)
+			}
+		}
+	}
+}
+
+// Drift within the checked horizon keeps precision; CheckPrecision agrees
+// with a brute-force pairwise check.
+func TestCheckPrecisionAgreesWithBruteForce(t *testing.T) {
+	s := MustNewSystem(PaperConfig())
+	s.MustAddSite("x", 40, 200)
+	s.MustAddSite("y", -40, 0)
+	horizon := Microticks(80_000)
+	err := s.CheckPrecision(horizon, 500)
+	brute := func() bool {
+		x, y := s.Site("x"), s.Site("y")
+		for ref := Microticks(0); ref <= horizon; ref += 500 {
+			dx, dy := x.Divergence(ref), y.Divergence(ref)
+			if dx+dy > s.Config().Precision {
+				return false
+			}
+		}
+		return true
+	}()
+	if (err == nil) != brute {
+		t.Fatalf("CheckPrecision=%v but brute force says ok=%v", err, brute)
+	}
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file implements the candidate composite-timestamp orderings that
+// Section 5.1 analyses and rejects, plus tooling to demonstrate *why* the
+// paper's ∀∃ order is the right choice: the ∃∃ candidate is not
+// transitive, the ∀∀ and min-based candidates are valid but strictly more
+// restricted (they relate fewer pairs), and the dual ∀∃ order <_g is the
+// only other least-restricted choice.  cmd/ablation and cmd/counterexample
+// drive these.
+
+// OrderFunc is a candidate strict-order predicate on composite timestamps.
+type OrderFunc func(a, b SetStamp) bool
+
+// Ordering is a named candidate ordering with its paper classification.
+type Ordering struct {
+	// Name is the paper's notation for the ordering.
+	Name string
+	// Less is the ordering predicate.
+	Less OrderFunc
+	// Valid reports whether the paper classifies the ordering as a
+	// well-defined strict partial order (irreflexive and transitive).
+	Valid bool
+	// LeastRestricted reports whether the paper classifies the ordering
+	// as least restricted among the valid ones.
+	LeastRestricted bool
+	// Description explains the quantifier structure.
+	Description string
+}
+
+// LessForallExists is the paper's chosen order <_p (Definition 5.3(2)):
+// ∀t2∈B ∃t1∈A: t1 < t2.  Exported here under its analysis name; SetStamp.Less
+// is the same predicate.
+func LessForallExists(a, b SetStamp) bool { return a.Less(b) }
+
+// LessExistsExists is <_p1: ∃t1∈A ∃t2∈B: t1 < t2.  Section 5.1 shows it is
+// not transitive (the witness search below finds concrete violations), so
+// it is not a valid ordering.
+func LessExistsExists(a, b SetStamp) bool {
+	for _, t1 := range a {
+		for _, t2 := range b {
+			if t1.Less(t2) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// LessForallForall is <_p2: ∀t1∈A ∀t2∈B: t1 < t2.  Valid but more
+// restricted than <_p; the paper's example is A = {(site1,8,80),
+// (site2,7,70)}, B = {(site3,9,90)}: A <_p B but not A <_p2 B.
+func LessForallForall(a, b SetStamp) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	for _, t1 := range a {
+		for _, t2 := range b {
+			if !t1.Less(t2) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LessMinGlobal is <_p3: with m the component of A of minimum global time,
+// A <_p3 B iff ∀t2∈B: m < t2.  Valid but more restricted than <_p; the
+// paper's example is A = {(site1,8,80),(site2,7,70)},
+// B = {(site1,8,81),(site2,7,71)}.
+func LessMinGlobal(a, b SetStamp) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	m := a[0]
+	for _, t := range a[1:] {
+		if t.Global < m.Global {
+			m = t
+		}
+	}
+	for _, t2 := range b {
+		if !m.Less(t2) {
+			return false
+		}
+	}
+	return true
+}
+
+// LessDual is <_g, the dual least-restricted order: ∀t1∈A ∃t2∈B: t1 < t2.
+// The paper notes (<_p, >_g) and (<_g, >_p) are the two dual pairs
+// satisfying all three requirements and picks <_p.
+func LessDual(a, b SetStamp) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	for _, t1 := range a {
+		found := false
+		for _, t2 := range b {
+			if t1.Less(t2) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// LessTenGranules is the deliberately over-restricted strawman of Section
+// 5.1's requirement 3: ∀t1∈A ∀t2∈B: t1.global < t2.global − 10g_g.  Valid
+// (irreflexive, transitive) but absurdly restricted.
+func LessTenGranules(a, b SetStamp) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	for _, t1 := range a {
+		for _, t2 := range b {
+			if !(t1.Global < t2.Global-10) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Orderings returns all candidate orderings analysed in Section 5.1, the
+// paper's choice first.
+func Orderings() []Ordering {
+	return []Ordering{
+		{
+			Name:            "<_p (chosen)",
+			Less:            LessForallExists,
+			Valid:           true,
+			LeastRestricted: true,
+			Description:     "∀t2∈B ∃t1∈A: t1<t2 — the paper's Definition 5.3(2)",
+		},
+		{
+			Name:            "<_g (dual)",
+			Less:            LessDual,
+			Valid:           true,
+			LeastRestricted: true,
+			Description:     "∀t1∈A ∃t2∈B: t1<t2 — the other least-restricted choice",
+		},
+		{
+			Name:            "<_p1 (∃∃)",
+			Less:            LessExistsExists,
+			Valid:           false,
+			LeastRestricted: false,
+			Description:     "∃t1∈A ∃t2∈B: t1<t2 — not transitive, hence invalid",
+		},
+		{
+			Name:            "<_p2 (∀∀)",
+			Less:            LessForallForall,
+			Valid:           true,
+			LeastRestricted: false,
+			Description:     "∀t1∈A ∀t2∈B: t1<t2 — valid but more restricted than <_p",
+		},
+		{
+			Name:            "<_p3 (min)",
+			Less:            LessMinGlobal,
+			Valid:           true,
+			LeastRestricted: false,
+			Description:     "min-global component of A before every component of B — valid but more restricted",
+		},
+		{
+			Name:            "<_10g (strawman)",
+			Less:            LessTenGranules,
+			Valid:           true,
+			LeastRestricted: false,
+			Description:     "all pairs 10 granules apart — requirement 3's motivating strawman",
+		},
+	}
+}
+
+// Triple is a transitivity witness: A rel B, B rel C, but ¬(A rel C).
+type Triple struct {
+	A, B, C SetStamp
+}
+
+func (w Triple) String() string {
+	return fmt.Sprintf("A=%s  B=%s  C=%s", w.A, w.B, w.C)
+}
+
+// FindNonTransitiveTriple searches random valid composite timestamps for a
+// transitivity violation of ord: ord(A,B) ∧ ord(B,C) ∧ ¬ord(A,C).  It
+// returns the first witness found within tries attempts, or nil.  gen
+// produces one random valid composite timestamp per call.
+func FindNonTransitiveTriple(ord OrderFunc, gen func() SetStamp, tries int) *Triple {
+	for i := 0; i < tries; i++ {
+		a, b, c := gen(), gen(), gen()
+		if ord(a, b) && ord(b, c) && !ord(a, c) {
+			return &Triple{A: a, B: b, C: c}
+		}
+	}
+	return nil
+}
+
+// FindIrreflexivityViolation searches for A with ord(A, A).
+func FindIrreflexivityViolation(ord OrderFunc, gen func() SetStamp, tries int) SetStamp {
+	for i := 0; i < tries; i++ {
+		if a := gen(); ord(a, a) {
+			return a
+		}
+	}
+	return nil
+}
+
+// ComparabilityRate estimates, by sampling, the fraction of random pairs of
+// valid composite timestamps that the ordering relates in either direction.
+// The paper's requirement 3 ("least restricted") is exactly the demand that
+// this rate be maximal among valid orderings; cmd/ablation prints the rates
+// side by side.
+func ComparabilityRate(ord OrderFunc, gen func() SetStamp, samples int) float64 {
+	if samples <= 0 {
+		return 0
+	}
+	n := 0
+	for i := 0; i < samples; i++ {
+		a, b := gen(), gen()
+		if ord(a, b) || ord(b, a) {
+			n++
+		}
+	}
+	return float64(n) / float64(samples)
+}
+
+// Generator returns a deterministic random source of *valid* composite
+// timestamps for property tests and ablation sweeps: it draws up to
+// maxComponents primitive stamps from `sites` sites with local ticks in
+// [0, horizon) at the given local-per-global ratio, and keeps their max
+// set (which Theorem 5.1 makes mutually concurrent).  To produce sets
+// with more than one component it concentrates the draws in a 2-granule
+// band, where cross-site concurrency is common.
+func Generator(r *rand.Rand, sites, maxComponents int, ratio, horizon int64) func() SetStamp {
+	if sites < 1 || maxComponents < 1 || ratio < 1 || horizon < ratio*4 {
+		panic("core: Generator called with degenerate parameters")
+	}
+	return func() SetStamp {
+		n := 1 + r.Intn(maxComponents)
+		base := r.Int63n(horizon - 2*ratio)
+		stamps := make([]Stamp, 0, n)
+		for i := 0; i < n; i++ {
+			site := SiteID(fmt.Sprintf("site%d", r.Intn(sites)+1))
+			local := base + r.Int63n(2*ratio)
+			stamps = append(stamps, DeriveStamp(site, local, ratio))
+		}
+		return MaxSet(stamps)
+	}
+}
+
+// GenStamp draws one random primitive stamp with the same conventions as
+// Generator; used by primitive-level property tests.
+func GenStamp(r *rand.Rand, sites int, ratio, horizon int64) Stamp {
+	site := SiteID(fmt.Sprintf("site%d", r.Intn(sites)+1))
+	return DeriveStamp(site, r.Int63n(horizon), ratio)
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The paper's example showing <_p2 (∀∀) is more restricted than <_p.
+func TestAltOrderPaperExampleP2(t *testing.T) {
+	a, b := PaperAltOrderExampleP2()
+	if !LessForallExists(a, b) {
+		t.Fatalf("paper example: %s <_p %s expected", a, b)
+	}
+	if LessForallForall(a, b) {
+		t.Fatalf("paper example: %s <_p2 %s must NOT hold", a, b)
+	}
+}
+
+// The paper's example showing <_p3 (min-based) is more restricted than <_p.
+func TestAltOrderPaperExampleP3(t *testing.T) {
+	a, b := PaperAltOrderExampleP3()
+	if !LessForallExists(a, b) {
+		t.Fatalf("paper example: %s <_p %s expected", a, b)
+	}
+	if LessMinGlobal(a, b) {
+		t.Fatalf("paper example: %s <_p3 %s must NOT hold", a, b)
+	}
+}
+
+// <_p1 (∃∃) is not transitive: the random search must find a witness.
+func TestExistsExistsNotTransitive(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	gen := Generator(r, qSites, 4, qRatio, qHorizon)
+	w := FindNonTransitiveTriple(LessExistsExists, gen, 200000)
+	if w == nil {
+		t.Fatalf("no non-transitivity witness found for <_p1; it should be easy to find")
+	}
+	// Double-check the witness.
+	if !LessExistsExists(w.A, w.B) || !LessExistsExists(w.B, w.C) || LessExistsExists(w.A, w.C) {
+		t.Fatalf("reported witness does not violate transitivity: %s", w)
+	}
+}
+
+// Every ordering the paper calls valid must have no transitivity or
+// irreflexivity violation on a large random sample.
+func TestValidOrderingsAreStrictPartialOrders(t *testing.T) {
+	for _, ord := range Orderings() {
+		if !ord.Valid {
+			continue
+		}
+		ord := ord
+		t.Run(ord.Name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(17))
+			gen := Generator(r, qSites, 4, qRatio, qHorizon)
+			if w := FindNonTransitiveTriple(ord.Less, gen, 100000); w != nil {
+				t.Errorf("%s: transitivity violated: %s", ord.Name, w)
+			}
+			if a := FindIrreflexivityViolation(ord.Less, gen, 20000); a != nil {
+				t.Errorf("%s: irreflexivity violated by %s", ord.Name, a)
+			}
+		})
+	}
+}
+
+// Requirement 3 ("least restricted"): <_p relates every pair the more
+// restricted valid orderings relate — i.e. <_p2, <_p3 and the 10-granule
+// strawman are subsets of <_p.
+func TestChosenOrderSupersetOfRestrictedOnes(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	gen := Generator(r, qSites, 4, qRatio, qHorizon)
+	restricted := []struct {
+		name string
+		less OrderFunc
+	}{
+		{"<_p2", LessForallForall},
+		{"<_p3", LessMinGlobal},
+		{"<_10g", LessTenGranules},
+	}
+	for i := 0; i < 50000; i++ {
+		a, b := gen(), gen()
+		for _, o := range restricted {
+			if o.less(a, b) && !LessForallExists(a, b) {
+				t.Fatalf("%s relates %s and %s but <_p does not", o.name, a, b)
+			}
+		}
+	}
+}
+
+// The comparability-rate ablation: <_p must relate at least as many random
+// pairs as each valid restricted ordering, and strictly more overall.
+func TestComparabilityRateOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	gen := Generator(r, qSites, 4, qRatio, qHorizon)
+	samples := 20000
+	rateP := ComparabilityRate(LessForallExists, gen, samples)
+	rateP2 := ComparabilityRate(LessForallForall, gen, samples)
+	rateP3 := ComparabilityRate(LessMinGlobal, gen, samples)
+	rate10 := ComparabilityRate(LessTenGranules, gen, samples)
+	if rateP <= rateP2 || rateP <= rate10 {
+		t.Errorf("comparability rates: <_p=%.4f must exceed <_p2=%.4f and <_10g=%.4f", rateP, rateP2, rate10)
+	}
+	if rateP < rateP3 {
+		t.Errorf("comparability rates: <_p=%.4f must be at least <_p3=%.4f", rateP, rateP3)
+	}
+	if rateP == 0 {
+		t.Errorf("degenerate sample: <_p relates nothing")
+	}
+}
+
+func TestComparabilityRateDegenerate(t *testing.T) {
+	if got := ComparabilityRate(LessForallExists, nil, 0); got != 0 {
+		t.Errorf("ComparabilityRate with no samples = %v, want 0", got)
+	}
+}
+
+func TestOrderingsMetadata(t *testing.T) {
+	ords := Orderings()
+	if len(ords) != 6 {
+		t.Fatalf("expected 6 candidate orderings, got %d", len(ords))
+	}
+	if !ords[0].LeastRestricted || ords[0].Name != "<_p (chosen)" {
+		t.Errorf("first ordering must be the paper's choice, got %+v", ords[0])
+	}
+	validCount := 0
+	for _, o := range ords {
+		if o.Less == nil || o.Name == "" || o.Description == "" {
+			t.Errorf("incomplete ordering metadata: %+v", o)
+		}
+		if o.Valid {
+			validCount++
+		}
+	}
+	if validCount != 5 {
+		t.Errorf("expected 5 valid orderings (only ∃∃ invalid), got %d", validCount)
+	}
+}
+
+func TestGeneratorProducesValidSets(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	gen := Generator(r, 3, 5, 10, 1000)
+	multi := false
+	for i := 0; i < 2000; i++ {
+		s := gen()
+		if err := s.Valid(); err != nil {
+			t.Fatalf("generated invalid set: %v", err)
+		}
+		if len(s) > 1 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Errorf("generator never produced a multi-component set; ablations would be vacuous")
+	}
+}
+
+func TestGeneratorPanicsOnDegenerateParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Generator with zero sites must panic")
+		}
+	}()
+	Generator(rand.New(rand.NewSource(1)), 0, 1, 10, 1000)
+}
+
+func TestFindNonTransitiveTripleNilOnValidOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	gen := Generator(r, qSites, 3, qRatio, qHorizon)
+	if w := FindNonTransitiveTriple(LessForallExists, gen, 5000); w != nil {
+		t.Fatalf("the chosen order must have no witness, got %s", w)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import "fmt"
+
+// This file implements the open and closed intervals of Definitions
+// 4.9/4.10 (primitive timestamps) and 5.5/5.6 (composite timestamps),
+// which the paper introduces because several Sentinel operators — NOT,
+// the aperiodic A/A* and the periodic P/P* — are defined over the interval
+// formed by an initiator and a terminator occurrence.
+
+// InOpen reports membership in the open interval of Definition 4.9:
+// t ∈ (a, b) iff a < t < b.  The interval is only sensibly formed when
+// a < b; InOpen returns false otherwise, since no stamp can satisfy both
+// bounds in that case.
+func (t Stamp) InOpen(a, b Stamp) bool {
+	return a.Less(t) && t.Less(b)
+}
+
+// InClosed reports membership in the closed interval of Definition 4.10:
+// t ∈ [a, b] iff a ⪯ t ⪯ b.  The paper requires a ⪯ b for the interval to
+// be well-formed; when that fails no stamp satisfies the definition anyway
+// for stamps produced by synchronized clocks.
+func (t Stamp) InClosed(a, b Stamp) bool {
+	return a.WeakLE(t) && t.WeakLE(b)
+}
+
+// GlobalWindow is an inclusive range of global times, the paper's
+// "intuitive" rendering of an interval on the global time line (Figure 1).
+type GlobalWindow struct {
+	Lo, Hi int64 // inclusive bounds, in g_g units
+}
+
+// Empty reports whether the window contains no global tick.
+func (w GlobalWindow) Empty() bool { return w.Lo > w.Hi }
+
+// Contains reports whether the global tick g falls inside the window.
+func (w GlobalWindow) Contains(g int64) bool { return g >= w.Lo && g <= w.Hi }
+
+// Width returns the number of global ticks in the window (0 if empty).
+func (w GlobalWindow) Width() int64 {
+	if w.Empty() {
+		return 0
+	}
+	return w.Hi - w.Lo + 1
+}
+
+func (w GlobalWindow) String() string {
+	if w.Empty() {
+		return "∅"
+	}
+	return fmt.Sprintf("{%dg_g .. %dg_g}", w.Lo, w.Hi)
+}
+
+// OpenWindow returns the global-time rendering of the open interval
+// (a, b) for stamps at *distinct* sites, as derived below Definition 4.9:
+//
+//	(a.global, b.global) = {a.global+2g_g, …, b.global−2g_g}
+//
+// because a cross-site stamp t with a < t < b needs a.global < t.global−1
+// and t.global < b.global−1.  The interval is non-empty only when
+// a.global < b.global − 3 (the paper's non-emptiness condition).
+func OpenWindow(a, b Stamp) GlobalWindow {
+	return GlobalWindow{Lo: a.Global + 2, Hi: b.Global - 2}
+}
+
+// ClosedWindow returns the global-time rendering of the closed interval
+// [a, b] for stamps at distinct sites, as derived below Definition 4.10:
+//
+//	[a.global, b.global] = {a.global−1g_g, …, b.global+1g_g}
+//
+// non-empty when |a.global − b.global| ≤ 1 or a < b (i.e. a ⪯ b).
+func ClosedWindow(a, b Stamp) GlobalWindow {
+	return GlobalWindow{Lo: a.Global - 1, Hi: b.Global + 1}
+}
+
+// InOpenSet reports membership in the open interval of composite
+// timestamps (Definition 5.5): T ∈ (A, B) iff A < T < B under the
+// composite order.
+func (s SetStamp) InOpenSet(a, b SetStamp) bool {
+	return a.Less(s) && s.Less(b)
+}
+
+// InClosedSet reports membership in the closed interval of composite
+// timestamps (Definition 5.6): T ∈ [A, B] iff A ⪯ T ⪯ B under the
+// composite weaker-less-than-or-equal relation.
+func (s SetStamp) InClosedSet(a, b SetStamp) bool {
+	return a.WeakLE(s) && s.WeakLE(b)
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInOpenPrimitive(t *testing.T) {
+	a := Stamp{Site: "a", Global: 0, Local: 0}
+	b := Stamp{Site: "b", Global: 10, Local: 100}
+	inside := Stamp{Site: "c", Global: 5, Local: 50}
+	if !inside.InOpen(a, b) {
+		t.Errorf("%s ∈ (%s, %s) expected", inside, a, b)
+	}
+	tooEarly := Stamp{Site: "c", Global: 1, Local: 10}
+	if tooEarly.InOpen(a, b) {
+		t.Errorf("%s is concurrent with the left bound; not in the open interval", tooEarly)
+	}
+	tooLate := Stamp{Site: "c", Global: 9, Local: 90}
+	if tooLate.InOpen(a, b) {
+		t.Errorf("%s is concurrent with the right bound; not in the open interval", tooLate)
+	}
+}
+
+func TestInOpenDegenerateBounds(t *testing.T) {
+	// Bounds that are not ordered admit nothing.
+	a := Stamp{Site: "a", Global: 5, Local: 50}
+	b := Stamp{Site: "b", Global: 5, Local: 51}
+	x := Stamp{Site: "c", Global: 5, Local: 50}
+	if x.InOpen(a, b) {
+		t.Errorf("open interval with concurrent bounds must be empty")
+	}
+}
+
+func TestInClosedPrimitive(t *testing.T) {
+	a := Stamp{Site: "a", Global: 5, Local: 50}
+	b := Stamp{Site: "b", Global: 6, Local: 60}
+	// Anything concurrent with both bounds is inside.
+	x := Stamp{Site: "c", Global: 5, Local: 55}
+	if !x.InClosed(a, b) {
+		t.Errorf("%s ∈ [%s, %s] expected", x, a, b)
+	}
+	// One granule below the left bound is still inside (⪯ via ~).
+	y := Stamp{Site: "c", Global: 4, Local: 45}
+	if !y.InClosed(a, b) {
+		t.Errorf("%s ∈ [%s, %s] expected (closed intervals widen by 1g)", y, a, b)
+	}
+	// Strictly before the left bound is outside.
+	z := Stamp{Site: "c", Global: 2, Local: 25}
+	if z.InClosed(a, b) {
+		t.Errorf("%s ∉ [%s, %s] expected", z, a, b)
+	}
+}
+
+// Figure 1: the open interval of two cross-site stamps spans globals
+// a.global+2 .. b.global−2, and the closed interval a.global−1 ..
+// b.global+1.
+func TestFig1WindowsMatchMembership(t *testing.T) {
+	a := Stamp{Site: "a", Global: 10, Local: 100}
+	b := Stamp{Site: "b", Global: 20, Local: 200}
+	open := OpenWindow(a, b)
+	if open.Lo != 12 || open.Hi != 18 {
+		t.Fatalf("OpenWindow = %s, want {12g_g .. 18g_g}", open)
+	}
+	closed := ClosedWindow(a, b)
+	if closed.Lo != 9 || closed.Hi != 21 {
+		t.Fatalf("ClosedWindow = %s, want {9g_g .. 21g_g}", closed)
+	}
+	// Membership of a third-site stamp agrees with the window rendering
+	// for every global tick in range.
+	for g := int64(5); g <= 25; g++ {
+		x := Stamp{Site: "c", Global: g, Local: g * 10}
+		if got, want := x.InOpen(a, b), open.Contains(g); got != want {
+			t.Errorf("global %d: InOpen = %v, window = %v", g, got, want)
+		}
+		if got, want := x.InClosed(a, b), closed.Contains(g); got != want {
+			t.Errorf("global %d: InClosed = %v, window = %v", g, got, want)
+		}
+	}
+}
+
+// The paper's non-emptiness condition: the open interval needs
+// a.global < b.global − 3.
+func TestOpenWindowNonEmptinessCondition(t *testing.T) {
+	for gap := int64(0); gap <= 6; gap++ {
+		a := Stamp{Site: "a", Global: 10, Local: 100}
+		b := Stamp{Site: "b", Global: 10 + gap, Local: (10 + gap) * 10}
+		w := OpenWindow(a, b)
+		wantNonEmpty := gap >= 4 // a.global < b.global − 3
+		if got := !w.Empty(); got != wantNonEmpty {
+			t.Errorf("gap %d: open window %s non-empty = %v, want %v", gap, w, got, wantNonEmpty)
+		}
+	}
+}
+
+func TestGlobalWindowHelpers(t *testing.T) {
+	w := GlobalWindow{Lo: 3, Hi: 5}
+	if w.Empty() || w.Width() != 3 || !w.Contains(4) || w.Contains(6) {
+		t.Errorf("window helpers broken: %v", w)
+	}
+	e := GlobalWindow{Lo: 5, Hi: 3}
+	if !e.Empty() || e.Width() != 0 || e.String() != "∅" {
+		t.Errorf("empty window helpers broken: %v", e)
+	}
+	if got, want := w.String(), "{3g_g .. 5g_g}"; got != want {
+		t.Errorf("window String = %q, want %q", got, want)
+	}
+}
+
+func TestInOpenSetComposite(t *testing.T) {
+	a := NewSetStamp(Stamp{Site: "a", Global: 0, Local: 0})
+	b := NewSetStamp(Stamp{Site: "b", Global: 10, Local: 100})
+	mid := NewSetStamp(Stamp{Site: "c", Global: 5, Local: 50}, Stamp{Site: "d", Global: 4, Local: 40})
+	if !mid.InOpenSet(a, b) {
+		t.Errorf("%s ∈ (%s, %s) expected", mid, a, b)
+	}
+	if a.InOpenSet(a, b) {
+		t.Errorf("left bound not in its own open interval")
+	}
+}
+
+func TestInClosedSetComposite(t *testing.T) {
+	a := NewSetStamp(Stamp{Site: "a", Global: 5, Local: 50})
+	b := NewSetStamp(Stamp{Site: "b", Global: 6, Local: 60})
+	x := NewSetStamp(Stamp{Site: "c", Global: 5, Local: 55})
+	if !x.InClosedSet(a, b) {
+		t.Errorf("%s ∈ [%s, %s] expected", x, a, b)
+	}
+	far := NewSetStamp(Stamp{Site: "c", Global: 50, Local: 500})
+	if far.InClosedSet(a, b) {
+		t.Errorf("%s ∉ [%s, %s] expected", far, a, b)
+	}
+}
+
+// Open-interval membership on composite stamps is consistent with the
+// composite order: members are strictly between the bounds, so bounds
+// relate to members the same way on random data.
+func TestOpenSetMembershipConsistentWithOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	gen := Generator(r, qSites, 3, qRatio, qHorizon)
+	checked := 0
+	for trial := 0; trial < 20000 && checked < 500; trial++ {
+		a, x, b := gen(), gen(), gen()
+		if x.InOpenSet(a, b) {
+			checked++
+			if !a.Less(b) {
+				t.Fatalf("member between unordered bounds: a=%s x=%s b=%s", a, x, b)
+			}
+			if !a.Less(x) || !x.Less(b) {
+				t.Fatalf("InOpenSet inconsistent with Less: a=%s x=%s b=%s", a, x, b)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatalf("generator produced no interval members; widen horizon")
+	}
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// qStamp generates random primitive stamps that respect the clock model of
+// Section 4: all sites share the local-tick scale (synchronized within Π)
+// and global = TRUNC(local / ratio).  Theorem 4.1's transitivity depends
+// on this invariant (Proposition 4.1); see
+// TestTransitivityNeedsClockInvariant for what happens without it.
+type qStamp Stamp
+
+const (
+	qRatio   = 10
+	qSites   = 4
+	qHorizon = 400 // small horizon so related triples are common
+)
+
+func (qStamp) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(qStamp(GenStamp(r, qSites, qRatio, qHorizon)))
+}
+
+func qcfg() *quick.Config {
+	return &quick.Config{MaxCount: 5000, Rand: rand.New(rand.NewSource(42))}
+}
+
+// Theorem 4.1: < on primitive stamps is irreflexive.
+func TestPrimitiveOrderStrictPartialIrreflexive(t *testing.T) {
+	prop := func(a qStamp) bool {
+		return !Stamp(a).Less(Stamp(a))
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 4.1: < on primitive stamps is transitive.
+func TestPrimitiveOrderStrictPartialTransitive(t *testing.T) {
+	prop := func(a, b, c qStamp) bool {
+		x, y, z := Stamp(a), Stamp(b), Stamp(c)
+		if x.Less(y) && y.Less(z) {
+			return x.Less(z)
+		}
+		return true
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Proposition 4.2(1): < is asymmetric.
+func TestProp42_1_Asymmetric(t *testing.T) {
+	prop := func(a, b qStamp) bool {
+		x, y := Stamp(a), Stamp(b)
+		return !(x.Less(y) && y.Less(x))
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Proposition 4.2(2): ⪯ is antisymmetric up to concurrency.
+func TestProp42_2_AntisymmetricToConcurrent(t *testing.T) {
+	prop := func(a, b qStamp) bool {
+		x, y := Stamp(a), Stamp(b)
+		if x.WeakLE(y) && y.WeakLE(x) {
+			return x.Concurrent(y)
+		}
+		return true
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Proposition 4.2(3): exactly one of <, >, ~ holds.
+func TestProp42_3_Trichotomy(t *testing.T) {
+	prop := func(a, b qStamp) bool {
+		x, y := Stamp(a), Stamp(b)
+		n := 0
+		if x.Less(y) {
+			n++
+		}
+		if y.Less(x) {
+			n++
+		}
+		if x.Concurrent(y) {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Proposition 4.2(4): ⪯ is total (either direction or both).
+func TestProp42_4_WeakLETotal(t *testing.T) {
+	prop := func(a, b qStamp) bool {
+		x, y := Stamp(a), Stamp(b)
+		return x.WeakLE(y) || y.WeakLE(x)
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Proposition 4.2(5): same-site concurrency collapses to simultaneity.
+func TestProp42_5_SameSiteConcurrentIsSimultaneous(t *testing.T) {
+	prop := func(a, b qStamp) bool {
+		x, y := Stamp(a), Stamp(b)
+		if x.Concurrent(y) && x.Site == y.Site {
+			return x.Simultaneous(y)
+		}
+		return true
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Proposition 4.2(6), first half: simultaneity propagates through <
+// regardless of sites.
+func TestProp42_6_SimultaneousPropagatesThroughLess(t *testing.T) {
+	prop := func(a, c qStamp) bool {
+		x, z := Stamp(a), Stamp(c)
+		y := x // a distinct stamp simultaneous with x must equal x's site/local
+		if x.Less(z) {
+			return y.Less(z)
+		}
+		return true
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Proposition 4.2(6), second half: the paper's explicit counterexamples
+// that mere concurrency does NOT propagate through < and that ~ is not
+// transitive (globals 1, 2, 3).
+func TestProp42_6_ConcurrencyDoesNotPropagate(t *testing.T) {
+	t1, t2, t3 := Prop42CounterexampleGlobals()
+	if !(t1.Concurrent(t2) && t2.Less(t3) == false) {
+		// t2 (global 2) vs t3 (global 3): one granule apart, concurrent.
+		t.Fatalf("setup: want t1~t2 and t2~t3; got %s %s, %s %s",
+			t1.Relate(t2), t2, t2.Relate(t3), t3)
+	}
+	if !t1.Less(t3) {
+		t.Fatalf("t1 < t3 expected in the counterexample")
+	}
+	// So: t3 ~ t2 and t2 ~ t1, yet t1 < t3 — concurrency is not
+	// transitive, and t2 ~ t1 with t1 < t3 does not force t2 < t3.
+	if t2.Less(t3) {
+		t.Fatalf("t2 < t3 must not hold: ~ does not propagate through <")
+	}
+}
+
+// Proposition 4.2(7): t1 < t2 and t2 ~ t3 imply t1 ⪯ t3.
+func TestProp42_7_LessThenConcurrentGivesWeakLE(t *testing.T) {
+	prop := func(a, b, c qStamp) bool {
+		x, y, z := Stamp(a), Stamp(b), Stamp(c)
+		if x.Less(y) && y.Concurrent(z) {
+			return x.WeakLE(z)
+		}
+		return true
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Proposition 4.2(8): t1 ~ t2 and t2 < t3 imply t1 ⪯ t3.
+func TestProp42_8_ConcurrentThenLessGivesWeakLE(t *testing.T) {
+	prop := func(a, b, c qStamp) bool {
+		x, y, z := Stamp(a), Stamp(b), Stamp(c)
+		if x.Concurrent(y) && y.Less(z) {
+			return x.WeakLE(z)
+		}
+		return true
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Proposition 4.2(9): ¬(t1 < t2) implies t2 ⪯ t1.
+func TestProp42_9_NotLessImpliesReverseWeakLE(t *testing.T) {
+	prop := func(a, b qStamp) bool {
+		x, y := Stamp(a), Stamp(b)
+		if !x.Less(y) {
+			return y.WeakLE(x)
+		}
+		return true
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Proposition 4.2(10): mutual non-< implies ~ (definitionally true, kept
+// as a regression guard on the definition of Concurrent).
+func TestProp42_10_MutualNotLessIsConcurrent(t *testing.T) {
+	prop := func(a, b qStamp) bool {
+		x, y := Stamp(a), Stamp(b)
+		if !x.Less(y) && !y.Less(x) {
+			return x.Concurrent(y)
+		}
+		return true
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Proposition 4.1: the clock model ties local and global components.
+func TestProp41_LocalGlobalMonotonicity(t *testing.T) {
+	prop := func(a, b qStamp) bool {
+		x, y := Stamp(a), Stamp(b)
+		if x.Local < y.Local && !(x.Global <= y.Global) {
+			return false
+		}
+		if x.Local == y.Local && x.Global != y.Global {
+			return false
+		}
+		if x.Concurrent(y) {
+			d := x.Global - y.Global
+			if d < 0 {
+				d = -d
+			}
+			if d > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransitivityNeedsClockInvariant documents that Theorem 4.1's
+// transitivity relies on Proposition 4.1's clock invariant: with
+// arbitrary (local, global) pairs that no synchronized clock could
+// produce, < is not transitive.  This is why stamp producers must derive
+// globals from locals (DeriveStamp / clock.SiteClock).
+func TestTransitivityNeedsClockInvariant(t *testing.T) {
+	// a's global is ahead of its local tick and b's is behind: no
+	// synchronized clock pair could produce these.
+	a := Stamp{Site: "s", Global: 5, Local: 10}
+	b := Stamp{Site: "s", Global: 0, Local: 20}
+	c := Stamp{Site: "t", Global: 2, Local: 20}
+	if !a.Less(b) || !b.Less(c) {
+		t.Fatalf("setup: want a<b (same site) and b<c (cross site)")
+	}
+	if a.Less(c) {
+		t.Fatalf("setup meant to violate transitivity, but a<c holds")
+	}
+	// With honest stamps derived from locals, the violation disappears.
+	a2 := DeriveStamp("s", 10, 10)
+	b2 := DeriveStamp("s", 20, 10)
+	c2 := DeriveStamp("t", 45, 10)
+	if a2.Less(b2) && b2.Less(c2) && !a2.Less(c2) {
+		t.Fatalf("derived stamps must be transitive")
+	}
+}

@@ -1,0 +1,399 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SetStamp is the timestamp of a distributed composite event
+// (Definition 5.2): a set of (site, global, local) triples, each a maximum
+// of the set of constituent primitive timestamps collected when the
+// composite event occurred.  Theorem 5.1 guarantees — and Valid checks —
+// that the components of a well-formed SetStamp are mutually concurrent:
+// they are the multiple "latest" stamps that replace the single t_occ of a
+// centralized system.
+//
+// Components are kept in canonical (site, local, global) order with no
+// duplicates so that Equal and String are deterministic; the order carries
+// no temporal meaning.
+type SetStamp []Stamp
+
+// NewSetStamp builds the composite timestamp of the given primitive stamps:
+// max(ST) per Definition 5.1, deduplicated and canonically ordered.  It
+// panics on an empty input, because a composite event cannot occur without
+// at least one constituent occurrence.
+func NewSetStamp(stamps ...Stamp) SetStamp {
+	if len(stamps) == 0 {
+		panic("core: NewSetStamp of no stamps")
+	}
+	return MaxSet(stamps)
+}
+
+// Singleton wraps one primitive stamp as a composite timestamp; primitive
+// events participate in the composite algebra as singleton sets.
+func Singleton(t Stamp) SetStamp { return SetStamp{t} }
+
+// MaxSet implements Definition 5.1: given a set of timestamps ST, the
+// maxima are the stamps not happening before any other stamp in ST, and
+// max(ST) is the set of all of them.  The result is deduplicated and
+// canonically ordered.  By Theorem 5.1 its elements are mutually
+// concurrent.  MaxSet of an empty slice returns nil.
+func MaxSet(stamps []Stamp) SetStamp {
+	if len(stamps) == 0 {
+		return nil
+	}
+	out := make(SetStamp, 0, len(stamps))
+outer:
+	for i, t := range stamps {
+		for j, u := range stamps {
+			if i != j && t.Less(u) {
+				continue outer // t is dominated; not a maximum
+			}
+		}
+		out = append(out, t)
+	}
+	SortCanonical(out)
+	return dedupCanonical(out)
+}
+
+// dedupCanonical removes adjacent duplicates from a canonically sorted set.
+func dedupCanonical(ts SetStamp) SetStamp {
+	w := 0
+	for i, t := range ts {
+		if i == 0 || CompareCanonical(t, ts[w-1]) != 0 {
+			ts[w] = t
+			w++
+		}
+	}
+	return ts[:w]
+}
+
+// ErrEmptySetStamp reports a composite timestamp with no components.
+var ErrEmptySetStamp = errors.New("core: empty composite timestamp")
+
+// Valid checks the Definition 5.2 invariants: the set is non-empty, free of
+// duplicates, canonically ordered, and its components are mutually
+// concurrent (the property Theorem 5.1 proves for max-sets).
+func (s SetStamp) Valid() error {
+	if len(s) == 0 {
+		return ErrEmptySetStamp
+	}
+	for i := 1; i < len(s); i++ {
+		if c := CompareCanonical(s[i-1], s[i]); c > 0 {
+			return fmt.Errorf("core: composite timestamp not canonically ordered at %d: %s > %s", i, s[i-1], s[i])
+		} else if c == 0 {
+			return fmt.Errorf("core: duplicate component %s", s[i])
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			if !s[i].Concurrent(s[j]) {
+				return fmt.Errorf("core: components %s and %s are not concurrent", s[i], s[j])
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent copy.
+func (s SetStamp) Clone() SetStamp {
+	if s == nil {
+		return nil
+	}
+	out := make(SetStamp, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports set equality (both sets are canonically ordered).
+func (s SetStamp) Equal(u SetStamp) bool {
+	if len(s) != len(u) {
+		return false
+	}
+	for i := range s {
+		if CompareCanonical(s[i], u[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as the paper does, e.g.
+// "{(k, 9154827, 91548276), (m, 9154827, 91548277)}".
+func (s SetStamp) String() string { return FormatStamps(s) }
+
+// Sites returns the distinct sites contributing components, in canonical
+// order.  Because components are mutually concurrent and same-site
+// concurrency collapses to simultaneity (Proposition 4.2(5)), a valid
+// SetStamp has at most one component per site; hence len(Sites) == len(s).
+func (s SetStamp) Sites() []SiteID {
+	out := make([]SiteID, 0, len(s))
+	for _, t := range s {
+		out = append(out, t.Site)
+	}
+	return out
+}
+
+// MaxGlobal returns the largest global component, a convenient scalar
+// summary (e.g. for watermarking); it is not a substitute for the partial
+// order.
+func (s SetStamp) MaxGlobal() int64 {
+	if len(s) == 0 {
+		panic("core: MaxGlobal of empty composite timestamp")
+	}
+	m := s[0].Global
+	for _, t := range s[1:] {
+		if t.Global > m {
+			m = t.Global
+		}
+	}
+	return m
+}
+
+// MinGlobal returns the smallest global component.
+func (s SetStamp) MinGlobal() int64 {
+	if len(s) == 0 {
+		panic("core: MinGlobal of empty composite timestamp")
+	}
+	m := s[0].Global
+	for _, t := range s[1:] {
+		if t.Global < m {
+			m = t.Global
+		}
+	}
+	return m
+}
+
+// Less is the paper's chosen strict partial order "<" on composite
+// timestamps (Definition 5.3(2)):
+//
+//	T(e1) < T(e2)  ⇔  ∀ t2 ∈ T(e2) ∃ t1 ∈ T(e1): t1 < t2
+//
+// Section 5.1 derives this as one of only two least-restricted orderings
+// that are transitive and irreflexive (Theorem 5.2); the ∃∃ variant is not
+// transitive and the ∀∀ and min-based variants are strictly more
+// restricted (see altorder.go).
+func (s SetStamp) Less(u SetStamp) bool {
+	if len(s) == 0 || len(u) == 0 {
+		return false
+	}
+	for _, t2 := range u {
+		found := false
+		for _, t1 := range s {
+			if t1.Less(t2) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// ConcurrentWith is "~" on composite timestamps (Definition 5.3(1)): every
+// component of one set is concurrent with every component of the other.
+func (s SetStamp) ConcurrentWith(u SetStamp) bool {
+	if len(s) == 0 || len(u) == 0 {
+		return false
+	}
+	for _, t1 := range s {
+		for _, t2 := range u {
+			if !t1.Concurrent(t2) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IncomparableWith is "≬" (Definition 5.3(3)): none of <, > or ~ holds.
+// Unlike primitive stamps — where Proposition 4.2(3) gives trichotomy —
+// composite timestamps can be genuinely incomparable; the paper's Section
+// 5.1 example has T(e1) ≬ T(e2) ≬ T(e3).
+func (s SetStamp) IncomparableWith(u SetStamp) bool {
+	return !s.Less(u) && !u.Less(s) && !s.ConcurrentWith(u)
+}
+
+// WeakLE is the weaker-less-than-or-equal relation "⪯" on composite
+// timestamps (Definition 5.4): every component pair satisfies the primitive
+// ⪯.  Theorem 5.3 proves the characterization
+//
+//	T(e1) ⪯ T(e2)  ⇔  T(e1) ~ T(e2) or T(e1) < T(e2)
+//
+// for valid (mutually concurrent) composite timestamps, which makes the
+// definition consistent with the primitive ⪯ on singletons.
+func (s SetStamp) WeakLE(u SetStamp) bool {
+	if len(s) == 0 || len(u) == 0 {
+		return false
+	}
+	for _, t1 := range s {
+		for _, t2 := range u {
+			if !t1.WeakLE(t2) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SetRelation classifies the temporal relationship between two composite
+// timestamps.
+type SetRelation int
+
+const (
+	// SetBefore: s < u under Definition 5.3(2).
+	SetBefore SetRelation = iota
+	// SetAfter: u < s.
+	SetAfter
+	// SetConcurrent: s ~ u under Definition 5.3(1).
+	SetConcurrent
+	// SetIncomparable: none of the above (Definition 5.3(3)).
+	SetIncomparable
+)
+
+func (r SetRelation) String() string {
+	switch r {
+	case SetBefore:
+		return "<"
+	case SetAfter:
+		return ">"
+	case SetConcurrent:
+		return "~"
+	case SetIncomparable:
+		return "≬"
+	default:
+		return fmt.Sprintf("SetRelation(%d)", int(r))
+	}
+}
+
+// Relate classifies s against u.  For valid composite timestamps at most
+// one of <, >, ~ holds (a consequence of Theorem 5.2 and the definitions);
+// < and > are checked first so that invalid inputs degrade predictably.
+func (s SetStamp) Relate(u SetStamp) SetRelation {
+	switch {
+	case s.Less(u):
+		return SetBefore
+	case u.Less(s):
+		return SetAfter
+	case s.ConcurrentWith(u):
+		return SetConcurrent
+	default:
+		return SetIncomparable
+	}
+}
+
+// JoinConcurrent implements Definition 5.7: the join of two concurrent
+// composite timestamps is their set union with duplicates eliminated.  It
+// panics if the inputs are not concurrent — callers must dispatch through
+// Max, which selects the applicable joining procedure.
+func JoinConcurrent(a, b SetStamp) SetStamp {
+	if !a.ConcurrentWith(b) {
+		panic(fmt.Sprintf("core: JoinConcurrent of non-concurrent timestamps %s and %s", a, b))
+	}
+	return unionDominant(a, b)
+}
+
+// JoinIncomparable implements Definition 5.8: the join of two incomparable
+// composite timestamps keeps, from each set, the stamps not happening
+// before any stamp of the other set — the "latest" information of both.
+//
+// Note: the published text reads "{ts ∈ T(e1) such that ∃ts2 ∈ T(e2),
+// ts < ts2} ∪ …", but keeping *dominated* stamps contradicts both the
+// stated intent ("keep the latest information") and Theorem 5.4
+// (Max(T1,T2) = max(T1 ∪ T2)); the negation was evidently dropped in
+// typesetting.  We implement ¬∃, which is exactly what Theorem 5.4 forces,
+// and the property test TestMaxOperatorEqualsMaxOfUnion pins it down.
+func JoinIncomparable(a, b SetStamp) SetStamp {
+	if !a.IncomparableWith(b) {
+		panic(fmt.Sprintf("core: JoinIncomparable of comparable timestamps %s and %s", a, b))
+	}
+	return unionDominant(a, b)
+}
+
+// unionDominant returns max(a ∪ b) computed pairwise: components of a
+// dominated by some component of b are dropped and vice versa.  Within a
+// valid SetStamp no component dominates another, so cross-set checks
+// suffice.
+func unionDominant(a, b SetStamp) SetStamp {
+	out := make(SetStamp, 0, len(a)+len(b))
+	for _, t := range a {
+		if !dominatedBy(t, b) {
+			out = append(out, t)
+		}
+	}
+	for _, t := range b {
+		if !dominatedBy(t, a) {
+			out = append(out, t)
+		}
+	}
+	SortCanonical(out)
+	return dedupCanonical(out)
+}
+
+func dominatedBy(t Stamp, s SetStamp) bool {
+	for _, u := range s {
+		if t.Less(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// Max is the operator of Definition 5.9 that propagates composite
+// timestamps up the event graph, implemented as Theorem 5.4 characterizes
+// it: Max(a, b) = max(a ∪ b), the set of stamps of either input not
+// happening before any stamp of the other.
+//
+// Reproduction note: Definition 5.9 as printed returns the *whole* later
+// set when the inputs are comparable, but that is not always max(a ∪ b):
+// with a = {(s1,5,50),(s2,6,69)} and b = {(s3,7,75)} we have a < b (the
+// ∀∃ order only needs one witness per element of b), yet (s2,6,69) is
+// concurrent with (s3,7,75) and so survives in max(a ∪ b).  The printed
+// definition and Theorem 5.4 therefore disagree on such inputs.  We follow
+// the theorem — it is the form actually used to prove the result is a
+// valid composite timestamp, it keeps all "latest" information, and it
+// makes Max associative (so MaxAll is fold-order independent).  The
+// literal printed definition is preserved as MaxLiteral59 and the
+// discrepancy is pinned by a regression test.
+func Max(a, b SetStamp) SetStamp {
+	switch {
+	case len(a) == 0:
+		return b.Clone()
+	case len(b) == 0:
+		return a.Clone()
+	default:
+		return unionDominant(a, b)
+	}
+}
+
+// MaxLiteral59 implements Definition 5.9 exactly as printed: the later set
+// when the inputs are comparable under the composite <, otherwise the
+// join.  It exists to document where the printed definition diverges from
+// Theorem 5.4; production code uses Max.
+func MaxLiteral59(a, b SetStamp) SetStamp {
+	switch {
+	case len(a) == 0:
+		return b.Clone()
+	case len(b) == 0:
+		return a.Clone()
+	case b.Less(a):
+		return a.Clone()
+	case a.Less(b):
+		return b.Clone()
+	default:
+		return unionDominant(a, b)
+	}
+}
+
+// MaxAll folds Max over any number of composite timestamps.  By Theorem
+// 5.4 and associativity of max-of-union, the result is max of the union of
+// all components regardless of fold order.
+func MaxAll(sets ...SetStamp) SetStamp {
+	var acc SetStamp
+	for _, s := range sets {
+		acc = Max(acc, s)
+	}
+	return acc
+}

@@ -1,0 +1,428 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// qSet generates random *valid* composite timestamps (max-sets of stamps
+// respecting the clock model), as the set-level theorems require.
+type qSet SetStamp
+
+func (qSet) Generate(r *rand.Rand, _ int) reflect.Value {
+	gen := Generator(r, qSites, 4, qRatio, qHorizon)
+	return reflect.ValueOf(qSet(gen()))
+}
+
+func mkSet(t *testing.T, stamps ...Stamp) SetStamp {
+	t.Helper()
+	s := NewSetStamp(stamps...)
+	if err := s.Valid(); err != nil {
+		t.Fatalf("mkSet produced invalid set: %v", err)
+	}
+	return s
+}
+
+func TestMaxSetKeepsOnlyMaxima(t *testing.T) {
+	early := Stamp{Site: "a", Global: 1, Local: 10}
+	late1 := Stamp{Site: "b", Global: 5, Local: 50}
+	late2 := Stamp{Site: "c", Global: 6, Local: 60}
+	got := MaxSet([]Stamp{early, late1, late2})
+	want := SetStamp{late1, late2}
+	if !got.Equal(want) {
+		t.Errorf("MaxSet = %s, want %s", got, want)
+	}
+}
+
+func TestMaxSetDeduplicates(t *testing.T) {
+	s := Stamp{Site: "a", Global: 1, Local: 10}
+	got := MaxSet([]Stamp{s, s, s})
+	if len(got) != 1 {
+		t.Errorf("MaxSet of identical stamps has %d components, want 1", len(got))
+	}
+}
+
+func TestMaxSetEmpty(t *testing.T) {
+	if got := MaxSet(nil); got != nil {
+		t.Errorf("MaxSet(nil) = %v, want nil", got)
+	}
+}
+
+// Theorem 5.1: the components of max(ST) are mutually concurrent.
+func TestMaxSetMutuallyConcurrent(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + r.Intn(8)
+		stamps := make([]Stamp, n)
+		for i := range stamps {
+			stamps[i] = GenStamp(r, qSites, qRatio, qHorizon)
+		}
+		ms := MaxSet(stamps)
+		if err := ms.Valid(); err != nil {
+			t.Fatalf("trial %d: MaxSet(%s) invalid: %v", trial, FormatStamps(stamps), err)
+		}
+	}
+}
+
+func TestNewSetStampPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("NewSetStamp() must panic")
+		}
+	}()
+	NewSetStamp()
+}
+
+func TestValidRejections(t *testing.T) {
+	if err := (SetStamp{}).Valid(); err != ErrEmptySetStamp {
+		t.Errorf("empty set Valid = %v, want ErrEmptySetStamp", err)
+	}
+	dup := Stamp{Site: "a", Global: 1, Local: 10}
+	if err := (SetStamp{dup, dup}).Valid(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate components Valid = %v, want duplicate error", err)
+	}
+	unordered := SetStamp{{Site: "b", Global: 1, Local: 10}, {Site: "a", Global: 1, Local: 10}}
+	if err := unordered.Valid(); err == nil || !strings.Contains(err.Error(), "ordered") {
+		t.Errorf("unordered Valid = %v, want ordering error", err)
+	}
+	ordered := SetStamp{{Site: "a", Global: 1, Local: 10}, {Site: "b", Global: 9, Local: 90}}
+	if err := ordered.Valid(); err == nil || !strings.Contains(err.Error(), "not concurrent") {
+		t.Errorf("non-concurrent Valid = %v, want concurrency error", err)
+	}
+}
+
+func TestSingleton(t *testing.T) {
+	s := Stamp{Site: "a", Global: 1, Local: 10}
+	set := Singleton(s)
+	if len(set) != 1 || set[0] != s {
+		t.Errorf("Singleton = %s", set)
+	}
+	if err := set.Valid(); err != nil {
+		t.Errorf("Singleton invalid: %v", err)
+	}
+}
+
+func TestSetLessBasic(t *testing.T) {
+	a := mkSet(t, Stamp{Site: "x", Global: 1, Local: 10})
+	b := mkSet(t, Stamp{Site: "y", Global: 5, Local: 50})
+	if !a.Less(b) {
+		t.Errorf("%s < %s expected", a, b)
+	}
+	if b.Less(a) {
+		t.Errorf("%s < %s must not hold", b, a)
+	}
+	if a.Less(a) {
+		t.Errorf("< must be irreflexive")
+	}
+}
+
+func TestSetLessForallExistsShape(t *testing.T) {
+	// The ∀∃ shape: every component of the right set must be preceded by
+	// SOME component of the left set, not by all of them.
+	a := mkSet(t,
+		Stamp{Site: "s1", Global: 8, Local: 80},
+		Stamp{Site: "s2", Global: 7, Local: 70},
+	)
+	b := mkSet(t, Stamp{Site: "s3", Global: 9, Local: 90})
+	// (s2,7) < (s3,9) (gap 2) but (s1,8) is concurrent with (s3,9):
+	if !a.Less(b) {
+		t.Errorf("∀∃: %s < %s expected via the s2 component", a, b)
+	}
+	if LessForallForall(a, b) {
+		t.Errorf("∀∀ must NOT relate %s and %s", a, b)
+	}
+}
+
+func TestSetConcurrent(t *testing.T) {
+	a := mkSet(t, Stamp{Site: "x", Global: 5, Local: 50})
+	b := mkSet(t, Stamp{Site: "y", Global: 6, Local: 60})
+	if !a.ConcurrentWith(b) {
+		t.Errorf("%s ~ %s expected", a, b)
+	}
+	c := mkSet(t, Stamp{Site: "z", Global: 9, Local: 90})
+	if a.ConcurrentWith(c) {
+		t.Errorf("%s ~ %s must not hold", a, c)
+	}
+}
+
+func TestSetIncomparable(t *testing.T) {
+	// One component before, one after: neither <, >, nor ~.
+	a := mkSet(t,
+		Stamp{Site: "x", Global: 5, Local: 50},
+		Stamp{Site: "y", Global: 6, Local: 60},
+	)
+	b := mkSet(t,
+		Stamp{Site: "x", Global: 5, Local: 55}, // after a's x-component (same site)
+		Stamp{Site: "y", Global: 5, Local: 55}, // before a's y-component (same site)
+	)
+	if !a.IncomparableWith(b) {
+		t.Errorf("%s ≬ %s expected, got %s", a, b, a.Relate(b))
+	}
+}
+
+// Theorem 5.2: the composite < is irreflexive and transitive.
+func TestCompositeOrderStrictPartialIrreflexive(t *testing.T) {
+	prop := func(a qSet) bool { return !SetStamp(a).Less(SetStamp(a)) }
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompositeOrderStrictPartialTransitive(t *testing.T) {
+	prop := func(a, b, c qSet) bool {
+		x, y, z := SetStamp(a), SetStamp(b), SetStamp(c)
+		if x.Less(y) && y.Less(z) {
+			return x.Less(z)
+		}
+		return true
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 5.3 claims ⪯ ⇔ (~ or <) on composite timestamps.  Only the ⇐
+// direction actually holds for the printed Definition 5.4 (∀∀ pairwise
+// ⪯); TestWeakerLEEquivalenceConverseFails pins a counterexample to the ⇒
+// direction.  This test verifies the sound direction on random data.
+func TestWeakerLEEquivalence(t *testing.T) {
+	prop := func(a, b qSet) bool {
+		x, y := SetStamp(a), SetStamp(b)
+		if x.ConcurrentWith(y) || x.Less(y) {
+			return x.WeakLE(y)
+		}
+		return true
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Reproduction finding: Theorem 5.3's ⇒ direction is false as printed.
+// All component pairs below satisfy the primitive ⪯ (some strictly <,
+// some ~), yet the sets are neither concurrent (a same-site pair is
+// strictly ordered) nor happen-before (B's site1 component has no strict
+// predecessor in A).  Found by random search; kept as a regression pin so
+// the documented claim in EXPERIMENTS.md stays honest.
+func TestWeakerLEEquivalenceConverseFails(t *testing.T) {
+	a := mkSet(t, Stamp{Site: "site2", Global: 7, Local: 72}, Stamp{Site: "site3", Global: 7, Local: 75})
+	b := mkSet(t, Stamp{Site: "site1", Global: 8, Local: 88}, Stamp{Site: "site2", Global: 8, Local: 82})
+	if !a.WeakLE(b) {
+		t.Fatalf("setup: %s ⪯ %s expected (all pairs ⪯)", a, b)
+	}
+	if a.Less(b) {
+		t.Fatalf("setup: %s < %s must not hold", a, b)
+	}
+	if a.ConcurrentWith(b) {
+		t.Fatalf("setup: %s ~ %s must not hold", a, b)
+	}
+}
+
+// At most one of <, >, ~ holds for valid composite timestamps.
+func TestCompositeRelationsMutuallyExclusive(t *testing.T) {
+	prop := func(a, b qSet) bool {
+		x, y := SetStamp(a), SetStamp(b)
+		n := 0
+		if x.Less(y) {
+			n++
+		}
+		if y.Less(x) {
+			n++
+		}
+		if x.ConcurrentWith(y) {
+			n++
+		}
+		return n <= 1
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinConcurrentIsUnion(t *testing.T) {
+	a := mkSet(t, Stamp{Site: "x", Global: 5, Local: 50})
+	b := mkSet(t, Stamp{Site: "y", Global: 6, Local: 60})
+	j := JoinConcurrent(a, b)
+	want := mkSet(t, a[0], b[0])
+	if !j.Equal(want) {
+		t.Errorf("JoinConcurrent = %s, want %s", j, want)
+	}
+}
+
+func TestJoinConcurrentPanicsOnOrdered(t *testing.T) {
+	a := mkSet(t, Stamp{Site: "x", Global: 1, Local: 10})
+	b := mkSet(t, Stamp{Site: "y", Global: 9, Local: 90})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("JoinConcurrent of ordered sets must panic")
+		}
+	}()
+	JoinConcurrent(a, b)
+}
+
+func TestJoinIncomparableKeepsLatest(t *testing.T) {
+	a := mkSet(t,
+		Stamp{Site: "x", Global: 5, Local: 50},
+		Stamp{Site: "y", Global: 6, Local: 60},
+	)
+	b := mkSet(t,
+		Stamp{Site: "x", Global: 5, Local: 55},
+		Stamp{Site: "y", Global: 5, Local: 55},
+	)
+	if !a.IncomparableWith(b) {
+		t.Fatalf("setup: want incomparable")
+	}
+	j := JoinIncomparable(a, b)
+	// (x,5,50) is dominated by (x,5,55); (y,5,55) is dominated by (y,6,60).
+	want := mkSet(t, Stamp{Site: "x", Global: 5, Local: 55}, Stamp{Site: "y", Global: 6, Local: 60})
+	if !j.Equal(want) {
+		t.Errorf("JoinIncomparable = %s, want %s", j, want)
+	}
+	if err := j.Valid(); err != nil {
+		t.Errorf("join result invalid: %v", err)
+	}
+}
+
+func TestJoinIncomparablePanicsOnConcurrent(t *testing.T) {
+	a := mkSet(t, Stamp{Site: "x", Global: 5, Local: 50})
+	b := mkSet(t, Stamp{Site: "y", Global: 6, Local: 60})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("JoinIncomparable of concurrent sets must panic")
+		}
+	}()
+	JoinIncomparable(a, b)
+}
+
+// Theorem 5.4: Max(T1, T2) = max(T1 ∪ T2) and the result is a valid
+// composite timestamp.
+func TestMaxOperatorEqualsMaxOfUnion(t *testing.T) {
+	prop := func(a, b qSet) bool {
+		x, y := SetStamp(a), SetStamp(b)
+		got := Max(x, y)
+		union := append(append([]Stamp{}, x...), y...)
+		want := MaxSet(union)
+		return got.Equal(want) && got.Valid() == nil
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxComparableKeepsSurvivors(t *testing.T) {
+	// The reproduction note on Definition 5.9: a < b, yet a component of
+	// a survives because it is concurrent with everything in b.
+	a := mkSet(t, Stamp{Site: "s1", Global: 5, Local: 50}, Stamp{Site: "s2", Global: 6, Local: 69})
+	b := mkSet(t, Stamp{Site: "s3", Global: 7, Local: 75})
+	if !a.Less(b) {
+		t.Fatalf("setup: %s < %s expected", a, b)
+	}
+	got := Max(a, b)
+	want := mkSet(t, Stamp{Site: "s2", Global: 6, Local: 69}, Stamp{Site: "s3", Global: 7, Local: 75})
+	if !got.Equal(want) {
+		t.Errorf("Max = %s, want %s (Theorem 5.4 form)", got, want)
+	}
+	// The literal Definition 5.9 would discard the surviving component:
+	lit := MaxLiteral59(a, b)
+	if !lit.Equal(b) {
+		t.Errorf("MaxLiteral59 = %s, want %s", lit, b)
+	}
+	if lit.Equal(got) {
+		t.Errorf("expected the printed definition and Theorem 5.4 to disagree on this input")
+	}
+}
+
+func TestMaxWithEmpty(t *testing.T) {
+	a := mkSet(t, Stamp{Site: "x", Global: 1, Local: 10})
+	if got := Max(nil, a); !got.Equal(a) {
+		t.Errorf("Max(nil, a) = %s, want %s", got, a)
+	}
+	if got := Max(a, nil); !got.Equal(a) {
+		t.Errorf("Max(a, nil) = %s, want %s", got, a)
+	}
+}
+
+// Max is associative and commutative (a consequence of the max-of-union
+// form), so MaxAll is fold-order independent.
+func TestMaxAssociativeCommutative(t *testing.T) {
+	prop := func(a, b, c qSet) bool {
+		x, y, z := SetStamp(a), SetStamp(b), SetStamp(c)
+		if !Max(x, y).Equal(Max(y, x)) {
+			return false
+		}
+		return Max(Max(x, y), z).Equal(Max(x, Max(y, z)))
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxAll(t *testing.T) {
+	a := mkSet(t, Stamp{Site: "x", Global: 1, Local: 10})
+	b := mkSet(t, Stamp{Site: "y", Global: 5, Local: 50})
+	c := mkSet(t, Stamp{Site: "z", Global: 6, Local: 60})
+	got := MaxAll(a, b, c)
+	want := mkSet(t, b[0], c[0])
+	if !got.Equal(want) {
+		t.Errorf("MaxAll = %s, want %s", got, want)
+	}
+	if got := MaxAll(); got != nil {
+		t.Errorf("MaxAll() = %v, want nil", got)
+	}
+}
+
+func TestSitesAndGlobals(t *testing.T) {
+	s := mkSet(t, Stamp{Site: "x", Global: 5, Local: 50}, Stamp{Site: "y", Global: 6, Local: 60})
+	sites := s.Sites()
+	if len(sites) != 2 || sites[0] != "x" || sites[1] != "y" {
+		t.Errorf("Sites = %v", sites)
+	}
+	if s.MaxGlobal() != 6 || s.MinGlobal() != 5 {
+		t.Errorf("MaxGlobal/MinGlobal = %d/%d, want 6/5", s.MaxGlobal(), s.MinGlobal())
+	}
+}
+
+func TestMaxGlobalPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MaxGlobal of empty set must panic")
+		}
+	}()
+	SetStamp{}.MaxGlobal()
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := mkSet(t, Stamp{Site: "x", Global: 5, Local: 50})
+	b := a.Clone()
+	b[0].Local = 99
+	if a[0].Local != 50 {
+		t.Errorf("Clone shares backing array")
+	}
+	if SetStamp(nil).Clone() != nil {
+		t.Errorf("Clone(nil) must be nil")
+	}
+}
+
+func TestSetRelationString(t *testing.T) {
+	cases := map[SetRelation]string{SetBefore: "<", SetAfter: ">", SetConcurrent: "~", SetIncomparable: "≬"}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("SetRelation %d = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestSetRelateClassifies(t *testing.T) {
+	a := mkSet(t, Stamp{Site: "x", Global: 1, Local: 10})
+	b := mkSet(t, Stamp{Site: "y", Global: 5, Local: 50})
+	if a.Relate(b) != SetBefore || b.Relate(a) != SetAfter {
+		t.Errorf("ordered sets misclassified: %s / %s", a.Relate(b), b.Relate(a))
+	}
+	c := mkSet(t, Stamp{Site: "z", Global: 1, Local: 11})
+	if a.Relate(c) != SetConcurrent {
+		t.Errorf("concurrent sets misclassified: %s", a.Relate(c))
+	}
+}

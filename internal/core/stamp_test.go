@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestLessSameSiteByLocal(t *testing.T) {
+	a := Stamp{Site: "s", Global: 5, Local: 50}
+	b := Stamp{Site: "s", Global: 5, Local: 51}
+	if !a.Less(b) {
+		t.Errorf("same-site %s < %s should hold by local tick", a, b)
+	}
+	if b.Less(a) {
+		t.Errorf("same-site %s < %s must not hold", b, a)
+	}
+}
+
+func TestLessSameSiteEqualLocal(t *testing.T) {
+	a := Stamp{Site: "s", Global: 5, Local: 50}
+	b := Stamp{Site: "s", Global: 5, Local: 50}
+	if a.Less(b) || b.Less(a) {
+		t.Errorf("equal same-site stamps must not be ordered")
+	}
+	if !a.Simultaneous(b) {
+		t.Errorf("equal same-site stamps must be simultaneous")
+	}
+}
+
+func TestLessCrossSiteNeedsTwoGranuleGap(t *testing.T) {
+	// Definition 4.7: distinct sites order only when
+	// global1 < global2 − 1g_g, i.e. a gap of at least 2 granules.
+	cases := []struct {
+		g1, g2 int64
+		want   bool
+	}{
+		{5, 5, false},
+		{5, 6, false}, // one granule apart: concurrent
+		{5, 7, true},  // two granules apart: ordered
+		{5, 100, true},
+		{6, 5, false},
+		{7, 5, false},
+	}
+	for _, c := range cases {
+		a := Stamp{Site: "x", Global: c.g1, Local: c.g1 * 10}
+		b := Stamp{Site: "y", Global: c.g2, Local: c.g2 * 10}
+		if got := a.Less(b); got != c.want {
+			t.Errorf("cross-site globals %d,%d: Less = %v, want %v", c.g1, c.g2, got, c.want)
+		}
+	}
+}
+
+func TestSimultaneousRequiresSameSite(t *testing.T) {
+	a := Stamp{Site: "x", Global: 5, Local: 50}
+	b := Stamp{Site: "y", Global: 5, Local: 50}
+	if a.Simultaneous(b) {
+		t.Errorf("cross-site stamps are never simultaneous")
+	}
+	if !a.Concurrent(b) {
+		t.Errorf("cross-site same-global stamps are concurrent")
+	}
+}
+
+func TestConcurrentIsReflexiveAndSymmetric(t *testing.T) {
+	a := Stamp{Site: "x", Global: 5, Local: 50}
+	b := Stamp{Site: "y", Global: 6, Local: 60}
+	if !a.Concurrent(a) {
+		t.Errorf("~ must be reflexive")
+	}
+	if a.Concurrent(b) != b.Concurrent(a) {
+		t.Errorf("~ must be symmetric")
+	}
+}
+
+func TestConcurrentNotTransitivePaperCounterexample(t *testing.T) {
+	// Proposition 4.2(6): globals 1, 2, 3 at distinct sites.
+	t1, t2, t3 := Prop42CounterexampleGlobals()
+	if !t1.Concurrent(t2) {
+		t.Fatalf("%s ~ %s expected", t1, t2)
+	}
+	if !t2.Concurrent(t3) {
+		t.Fatalf("%s ~ %s expected", t2, t3)
+	}
+	if t1.Concurrent(t3) {
+		t.Fatalf("%s ~ %s must NOT hold: ~ is not transitive", t1, t3)
+	}
+	if !t1.Less(t3) {
+		t.Fatalf("%s < %s expected (gap of two granules)", t1, t3)
+	}
+}
+
+func TestWeakLEDefinition(t *testing.T) {
+	a := Stamp{Site: "x", Global: 1, Local: 10}
+	b := Stamp{Site: "y", Global: 2, Local: 20}
+	c := Stamp{Site: "z", Global: 9, Local: 90}
+	if !a.WeakLE(b) {
+		t.Errorf("concurrent stamps satisfy ⪯")
+	}
+	if !a.WeakLE(c) {
+		t.Errorf("ordered stamps satisfy ⪯")
+	}
+	if c.WeakLE(a) {
+		t.Errorf("⪯ must fail when strictly after")
+	}
+}
+
+func TestRelateClassification(t *testing.T) {
+	same := Stamp{Site: "s", Global: 3, Local: 30}
+	cases := []struct {
+		name string
+		a, b Stamp
+		want Relation
+	}{
+		{"before", Stamp{"a", 1, 10}, Stamp{"b", 5, 50}, Before},
+		{"after", Stamp{"b", 5, 50}, Stamp{"a", 1, 10}, After},
+		{"concurrent", Stamp{"a", 3, 30}, Stamp{"b", 4, 40}, Concurrent},
+		{"simultaneous", same, same, Simultaneous},
+		{"same-site-order", Stamp{"s", 3, 30}, Stamp{"s", 3, 31}, Before},
+	}
+	for _, c := range cases {
+		if got := c.a.Relate(c.b); got != c.want {
+			t.Errorf("%s: Relate(%s, %s) = %s, want %s", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	cases := map[Relation]string{Before: "<", After: ">", Simultaneous: "=", Concurrent: "~"}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Relation %d String = %q, want %q", int(r), got, want)
+		}
+	}
+	if got := Relation(99).String(); got != "Relation(99)" {
+		t.Errorf("unknown relation String = %q", got)
+	}
+}
+
+func TestDeriveStamp(t *testing.T) {
+	// The Section 5.1 worked example: local tick 91548276 at ratio 10
+	// yields global 9154827.
+	s := DeriveStamp("k", 91548276, Paper51Ratio)
+	if s.Global != 9154827 {
+		t.Errorf("DeriveStamp global = %d, want 9154827", s.Global)
+	}
+	if s.Local != 91548276 || s.Site != "k" {
+		t.Errorf("DeriveStamp did not preserve site/local: %s", s)
+	}
+}
+
+func TestDeriveStampNegativeLocalFloors(t *testing.T) {
+	s := DeriveStamp("k", -1, 10)
+	if s.Global != -1 {
+		t.Errorf("DeriveStamp(-1) global = %d, want -1 (floor division)", s.Global)
+	}
+	s = DeriveStamp("k", -10, 10)
+	if s.Global != -1 {
+		t.Errorf("DeriveStamp(-10) global = %d, want -1", s.Global)
+	}
+}
+
+func TestDeriveStampPanicsOnBadRatio(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("DeriveStamp with ratio 0 must panic")
+		}
+	}()
+	DeriveStamp("k", 1, 0)
+}
+
+func TestCompareCanonicalTotalOrder(t *testing.T) {
+	a := Stamp{Site: "a", Global: 1, Local: 10}
+	b := Stamp{Site: "a", Global: 1, Local: 11}
+	c := Stamp{Site: "b", Global: 0, Local: 5}
+	if CompareCanonical(a, b) >= 0 {
+		t.Errorf("canonical a < b by local")
+	}
+	if CompareCanonical(b, c) >= 0 {
+		t.Errorf("canonical site a < site b")
+	}
+	if CompareCanonical(a, a) != 0 {
+		t.Errorf("canonical equal")
+	}
+	if CompareCanonical(c, a) <= 0 {
+		t.Errorf("canonical reverse")
+	}
+	d := Stamp{Site: "a", Global: 2, Local: 10}
+	if CompareCanonical(a, d) >= 0 || CompareCanonical(d, a) <= 0 {
+		t.Errorf("canonical ties broken by global")
+	}
+}
+
+func TestStampString(t *testing.T) {
+	s := Stamp{Site: "k", Global: 9154827, Local: 91548276}
+	if got, want := s.String(), "(k, 9154827, 91548276)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestFormatStamps(t *testing.T) {
+	got := FormatStamps([]Stamp{{Site: "a", Global: 1, Local: 10}, {Site: "b", Global: 2, Local: 20}})
+	want := "{(a, 1, 10), (b, 2, 20)}"
+	if got != want {
+		t.Errorf("FormatStamps = %q, want %q", got, want)
+	}
+	if got := FormatStamps(nil); got != "{}" {
+		t.Errorf("FormatStamps(nil) = %q, want {}", got)
+	}
+}
+
+func TestSortCanonical(t *testing.T) {
+	ts := []Stamp{{Site: "b", Global: 2, Local: 20}, {Site: "a", Global: 9, Local: 90}, {Site: "a", Global: 1, Local: 10}}
+	SortCanonical(ts)
+	if ts[0].Site != "a" || ts[0].Local != 10 || ts[1].Local != 90 || ts[2].Site != "b" {
+		t.Errorf("SortCanonical wrong order: %v", ts)
+	}
+}

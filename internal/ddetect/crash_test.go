@@ -1,0 +1,120 @@
+package ddetect
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/network"
+)
+
+// A crashed site's silence stalls the watermark (buffered events stop
+// releasing) until the operator decommissions it — the classic behaviour
+// of watermark-ordered systems, reproduced and then resolved.
+func TestCrashStallsUntilDecommission(t *testing.T) {
+	sys := MustNewSystem(Config{Net: network.Config{BaseLatency: 10}})
+	hub := sys.MustAddSite("hub", 0, 0)
+	edge := sys.MustAddSite("edge", 0, 0)
+	flaky := sys.MustAddSite("flaky", 0, 0)
+	_ = flaky
+	for _, typ := range []string{"A", "B"} {
+		if err := sys.Declare(typ, event.Explicit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.DefineAt("hub", "AB", "A ; B", detector.Chronicle); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, sys, "AB")
+
+	// Healthy phase.
+	edge.MustRaise("A", event.Explicit, nil)
+	sys.Run(400, 50)
+	hub.MustRaise("B", event.Explicit, nil)
+	sys.Run(800, 50)
+	if len(*got) != 1 {
+		t.Fatalf("healthy phase: detections = %d, want 1", len(*got))
+	}
+
+	// flaky crashes; new events stall behind its silent clock.
+	if err := sys.Crash("flaky"); err != nil {
+		t.Fatal(err)
+	}
+	edge.MustRaise("A", event.Explicit, nil)
+	sys.Run(sys.Now()+400, 50)
+	hub.MustRaise("B", event.Explicit, nil)
+	sys.Run(sys.Now()+2_000, 50)
+	if len(*got) != 1 {
+		t.Fatalf("stall phase: detections = %d, want still 1 (watermark must stall)", len(*got))
+	}
+
+	// Operator acknowledges the loss: detection resumes.
+	if err := sys.Decommission("flaky"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Settle(1_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 2 {
+		t.Fatalf("post-decommission: detections = %d, want 2", len(*got))
+	}
+}
+
+func TestCrashedSiteCannotRaise(t *testing.T) {
+	sys := MustNewSystem(Config{})
+	edge := sys.MustAddSite("edge", 0, 0)
+	if err := sys.Declare("A", event.Explicit); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Crash("edge"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := edge.Raise("A", event.Explicit, nil); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("raise on crashed site = %v, want ErrCrashed", err)
+	}
+}
+
+func TestCrashUnknownSite(t *testing.T) {
+	sys := MustNewSystem(Config{})
+	sys.MustAddSite("a", 0, 0)
+	if err := sys.Crash("ghost"); err == nil {
+		t.Fatalf("crashing an unknown site must fail")
+	}
+	if err := sys.Decommission("ghost"); err == nil {
+		t.Fatalf("decommissioning an unknown site must fail")
+	}
+}
+
+// Events a site sent before crashing are still detected after it is
+// decommissioned.
+func TestPreCrashEventsSurviveDecommission(t *testing.T) {
+	sys := MustNewSystem(Config{Net: network.Config{BaseLatency: 10}})
+	sys.MustAddSite("hub", 0, 0)
+	flaky := sys.MustAddSite("flaky", 0, 0)
+	for _, typ := range []string{"A", "B"} {
+		if err := sys.Declare(typ, event.Explicit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.DefineAt("hub", "AB", "A ; B", detector.Chronicle); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, sys, "AB")
+
+	flaky.MustRaise("A", event.Explicit, nil)
+	sys.Run(300, 50)
+	flaky.MustRaise("B", event.Explicit, nil) // in flight when the site dies
+	if err := sys.Crash("flaky"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Decommission("flaky"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Settle(1_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 {
+		t.Fatalf("pre-crash events lost: detections = %d, want 1", len(*got))
+	}
+}

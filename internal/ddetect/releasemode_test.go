@@ -1,0 +1,89 @@
+package ddetect
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/network"
+)
+
+// runReleaseScenario executes a fixed workload under the given release
+// mode and returns the detection signatures plus the stats.
+func runReleaseScenario(t *testing.T, mode ReleaseMode, gapSteps int) ([]string, Stats) {
+	t.Helper()
+	sys := MustNewSystem(Config{
+		Net:     network.Config{BaseLatency: 20, Jitter: 60, Seed: 44},
+		Release: mode,
+	})
+	siteIDs := []core.SiteID{"s0", "s1"}
+	for i, id := range siteIDs {
+		sys.MustAddSite(id, int64(i*17)-8, 0)
+	}
+	for _, typ := range []string{"A", "B"} {
+		if err := sys.Declare(typ, event.Explicit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.DefineAt("s0", "Seq", "A ; B", detector.Chronicle); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := sys.Subscribe("Seq", func(o *event.Occurrence) {
+		sig := ""
+		for _, c := range o.Flatten() {
+			sig += fmt.Sprintf("%s@%s:%d;", c.Type, c.Site, c.Stamp[0].Local)
+		}
+		got = append(got, sig)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		src := sys.Site(siteIDs[i%2])
+		src.MustRaise("A", event.Explicit, nil)
+		sys.Run(sys.Now()+int64(gapSteps)*100, 50)
+		src.MustRaise("B", event.Explicit, nil)
+		sys.Run(sys.Now()+int64(gapSteps)*100, 50)
+	}
+	if err := sys.Settle(10_000); err != nil {
+		t.Fatal(err)
+	}
+	return got, sys.Stats()
+}
+
+// On well-separated workloads (every event granules apart, so nothing is
+// concurrent) the extension mode detects exactly what total order does —
+// only faster.
+func TestExtensionMatchesTotalOrderWhenSeparated(t *testing.T) {
+	total, stTotal := runReleaseScenario(t, ReleaseTotalOrder, 3)
+	ext, stExt := runReleaseScenario(t, ReleaseExtension, 3)
+	if len(total) != len(ext) {
+		t.Fatalf("detection counts differ: total-order %d vs extension %d", len(total), len(ext))
+	}
+	for i := range total {
+		if total[i] != ext[i] {
+			t.Fatalf("detection %d differs:\n total: %s\n ext:   %s", i, total[i], ext[i])
+		}
+	}
+	if len(total) != 30 {
+		t.Fatalf("expected all 30 pairs detected, got %d", len(total))
+	}
+	if stExt.MeanLatency() >= stTotal.MeanLatency() {
+		t.Fatalf("extension mode should have lower ordering latency: %f vs %f",
+			stExt.MeanLatency(), stTotal.MeanLatency())
+	}
+}
+
+func TestReleaseModeStrings(t *testing.T) {
+	if ReleaseTotalOrder.String() != "total-order" || ReleaseExtension.String() != "extension" {
+		t.Fatalf("ReleaseMode strings wrong")
+	}
+	if ReleaseMode(9).String() == "" {
+		t.Fatalf("unknown mode String empty")
+	}
+	if ReleaseTotalOrder.slack() != -1 || ReleaseExtension.slack() != 1 {
+		t.Fatalf("slack values drifted")
+	}
+}

@@ -1,0 +1,295 @@
+// Package ddetect implements distributed composite event detection
+// (Section 5 of the paper): sites raise primitive events stamped by their
+// own synchronized-within-Π clocks, forward them over the simulated
+// network to the sites hosting composite event definitions, and each
+// hosting site's detector evaluates the Snoop operators over the
+// composite timestamp algebra of internal/core.
+//
+// The operator nodes of internal/detector require events in an order that
+// linearly extends the composite happen-before order.  Under network
+// jitter and clock skew, arrival order is no such thing, so each site runs
+// a reorderer with two stages:
+//
+//  1. FIFO restore: the bus stamps per-link sequence numbers; messages are
+//     buffered until their predecessors arrive, recovering each source's
+//     emission order (which is local-clock order, hence happen-before
+//     order within the source).
+//  2. Watermark release: every site periodically heartbeats its current
+//     global time.  Because local clocks are monotone, a source whose
+//     frontier (last in-order global time) is w can never again emit an
+//     event with global time < w.  A buffered event with maximal global
+//     component g is released once min over all frontiers ≥ g − 1: any
+//     future event f then has g_f ≥ g − 1, which by Definition 4.7 rules
+//     out f happening before the released event.  Released events are
+//     published in (global, site, local) order, a linear extension of <
+//     for the primitive (singleton-stamp) occurrences exchanged between
+//     sites.
+//
+// For hierarchically forwarded *composite* occurrences the (global, site,
+// local) key is still used with the stamp's maximal global component;
+// under extreme clock skew two multi-component stamps can in principle be
+// released in an order that swaps a happen-before pair (never producing a
+// false detection — only possibly missing one).  The default deployment —
+// each definition fully evaluated at one hosting site over primitive
+// streams — is exact.
+package ddetect
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// envKind distinguishes bus payloads.
+type envKind int
+
+const (
+	envEvent envKind = iota
+	envHeartbeat
+)
+
+// envelope is the application payload carried by network messages and the
+// site-local self stream.
+type envelope struct {
+	Kind envKind
+	// Occ is the occurrence for envEvent.
+	Occ *event.Occurrence
+	// Global is the watermark for envHeartbeat.
+	Global int64
+	// RaisedAt is the reference time the occurrence was raised, for
+	// latency accounting.
+	RaisedAt clock.Microticks
+}
+
+// sourceState tracks one source's stream at a receiving site.
+type sourceState struct {
+	nextSeq  uint64
+	pending  map[uint64]envelope
+	frontier int64
+	// excluded marks a decommissioned source: its frontier no longer
+	// gates the watermark (see System.Decommission).
+	excluded bool
+}
+
+// reorderer restores a linear extension of happen-before from out-of-order
+// arrivals.  Not safe for concurrent use; owned by its site.
+type reorderer struct {
+	sources map[core.SiteID]*sourceState
+	ids     []core.SiteID // sorted, for deterministic iteration
+	ready   readyQueue
+	arrival uint64
+
+	// buffered counts FIFO-pending envelopes for quiescence checks.
+	buffered int
+}
+
+func newReorderer(sources []core.SiteID) *reorderer {
+	r := &reorderer{sources: make(map[core.SiteID]*sourceState, len(sources))}
+	for _, id := range sources {
+		r.sources[id] = &sourceState{nextSeq: 1, pending: make(map[uint64]envelope), frontier: math.MinInt64}
+		r.ids = append(r.ids, id)
+	}
+	sort.Slice(r.ids, func(i, j int) bool { return r.ids[i] < r.ids[j] })
+	return r
+}
+
+// accept ingests a message from a source with its link sequence number,
+// draining any in-order run it completes.
+func (r *reorderer) accept(from core.SiteID, seq uint64, env envelope) error {
+	st := r.sources[from]
+	if st == nil {
+		return fmt.Errorf("ddetect: message from unknown source %q", from)
+	}
+	if seq < st.nextSeq {
+		return fmt.Errorf("ddetect: duplicate seq %d from %q (next %d)", seq, from, st.nextSeq)
+	}
+	if _, dup := st.pending[seq]; dup {
+		return fmt.Errorf("ddetect: duplicate buffered seq %d from %q", seq, from)
+	}
+	st.pending[seq] = env
+	r.buffered++
+	for {
+		next, ok := st.pending[st.nextSeq]
+		if !ok {
+			return nil
+		}
+		delete(st.pending, st.nextSeq)
+		st.nextSeq++
+		r.buffered--
+		r.ingest(from, next)
+	}
+}
+
+// ingest processes one in-order envelope: events join the ready queue and
+// advance the frontier; heartbeats only advance the frontier.
+func (r *reorderer) ingest(from core.SiteID, env envelope) {
+	st := r.sources[from]
+	switch env.Kind {
+	case envEvent:
+		g := env.Occ.Stamp.MaxGlobal()
+		if g > st.frontier {
+			st.frontier = g
+		}
+		r.arrival++
+		heap.Push(&r.ready, &readyItem{env: env, key: releaseKey(env.Occ, r.arrival)})
+	case envHeartbeat:
+		if env.Global > st.frontier {
+			st.frontier = env.Global
+		}
+	}
+}
+
+// setFrontier advances a source's frontier directly (used for the site's
+// own clock, which needs no heartbeat message).
+func (r *reorderer) setFrontier(id core.SiteID, g int64) {
+	if st := r.sources[id]; st != nil && g > st.frontier {
+		st.frontier = g
+	}
+}
+
+// minFrontier returns the minimum frontier over the sources still gating
+// the watermark.  With every source excluded there is nothing left to
+// wait for and buffered events release unconditionally.
+func (r *reorderer) minFrontier() int64 {
+	min := int64(math.MaxInt64)
+	any := false
+	for _, id := range r.ids {
+		st := r.sources[id]
+		if st.excluded {
+			continue
+		}
+		any = true
+		if st.frontier < min {
+			min = st.frontier
+		}
+	}
+	if !any {
+		return math.MaxInt64
+	}
+	if len(r.ids) == 0 {
+		return math.MinInt64
+	}
+	return min
+}
+
+// exclude removes a source from watermark gating.  Its already-buffered
+// FIFO stream remains valid; only its (now silent) clock stops holding
+// everyone else back.
+func (r *reorderer) exclude(id core.SiteID) {
+	if st := r.sources[id]; st != nil {
+		st.excluded = true
+	}
+}
+
+// ReleaseMode selects how aggressively the watermark releases events.
+type ReleaseMode int
+
+const (
+	// ReleaseTotalOrder (the default) releases an event with maximal
+	// global component g only once every frontier is at least g+1, so no
+	// event with global ≤ g can still arrive.  The release sequence is
+	// then globally sorted by (global, site, local) — a deterministic
+	// total order identical to a centralized detector fed the same
+	// stamps — at the cost of up to two extra granules of latency.
+	ReleaseTotalOrder ReleaseMode = iota
+	// ReleaseExtension releases as soon as no *happen-before* violation
+	// is possible (g ≤ min frontier + 1).  Lowest latency; the sequence
+	// is only a linear extension of <, so concurrent events may be
+	// interleaved differently than at a centralized oracle, which can
+	// change which of several equally valid constituents a context
+	// (Recent/Chronicle/…) picks.
+	ReleaseExtension
+)
+
+func (m ReleaseMode) String() string {
+	switch m {
+	case ReleaseTotalOrder:
+		return "total-order"
+	case ReleaseExtension:
+		return "extension"
+	default:
+		return fmt.Sprintf("ReleaseMode(%d)", int(m))
+	}
+}
+
+// slack returns the release threshold offset relative to the minimum
+// frontier: release while top.global ≤ minFrontier + slack.
+func (m ReleaseMode) slack() int64 {
+	if m == ReleaseExtension {
+		return 1
+	}
+	return -1
+}
+
+// release pops every stable event — maximal global component at most
+// minFrontier + slack(mode) — in (global, site, local, arrival) order and
+// hands it to fn.  It returns the number released.
+func (r *reorderer) release(mode ReleaseMode, fn func(envelope)) int {
+	minF := r.minFrontier()
+	if minF == math.MinInt64 {
+		return 0
+	}
+	n := 0
+	for r.ready.Len() > 0 && r.ready[0].key.global <= minF+mode.slack() {
+		it := heap.Pop(&r.ready).(*readyItem)
+		fn(it.env)
+		n++
+	}
+	return n
+}
+
+// pendingEvents reports buffered FIFO gaps plus unreleased ready events,
+// for quiescence checks.
+func (r *reorderer) pendingEvents() int { return r.buffered + r.ready.Len() }
+
+// key orders ready events: ascending maximal global, then site, then the
+// local tick of the max-global component, then arrival.  For singleton
+// stamps this is a linear extension of the composite happen-before order
+// (see the package comment).
+type key struct {
+	global  int64
+	site    core.SiteID
+	local   int64
+	arrival uint64
+}
+
+func releaseKey(o *event.Occurrence, arrival uint64) key {
+	best := o.Stamp[0]
+	for _, t := range o.Stamp[1:] {
+		if t.Global > best.Global {
+			best = t
+		}
+	}
+	return key{global: best.Global, site: best.Site, local: best.Local, arrival: arrival}
+}
+
+func (k key) less(u key) bool {
+	if k.global != u.global {
+		return k.global < u.global
+	}
+	if k.site != u.site {
+		return k.site < u.site
+	}
+	if k.local != u.local {
+		return k.local < u.local
+	}
+	return k.arrival < u.arrival
+}
+
+type readyItem struct {
+	env envelope
+	key key
+}
+
+type readyQueue []*readyItem
+
+func (q readyQueue) Len() int           { return len(q) }
+func (q readyQueue) Less(i, j int) bool { return q[i].key.less(q[j].key) }
+func (q readyQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *readyQueue) Push(x any)        { *q = append(*q, x.(*readyItem)) }
+func (q *readyQueue) Pop() any          { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }

@@ -1,0 +1,119 @@
+package ddetect
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/network"
+	"repro/internal/workload"
+)
+
+// TestSoak runs a long randomized multi-site workload with every runtime
+// invariant armed at once:
+//
+//   - adversarial network (jitter beyond inter-arrival gaps, loss);
+//   - skewed, drifting clocks within Π;
+//   - serialization of every bus message;
+//   - publish-order checking at every hosting detector;
+//   - buffer limits (bounded memory) with eviction accounting;
+//   - stamp validity of every detected composite.
+//
+// It is the closest thing to a production burn-in the simulation offers.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const sites = 6
+	const events = 3_000
+
+	sys := MustNewSystem(Config{
+		Net: network.Config{
+			BaseLatency: 25, Jitter: 120, DropRate: 0.08, RetransmitDelay: 180, Seed: 1234,
+		},
+		Serialize: true,
+	})
+	rng := rand.New(rand.NewSource(99))
+	ids := make([]core.SiteID, sites)
+	for i := range ids {
+		ids[i] = core.SiteID(string(rune('a' + i)))
+		sys.MustAddSite(ids[i], rng.Int63n(99)-49, rng.Int63n(3))
+	}
+	types := []string{"A", "B", "C", "D"}
+	for _, typ := range types {
+		if err := sys.Declare(typ, event.Explicit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defs := []struct {
+		name, expr string
+		ctx        detector.Context
+	}{
+		{"Seq", "A ; B", detector.Chronicle},
+		{"Conj", "C AND D", detector.Recent},
+		{"Guard", "NOT(C)[A, D]", detector.Continuous},
+		{"Sweep", "A*(A, B, C)", detector.Chronicle},
+		{"Pick", "ANY(3, A, B, C, D)", detector.Cumulative},
+		{"Masked", "A[n >= 500] ; D", detector.Chronicle},
+	}
+	hosts := []core.SiteID{ids[0], ids[1]} // definitions split over two hubs
+	detections := 0
+	for i, d := range defs {
+		host := hosts[i%len(hosts)]
+		if _, err := sys.DefineAt(host, d.name, d.expr, d.ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Subscribe(d.name, func(o *event.Occurrence) {
+			detections++
+			if err := o.Stamp.Valid(); err != nil {
+				t.Errorf("invalid detection stamp: %v", err)
+			}
+			if len(o.Stamp) > sites {
+				t.Errorf("stamp larger than site count: %s", o.Stamp)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range hosts {
+		sys.Site(h).Detector().SetOrderChecking(true)
+		sys.Site(h).Detector().SetBufferLimit(64)
+	}
+
+	trace := workload.GenStream(workload.StreamConfig{
+		Sites: ids, Types: types, MeanGap: 45, Count: events, Seed: 77,
+	})
+	for _, item := range trace.Items {
+		sys.Run(item.At, 60)
+		sys.Site(item.Site).MustRaise(item.Type, event.Explicit, event.Params{"n": int(item.Params["n"].(int))})
+	}
+	if err := sys.Settle(100_000); err != nil {
+		t.Fatal(err)
+	}
+
+	st := sys.Stats()
+	// Both hubs need all four types, so every raised event is released
+	// once per hub.
+	if st.Released != 2*st.Raised {
+		t.Fatalf("released %d, want %d (every event at both hubs)", st.Released, 2*st.Raised)
+	}
+	if detections == 0 {
+		t.Fatalf("soak detected nothing")
+	}
+	for _, h := range hosts {
+		d := sys.Site(h).Detector()
+		if v := d.OrderViolations(); v != 0 {
+			t.Fatalf("host %s: %d publish-order violations", h, v)
+		}
+		if s := d.StateSize(); s > 64*8*2+64 {
+			t.Fatalf("host %s: state %d exceeds the configured bound", h, s)
+		}
+	}
+	if st.Net.Retransmitted == 0 {
+		t.Fatalf("soak network never dropped — adversity misconfigured")
+	}
+	t.Logf("soak: raised=%d detections=%d meanLatency=%.1f dropped(hub0)=%d",
+		st.Raised, detections, st.MeanLatency(), sys.Site(hosts[0]).Detector().DroppedOccurrences())
+}

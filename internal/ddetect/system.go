@@ -1,0 +1,588 @@
+package ddetect
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/eventlog"
+	"repro/internal/expr"
+	"repro/internal/network"
+	"repro/internal/wire"
+)
+
+// Config assembles a distributed detection system.
+type Config struct {
+	// Clock is the simulated time base (clock.PaperConfig by default).
+	Clock clock.Config
+	// Net is the simulated network (perfect by default).
+	Net network.Config
+	// HeartbeatEvery is the watermark period in microticks; it defaults
+	// to one global granule, the finest useful cadence.
+	HeartbeatEvery clock.Microticks
+	// Release selects the watermark release mode; the zero value is
+	// ReleaseTotalOrder (deterministic, centralized-equivalent).
+	Release ReleaseMode
+	// Serialize, when true, encodes every envelope crossing the bus with
+	// internal/wire and decodes it at the receiver, proving the engine
+	// needs no shared memory between sites (and costing one codec round
+	// trip per message).
+	Serialize bool
+	// Journal, when non-nil, receives every raised primitive occurrence
+	// as an internal/eventlog record, enabling replay-based recovery of
+	// detector state after a crash.
+	Journal io.Writer
+	// EnforceSimultaneity applies the paper's Section 3.1 assumptions 3
+	// and 4: no two database events and no two explicit events may be
+	// simultaneous.  With it set, raising a second Database or Explicit
+	// event at a site within the same local clock tick fails with
+	// ErrSimultaneous instead of producing stamps the assumptions forbid
+	// (advance the simulated clock between raises).
+	EnforceSimultaneity bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == (clock.Config{}) {
+		c.Clock = clock.PaperConfig()
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = c.Clock.GlobalGranularity
+	}
+	return c
+}
+
+// Stats aggregates system activity.
+type Stats struct {
+	Raised     uint64
+	Forwarded  uint64 // event messages put on the bus
+	Heartbeats uint64
+	Released   uint64 // events handed to detectors after reordering
+	Detections uint64 // composite occurrences across all definitions
+	Unconsumed uint64 // raised events no definition needed
+	LatencySum clock.Microticks
+	LatencyMax clock.Microticks
+	Net        network.Stats
+}
+
+// MeanLatency returns the mean raise-to-publish latency in microticks.
+func (s Stats) MeanLatency() float64 {
+	if s.Released == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.Released)
+}
+
+// System is a simulated multi-site detection deployment.  It owns the
+// clock, the network and all site runtimes, and is driven in simulated
+// time by Step/Run/Settle.  Not safe for concurrent use — the simulation
+// is deterministic precisely because one goroutine turns the crank.
+type System struct {
+	cfg      Config
+	clk      *clock.System
+	bus      *network.Bus
+	reg      *event.Registry
+	sites    []*Site
+	siteByID map[core.SiteID]*Site
+	needers  map[string][]core.SiteID
+	nextHB   clock.Microticks
+	sealed   bool
+	stats    Stats
+	journal  *eventlog.Writer
+
+	// inFlightEvents counts event envelopes on the bus (heartbeats are
+	// perpetual and excluded), for the quiescence check.
+	inFlightEvents int
+}
+
+// NewSystem builds a system.
+func NewSystem(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	clk, err := clock.NewSystem(cfg.Clock)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Net.Validate(); err != nil {
+		return nil, err
+	}
+	sys := &System{
+		cfg:      cfg,
+		clk:      clk,
+		bus:      network.NewBus(cfg.Net),
+		reg:      event.NewRegistry(),
+		siteByID: make(map[core.SiteID]*Site),
+		needers:  make(map[string][]core.SiteID),
+		nextHB:   cfg.HeartbeatEvery,
+	}
+	if cfg.Journal != nil {
+		sys.journal = eventlog.NewWriter(cfg.Journal)
+	}
+	return sys, nil
+}
+
+// MustNewSystem is NewSystem that panics on error.
+func MustNewSystem(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Registry returns the shared event type registry.
+func (sys *System) Registry() *event.Registry { return sys.reg }
+
+// Clock returns the simulated time base.
+func (sys *System) Clock() *clock.System { return sys.clk }
+
+// Now returns the current reference time.
+func (sys *System) Now() clock.Microticks { return sys.clk.Now() }
+
+// Stats returns a snapshot of the counters.
+func (sys *System) Stats() Stats {
+	st := sys.stats
+	st.Net = sys.bus.Stats()
+	return st
+}
+
+// Site is one site runtime: a clock, a detector and a reorderer.
+type Site struct {
+	ID  core.SiteID
+	sys *System
+	clk *clock.SiteClock
+	det *detector.Detector
+	re  *reorderer
+
+	selfSeq uint64
+	// lastLocal tracks the last raised local tick per event class, for
+	// Config.EnforceSimultaneity.
+	lastLocal map[event.Class]int64
+	// crashed marks a site that stopped: it raises nothing and sends no
+	// heartbeats.  See System.Crash and System.Decommission.
+	crashed bool
+}
+
+// ErrSimultaneous reports a violation of the Section 3.1 simultaneity
+// assumptions (see Config.EnforceSimultaneity).
+var ErrSimultaneous = errors.New("ddetect: two events of the same class at the same site and local tick")
+
+// ErrCrashed reports an operation on a crashed site.
+var ErrCrashed = errors.New("ddetect: site has crashed")
+
+// Crash simulates a site failure: the site stops heartbeating and can no
+// longer raise events.  Its silence stalls every other site's watermark —
+// exactly the behaviour a real watermark-ordered system exhibits — until
+// the operator acknowledges the loss with Decommission.
+func (sys *System) Crash(id core.SiteID) error {
+	sys.seal()
+	s := sys.siteByID[id]
+	if s == nil {
+		return fmt.Errorf("ddetect: unknown site %q", id)
+	}
+	s.crashed = true
+	return nil
+}
+
+// Decommission removes a (typically crashed) site's clock from every
+// watermark: remaining sites stop waiting for its heartbeats and buffered
+// events resume releasing.  Events the dead site sent before crashing are
+// still processed.  Detection involving only surviving sites continues;
+// anything that needed the dead site's future events is simply never
+// completed — the honest semantics of a lost site.
+func (sys *System) Decommission(id core.SiteID) error {
+	sys.seal()
+	if sys.siteByID[id] == nil {
+		return fmt.Errorf("ddetect: unknown site %q", id)
+	}
+	if err := sys.Crash(id); err != nil {
+		return err
+	}
+	for _, s := range sys.sites {
+		s.re.exclude(id)
+	}
+	return nil
+}
+
+// siteTime adapts a site clock to detector.TimeSource.
+type siteTime struct {
+	sys *clock.System
+	clk *clock.SiteClock
+	id  core.SiteID
+}
+
+func (st siteTime) Now() clock.Microticks { return st.sys.Now() }
+
+func (st siteTime) StampAt(ref clock.Microticks) core.Stamp {
+	l := st.clk.LocalTick(ref)
+	return core.Stamp{Site: st.id, Global: st.clk.GlobalTick(l), Local: l}
+}
+
+// ErrSealed is returned when topology changes after the simulation
+// started.
+var ErrSealed = errors.New("ddetect: topology is sealed once the simulation has started")
+
+// AddSite registers a site with the given clock offset and drift (bounded
+// by the configured precision Π).
+func (sys *System) AddSite(id core.SiteID, offset clock.Microticks, driftPPM int64) (*Site, error) {
+	if sys.sealed {
+		return nil, ErrSealed
+	}
+	sc, err := sys.clk.AddSite(string(id), offset, driftPPM)
+	if err != nil {
+		return nil, err
+	}
+	s := &Site{
+		ID:  id,
+		sys: sys,
+		clk: sc,
+		det: detector.New(id, sys.reg, siteTime{sys: sys.clk, clk: sc, id: id}),
+	}
+	sys.sites = append(sys.sites, s)
+	sort.Slice(sys.sites, func(i, j int) bool { return sys.sites[i].ID < sys.sites[j].ID })
+	sys.siteByID[id] = s
+	return s, nil
+}
+
+// MustAddSite is AddSite that panics on error.
+func (sys *System) MustAddSite(id core.SiteID, offset clock.Microticks, driftPPM int64) *Site {
+	s, err := sys.AddSite(id, offset, driftPPM)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Site returns the site runtime registered under id, or nil.
+func (sys *System) Site(id core.SiteID) *Site { return sys.siteByID[id] }
+
+// Declare registers a primitive event type usable at any site.
+func (sys *System) Declare(name string, class event.Class) error {
+	_, err := sys.reg.Declare(name, class)
+	return err
+}
+
+// DefineAt compiles a named composite event at the hosting site.  Every
+// primitive (or previously defined composite) the expression references is
+// recorded as needed by the host, so Raise forwards matching occurrences
+// there; a referenced composite defined at another site is additionally
+// forwarded from its own host when it is detected (hierarchical mode).
+func (sys *System) DefineAt(host core.SiteID, name, expression string, ctx detector.Context) (*detector.Definition, error) {
+	if sys.sealed {
+		return nil, ErrSealed
+	}
+	s := sys.siteByID[host]
+	if s == nil {
+		return nil, fmt.Errorf("ddetect: unknown host site %q", host)
+	}
+	root, err := expr.Parse(expression)
+	if err != nil {
+		return nil, err
+	}
+	def, err := s.det.Define(name, root, ctx)
+	if err != nil {
+		return nil, err
+	}
+	for _, prim := range expr.Primitives(root) {
+		sys.addNeeder(prim, host)
+		// Hierarchical forwarding: if prim is a composite defined at a
+		// different site, ship its detections to this host.
+		if producer := sys.hostOf(prim); producer != nil && producer.ID != host {
+			prim := prim
+			from := producer
+			producer.det.Subscribe(prim, func(o *event.Occurrence) {
+				sys.forwardComposite(from, o)
+			})
+		}
+	}
+	s.det.Subscribe(name, func(*event.Occurrence) { sys.stats.Detections++ })
+	return def, nil
+}
+
+// addNeeder records that host needs occurrences of typ (idempotent).
+func (sys *System) addNeeder(typ string, host core.SiteID) {
+	for _, h := range sys.needers[typ] {
+		if h == host {
+			return
+		}
+	}
+	sys.needers[typ] = append(sys.needers[typ], host)
+	sort.Slice(sys.needers[typ], func(i, j int) bool { return sys.needers[typ][i] < sys.needers[typ][j] })
+}
+
+// hostOf returns the site at which a composite name is defined, or nil.
+func (sys *System) hostOf(name string) *Site {
+	for _, s := range sys.sites {
+		for _, def := range s.det.Definitions() {
+			if def.Name == name {
+				return s
+			}
+		}
+	}
+	return nil
+}
+
+// Subscribe attaches a handler to a definition at its hosting site.
+func (sys *System) Subscribe(name string, h detector.Handler) error {
+	s := sys.hostOf(name)
+	if s == nil {
+		return fmt.Errorf("ddetect: no site defines %q", name)
+	}
+	s.det.Subscribe(name, h)
+	return nil
+}
+
+// seal freezes the topology and equips every site's reorderer with the
+// full source set.
+func (sys *System) seal() {
+	if sys.sealed {
+		return
+	}
+	sys.sealed = true
+	ids := make([]core.SiteID, 0, len(sys.sites))
+	for _, s := range sys.sites {
+		ids = append(ids, s.ID)
+	}
+	for _, s := range sys.sites {
+		s.re = newReorderer(ids)
+	}
+}
+
+// StampNow returns the site's current primitive timestamp.
+func (s *Site) StampNow() core.Stamp {
+	ref := s.sys.clk.Now()
+	l := s.clk.LocalTick(ref)
+	return core.Stamp{Site: s.ID, Global: s.clk.GlobalTick(l), Local: l}
+}
+
+// Detector exposes the site's detector (for advanced wiring in examples
+// and tests).
+func (s *Site) Detector() *detector.Detector { return s.det }
+
+// Raise raises a primitive event at this site, stamped by its clock, and
+// forwards it to every site whose definitions need it.  It returns the
+// occurrence.
+func (s *Site) Raise(typ string, class event.Class, params event.Params) (*event.Occurrence, error) {
+	sys := s.sys
+	sys.seal()
+	if !sys.reg.Has(typ) {
+		return nil, fmt.Errorf("%w: %q", event.ErrUnknownType, typ)
+	}
+	if s.crashed {
+		return nil, fmt.Errorf("%w: %q", ErrCrashed, s.ID)
+	}
+	occ := event.NewPrimitive(typ, class, s.StampNow(), params)
+	if sys.cfg.EnforceSimultaneity && (class == event.Database || class == event.Explicit) {
+		if s.lastLocal == nil {
+			s.lastLocal = make(map[event.Class]int64)
+		}
+		local := occ.Stamp[0].Local
+		if last, seen := s.lastLocal[class]; seen && last == local {
+			return nil, fmt.Errorf("%w: %s at %s, local tick %d", ErrSimultaneous, class, s.ID, local)
+		}
+		s.lastLocal[class] = local
+	}
+	if sys.journal != nil {
+		if err := sys.journal.Append(occ); err != nil {
+			return nil, fmt.Errorf("ddetect: journal: %w", err)
+		}
+	}
+	now := sys.clk.Now()
+	env := envelope{Kind: envEvent, Occ: occ, RaisedAt: now}
+	sys.stats.Raised++
+	needers := sys.needers[typ]
+	if len(needers) == 0 {
+		sys.stats.Unconsumed++
+		return occ, nil
+	}
+	for _, dst := range needers {
+		if dst == s.ID {
+			s.selfDeliver(env)
+		} else {
+			sys.bus.Send(now, s.ID, dst, sys.payload(env))
+			sys.stats.Forwarded++
+			sys.inFlightEvents++
+		}
+	}
+	return occ, nil
+}
+
+// MustRaise is Raise that panics on error.
+func (s *Site) MustRaise(typ string, class event.Class, params event.Params) *event.Occurrence {
+	o, err := s.Raise(typ, class, params)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// forwardComposite ships a locally detected composite occurrence to the
+// sites that need it by name (hierarchical mode).
+func (sys *System) forwardComposite(from *Site, o *event.Occurrence) {
+	now := sys.clk.Now()
+	env := envelope{Kind: envEvent, Occ: o, RaisedAt: now}
+	for _, dst := range sys.needers[o.Type] {
+		if dst == from.ID {
+			continue // local consumers already saw it via the detector
+		}
+		sys.bus.Send(now, from.ID, dst, sys.payload(env))
+		sys.stats.Forwarded++
+		sys.inFlightEvents++
+	}
+}
+
+// payload prepares an envelope for the bus: the envelope itself, or its
+// wire encoding when Config.Serialize is set.
+func (sys *System) payload(env envelope) any {
+	if !sys.cfg.Serialize {
+		return env
+	}
+	we := wire.Envelope{Global: env.Global, RaisedAt: int64(env.RaisedAt)}
+	if env.Kind == envEvent {
+		we.Kind = wire.KindEvent
+		we.Occ = env.Occ
+	} else {
+		we.Kind = wire.KindHeartbeat
+	}
+	buf, err := wire.Encode(we)
+	if err != nil {
+		panic(fmt.Sprintf("ddetect: envelope not encodable: %v", err))
+	}
+	return buf
+}
+
+// unpayload reverses payload.
+func (sys *System) unpayload(p any) envelope {
+	switch x := p.(type) {
+	case envelope:
+		return x
+	case []byte:
+		we, err := wire.Decode(x)
+		if err != nil {
+			panic(fmt.Sprintf("ddetect: corrupt envelope: %v", err))
+		}
+		env := envelope{Global: we.Global, RaisedAt: clock.Microticks(we.RaisedAt)}
+		if we.Kind == wire.KindEvent {
+			env.Kind = envEvent
+			env.Occ = we.Occ
+		} else {
+			env.Kind = envHeartbeat
+		}
+		return env
+	default:
+		panic(fmt.Sprintf("ddetect: unexpected payload type %T", p))
+	}
+}
+
+// selfDeliver puts a local occurrence through the site's own reorderer
+// stream so local and remote events interleave in one linear extension.
+func (s *Site) selfDeliver(env envelope) {
+	s.selfSeq++
+	if err := s.re.accept(s.ID, s.selfSeq, env); err != nil {
+		panic(err) // programming error: self stream is always in order
+	}
+}
+
+// Step advances simulated time by dt and processes everything that became
+// due: heartbeats, message deliveries, watermark releases and detector
+// timers.  Processing is deterministic (sites in ID order).
+func (sys *System) Step(dt clock.Microticks) {
+	sys.seal()
+	now := sys.clk.Advance(dt)
+	sys.tick(now)
+}
+
+// Run advances to target in fixed steps.
+func (sys *System) Run(target, step clock.Microticks) {
+	if step <= 0 {
+		panic("ddetect: non-positive step")
+	}
+	for sys.clk.Now() < target {
+		dt := step
+		if rem := target - sys.clk.Now(); rem < dt {
+			dt = rem
+		}
+		sys.Step(dt)
+	}
+}
+
+// Settle keeps stepping by the heartbeat period until the network and all
+// reorderers are quiescent (or maxSteps is exhausted), so every raised
+// event that can be detected has been.
+func (sys *System) Settle(maxSteps int) error {
+	sys.seal()
+	for i := 0; i < maxSteps; i++ {
+		if sys.quiescent() {
+			return nil
+		}
+		sys.Step(sys.cfg.HeartbeatEvery)
+	}
+	if !sys.quiescent() {
+		return fmt.Errorf("ddetect: not quiescent after %d settle steps", maxSteps)
+	}
+	return nil
+}
+
+func (sys *System) quiescent() bool {
+	if sys.inFlightEvents > 0 {
+		return false
+	}
+	for _, s := range sys.sites {
+		if s.re.pendingEvents() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// tick processes everything due at the (already advanced) time now.
+func (sys *System) tick(now clock.Microticks) {
+	// 1. Heartbeats due up to now.
+	for sys.nextHB <= now {
+		for _, s := range sys.sites {
+			if s.crashed {
+				continue
+			}
+			g := s.clk.GlobalTick(s.clk.LocalTick(sys.nextHB))
+			s.re.setFrontier(s.ID, g)
+			for _, dst := range sys.sites {
+				if dst.ID == s.ID {
+					continue
+				}
+				sys.bus.Send(sys.nextHB, s.ID, dst.ID, sys.payload(envelope{Kind: envHeartbeat, Global: g}))
+				sys.stats.Heartbeats++
+			}
+		}
+		sys.nextHB += sys.cfg.HeartbeatEvery
+	}
+	// 2. Deliver due messages into reorderers.
+	sys.bus.DeliverDue(now, func(m network.Message) {
+		dst := sys.siteByID[m.To]
+		if dst == nil {
+			panic(fmt.Sprintf("ddetect: message to unknown site %q", m.To))
+		}
+		env := sys.unpayload(m.Payload)
+		if env.Kind == envEvent {
+			sys.inFlightEvents--
+		}
+		if err := dst.re.accept(m.From, m.Seq, env); err != nil {
+			panic(err) // bus sequencing guarantees make this unreachable
+		}
+	})
+	// 3. Release stable events to detectors and fire timers.
+	for _, s := range sys.sites {
+		s.re.release(sys.cfg.Release, func(env envelope) {
+			sys.stats.Released++
+			lat := now - env.RaisedAt
+			sys.stats.LatencySum += lat
+			if lat > sys.stats.LatencyMax {
+				sys.stats.LatencyMax = lat
+			}
+			s.det.Publish(env.Occ)
+		})
+		s.det.AdvanceTo(now)
+	}
+}

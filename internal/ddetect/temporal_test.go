@@ -1,0 +1,112 @@
+package ddetect
+
+import (
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/network"
+)
+
+// Temporal operators in the distributed engine: ticks are stamped by the
+// hosting site's clock and interleave with remote events through the
+// reorderer.
+func TestDistributedPeriodic(t *testing.T) {
+	sys := MustNewSystem(Config{Net: network.Config{BaseLatency: 10}})
+	hub := sys.MustAddSite("hub", 0, 0)
+	ward := sys.MustAddSite("ward", 20, 0)
+	_ = hub
+	for _, typ := range []string{"Admit", "Discharge"} {
+		if err := sys.Declare(typ, event.Explicit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.DefineAt("hub", "Watch", "P(Admit, 500, Discharge)", detector.Recent); err != nil {
+		t.Fatal(err)
+	}
+	var ticks []*event.Occurrence
+	if err := sys.Subscribe("Watch", func(o *event.Occurrence) { ticks = append(ticks, o) }); err != nil {
+		t.Fatal(err)
+	}
+	ward.MustRaise("Admit", event.Explicit, nil)
+	sys.Run(1800, 100) // ticks due around 600, 1100, 1600 (after release latency)
+	n := len(ticks)
+	if n < 2 {
+		t.Fatalf("periodic fired %d times, want at least 2", n)
+	}
+	ward.MustRaise("Discharge", event.Explicit, nil)
+	if err := sys.Settle(100); err != nil {
+		t.Fatal(err)
+	}
+	after := len(ticks)
+	sys.Run(sys.Now()+3000, 100)
+	if len(ticks) != after {
+		t.Fatalf("periodic kept firing after discharge: %d -> %d", after, len(ticks))
+	}
+	// Tick stamps come from the hosting site.
+	for _, o := range ticks {
+		tick := o.Flatten()[1]
+		if tick.Stamp[0].Site != "hub" {
+			t.Fatalf("tick stamped at %s, want hub", tick.Stamp[0].Site)
+		}
+	}
+}
+
+func TestDistributedPlus(t *testing.T) {
+	sys := MustNewSystem(Config{Net: network.Config{BaseLatency: 10}})
+	sys.MustAddSite("hub", 0, 0)
+	edge := sys.MustAddSite("edge", 0, 0)
+	if err := sys.Declare("Alarm", event.Explicit); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.DefineAt("hub", "Escalate", "PLUS(Alarm, 700)", detector.Recent); err != nil {
+		t.Fatal(err)
+	}
+	var fired []*event.Occurrence
+	if err := sys.Subscribe("Escalate", func(o *event.Occurrence) { fired = append(fired, o) }); err != nil {
+		t.Fatal(err)
+	}
+	edge.MustRaise("Alarm", event.Explicit, nil)
+	sys.Run(600, 100)
+	if len(fired) != 0 {
+		t.Fatalf("PLUS fired before its delta")
+	}
+	sys.Run(1500, 100)
+	if len(fired) != 1 {
+		t.Fatalf("PLUS fired %d times, want 1", len(fired))
+	}
+}
+
+// Masked expressions work across sites: the mask filters at the hosting
+// detector's edge after forwarding.
+func TestDistributedMaskedSequence(t *testing.T) {
+	sys := MustNewSystem(Config{Net: network.Config{BaseLatency: 15}})
+	sys.MustAddSite("hub", 0, 0)
+	edge := sys.MustAddSite("edge", 0, 0)
+	for _, typ := range []string{"Trade", "Close"} {
+		if err := sys.Declare(typ, event.Explicit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.DefineAt("hub", "BigThenClose", "Trade[qty >= 100] ; Close", detector.Chronicle); err != nil {
+		t.Fatal(err)
+	}
+	var got []*event.Occurrence
+	if err := sys.Subscribe("BigThenClose", func(o *event.Occurrence) { got = append(got, o) }); err != nil {
+		t.Fatal(err)
+	}
+	edge.MustRaise("Trade", event.Explicit, event.Params{"qty": 5})
+	sys.Run(400, 50)
+	edge.MustRaise("Trade", event.Explicit, event.Params{"qty": 500})
+	sys.Run(800, 50)
+	edge.MustRaise("Close", event.Explicit, nil)
+	if err := sys.Settle(200); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("detections = %d, want 1", len(got))
+	}
+	if got[0].Flatten()[0].Params["qty"] != 500 {
+		t.Fatalf("mask paired the small trade: %v", got[0].Flatten()[0].Params)
+	}
+}

@@ -1,0 +1,173 @@
+package denote
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/event"
+)
+
+// The keystone property: on totally ordered histories, the incremental
+// detector in the Unrestricted context produces exactly the detections the
+// paper's denotational formulas enumerate.
+
+// randomHistory builds a single-site, strictly increasing trace over the
+// given types.
+func randomHistory(seed int64, n int, types []string) []*event.Occurrence {
+	r := rand.New(rand.NewSource(seed))
+	occs := make([]*event.Occurrence, n)
+	for i := range occs {
+		occs[i] = event.NewPrimitive(types[r.Intn(len(types))], event.Explicit,
+			core.DeriveStamp("s1", int64(i)*25, 10), event.Params{"n": i})
+	}
+	return occs
+}
+
+// engineDetections replays the history through the incremental detector
+// and returns sorted detection keys.
+func engineDetections(t *testing.T, expression string, history []*event.Occurrence) []string {
+	t.Helper()
+	reg := event.NewRegistry()
+	for _, n := range []string{"A", "B", "C"} {
+		reg.MustDeclare(n, event.Explicit)
+	}
+	d := detector.New("s1", reg, nil)
+	if _, err := d.DefineString("X", expression, detector.Unrestricted); err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	d.Subscribe("X", func(o *event.Occurrence) {
+		k := ""
+		for _, c := range o.Flatten() {
+			k += c.Type + "@" + string(c.Site) + ":" + itoa(c.Stamp[0].Local) + ";"
+		}
+		keys = append(keys, k)
+	})
+	for _, o := range history {
+		d.Publish(o)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// oracleDetections evaluates the denotational formula on the same history.
+func oracleDetections(h *History, expression string) []string {
+	var dets []Detection
+	switch expression {
+	case "A OR B":
+		dets = Or(h.Of("A"), h.Of("B"))
+	case "A AND B":
+		dets = And(h.Of("A"), h.Of("B"))
+	case "A ; B":
+		dets = Seq(h.Of("A"), h.Of("B"))
+	case "NOT(B)[A, C]":
+		dets = Not(h.Of("B"), h.Of("A"), h.Of("C"))
+	case "A(A, B, C)":
+		dets = Aperiodic(h.Of("A"), h.Of("B"), h.Of("C"))
+	case "ANY(2, A, B, C)":
+		dets = Any(2, h.Of("A"), h.Of("B"), h.Of("C"))
+	default:
+		panic("no oracle for " + expression)
+	}
+	keys := make([]string, len(dets))
+	for i, d := range dets {
+		keys[i] = Key(d)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestDetectorMatchesDenotationalSemantics(t *testing.T) {
+	expressions := []string{
+		"A OR B",
+		"A AND B",
+		"A ; B",
+		"NOT(B)[A, C]",
+		"A(A, B, C)",
+		"ANY(2, A, B, C)",
+	}
+	for _, expression := range expressions {
+		expression := expression
+		t.Run(expression, func(t *testing.T) {
+			for seed := int64(1); seed <= 8; seed++ {
+				history := randomHistory(seed, 40, []string{"A", "B", "C"})
+				got := engineDetections(t, expression, history)
+				want := oracleDetections(NewHistory(history), expression)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d: engine detected %d, oracle %d\n engine: %v\n oracle: %v",
+						seed, len(got), len(want), got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d: detection %d differs\n engine: %s\n oracle: %s",
+							seed, i, got[i], want[i])
+					}
+				}
+				if len(want) == 0 && expression != "NOT(B)[A, C]" {
+					t.Fatalf("seed %d: degenerate history for %s", seed, expression)
+				}
+			}
+		})
+	}
+}
+
+// The oracle also agrees on multi-site histories when the publication
+// order is a linear extension and events are spaced beyond concurrency
+// (every event two granules after the previous one).
+func TestOracleMultiSiteWellSeparated(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	sites := []core.SiteID{"s1", "s2", "s3"}
+	types := []string{"A", "B", "C"}
+	var history []*event.Occurrence
+	for i := 0; i < 30; i++ {
+		history = append(history, event.NewPrimitive(types[r.Intn(3)], event.Explicit,
+			core.DeriveStamp(sites[r.Intn(3)], int64(i)*25, 10), nil))
+	}
+	for _, expression := range []string{"A ; B", "NOT(B)[A, C]", "A AND B"} {
+		got := engineDetections(t, expression, history)
+		want := oracleDetections(NewHistory(history), expression)
+		if len(got) != len(want) {
+			t.Fatalf("%s: engine %d vs oracle %d", expression, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: detection %d differs: %s vs %s", expression, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestOracleHelpers(t *testing.T) {
+	a := event.NewPrimitive("A", event.Explicit, core.DeriveStamp("s1", 10, 10), nil)
+	b := event.NewPrimitive("B", event.Explicit, core.DeriveStamp("s1", 40, 10), nil)
+	h := NewHistory([]*event.Occurrence{a, b})
+	if len(h.Of("A")) != 1 || len(h.Of("B")) != 1 || len(h.Of("C")) != 0 {
+		t.Fatalf("history indexing broken")
+	}
+	seq := Seq(h.Of("A"), h.Of("B"))
+	if len(seq) != 1 {
+		t.Fatalf("Seq = %d detections", len(seq))
+	}
+	if !seq[0].Stamp.Equal(b.Stamp) {
+		t.Fatalf("Seq stamp = %s, want terminator's", seq[0].Stamp)
+	}
+	rev := Seq(h.Of("B"), h.Of("A"))
+	if len(rev) != 0 {
+		t.Fatalf("reverse Seq must be empty")
+	}
+	if Key(seq[0]) != "A@s1:10;B@s1:40;" {
+		t.Fatalf("Key = %q", Key(seq[0]))
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int64]string{0: "0", 7: "7", 120: "120", -5: "-5"}
+	for in, want := range cases {
+		if got := itoa(in); got != want {
+			t.Errorf("itoa(%d) = %q", in, got)
+		}
+	}
+}

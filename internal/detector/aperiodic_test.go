@@ -1,0 +1,104 @@
+package detector
+
+import "testing"
+
+func TestAperiodicFiresPerMonitoredEvent(t *testing.T) {
+	c := run(t, "A(S, M, T)", Continuous,
+		occAt("s1", 10, "S"), occAt("s1", 20, "M"), occAt("s1", 30, "M"),
+		occAt("s1", 40, "T"), occAt("s1", 50, "M"))
+	// Two M's inside the window; the one after T finds it closed.
+	c.assertSigs(t, "X[S@10 M@20]", "X[S@10 M@30]")
+}
+
+func TestAperiodicNoWindowNoFire(t *testing.T) {
+	for _, ctx := range Contexts() {
+		c := run(t, "A(S, M, T)", ctx, occAt("s1", 20, "M"))
+		if len(c.got) != 0 {
+			t.Errorf("%s: A fired without initiator: %v", ctx, c.sigs())
+		}
+	}
+}
+
+func TestAperiodicRecentKeepsLatestWindow(t *testing.T) {
+	c := run(t, "A(S, M, T)", Recent,
+		occAt("s1", 10, "S"), occAt("s1", 20, "S"), occAt("s1", 30, "M"))
+	c.assertSigs(t, "X[S@20 M@30]")
+}
+
+func TestAperiodicChronicleUsesOldestWindow(t *testing.T) {
+	c := run(t, "A(S, M, T)", Chronicle,
+		occAt("s1", 10, "S"), occAt("s1", 20, "S"), occAt("s1", 30, "M"))
+	c.assertSigs(t, "X[S@10 M@30]")
+}
+
+func TestAperiodicContinuousAllWindows(t *testing.T) {
+	c := run(t, "A(S, M, T)", Continuous,
+		occAt("s1", 10, "S"), occAt("s1", 20, "S"), occAt("s1", 30, "M"))
+	c.assertSigs(t, "X[S@10 M@30]", "X[S@20 M@30]")
+}
+
+func TestAperiodicTerminatorClosesInEveryContext(t *testing.T) {
+	for _, ctx := range Contexts() {
+		c := run(t, "A(S, M, T)", ctx,
+			occAt("s1", 10, "S"), occAt("s1", 20, "T"), occAt("s1", 30, "M"))
+		if len(c.got) != 0 {
+			t.Errorf("%s: A fired after terminator closed the window: %v", ctx, c.sigs())
+		}
+	}
+}
+
+func TestAperiodicTerminatorOnlyClosesPrecedingWindows(t *testing.T) {
+	// T@20 closes S@10's window but not S@30's.
+	c := run(t, "A(S, M, T)", Continuous,
+		occAt("s1", 10, "S"), occAt("s1", 20, "T"), occAt("s1", 30, "S"), occAt("s1", 40, "M"))
+	c.assertSigs(t, "X[S@30 M@40]")
+}
+
+func TestAperiodicCumulativeStar(t *testing.T) {
+	c := run(t, "A*(S, M, T)", Continuous,
+		occAt("s1", 10, "S"), occAt("s1", 20, "M"), occAt("s1", 30, "M"), occAt("s1", 40, "T"))
+	// One emission at the terminator with the accumulated M's.
+	c.assertSigs(t, "X[S@10 M@20 M@30 T@40]")
+}
+
+func TestAperiodicStarEmptyWindowStillFires(t *testing.T) {
+	// Snoop's A* signals when E3 occurs even with no E2 in the interval;
+	// the composite then carries just the bounds.
+	c := run(t, "A*(S, M, T)", Continuous,
+		occAt("s1", 10, "S"), occAt("s1", 40, "T"))
+	c.assertSigs(t, "X[S@10 T@40]")
+}
+
+func TestAperiodicStarTwoWindowsContinuous(t *testing.T) {
+	c := run(t, "A*(S, M, T)", Continuous,
+		occAt("s1", 10, "S"), occAt("s1", 20, "S"), occAt("s1", 30, "M"), occAt("s1", 40, "T"))
+	c.assertSigs(t, "X[S@10 M@30 T@40]", "X[S@20 M@30 T@40]")
+}
+
+func TestAperiodicStarChronicleOldestOnly(t *testing.T) {
+	c := run(t, "A*(S, M, T)", Chronicle,
+		occAt("s1", 10, "S"), occAt("s1", 20, "S"), occAt("s1", 30, "M"), occAt("s1", 40, "T"))
+	// M accumulates only into the oldest window; the terminator emits it
+	// and discards the younger window it also closed.
+	c.assertSigs(t, "X[S@10 M@30 T@40]")
+}
+
+func TestAperiodicStarCumulativeMergesWindows(t *testing.T) {
+	c := run(t, "A*(S, M, T)", Cumulative,
+		occAt("s1", 10, "S"), occAt("s1", 20, "S"), occAt("s1", 30, "M"), occAt("s1", 40, "T"))
+	// One composite merging both windows; the shared M appears once.
+	c.assertSigs(t, "X[S@10 S@20 M@30 T@40]")
+}
+
+func TestAperiodicStarExcludesConcurrentWithTerminator(t *testing.T) {
+	// An M concurrent with T is not strictly inside the open interval.
+	c := run(t, "A*(S, M, T)", Continuous,
+		occAt("s1", 100, "S"), occAt("s1", 150, "M"), occAt("s2", 205, "M"), occAt("s1", 210, "T"))
+	c.assertSigs(t, "X[S@100 M@150 T@210]")
+}
+
+func TestAperiodicStarLateMonitoredIgnored(t *testing.T) {
+	c := run(t, "A*(S, M, T)", Continuous,
+		occAt("s1", 10, "S"), occAt("s1", 40, "T"), occAt("s1", 50, "M"), occAt("s1", 60, "T"))
+	c.assertSigs(t, "X[S@10 T@40]")
+}

@@ -1,0 +1,140 @@
+package detector
+
+import "testing"
+
+// trace helpers: events at site s1 with increasing local ticks, so the
+// publication order is the (total) centralized timestamp order.
+
+func TestSeqUnrestricted(t *testing.T) {
+	c := run(t, "A ; B", Unrestricted,
+		occAt("s1", 10, "A"), occAt("s1", 20, "A"), occAt("s1", 30, "B"))
+	c.assertSigs(t, "X[A@10 B@30]", "X[A@20 B@30]")
+}
+
+func TestSeqRecent(t *testing.T) {
+	c := run(t, "A ; B", Recent,
+		occAt("s1", 10, "A"), occAt("s1", 20, "A"), occAt("s1", 30, "B"), occAt("s1", 40, "B"))
+	// The most recent initiator pairs and is retained.
+	c.assertSigs(t, "X[A@20 B@30]", "X[A@20 B@40]")
+}
+
+func TestSeqChronicle(t *testing.T) {
+	c := run(t, "A ; B", Chronicle,
+		occAt("s1", 10, "A"), occAt("s1", 20, "A"), occAt("s1", 30, "B"), occAt("s1", 40, "B"))
+	// Oldest initiator first, consumed on use.
+	c.assertSigs(t, "X[A@10 B@30]", "X[A@20 B@40]")
+}
+
+func TestSeqContinuous(t *testing.T) {
+	c := run(t, "A ; B", Continuous,
+		occAt("s1", 10, "A"), occAt("s1", 20, "A"), occAt("s1", 30, "B"), occAt("s1", 40, "B"))
+	// The first terminator closes both windows; the second finds none.
+	c.assertSigs(t, "X[A@10 B@30]", "X[A@20 B@30]")
+}
+
+func TestSeqCumulative(t *testing.T) {
+	c := run(t, "A ; B", Cumulative,
+		occAt("s1", 10, "A"), occAt("s1", 20, "A"), occAt("s1", 30, "B"), occAt("s1", 40, "B"))
+	// One composite accumulating both initiators, then nothing left.
+	c.assertSigs(t, "X[A@10 A@20 B@30]")
+}
+
+func TestSeqTerminatorWithoutInitiator(t *testing.T) {
+	for _, ctx := range Contexts() {
+		c := run(t, "A ; B", ctx, occAt("s1", 10, "B"))
+		if len(c.got) != 0 {
+			t.Errorf("%s: SEQ fired with no initiator: %v", ctx, c.sigs())
+		}
+	}
+}
+
+func TestSeqRequiresHappenBefore(t *testing.T) {
+	// Cross-site stamps one granule apart are concurrent, not ordered:
+	// the sequence must NOT fire (Section 5.3: t1 < t2 required).
+	for _, ctx := range Contexts() {
+		c := run(t, "A ; B", ctx,
+			occAt("s1", 100, "A"), occAt("s2", 110, "B"))
+		if len(c.got) != 0 {
+			t.Errorf("%s: SEQ fired on concurrent cross-site stamps: %v", ctx, c.sigs())
+		}
+	}
+}
+
+func TestSeqFiresAcrossSitesWhenOrdered(t *testing.T) {
+	// Two granules apart: ordered, fires.
+	c := run(t, "A ; B", Chronicle,
+		occAt("s1", 100, "A"), occAt("s2", 120, "B"))
+	c.assertSigs(t, "X[A@100 B@120]")
+}
+
+func TestSeqCompositeStampIsMax(t *testing.T) {
+	c := run(t, "A ; B", Chronicle,
+		occAt("s1", 10, "A"), occAt("s1", 30, "B"))
+	if len(c.got) != 1 {
+		t.Fatalf("want one detection, got %v", c.sigs())
+	}
+	st := c.got[0].Stamp
+	if len(st) != 1 || st[0].Local != 30 {
+		t.Errorf("composite stamp = %s, want the max {(s1, 3, 30)}", st)
+	}
+}
+
+func TestAndBothOrders(t *testing.T) {
+	// AND fires regardless of constituent order.
+	c1 := run(t, "A AND B", Chronicle, occAt("s1", 10, "A"), occAt("s1", 20, "B"))
+	c1.assertSigs(t, "X[A@10 B@20]")
+	c2 := run(t, "A AND B", Chronicle, occAt("s1", 10, "B"), occAt("s1", 20, "A"))
+	// Constituents are listed left child first even though B arrived first.
+	c2.assertSigs(t, "X[A@20 B@10]")
+}
+
+func TestAndUnrestricted(t *testing.T) {
+	c := run(t, "A AND B", Unrestricted,
+		occAt("s1", 10, "A"), occAt("s1", 20, "B"), occAt("s1", 30, "B"))
+	c.assertSigs(t, "X[A@10 B@20]", "X[A@10 B@30]")
+}
+
+func TestAndRecentRepairs(t *testing.T) {
+	c := run(t, "A AND B", Recent,
+		occAt("s1", 10, "A"), occAt("s1", 20, "B"), occAt("s1", 30, "B"), occAt("s1", 40, "A"))
+	// Each new occurrence pairs with the retained most recent other.
+	c.assertSigs(t, "X[A@10 B@20]", "X[A@10 B@30]", "X[A@40 B@30]")
+}
+
+func TestAndChronicleConsumes(t *testing.T) {
+	c := run(t, "A AND B", Chronicle,
+		occAt("s1", 10, "A"), occAt("s1", 20, "B"), occAt("s1", 30, "B"), occAt("s1", 40, "A"))
+	// A@10 consumed by B@20; B@30 buffers; A@40 pairs with it.
+	c.assertSigs(t, "X[A@10 B@20]", "X[A@40 B@30]")
+}
+
+func TestAndCumulative(t *testing.T) {
+	c := run(t, "A AND B", Cumulative,
+		occAt("s1", 10, "A"), occAt("s1", 20, "A"), occAt("s1", 30, "B"))
+	c.assertSigs(t, "X[A@10 A@20 B@30]")
+}
+
+func TestAndConcurrentCrossSiteStampsFire(t *testing.T) {
+	// Conjunction has no ordering requirement: concurrent stamps pair.
+	c := run(t, "A AND B", Chronicle,
+		occAt("s1", 100, "A"), occAt("s2", 105, "B"))
+	c.assertSigs(t, "X[A@100 B@105]")
+	if len(c.got[0].Stamp) != 2 {
+		t.Errorf("concurrent constituents must yield a 2-component max-set stamp, got %s", c.got[0].Stamp)
+	}
+}
+
+func TestOrFiresOnEither(t *testing.T) {
+	c := run(t, "A OR B", Recent,
+		occAt("s1", 10, "A"), occAt("s1", 20, "B"), occAt("s1", 30, "A"))
+	c.assertSigs(t, "X[A@10]", "X[B@20]", "X[A@30]")
+}
+
+func TestOrContextIrrelevant(t *testing.T) {
+	for _, ctx := range Contexts() {
+		c := run(t, "A OR B", ctx, occAt("s1", 10, "A"), occAt("s1", 20, "B"))
+		if len(c.got) != 2 {
+			t.Errorf("%s: OR fired %d times, want 2", ctx, len(c.got))
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package detector implements Sentinel's composite event detection over
+// the distributed timestamp algebra of internal/core.
+//
+// Composite events are compiled into an event graph (one operator node per
+// AST node); primitive occurrences are published into the graph and flow
+// upward, each operator node emitting composite occurrences whose
+// timestamps are propagated with the paper's Max operator
+// (event.NewComposite → core.MaxAll).  All temporal tests inside the
+// operators use the composite relations of Definition 5.3 — happen-before
+// `<`, concurrency `~`, the weaker `⪯` and interval membership — so the
+// *same* node implementations serve both the centralized engine (Section
+// 3: one site, singleton stamps, total order) and the distributed engine
+// of internal/ddetect (Section 5: multi-site max-set stamps, partial
+// order).
+//
+// Operator nodes process constituent occurrences in a total "arrival
+// order" that the caller must make a linear extension of the composite
+// happen-before order: in the centralized engine this is just timestamp
+// order, and internal/ddetect restores it with per-source FIFO sequencing
+// plus watermark-based reordering.  Under that discipline an occurrence
+// processed after another is never happen-before it, which is what makes
+// the initiator/terminator bookkeeping below sound.
+package detector
+
+import "fmt"
+
+// Context is a Snoop parameter context: the policy that selects which
+// initiator occurrences pair with a terminator occurrence and which are
+// consumed by the pairing.  The contexts are orthogonal to the operator
+// definitions (Section 3.2) and were introduced because the unrestricted
+// semantics is combinatorially explosive for most applications.
+type Context int
+
+const (
+	// Unrestricted pairs a terminator with every eligible initiator and
+	// consumes nothing — the pure Definition 3.1 semantics.  It is
+	// exponential in general and serves as the correctness oracle for
+	// the other contexts in tests.
+	Unrestricted Context = iota
+	// Recent keeps only the most recent initiator (per constituent);
+	// pairing does not consume it — it stands until a newer initiator
+	// replaces it.  Suited to sensor-style applications where the latest
+	// reading matters.
+	Recent
+	// Chronicle pairs the oldest unconsumed initiator with the
+	// terminator and consumes it — FIFO, suited to transaction-log
+	// style applications where each initiator must be accounted once.
+	Chronicle
+	// Continuous pairs the terminator with every open initiator and
+	// consumes them all: each initiator starts a window, a terminator
+	// closes all open windows, one occurrence per window.
+	Continuous
+	// Cumulative pairs the terminator with every open initiator in a
+	// single composite occurrence that accumulates all their parameters,
+	// and consumes them all.
+	Cumulative
+)
+
+func (c Context) String() string {
+	switch c {
+	case Unrestricted:
+		return "unrestricted"
+	case Recent:
+		return "recent"
+	case Chronicle:
+		return "chronicle"
+	case Continuous:
+		return "continuous"
+	case Cumulative:
+		return "cumulative"
+	default:
+		return fmt.Sprintf("Context(%d)", int(c))
+	}
+}
+
+// Contexts lists all parameter contexts, for table-driven tests and
+// benchmarks.
+func Contexts() []Context {
+	return []Context{Unrestricted, Recent, Chronicle, Continuous, Cumulative}
+}

@@ -1,0 +1,226 @@
+package detector
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// Cross-context properties on random single-site traces (total order, so
+// the properties are exact).  These pin the relationships between the
+// parameter contexts that the Snoop literature states informally.
+
+// randomTrace publishes n random A/B events (single site, strictly
+// increasing ticks) into a fresh engine per context and returns the
+// detections of each context.
+func contextDetections(t *testing.T, expression string, seed int64, n int) map[Context][]*event.Occurrence {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	types := make([]string, n)
+	for i := range types {
+		types[i] = []string{"A", "B"}[r.Intn(2)]
+	}
+	out := make(map[Context][]*event.Occurrence)
+	for _, ctx := range Contexts() {
+		d, _ := newTestDetector(t)
+		c := &collector{}
+		if _, err := d.DefineString("X", expression, ctx); err != nil {
+			t.Fatal(err)
+		}
+		d.Subscribe("X", c.handler)
+		for i, typ := range types {
+			d.Publish(occAt("s1", int64(i)*25, typ))
+		}
+		out[ctx] = c.got
+	}
+	return out
+}
+
+// pairKey renders a detection's constituent identity.
+func pairKey(o *event.Occurrence) string {
+	k := ""
+	for _, c := range o.Flatten() {
+		k += fmt.Sprintf("%s@%d;", c.Type, c.Stamp[0].Local)
+	}
+	return k
+}
+
+// Every pair detected by a consuming context is also detected by
+// Unrestricted (Unrestricted is the complete semantics).
+func TestContextsSubsetOfUnrestricted(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		dets := contextDetections(t, "A ; B", seed, 60)
+		unrestricted := map[string]bool{}
+		for _, o := range dets[Unrestricted] {
+			unrestricted[pairKey(o)] = true
+		}
+		for _, ctx := range []Context{Recent, Chronicle, Continuous} {
+			for _, o := range dets[ctx] {
+				if !unrestricted[pairKey(o)] {
+					t.Fatalf("seed %d: %s detected %s not present in Unrestricted", seed, ctx, pairKey(o))
+				}
+			}
+		}
+	}
+}
+
+// Chronicle and Continuous never reuse an initiator occurrence.
+func TestConsumingContextsUseInitiatorsOnce(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		dets := contextDetections(t, "A ; B", seed, 60)
+		for _, ctx := range []Context{Chronicle, Cumulative} {
+			seen := map[int64]bool{}
+			for _, o := range dets[ctx] {
+				for _, c := range o.Flatten() {
+					if c.Type != "A" {
+						continue
+					}
+					local := c.Stamp[0].Local
+					if seen[local] {
+						t.Fatalf("seed %d: %s reused initiator A@%d", seed, ctx, local)
+					}
+					seen[local] = true
+				}
+			}
+		}
+	}
+}
+
+// For SEQ, Cumulative fires exactly once per terminator on which
+// Continuous fires (both consume every open initiator, so they go empty
+// and refill in lockstep); Chronicle may fire on strictly more
+// terminators because it consumes only one initiator per firing.
+func TestCumulativeFiresOnContinuousTerminators(t *testing.T) {
+	terminators := func(os []*event.Occurrence) map[int64]int {
+		out := map[int64]int{}
+		for _, o := range os {
+			flat := o.Flatten()
+			out[flat[len(flat)-1].Stamp[0].Local]++
+		}
+		return out
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		dets := contextDetections(t, "A ; B", seed, 60)
+		cont := terminators(dets[Continuous])
+		cum := terminators(dets[Cumulative])
+		if len(cont) != len(cum) {
+			t.Fatalf("seed %d: continuous fired on %d terminators, cumulative on %d",
+				seed, len(cont), len(cum))
+		}
+		for term, n := range cum {
+			if n != 1 {
+				t.Fatalf("seed %d: cumulative fired %d times on terminator %d", seed, n, term)
+			}
+			if cont[term] == 0 {
+				t.Fatalf("seed %d: cumulative fired on terminator %d that continuous skipped", seed, term)
+			}
+		}
+		if len(dets[Cumulative]) > len(dets[Chronicle]) {
+			t.Fatalf("seed %d: cumulative fired more often than chronicle", seed)
+		}
+	}
+}
+
+// Detection counts order: Chronicle ≤ Continuous ≤ Unrestricted.
+func TestContextDetectionCountOrdering(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		dets := contextDetections(t, "A ; B", seed, 60)
+		nChr, nCont, nUnr := len(dets[Chronicle]), len(dets[Continuous]), len(dets[Unrestricted])
+		if nChr > nCont || nCont > nUnr {
+			t.Fatalf("seed %d: counts chronicle=%d continuous=%d unrestricted=%d violate ordering",
+				seed, nChr, nCont, nUnr)
+		}
+		if nUnr == 0 {
+			t.Fatalf("seed %d: degenerate trace", seed)
+		}
+	}
+}
+
+// Recent pairs each terminator with the latest preceding initiator: there
+// is never an initiator strictly between the paired initiator and the
+// terminator.
+func TestRecentUsesLatestInitiator(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 60
+		types := make([]string, n)
+		for i := range types {
+			types[i] = []string{"A", "B"}[r.Intn(2)]
+		}
+		d, _ := newTestDetector(t)
+		c := &collector{}
+		if _, err := d.DefineString("X", "A ; B", Recent); err != nil {
+			t.Fatal(err)
+		}
+		d.Subscribe("X", c.handler)
+		var aTicks []int64
+		for i, typ := range types {
+			tick := int64(i) * 25
+			if typ == "A" {
+				aTicks = append(aTicks, tick)
+			}
+			d.Publish(occAt("s1", tick, typ))
+		}
+		for _, o := range c.got {
+			flat := o.Flatten()
+			init, term := flat[0].Stamp[0].Local, flat[1].Stamp[0].Local
+			for _, a := range aTicks {
+				if a > init && a < term {
+					t.Fatalf("seed %d: Recent paired A@%d with B@%d although A@%d is between",
+						seed, init, term, a)
+				}
+			}
+		}
+	}
+}
+
+// Cumulative detections partition exactly the initiators that Continuous
+// detects individually.
+func TestCumulativeAggregatesContinuous(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		dets := contextDetections(t, "A ; B", seed, 60)
+		contInits := map[int64]bool{}
+		for _, o := range dets[Continuous] {
+			contInits[o.Flatten()[0].Stamp[0].Local] = true
+		}
+		cumInits := map[int64]bool{}
+		for _, o := range dets[Cumulative] {
+			flat := o.Flatten()
+			for _, c := range flat[:len(flat)-1] {
+				cumInits[c.Stamp[0].Local] = true
+			}
+		}
+		if len(contInits) != len(cumInits) {
+			t.Fatalf("seed %d: continuous used %d initiators, cumulative %d",
+				seed, len(contInits), len(cumInits))
+		}
+		for k := range contInits {
+			if !cumInits[k] {
+				t.Fatalf("seed %d: initiator %d in continuous but not cumulative", seed, k)
+			}
+		}
+	}
+}
+
+// The same properties hold for AND (no ordering requirement).
+func TestAndContextsSubsetOfUnrestricted(t *testing.T) {
+	for seed := int64(21); seed <= 26; seed++ {
+		dets := contextDetections(t, "A AND B", seed, 60)
+		unrestricted := map[string]bool{}
+		for _, o := range dets[Unrestricted] {
+			unrestricted[pairKey(o)] = true
+		}
+		for _, ctx := range []Context{Recent, Chronicle, Continuous} {
+			for _, o := range dets[ctx] {
+				if !unrestricted[pairKey(o)] {
+					t.Fatalf("seed %d: AND %s detected %s outside Unrestricted", seed, ctx, pairKey(o))
+				}
+			}
+		}
+		if len(dets[Chronicle]) > len(dets[Unrestricted]) {
+			t.Fatalf("seed %d: AND chronicle exceeded unrestricted", seed)
+		}
+	}
+}

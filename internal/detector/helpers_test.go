@@ -1,0 +1,102 @@
+package detector
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// Test conventions: ratio 10 local ticks per global tick (the paper's
+// Section 5.1 scale), one site "s1" for centralized traces, extra sites
+// for distributed-stamp traces.
+
+const tRatio = 10
+
+// fakeTime is a deterministic TimeSource whose local tick is ref/10.
+type fakeTime struct {
+	now  clock.Microticks
+	site core.SiteID
+}
+
+func (f *fakeTime) Now() clock.Microticks { return f.now }
+
+func (f *fakeTime) StampAt(ref clock.Microticks) core.Stamp {
+	return core.DeriveStamp(f.site, ref/10, tRatio)
+}
+
+// occAt builds a primitive occurrence of typ at the given site and local
+// tick.
+func occAt(site core.SiteID, local int64, typ string) *event.Occurrence {
+	return event.NewPrimitive(typ, event.Explicit, core.DeriveStamp(site, local, tRatio),
+		event.Params{"local": local})
+}
+
+// collector gathers detected occurrences and renders compact signatures
+// for assertions: "Name[A@10 B@30]" lists the flattened primitive
+// constituents as type@local.
+type collector struct {
+	got []*event.Occurrence
+}
+
+func (c *collector) handler(o *event.Occurrence) { c.got = append(c.got, o) }
+
+func sig(o *event.Occurrence) string {
+	parts := make([]string, 0, 4)
+	for _, p := range o.Flatten() {
+		parts = append(parts, fmt.Sprintf("%s@%d", p.Type, p.Stamp[0].Local))
+	}
+	return fmt.Sprintf("%s[%s]", o.Type, strings.Join(parts, " "))
+}
+
+func (c *collector) sigs() []string {
+	out := make([]string, len(c.got))
+	for i, o := range c.got {
+		out[i] = sig(o)
+	}
+	return out
+}
+
+func (c *collector) assertSigs(t *testing.T, want ...string) {
+	t.Helper()
+	got := c.sigs()
+	if len(got) != len(want) {
+		t.Fatalf("detected %d occurrences %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("occurrence %d = %s, want %s (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// newTestDetector builds a detector on site s1 with the standard test
+// event types declared and a fake time source.
+func newTestDetector(t *testing.T) (*Detector, *fakeTime) {
+	t.Helper()
+	reg := event.NewRegistry()
+	for _, name := range []string{"A", "B", "C", "D", "S", "M", "T"} {
+		reg.MustDeclare(name, event.Explicit)
+	}
+	ft := &fakeTime{site: "s1"}
+	return New("s1", reg, ft), ft
+}
+
+// run defines the expression under ctx, publishes the trace in order, and
+// returns the collector.
+func run(t *testing.T, expression string, ctx Context, trace ...*event.Occurrence) *collector {
+	t.Helper()
+	d, _ := newTestDetector(t)
+	c := &collector{}
+	if _, err := d.DefineString("X", expression, ctx); err != nil {
+		t.Fatalf("define %q: %v", expression, err)
+	}
+	d.Subscribe("X", c.handler)
+	for _, o := range trace {
+		d.Publish(o)
+	}
+	return c
+}

@@ -1,0 +1,58 @@
+package detector
+
+// Introspection: operator nodes report how much constituent state they
+// retain, so operators and deployments can be monitored for buffer growth
+// (e.g. Unrestricted-context definitions, or NOT initiators retained
+// because a spoiler does not dominate every future terminator in the
+// partial order).
+
+// stateful is implemented by nodes that buffer occurrences.
+type stateful interface {
+	stateSize() int
+}
+
+func (n *binaryNode) stateSize() int { return len(n.buf[0]) + len(n.buf[1]) }
+
+func (n *anyNode) stateSize() int {
+	total := 0
+	for _, b := range n.buf {
+		total += len(b)
+	}
+	return total
+}
+
+func (n *notNode) stateSize() int { return len(n.inits) + len(n.e2s) }
+
+func (n *aperiodicNode) stateSize() int {
+	total := 0
+	for _, w := range n.windows {
+		total += 1 + len(w.acc)
+	}
+	return total
+}
+
+func (n *periodicNode) stateSize() int {
+	total := 0
+	for _, w := range n.windows {
+		total += 1 + len(w.acc)
+	}
+	return total
+}
+
+// StateSize returns the total number of occurrences buffered across all
+// operator nodes of all definitions, plus armed timers.  A steady
+// workload against consuming contexts keeps this bounded; Unrestricted
+// (and spoiler-heavy NOT workloads) grow it, which is exactly what a
+// deployment wants to alarm on.
+func (d *Detector) StateSize() int {
+	total := d.timers.Len()
+	for _, n := range d.nodes {
+		if s, ok := n.(stateful); ok {
+			total += s.stateSize()
+		}
+	}
+	return total
+}
+
+// NodeCount returns the number of operator nodes compiled into the graph.
+func (d *Detector) NodeCount() int { return len(d.nodes) }

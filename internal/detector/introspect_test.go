@@ -1,0 +1,81 @@
+package detector
+
+import "testing"
+
+func TestStateSizeTracksBuffers(t *testing.T) {
+	d, _ := newTestDetector(t)
+	d.MustDefine("X", "A ; B", Chronicle)
+	if d.StateSize() != 0 {
+		t.Fatalf("fresh detector StateSize = %d", d.StateSize())
+	}
+	d.Publish(occAt("s1", 10, "A"))
+	d.Publish(occAt("s1", 20, "A"))
+	if d.StateSize() != 2 {
+		t.Fatalf("StateSize after two initiators = %d, want 2", d.StateSize())
+	}
+	d.Publish(occAt("s1", 30, "B")) // consumes one initiator
+	if d.StateSize() != 1 {
+		t.Fatalf("StateSize after detection = %d, want 1", d.StateSize())
+	}
+}
+
+func TestStateSizeBoundedInConsumingContexts(t *testing.T) {
+	d, _ := newTestDetector(t)
+	d.MustDefine("X", "A ; B", Chronicle)
+	for i := int64(0); i < 1000; i++ {
+		d.Publish(occAt("s1", i*50, "A"))
+		d.Publish(occAt("s1", i*50+25, "B"))
+	}
+	if d.StateSize() != 0 {
+		t.Fatalf("Chronicle steady state leaked %d occurrences", d.StateSize())
+	}
+}
+
+func TestStateSizeGrowsUnrestricted(t *testing.T) {
+	d, _ := newTestDetector(t)
+	d.MustDefine("X", "A ; B", Unrestricted)
+	for i := int64(0); i < 100; i++ {
+		d.Publish(occAt("s1", i*50, "A"))
+		d.Publish(occAt("s1", i*50+25, "B"))
+	}
+	if d.StateSize() != 100 {
+		t.Fatalf("Unrestricted retained %d, want all 100 initiators", d.StateSize())
+	}
+}
+
+func TestStateSizeIncludesTimers(t *testing.T) {
+	d, ft, _ := temporalHarness(t, "PLUS(A, 50)", Recent)
+	ft.now = 100
+	d.Publish(occAt("s1", 10, "A"))
+	if d.StateSize() != 1 {
+		t.Fatalf("armed timer not counted: %d", d.StateSize())
+	}
+}
+
+func TestStateSizeAperiodicWindows(t *testing.T) {
+	d, _ := newTestDetector(t)
+	d.MustDefine("X", "A*(S, M, T)", Continuous)
+	d.Publish(occAt("s1", 10, "S"))
+	d.Publish(occAt("s1", 20, "M"))
+	d.Publish(occAt("s1", 30, "M"))
+	if d.StateSize() != 3 { // window init + 2 accumulated
+		t.Fatalf("A* window state = %d, want 3", d.StateSize())
+	}
+	d.Publish(occAt("s1", 40, "T"))
+	if d.StateSize() != 0 {
+		t.Fatalf("A* window not consumed: %d", d.StateSize())
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	d, _ := newTestDetector(t)
+	d.MustDefine("X", "(A ; B) AND C", Chronicle)
+	// One SEQ node + one AND node.
+	if d.NodeCount() != 2 {
+		t.Fatalf("NodeCount = %d, want 2", d.NodeCount())
+	}
+	d.MustDefine("Y", "A", Chronicle) // pass-through node
+	if d.NodeCount() != 3 {
+		t.Fatalf("NodeCount = %d, want 3", d.NodeCount())
+	}
+}

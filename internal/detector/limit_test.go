@@ -1,0 +1,108 @@
+package detector
+
+import "testing"
+
+func TestBufferLimitBoundsUnrestricted(t *testing.T) {
+	d, _ := newTestDetector(t)
+	d.SetBufferLimit(8)
+	d.MustDefine("X", "A ; B", Unrestricted)
+	for i := int64(0); i < 500; i++ {
+		d.Publish(occAt("s1", i*50, "A"))
+	}
+	if d.StateSize() > 8 {
+		t.Fatalf("StateSize = %d exceeds limit 8", d.StateSize())
+	}
+	if d.DroppedOccurrences() != 500-8 {
+		t.Fatalf("dropped = %d, want 492", d.DroppedOccurrences())
+	}
+}
+
+func TestBufferLimitEvictsOldestFirst(t *testing.T) {
+	d, _ := newTestDetector(t)
+	c := &collector{}
+	d.SetBufferLimit(2)
+	d.MustDefine("X", "A ; B", Continuous)
+	d.Subscribe("X", c.handler)
+	d.Publish(occAt("s1", 10, "A"))
+	d.Publish(occAt("s1", 20, "A"))
+	d.Publish(occAt("s1", 30, "A")) // evicts A@10
+	d.Publish(occAt("s1", 40, "B"))
+	c.assertSigs(t, "X[A@20 B@40]", "X[A@30 B@40]")
+}
+
+func TestBufferLimitCountsNotBuffers(t *testing.T) {
+	d, _ := newTestDetector(t)
+	d.SetBufferLimit(4)
+	d.MustDefine("X", "NOT(B)[A, C]", Chronicle)
+	// Spoiled initiators accumulate; the limit must bound them.
+	for i := int64(0); i < 50; i++ {
+		d.Publish(occAt("s1", i*100, "A"))
+		d.Publish(occAt("s1", i*100+50, "B"))
+	}
+	if d.StateSize() > 8 { // 4 inits + 4 spoilers
+		t.Fatalf("StateSize = %d, want ≤ 8", d.StateSize())
+	}
+	if d.DroppedOccurrences() == 0 {
+		t.Fatalf("expected evictions")
+	}
+}
+
+func TestBufferLimitDisarmsEvictedPeriodicWindows(t *testing.T) {
+	d, ft, c := temporalHarness(t, "P(S, 100, T)", Continuous)
+	d.SetBufferLimit(1)
+	ft.now = 100
+	d.Publish(occAt("s1", 10, "S"))
+	ft.now = 150
+	d.Publish(occAt("s1", 15, "S")) // evicts the first window
+	ft.now = 400
+	d.AdvanceTo(400) // only the second window's ticks fire (250, 350)
+	for _, o := range c.got {
+		if o.Flatten()[0].Stamp[0].Local != 15 {
+			t.Fatalf("evicted window still ticking: %v", sig(o))
+		}
+	}
+	if len(c.got) != 2 {
+		t.Fatalf("detections = %d, want 2", len(c.got))
+	}
+}
+
+func TestZeroLimitMeansUnlimited(t *testing.T) {
+	d, _ := newTestDetector(t)
+	d.SetBufferLimit(0)
+	d.MustDefine("X", "A ; B", Unrestricted)
+	for i := int64(0); i < 100; i++ {
+		d.Publish(occAt("s1", i*50, "A"))
+	}
+	if d.StateSize() != 100 || d.DroppedOccurrences() != 0 {
+		t.Fatalf("unlimited mode dropped: state %d dropped %d", d.StateSize(), d.DroppedOccurrences())
+	}
+	d.SetBufferLimit(-5) // negative normalizes to unlimited
+	d.Publish(occAt("s1", 100_000, "A"))
+	if d.DroppedOccurrences() != 0 {
+		t.Fatalf("negative limit dropped entries")
+	}
+}
+
+func TestBufferLimitPreservesDetectionUnderCapacity(t *testing.T) {
+	// A workload that never exceeds the cap detects identically.
+	run := func(limit int) []string {
+		d, _ := newTestDetector(t)
+		d.SetBufferLimit(limit)
+		c := &collector{}
+		d.MustDefine("X", "A ; B", Chronicle)
+		d.Subscribe("X", c.handler)
+		for i := int64(0); i < 40; i++ {
+			d.Publish(occAt("s1", i*50, []string{"A", "B"}[i%2]))
+		}
+		return c.sigs()
+	}
+	capped, uncapped := run(4), run(0)
+	if len(capped) != len(uncapped) {
+		t.Fatalf("capacity cap changed under-capacity behaviour: %d vs %d", len(capped), len(uncapped))
+	}
+	for i := range capped {
+		if capped[i] != uncapped[i] {
+			t.Fatalf("detection %d differs: %s vs %s", i, capped[i], uncapped[i])
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package detector
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+func occWith(site core.SiteID, local int64, typ string, params event.Params) *event.Occurrence {
+	return event.NewPrimitive(typ, event.Explicit, core.DeriveStamp(site, local, tRatio), params)
+}
+
+func TestMaskFiltersAtGraphEdge(t *testing.T) {
+	d, _ := newTestDetector(t)
+	c := &collector{}
+	d.MustDefine("Big", "A[amount >= 1000] ; B", Chronicle)
+	d.Subscribe("Big", c.handler)
+
+	d.Publish(occWith("s1", 10, "A", event.Params{"amount": 50}))   // filtered out
+	d.Publish(occWith("s1", 20, "A", event.Params{"amount": 2000})) // passes
+	d.Publish(occWith("s1", 30, "B", nil))
+	if len(c.got) != 1 {
+		t.Fatalf("detections = %v", c.sigs())
+	}
+	if init := c.got[0].Flatten()[0]; init.Params["amount"] != 2000 {
+		t.Fatalf("wrong initiator paired: %v", init.Params)
+	}
+	// Filtered occurrences never enter the buffers.
+	if d.StateSize() != 0 {
+		t.Fatalf("filtered occurrence buffered: state %d", d.StateSize())
+	}
+}
+
+func TestMaskOnBothSides(t *testing.T) {
+	d, _ := newTestDetector(t)
+	c := &collector{}
+	d.MustDefine("X", `A[side == "buy"] ; A[side == "sell"]`, Chronicle)
+	d.Subscribe("X", c.handler)
+
+	d.Publish(occWith("s1", 10, "A", event.Params{"side": "sell"})) // not an initiator
+	d.Publish(occWith("s1", 20, "A", event.Params{"side": "buy"}))
+	d.Publish(occWith("s1", 30, "A", event.Params{"side": "sell"}))
+	if len(c.got) != 1 {
+		t.Fatalf("detections = %d, want 1", len(c.got))
+	}
+	flat := c.got[0].Flatten()
+	if flat[0].Params["side"] != "buy" || flat[1].Params["side"] != "sell" {
+		t.Fatalf("wrong pairing: %v / %v", flat[0].Params, flat[1].Params)
+	}
+	// The first sell could not terminate: no buy was buffered yet.
+	if flat[1].Stamp[0].Local != 30 {
+		t.Fatalf("terminated by the wrong occurrence: %v", flat[1])
+	}
+}
+
+func TestMaskInNotOperator(t *testing.T) {
+	d, _ := newTestDetector(t)
+	c := &collector{}
+	// Only *hard* cancels spoil the window.
+	d.MustDefine("X", "NOT(B[hard == true])[A, C]", Chronicle)
+	d.Subscribe("X", c.handler)
+
+	d.Publish(occWith("s1", 10, "A", nil))
+	d.Publish(occWith("s1", 20, "B", event.Params{"hard": false})) // soft cancel: ignored
+	d.Publish(occWith("s1", 30, "C", nil))
+	if len(c.got) != 1 {
+		t.Fatalf("soft cancel suppressed detection: %v", c.sigs())
+	}
+
+	d.Publish(occWith("s1", 40, "A", nil))
+	d.Publish(occWith("s1", 50, "B", event.Params{"hard": true})) // hard cancel spoils
+	d.Publish(occWith("s1", 60, "C", nil))
+	if len(c.got) != 1 {
+		t.Fatalf("hard cancel did not spoil: %v", c.sigs())
+	}
+}
+
+func TestUnmaskedRouteStillReceives(t *testing.T) {
+	// Two definitions over the same primitive, one masked: the mask on
+	// one route must not filter the other.
+	d, _ := newTestDetector(t)
+	big := &collector{}
+	all := &collector{}
+	d.MustDefine("Big", "A[amount > 100] ; B", Chronicle)
+	d.MustDefine("All", "A ; B", Chronicle)
+	d.Subscribe("Big", big.handler)
+	d.Subscribe("All", all.handler)
+
+	d.Publish(occWith("s1", 10, "A", event.Params{"amount": 5}))
+	d.Publish(occWith("s1", 20, "B", nil))
+	if len(big.got) != 0 {
+		t.Fatalf("masked definition fired: %v", big.sigs())
+	}
+	if len(all.got) != 1 {
+		t.Fatalf("unmasked definition suppressed: %v", all.sigs())
+	}
+}

@@ -1,0 +1,649 @@
+package detector
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// emitFunc receives an occurrence produced by a node.
+type emitFunc func(*event.Occurrence)
+
+// opNode is one operator in the event graph.  Constituent occurrences are
+// delivered with onChild; idx identifies which constituent expression the
+// occurrence belongs to (in the order of expr.Node.Children).  Nodes call
+// their wired output for every composite occurrence they produce.
+//
+// The contract all nodes rely on: onChild is invoked in an arrival order
+// that is a linear extension of the composite happen-before order of
+// Definition 5.3 — if an occurrence a with T(a) < T(b) exists, a is
+// delivered before b.  Occurrences delivered later are therefore never
+// happen-before buffered ones.
+type opNode interface {
+	onChild(idx int, o *event.Occurrence)
+}
+
+// timeDriven is implemented by nodes that schedule timers (P, P*, PLUS).
+type timeDriven interface {
+	opNode
+	bindScheduler(s scheduler) error
+}
+
+// scheduler is the timer service operator nodes use; the Detector
+// implements it over a TimeSource and a deterministic timer heap.
+type scheduler interface {
+	now() clock.Microticks
+	stampAt(ref clock.Microticks) core.Stamp
+	schedule(due clock.Microticks, fire func(due clock.Microticks))
+}
+
+// passNode wraps a bare constituent as a named composite occurrence, used
+// when a definition's root is a single primitive or named event.
+type passNode struct {
+	name string
+	site core.SiteID
+	out  emitFunc
+}
+
+func (n *passNode) onChild(_ int, o *event.Occurrence) {
+	n.out(event.NewComposite(n.name, n.site, o))
+}
+
+// orNode implements OR: the composite occurs whenever either constituent
+// occurs.  There is no initiator/terminator pairing, so the parameter
+// context is irrelevant.
+type orNode struct {
+	name string
+	site core.SiteID
+	out  emitFunc
+}
+
+func (n *orNode) onChild(_ int, o *event.Occurrence) {
+	n.out(event.NewComposite(n.name, n.site, o))
+}
+
+// binaryNode implements AND (seq=false) and SEQ (seq=true).
+//
+// For SEQ the initiator is always the left constituent and the pairing
+// requires T(init) < T(term) under the composite happen-before order
+// (Section 5.3: (E1;E2)(ts) ⇔ ∃t1,t2: E1(t1) ∧ E2(t2) ∧ t1 < t2).
+//
+// For AND either constituent may initiate; an occurrence of one side
+// terminates against buffered occurrences of the other side with no
+// ordering requirement (Section 5.3: conjunction in any order).
+type binaryNode struct {
+	name string
+	site core.SiteID
+	ctx  Context
+	seq  bool
+	out  emitFunc
+
+	buf [2][]*event.Occurrence
+}
+
+func (n *binaryNode) onChild(idx int, o *event.Occurrence) {
+	if n.seq {
+		n.onSeq(idx, o)
+	} else {
+		n.onAnd(idx, o)
+	}
+}
+
+func (n *binaryNode) onSeq(idx int, o *event.Occurrence) {
+	if idx == 0 { // initiator
+		if n.ctx == Recent {
+			n.buf[0] = n.buf[0][:0]
+		}
+		n.buf[0] = append(n.buf[0], o)
+		return
+	}
+	// Terminator: eligible initiators happen before it.
+	var eligible []int
+	for i, init := range n.buf[0] {
+		if init.Stamp.Less(o.Stamp) {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		return
+	}
+	switch n.ctx {
+	case Unrestricted, Recent:
+		for _, i := range eligible {
+			n.out(event.NewComposite(n.name, n.site, n.buf[0][i], o))
+		}
+	case Chronicle:
+		n.out(event.NewComposite(n.name, n.site, n.buf[0][eligible[0]], o))
+		n.buf[0] = removeIndices(n.buf[0], eligible[:1])
+	case Continuous:
+		for _, i := range eligible {
+			n.out(event.NewComposite(n.name, n.site, n.buf[0][i], o))
+		}
+		n.buf[0] = removeIndices(n.buf[0], eligible)
+	case Cumulative:
+		constituents := make([]*event.Occurrence, 0, len(eligible)+1)
+		for _, i := range eligible {
+			constituents = append(constituents, n.buf[0][i])
+		}
+		constituents = append(constituents, o)
+		n.out(event.NewComposite(n.name, n.site, constituents...))
+		n.buf[0] = removeIndices(n.buf[0], eligible)
+	}
+}
+
+func (n *binaryNode) onAnd(idx int, o *event.Occurrence) {
+	other := 1 - idx
+	if len(n.buf[other]) == 0 {
+		if n.ctx == Recent {
+			n.buf[idx] = n.buf[idx][:0]
+		}
+		n.buf[idx] = append(n.buf[idx], o)
+		return
+	}
+	// emit orders constituents left child first regardless of arrival.
+	emit := func(others []*event.Occurrence) {
+		constituents := make([]*event.Occurrence, 0, len(others)+1)
+		if idx == 1 {
+			constituents = append(constituents, others...)
+			constituents = append(constituents, o)
+		} else {
+			constituents = append(constituents, o)
+			constituents = append(constituents, others...)
+		}
+		n.out(event.NewComposite(n.name, n.site, constituents...))
+	}
+	switch n.ctx {
+	case Unrestricted:
+		for _, b := range n.buf[other] {
+			emit([]*event.Occurrence{b})
+		}
+		n.buf[idx] = append(n.buf[idx], o)
+	case Recent:
+		emit([]*event.Occurrence{n.buf[other][len(n.buf[other])-1]})
+		n.buf[idx] = append(n.buf[idx][:0], o)
+	case Chronicle:
+		emit([]*event.Occurrence{n.buf[other][0]})
+		n.buf[other] = removeIndices(n.buf[other], []int{0})
+	case Continuous:
+		for _, b := range n.buf[other] {
+			emit([]*event.Occurrence{b})
+		}
+		n.buf[other] = n.buf[other][:0]
+	case Cumulative:
+		emit(n.buf[other])
+		n.buf[other] = n.buf[other][:0]
+	}
+}
+
+// anyNode implements ANY(m, E1 … En): the composite occurs when
+// occurrences of m distinct constituent expressions are available, the
+// current occurrence among them.
+//
+// Context policies: Recent keeps the most recent occurrence of each
+// constituent and does not consume; Chronicle and Continuous use the
+// oldest buffered occurrence of each selected constituent and consume the
+// occurrences used (for ANY the two coincide in this implementation —
+// there is a single terminator, so "close all open windows" degenerates to
+// the FIFO pairing); Cumulative emits one composite containing every
+// buffered occurrence of every non-empty constituent and consumes them
+// all; Unrestricted emits one composite per selection of m−1 buffered
+// occurrences of distinct other constituents and consumes nothing.
+type anyNode struct {
+	name string
+	site core.SiteID
+	ctx  Context
+	m    int
+	out  emitFunc
+
+	buf [][]*event.Occurrence
+}
+
+// childOcc pairs a constituent occurrence with the child index it arrived
+// on, so composites can list constituents in child-index order
+// deterministically regardless of arrival order.
+type childOcc struct {
+	c   int
+	occ *event.Occurrence
+}
+
+func (n *anyNode) onChild(idx int, o *event.Occurrence) {
+	if n.ctx == Recent {
+		n.buf[idx] = n.buf[idx][:0]
+	}
+	n.buf[idx] = append(n.buf[idx], o)
+
+	var eligible []int // children with occurrences available, o's child first
+	eligible = append(eligible, idx)
+	for c := range n.buf {
+		if c != idx && len(n.buf[c]) > 0 {
+			eligible = append(eligible, c)
+		}
+	}
+	if len(eligible) < n.m {
+		return
+	}
+	switch n.ctx {
+	case Unrestricted:
+		others := eligible[1:]
+		choose(others, n.m-1, func(sel []int) {
+			n.emitCombos(childOcc{c: idx, occ: o}, sel, 0, make([]childOcc, 0, n.m))
+		})
+		// o stays buffered (already appended).
+	case Recent:
+		sel := make([]childOcc, 0, n.m)
+		for _, c := range eligible[:n.m] {
+			sel = append(sel, childOcc{c: c, occ: n.buf[c][len(n.buf[c])-1]})
+		}
+		n.emitOrdered(sel)
+	case Chronicle, Continuous:
+		sel := make([]childOcc, 0, n.m)
+		used := eligible[:n.m]
+		for _, c := range used {
+			sel = append(sel, childOcc{c: c, occ: n.buf[c][0]})
+		}
+		n.emitOrdered(sel)
+		for _, c := range used {
+			n.buf[c] = removeIndices(n.buf[c], []int{0})
+		}
+	case Cumulative:
+		var sel []childOcc
+		for _, c := range eligible {
+			for _, b := range n.buf[c] {
+				sel = append(sel, childOcc{c: c, occ: b})
+			}
+			n.buf[c] = n.buf[c][:0]
+		}
+		n.emitOrdered(sel)
+	}
+}
+
+// emitCombos emits one composite per combination of one buffered
+// occurrence from each selected other child, with o fixed.
+func (n *anyNode) emitCombos(o childOcc, sel []int, depth int, acc []childOcc) {
+	if depth == len(sel) {
+		n.emitOrdered(append(append([]childOcc{}, acc...), o))
+		return
+	}
+	for _, b := range n.buf[sel[depth]] {
+		n.emitCombos(o, sel, depth+1, append(acc, childOcc{c: sel[depth], occ: b}))
+	}
+}
+
+// emitOrdered emits with constituents sorted into child-index order (ties
+// by buffer order) for deterministic parameter lists.
+func (n *anyNode) emitOrdered(sel []childOcc) {
+	sort.SliceStable(sel, func(i, j int) bool { return sel[i].c < sel[j].c })
+	constituents := make([]*event.Occurrence, len(sel))
+	for i, s := range sel {
+		constituents[i] = s.occ
+	}
+	n.out(event.NewComposite(n.name, n.site, constituents...))
+}
+
+// choose invokes fn with each size-k subset of items, preserving order.
+func choose(items []int, k int, fn func([]int)) {
+	if k == 0 {
+		fn(nil)
+		return
+	}
+	if k > len(items) {
+		return
+	}
+	sel := make([]int, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(sel) == k {
+			fn(append([]int(nil), sel...))
+			return
+		}
+		for i := start; i <= len(items)-(k-len(sel)); i++ {
+			sel = append(sel, items[i])
+			rec(i + 1)
+			sel = sel[:len(sel)-1]
+		}
+	}
+	rec(0)
+}
+
+// notNode implements NOT(E2)[E1, E3]: the composite occurs when E3 occurs
+// after an initiator E1 with no occurrence of E2 in the open interval
+// (T(e1), T(e3)) of Definition 5.5.  Children are wired in AST order:
+// 0 = E2 (the absent event), 1 = E1 (initiator), 2 = E3 (terminator).
+//
+// Because arrival order is a linear extension of happen-before, an E2
+// delivered before an initiator can never satisfy T(e1) < T(e2), so E2
+// occurrences are buffered only while some live initiator precedes them.
+type notNode struct {
+	name string
+	site core.SiteID
+	ctx  Context
+	out  emitFunc
+
+	inits []*event.Occurrence
+	e2s   []*event.Occurrence
+}
+
+func (n *notNode) onChild(idx int, o *event.Occurrence) {
+	switch idx {
+	case 1: // initiator E1
+		if n.ctx == Recent {
+			n.inits = n.inits[:0]
+			n.pruneE2s()
+		}
+		n.inits = append(n.inits, o)
+	case 0: // E2 — potential spoiler
+		for _, init := range n.inits {
+			if init.Stamp.Less(o.Stamp) {
+				n.e2s = append(n.e2s, o)
+				return
+			}
+		}
+		// No live initiator precedes it and none arriving later can
+		// (linear extension), so it can never spoil: drop.
+	case 2: // terminator E3
+		t3 := o.Stamp
+		var eligible []int
+		for i, init := range n.inits {
+			if init.Stamp.Less(t3) && !n.spoiled(init.Stamp, t3) {
+				eligible = append(eligible, i)
+			}
+		}
+		if len(eligible) == 0 {
+			return
+		}
+		switch n.ctx {
+		case Unrestricted, Recent:
+			for _, i := range eligible {
+				n.out(event.NewComposite(n.name, n.site, n.inits[i], o))
+			}
+		case Chronicle:
+			n.out(event.NewComposite(n.name, n.site, n.inits[eligible[0]], o))
+			n.inits = removeIndices(n.inits, eligible[:1])
+			n.pruneE2s()
+		case Continuous:
+			for _, i := range eligible {
+				n.out(event.NewComposite(n.name, n.site, n.inits[i], o))
+			}
+			n.inits = removeIndices(n.inits, eligible)
+			n.pruneE2s()
+		case Cumulative:
+			constituents := make([]*event.Occurrence, 0, len(eligible)+1)
+			for _, i := range eligible {
+				constituents = append(constituents, n.inits[i])
+			}
+			constituents = append(constituents, o)
+			n.out(event.NewComposite(n.name, n.site, constituents...))
+			n.inits = removeIndices(n.inits, eligible)
+			n.pruneE2s()
+		}
+	}
+}
+
+// spoiled reports whether a buffered E2 lies in the open interval
+// (t1, t3).
+func (n *notNode) spoiled(t1, t3 core.SetStamp) bool {
+	for _, e2 := range n.e2s {
+		if e2.Stamp.InOpenSet(t1, t3) {
+			return true
+		}
+	}
+	return false
+}
+
+// pruneE2s drops E2 occurrences no live initiator precedes.
+func (n *notNode) pruneE2s() {
+	w := 0
+outer:
+	for _, e2 := range n.e2s {
+		for _, init := range n.inits {
+			if init.Stamp.Less(e2.Stamp) {
+				n.e2s[w] = e2
+				w++
+				continue outer
+			}
+		}
+	}
+	n.e2s = n.e2s[:w]
+}
+
+// apWindow is one open interval of an aperiodic or periodic operator.
+type apWindow struct {
+	init *event.Occurrence
+	acc  []*event.Occurrence // accumulated E2s (A*) or ticks (P*)
+}
+
+// aperiodicNode implements A(E1, E2, E3) and, with cumulative=true,
+// A*(E1, E2, E3) (Section 5.3).  Children in AST order: 0 = E1
+// (initiator), 1 = E2 (the monitored event), 2 = E3 (terminator).
+//
+// A fires once per E2 occurrence falling after an open initiator; E3
+// closes the windows it follows (closing is intrinsic to the operator, not
+// a context policy, so it happens in every context).  A* accumulates E2
+// occurrences per window and fires once when E3 closes the window,
+// carrying the E2s strictly inside the open interval.
+type aperiodicNode struct {
+	name       string
+	site       core.SiteID
+	ctx        Context
+	cumulative bool
+	out        emitFunc
+
+	windows []*apWindow
+}
+
+func (n *aperiodicNode) onChild(idx int, o *event.Occurrence) {
+	switch idx {
+	case 0: // E1 opens a window
+		if n.ctx == Recent {
+			n.windows = n.windows[:0]
+		}
+		n.windows = append(n.windows, &apWindow{init: o})
+	case 1: // E2
+		var eligible []*apWindow
+		for _, w := range n.windows {
+			if w.init.Stamp.Less(o.Stamp) {
+				eligible = append(eligible, w)
+			}
+		}
+		if len(eligible) == 0 {
+			return
+		}
+		if n.cumulative {
+			switch n.ctx {
+			case Chronicle:
+				eligible[0].acc = append(eligible[0].acc, o)
+			default:
+				for _, w := range eligible {
+					w.acc = append(w.acc, o)
+				}
+			}
+			return
+		}
+		switch n.ctx {
+		case Chronicle:
+			n.out(event.NewComposite(n.name, n.site, eligible[0].init, o))
+		case Recent:
+			n.out(event.NewComposite(n.name, n.site, eligible[len(eligible)-1].init, o))
+		default: // Unrestricted, Continuous, Cumulative: every open window
+			for _, w := range eligible {
+				n.out(event.NewComposite(n.name, n.site, w.init, o))
+			}
+		}
+	case 2: // E3 closes windows
+		t3 := o.Stamp
+		var closed []*apWindow
+		live := n.windows[:0]
+		for _, w := range n.windows {
+			if w.init.Stamp.Less(t3) {
+				closed = append(closed, w)
+			} else {
+				live = append(live, w)
+			}
+		}
+		n.windows = live
+		if !n.cumulative || len(closed) == 0 {
+			return
+		}
+		emitWindow := func(ws []*apWindow) {
+			// Initiators first, then the union of accumulated E2s
+			// strictly inside the open interval (an E2 shared by several
+			// merged windows appears once), then the terminator.
+			var constituents []*event.Occurrence
+			for _, w := range ws {
+				constituents = append(constituents, w.init)
+			}
+			seen := make(map[*event.Occurrence]bool)
+			for _, w := range ws {
+				for _, e2 := range w.acc {
+					if !seen[e2] && e2.Stamp.Less(t3) {
+						seen[e2] = true
+						constituents = append(constituents, e2)
+					}
+				}
+			}
+			constituents = append(constituents, o)
+			n.out(event.NewComposite(n.name, n.site, constituents...))
+		}
+		switch n.ctx {
+		case Chronicle:
+			emitWindow(closed[:1])
+			// Later windows closed by the same E3 are discarded in
+			// Chronicle: each terminator accounts for one initiator.
+		case Cumulative:
+			emitWindow(closed)
+		default: // Unrestricted, Recent, Continuous: one composite per window
+			for _, w := range closed {
+				emitWindow([]*apWindow{w})
+			}
+		}
+	}
+}
+
+// periodicNode implements P(E1, [t], E3) and, with cumulative=true,
+// P*(E1, [t], E3): a temporal event that fires every period microticks
+// from the initiator until the terminator.  Children in AST order:
+// 0 = E1, 1 = E3.  Ticks are temporal occurrences stamped by the
+// detector's TimeSource at their due instant.
+type periodicNode struct {
+	name       string
+	site       core.SiteID
+	ctx        Context
+	cumulative bool
+	period     clock.Microticks
+	out        emitFunc
+	sched      scheduler
+
+	windows []*pWindow
+}
+
+type pWindow struct {
+	init   *event.Occurrence
+	acc    []*event.Occurrence
+	ticks  int64
+	closed bool
+}
+
+func (n *periodicNode) bindScheduler(s scheduler) error {
+	if s == nil {
+		return fmt.Errorf("detector: %s needs a TimeSource for periodic timers", n.name)
+	}
+	n.sched = s
+	return nil
+}
+
+func (n *periodicNode) onChild(idx int, o *event.Occurrence) {
+	switch idx {
+	case 0: // E1 opens a periodic window
+		if n.ctx == Recent {
+			for _, w := range n.windows {
+				w.closed = true
+			}
+			n.windows = n.windows[:0]
+		}
+		w := &pWindow{init: o}
+		n.windows = append(n.windows, w)
+		n.scheduleTick(w, n.sched.now()+n.period)
+	case 1: // E3 closes windows it follows
+		t3 := o.Stamp
+		live := n.windows[:0]
+		for _, w := range n.windows {
+			if w.init.Stamp.Less(t3) {
+				w.closed = true
+				if n.cumulative {
+					var constituents []*event.Occurrence
+					constituents = append(constituents, w.init)
+					constituents = append(constituents, w.acc...)
+					constituents = append(constituents, o)
+					n.out(event.NewComposite(n.name, n.site, constituents...))
+				}
+			} else {
+				live = append(live, w)
+			}
+		}
+		n.windows = live
+	}
+}
+
+func (n *periodicNode) scheduleTick(w *pWindow, due clock.Microticks) {
+	n.sched.schedule(due, func(at clock.Microticks) {
+		if w.closed {
+			return
+		}
+		w.ticks++
+		tick := event.NewPrimitive(n.name+".tick", event.Temporal, n.sched.stampAt(at),
+			event.Params{"count": w.ticks})
+		if n.cumulative {
+			w.acc = append(w.acc, tick)
+		} else {
+			n.out(event.NewComposite(n.name, n.site, w.init, tick))
+		}
+		n.scheduleTick(w, at+n.period)
+	})
+}
+
+// plusNode implements PLUS(E, t): the composite occurs t microticks after
+// each occurrence of E.  The emitted occurrence composes the triggering
+// occurrence with a temporal occurrence stamped at the due instant, so the
+// composite timestamp reflects the fire time via the Max operator.
+type plusNode struct {
+	name  string
+	site  core.SiteID
+	delta clock.Microticks
+	out   emitFunc
+	sched scheduler
+}
+
+func (n *plusNode) bindScheduler(s scheduler) error {
+	if s == nil {
+		return fmt.Errorf("detector: %s needs a TimeSource for PLUS timers", n.name)
+	}
+	n.sched = s
+	return nil
+}
+
+func (n *plusNode) onChild(_ int, o *event.Occurrence) {
+	n.sched.schedule(n.sched.now()+n.delta, func(at clock.Microticks) {
+		tick := event.NewPrimitive(n.name+".timer", event.Temporal, n.sched.stampAt(at), nil)
+		n.out(event.NewComposite(n.name, n.site, o, tick))
+	})
+}
+
+// removeIndices removes the (ascending) indices from s, preserving order.
+func removeIndices(s []*event.Occurrence, idx []int) []*event.Occurrence {
+	if len(idx) == 0 {
+		return s
+	}
+	out := s[:0]
+	k := 0
+	for i, v := range s {
+		if k < len(idx) && idx[k] == i {
+			k++
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}

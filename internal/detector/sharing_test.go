@@ -1,0 +1,124 @@
+package detector
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+// Subexpression sharing is semantically transparent: identical detections
+// with sharing on and off, on a trace exercising the shared subgraph.
+func TestSharingTransparent(t *testing.T) {
+	runWith := func(sharing bool) [][]string {
+		d, _ := newTestDetector(t)
+		d.SetSharing(sharing)
+		c1, c2 := &collector{}, &collector{}
+		d.MustDefine("X", "(A ; B) ; C", Chronicle)
+		d.MustDefine("Y", "(A ; B) AND D", Chronicle)
+		d.Subscribe("X", c1.handler)
+		d.Subscribe("Y", c2.handler)
+		for i := int64(0); i < 40; i++ {
+			typ := []string{"A", "B", "C", "D"}[i%4]
+			d.Publish(occAt("s1", i*25, typ))
+		}
+		return [][]string{c1.sigs(), c2.sigs()}
+	}
+	on := runWith(true)
+	off := runWith(false)
+	for k := 0; k < 2; k++ {
+		if len(on[k]) != len(off[k]) {
+			t.Fatalf("definition %d: sharing changed detection count %d vs %d\non: %v\noff: %v",
+				k, len(on[k]), len(off[k]), on[k], off[k])
+		}
+		for i := range on[k] {
+			if on[k][i] != off[k][i] {
+				t.Fatalf("definition %d detection %d: %s vs %s", k, i, on[k][i], off[k][i])
+			}
+		}
+	}
+}
+
+func TestSharingReducesNodeCount(t *testing.T) {
+	build := func(sharing bool) int {
+		d, _ := newTestDetector(t)
+		d.SetSharing(sharing)
+		d.MustDefine("X", "(A ; B) ; C", Chronicle)
+		d.MustDefine("Y", "(A ; B) AND D", Chronicle)
+		return d.NodeCount()
+	}
+	shared, unshared := build(true), build(false)
+	if shared >= unshared {
+		t.Fatalf("sharing did not reduce nodes: %d vs %d", shared, unshared)
+	}
+	// Two roots plus one shared (A ; B) node.
+	if shared != 3 {
+		t.Fatalf("shared graph has %d nodes, want 3", shared)
+	}
+	if unshared != 4 {
+		t.Fatalf("unshared graph has %d nodes, want 4", unshared)
+	}
+}
+
+func TestSharingRespectsContext(t *testing.T) {
+	// The same sub-expression under different contexts must NOT share.
+	d, _ := newTestDetector(t)
+	d.MustDefine("X", "(A ; B) ; C", Chronicle)
+	d.MustDefine("Y", "(A ; B) ; D", Recent)
+	if d.NodeCount() != 4 {
+		t.Fatalf("different contexts shared a node: %d nodes, want 4", d.NodeCount())
+	}
+	// Behaviour check: Chronicle consumes, Recent retains.
+	cX, cY := &collector{}, &collector{}
+	d.Subscribe("X", cX.handler)
+	d.Subscribe("Y", cY.handler)
+	d.Publish(occAt("s1", 10, "A"))
+	d.Publish(occAt("s1", 20, "B"))
+	d.Publish(occAt("s1", 30, "C"))
+	d.Publish(occAt("s1", 40, "D"))
+	cX.assertSigs(t, "X[A@10 B@20 C@30]")
+	cY.assertSigs(t, "Y[A@10 B@20 D@40]")
+}
+
+func TestSharingRespectsMasks(t *testing.T) {
+	// Same shape, different masks: distinct expressions, no sharing.
+	d, _ := newTestDetector(t)
+	d.MustDefine("X", "(A[local > 5] ; B) ; C", Chronicle)
+	d.MustDefine("Y", "(A[local > 500] ; B) ; C", Chronicle)
+	if d.NodeCount() != 4 {
+		t.Fatalf("different masks shared a node: %d nodes, want 4", d.NodeCount())
+	}
+	cX, cY := &collector{}, &collector{}
+	d.Subscribe("X", cX.handler)
+	d.Subscribe("Y", cY.handler)
+	d.Publish(occAt("s1", 10, "A")) // passes X's mask only
+	d.Publish(occAt("s1", 20, "B"))
+	d.Publish(occAt("s1", 30, "C"))
+	cX.assertSigs(t, "X[A@10 B@20 C@30]")
+	if len(cY.got) != 0 {
+		t.Fatalf("Y fired despite failing mask: %v", cY.sigs())
+	}
+}
+
+func TestSharedSubgraphFansOutToEveryParent(t *testing.T) {
+	// Three identical definitions share one (A ; B) node; each completed
+	// pair must reach all three roots exactly once.
+	d, _ := newTestDetector(t)
+	counts := map[string]int{}
+	for _, def := range []string{"X", "Y", "Z"} {
+		def := def
+		d.MustDefine(def, "(A ; B) ; C", Chronicle)
+		d.Subscribe(def, func(o *event.Occurrence) { counts[def]++ })
+	}
+	// Three roots + one shared inner node.
+	if d.NodeCount() != 4 {
+		t.Fatalf("NodeCount = %d, want 4", d.NodeCount())
+	}
+	d.Publish(occAt("s1", 10, "A"))
+	d.Publish(occAt("s1", 20, "B"))
+	d.Publish(occAt("s1", 30, "C"))
+	for _, def := range []string{"X", "Y", "Z"} {
+		if counts[def] != 1 {
+			t.Fatalf("definition %s fired %d times, want 1 (counts %v)", def, counts[def], counts)
+		}
+	}
+}

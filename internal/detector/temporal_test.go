@@ -1,0 +1,227 @@
+package detector
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// temporalHarness builds a detector with a PLUS/P definition and drives
+// the fake clock.
+func temporalHarness(t *testing.T, expression string, ctx Context) (*Detector, *fakeTime, *collector) {
+	t.Helper()
+	d, ft := newTestDetector(t)
+	c := &collector{}
+	if _, err := d.DefineString("X", expression, ctx); err != nil {
+		t.Fatalf("define %q: %v", expression, err)
+	}
+	d.Subscribe("X", c.handler)
+	return d, ft, c
+}
+
+func TestPlusFiresAfterDelta(t *testing.T) {
+	d, ft, c := temporalHarness(t, "PLUS(A, 50)", Recent)
+	ft.now = 100
+	d.Publish(occAt("s1", 10, "A"))
+	d.AdvanceTo(149)
+	if len(c.got) != 0 {
+		t.Fatalf("PLUS fired early: %v", c.sigs())
+	}
+	ft.now = 150
+	d.AdvanceTo(150)
+	if len(c.got) != 1 {
+		t.Fatalf("PLUS fired %d times, want 1", len(c.got))
+	}
+	// The composite stamp reflects the fire time (ref 150 → local 15).
+	if st := c.got[0].Stamp; len(st) != 1 || st[0].Local != 15 {
+		t.Errorf("PLUS stamp = %s, want local 15 at fire time", st)
+	}
+}
+
+func TestPlusFiresPerTrigger(t *testing.T) {
+	d, ft, c := temporalHarness(t, "PLUS(A, 50)", Recent)
+	ft.now = 100
+	d.Publish(occAt("s1", 10, "A"))
+	ft.now = 120
+	d.Publish(occAt("s1", 12, "A"))
+	ft.now = 200
+	d.AdvanceTo(200)
+	if len(c.got) != 2 {
+		t.Fatalf("PLUS fired %d times, want 2: %v", len(c.got), c.sigs())
+	}
+}
+
+func TestPeriodicTicksUntilTerminator(t *testing.T) {
+	d, ft, c := temporalHarness(t, "P(S, 100, T)", Recent)
+	ft.now = 100
+	d.Publish(occAt("s1", 10, "S"))
+	ft.now = 350
+	d.AdvanceTo(350) // ticks due at 200 and 300
+	if len(c.got) != 2 {
+		t.Fatalf("P fired %d times, want 2: %v", len(c.got), c.sigs())
+	}
+	if p := c.got[1].Flatten()[1].Params["count"]; p != int64(2) {
+		t.Errorf("second tick count = %v, want 2", p)
+	}
+	// Terminator must be after the initiator (same site, later local).
+	d.Publish(occAt("s1", 40, "T"))
+	ft.now = 1000
+	d.AdvanceTo(1000)
+	if len(c.got) != 2 {
+		t.Fatalf("P kept ticking after terminator: %d detections", len(c.got))
+	}
+	if d.PendingTimers() != 0 {
+		// A cancelled window's timer may still be armed but must not fire
+		// a composite; after one more advance the queue drains.
+		t.Logf("pending timers after close: %d (inert)", d.PendingTimers())
+	}
+}
+
+func TestPeriodicCumulativeStar(t *testing.T) {
+	d, ft, c := temporalHarness(t, "P*(S, 100, T)", Recent)
+	ft.now = 100
+	d.Publish(occAt("s1", 10, "S"))
+	ft.now = 350
+	d.AdvanceTo(350)
+	if len(c.got) != 0 {
+		t.Fatalf("P* must not fire before the terminator: %v", c.sigs())
+	}
+	d.Publish(occAt("s1", 40, "T"))
+	if len(c.got) != 1 {
+		t.Fatalf("P* fired %d times at terminator, want 1", len(c.got))
+	}
+	parts := c.got[0].Flatten()
+	// init + 2 ticks + terminator
+	if len(parts) != 4 {
+		t.Fatalf("P* constituents = %d, want 4 (%v)", len(parts), sig(c.got[0]))
+	}
+	if parts[0].Type != "S" || parts[3].Type != "T" {
+		t.Errorf("P* constituent order wrong: %v", sig(c.got[0]))
+	}
+}
+
+func TestPeriodicRecentReplacesWindow(t *testing.T) {
+	d, ft, c := temporalHarness(t, "P(S, 100, T)", Recent)
+	ft.now = 100
+	d.Publish(occAt("s1", 10, "S"))
+	ft.now = 150
+	d.Publish(occAt("s1", 15, "S")) // replaces the window; old timer inert
+	ft.now = 260
+	d.AdvanceTo(260) // old window's 200 tick suppressed; new tick at 250
+	if len(c.got) != 1 {
+		t.Fatalf("P fired %d times, want 1 (old window cancelled): %v", len(c.got), c.sigs())
+	}
+	if got := c.got[0].Flatten()[0]; got.Stamp[0].Local != 15 {
+		t.Errorf("tick attributed to old window: %v", sig(c.got[0]))
+	}
+}
+
+func TestTemporalOperatorsNeedTimeSource(t *testing.T) {
+	reg := event.NewRegistry()
+	reg.MustDeclare("A", event.Explicit)
+	reg.MustDeclare("B", event.Explicit)
+	d := New("s1", reg, nil)
+	if _, err := d.DefineString("X", "PLUS(A, 5s)", Recent); err == nil ||
+		!strings.Contains(err.Error(), "TimeSource") {
+		t.Fatalf("PLUS without TimeSource must fail, got %v", err)
+	}
+	if _, err := d.DefineString("Y", "P(A, 5s, B)", Recent); err == nil {
+		t.Fatalf("P without TimeSource must fail")
+	}
+	// Non-temporal definitions are fine without a TimeSource.
+	if _, err := d.DefineString("Z", "A ; B", Recent); err != nil {
+		t.Fatalf("SEQ without TimeSource should work: %v", err)
+	}
+}
+
+func TestNextTimerDue(t *testing.T) {
+	d, ft, _ := temporalHarness(t, "PLUS(A, 50)", Recent)
+	if _, ok := d.NextTimerDue(); ok {
+		t.Fatalf("no timers armed yet")
+	}
+	ft.now = 100
+	d.Publish(occAt("s1", 10, "A"))
+	due, ok := d.NextTimerDue()
+	if !ok || due != 150 {
+		t.Fatalf("NextTimerDue = %d,%v want 150,true", due, ok)
+	}
+	if d.PendingTimers() != 1 {
+		t.Fatalf("PendingTimers = %d, want 1", d.PendingTimers())
+	}
+}
+
+func TestTimerOrderDeterministic(t *testing.T) {
+	d, ft, c := temporalHarness(t, "PLUS(A, 50)", Recent)
+	ft.now = 100
+	d.Publish(occAt("s1", 10, "A"))
+	d.Publish(occAt("s1", 11, "A")) // same due time, later scheduling
+	ft.now = 150
+	d.AdvanceTo(150)
+	if len(c.got) != 2 {
+		t.Fatalf("want 2 firings, got %d", len(c.got))
+	}
+	if c.got[0].Flatten()[0].Stamp[0].Local != 10 {
+		t.Errorf("same-due timers must fire in scheduling order: %v", c.sigs())
+	}
+}
+
+func TestPeriodicContinuousMultipleWindows(t *testing.T) {
+	d, ft, c := temporalHarness(t, "P(S, 100, T)", Continuous)
+	ft.now = 100
+	d.Publish(occAt("s1", 10, "S"))
+	ft.now = 150
+	d.Publish(occAt("s1", 15, "S")) // second window; both tick in Continuous
+	ft.now = 260
+	d.AdvanceTo(260) // first window ticks at 200; second at 250
+	if len(c.got) != 2 {
+		t.Fatalf("detections = %d, want 2 (one per window): %v", len(c.got), c.sigs())
+	}
+	inits := map[int64]bool{}
+	for _, o := range c.got {
+		inits[o.Flatten()[0].Stamp[0].Local] = true
+	}
+	if !inits[10] || !inits[15] {
+		t.Fatalf("both windows must tick: %v", c.sigs())
+	}
+}
+
+func TestPeriodicTerminatorClosesOnlyPrecedingWindows(t *testing.T) {
+	d, ft, c := temporalHarness(t, "P(S, 100, T)", Continuous)
+	ft.now = 100
+	d.Publish(occAt("s1", 10, "S"))
+	d.Publish(occAt("s1", 20, "T")) // closes the first window
+	ft.now = 150
+	d.Publish(occAt("s1", 30, "S")) // new window survives
+	ft.now = 400
+	d.AdvanceTo(400)
+	for _, o := range c.got {
+		if o.Flatten()[0].Stamp[0].Local != 30 {
+			t.Fatalf("closed window ticked: %v", sig(o))
+		}
+	}
+	if len(c.got) != 2 { // ticks at 250 and 350
+		t.Fatalf("detections = %d, want 2: %v", len(c.got), c.sigs())
+	}
+}
+
+func TestPeriodicStarSeparateWindowEmissions(t *testing.T) {
+	d, ft, c := temporalHarness(t, "P*(S, 100, T)", Continuous)
+	ft.now = 100
+	d.Publish(occAt("s1", 10, "S"))
+	ft.now = 150
+	d.Publish(occAt("s1", 15, "S"))
+	ft.now = 360
+	d.AdvanceTo(360) // window1 ticks at 200,300; window2 at 250,350
+	d.Publish(occAt("s1", 40, "T"))
+	if len(c.got) != 2 {
+		t.Fatalf("P* emissions = %d, want one per window: %v", len(c.got), c.sigs())
+	}
+	for _, o := range c.got {
+		flat := o.Flatten()
+		// init + 2 ticks + terminator each.
+		if len(flat) != 4 {
+			t.Fatalf("window emission has %d constituents: %v", len(flat), sig(o))
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package event defines the event model of Sentinel as used by the paper:
+// typed primitive events raised at sites (Section 3.1) and event
+// occurrences — primitive or composite — carrying the distributed
+// timestamps of internal/core (Sections 4 and 5).
+//
+// An event (Definition 3.1 / Section 5.3) is a function from the time
+// (stamp) domain to booleans; operationally an event *type* names a
+// pattern and an *occurrence* is one instant at which the function is
+// true, together with its timestamp and parameters.  Composite occurrences
+// additionally reference the constituent occurrences that made them true,
+// which is what Sentinel propagates to rule conditions and actions.
+package event
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Class is the kind of a primitive event, following the taxonomy the
+// paper inherits from Sentinel and [10]: temporal events, data
+// manipulation (database) events, transaction events, and explicit
+// (abstract, application-raised) events.
+type Class int
+
+const (
+	// Temporal events are clock events (absolute or relative time).
+	Temporal Class = iota
+	// Database events are data-manipulation events (insert, update,
+	// delete, retrieve) raised by the active database substrate.
+	Database
+	// Transaction events are begin/commit/abort events.
+	Transaction
+	// Explicit events are raised directly by applications.
+	Explicit
+	// Composite marks occurrences produced by an operator node rather
+	// than a primitive source.
+	Composite
+)
+
+func (c Class) String() string {
+	switch c {
+	case Temporal:
+		return "temporal"
+	case Database:
+		return "database"
+	case Transaction:
+		return "transaction"
+	case Explicit:
+		return "explicit"
+	case Composite:
+		return "composite"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Type describes an event type: the name of an interesting primitive
+// event, or the name of a composite pattern.
+type Type struct {
+	Name  string
+	Class Class
+}
+
+// Params is an event occurrence's parameter list.  Keys are parameter
+// names; values are application data (object identity, attribute values,
+// tick counts, …).
+type Params map[string]any
+
+// Clone returns an independent shallow copy.
+func (p Params) Clone() Params {
+	if p == nil {
+		return nil
+	}
+	out := make(Params, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the parameters deterministically (sorted by key).
+func (p Params) String() string {
+	if len(p) == 0 {
+		return "{}"
+	}
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%v", k, p[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Occurrence is one occurrence of an event — the operational counterpart
+// of "E(ts) = true".  Primitive occurrences have a singleton Stamp and no
+// constituents.  Composite occurrences carry the max-set timestamp built
+// by core.Max over their constituents (Definition 5.9) and reference the
+// constituent occurrences, which is how parameters are made available to
+// ECA conditions and actions.
+type Occurrence struct {
+	// Type is the event type name.
+	Type string
+	// Class distinguishes primitive classes from composite occurrences.
+	Class Class
+	// Site is the site at which the occurrence was raised (primitive) or
+	// detected (composite).
+	Site core.SiteID
+	// Stamp is the distributed timestamp: a singleton for primitive
+	// events, a mutually concurrent max-set for composite events.
+	Stamp core.SetStamp
+	// Seq is a per-site, per-stream sequence number used by the
+	// transport layer to restore FIFO order; it has no temporal
+	// semantics across sites.
+	Seq uint64
+	// Params is the occurrence's parameter list.
+	Params Params
+	// Constituents are the child occurrences of a composite occurrence,
+	// in detection order.
+	Constituents []*Occurrence
+}
+
+// NewPrimitive builds a primitive occurrence from a single stamp.
+func NewPrimitive(typ string, class Class, stamp core.Stamp, params Params) *Occurrence {
+	return &Occurrence{
+		Type:   typ,
+		Class:  class,
+		Site:   stamp.Site,
+		Stamp:  core.Singleton(stamp),
+		Params: params,
+	}
+}
+
+// NewComposite builds a composite occurrence at the given detection site.
+// Its timestamp is core.MaxAll over the constituents' timestamps — the
+// paper's Max-operator propagation — and its constituents are recorded in
+// the order given.
+func NewComposite(typ string, site core.SiteID, constituents ...*Occurrence) *Occurrence {
+	if len(constituents) == 0 {
+		panic("event: composite occurrence with no constituents")
+	}
+	stamps := make([]core.SetStamp, len(constituents))
+	for i, c := range constituents {
+		stamps[i] = c.Stamp
+	}
+	return &Occurrence{
+		Type:         typ,
+		Class:        Composite,
+		Site:         site,
+		Stamp:        core.MaxAll(stamps...),
+		Params:       Params{},
+		Constituents: constituents,
+	}
+}
+
+// String renders the occurrence compactly, e.g.
+// "Deposit@bank1 {(bank1, 12, 123)} {amount=40}".
+func (o *Occurrence) String() string {
+	if o == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("%s@%s %s %s", o.Type, o.Site, o.Stamp, o.Params)
+}
+
+// Flatten returns the primitive occurrences underlying o in left-to-right
+// constituent order (o itself if primitive).  This is the parameter list a
+// cumulative context presents to rules.
+func (o *Occurrence) Flatten() []*Occurrence {
+	if len(o.Constituents) == 0 {
+		return []*Occurrence{o}
+	}
+	var out []*Occurrence
+	for _, c := range o.Constituents {
+		out = append(out, c.Flatten()...)
+	}
+	return out
+}
+
+// ErrDuplicateType reports a second registration of an event type name.
+var ErrDuplicateType = errors.New("event: duplicate event type")
+
+// ErrUnknownType reports a reference to an unregistered event type.
+var ErrUnknownType = errors.New("event: unknown event type")
+
+// Registry is the catalog of declared event types.  Sentinel requires
+// events be pre-defined before use in expressions; the registry enforces
+// that and records each type's class.  It is safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	types map[string]Type
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{types: make(map[string]Type)}
+}
+
+// Declare registers an event type.
+func (r *Registry) Declare(name string, class Class) (Type, error) {
+	if name == "" {
+		return Type{}, errors.New("event: empty event type name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.types[name]; dup {
+		return Type{}, fmt.Errorf("%w: %q", ErrDuplicateType, name)
+	}
+	t := Type{Name: name, Class: class}
+	r.types[name] = t
+	return t, nil
+}
+
+// MustDeclare is Declare that panics on error.
+func (r *Registry) MustDeclare(name string, class Class) Type {
+	t, err := r.Declare(name, class)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Lookup returns the type registered under name.
+func (r *Registry) Lookup(name string) (Type, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.types[name]
+	if !ok {
+		return Type{}, fmt.Errorf("%w: %q", ErrUnknownType, name)
+	}
+	return t, nil
+}
+
+// Has reports whether name is registered.
+func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.types[name]
+	return ok
+}
+
+// Names returns the registered type names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.types))
+	for n := range r.types {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

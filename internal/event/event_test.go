@@ -1,0 +1,169 @@
+package event
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func stamp(site core.SiteID, local int64) core.Stamp {
+	return core.DeriveStamp(site, local, 10)
+}
+
+func TestNewPrimitive(t *testing.T) {
+	o := NewPrimitive("Deposit", Database, stamp("bank1", 123), Params{"amount": 40})
+	if o.Type != "Deposit" || o.Class != Database || o.Site != "bank1" {
+		t.Fatalf("primitive fields wrong: %s", o)
+	}
+	if len(o.Stamp) != 1 || o.Stamp[0].Local != 123 {
+		t.Fatalf("primitive stamp must be a singleton: %s", o.Stamp)
+	}
+	if len(o.Constituents) != 0 {
+		t.Fatalf("primitive has constituents")
+	}
+}
+
+func TestNewCompositeStampIsMax(t *testing.T) {
+	a := NewPrimitive("A", Explicit, stamp("s1", 10), nil)
+	b := NewPrimitive("B", Explicit, stamp("s1", 30), nil)
+	c := NewComposite("X", "s1", a, b)
+	if c.Class != Composite || c.Site != "s1" {
+		t.Fatalf("composite fields wrong: %s", c)
+	}
+	if len(c.Stamp) != 1 || c.Stamp[0].Local != 30 {
+		t.Fatalf("composite stamp = %s, want the later constituent's", c.Stamp)
+	}
+}
+
+func TestNewCompositeConcurrentConstituents(t *testing.T) {
+	a := NewPrimitive("A", Explicit, stamp("s1", 100), nil)
+	b := NewPrimitive("B", Explicit, stamp("s2", 105), nil)
+	c := NewComposite("X", "s9", a, b)
+	if len(c.Stamp) != 2 {
+		t.Fatalf("concurrent constituents must both appear in the max-set: %s", c.Stamp)
+	}
+	if err := c.Stamp.Valid(); err != nil {
+		t.Fatalf("composite stamp invalid: %v", err)
+	}
+}
+
+func TestNewCompositePanicsWithoutConstituents(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("NewComposite() must panic")
+		}
+	}()
+	NewComposite("X", "s1")
+}
+
+func TestFlattenNested(t *testing.T) {
+	a := NewPrimitive("A", Explicit, stamp("s1", 10), nil)
+	b := NewPrimitive("B", Explicit, stamp("s1", 20), nil)
+	c := NewPrimitive("C", Explicit, stamp("s1", 30), nil)
+	inner := NewComposite("AB", "s1", a, b)
+	outer := NewComposite("ABC", "s1", inner, c)
+	flat := outer.Flatten()
+	if len(flat) != 3 || flat[0] != a || flat[1] != b || flat[2] != c {
+		t.Fatalf("Flatten order wrong: %v", flat)
+	}
+	if prim := a.Flatten(); len(prim) != 1 || prim[0] != a {
+		t.Fatalf("Flatten of a primitive is itself")
+	}
+}
+
+func TestOccurrenceString(t *testing.T) {
+	o := NewPrimitive("Deposit", Database, stamp("bank1", 123), Params{"amount": 40})
+	s := o.String()
+	if !strings.Contains(s, "Deposit@bank1") || !strings.Contains(s, "amount=40") {
+		t.Errorf("String = %q", s)
+	}
+	var nilOcc *Occurrence
+	if nilOcc.String() != "<nil>" {
+		t.Errorf("nil String = %q", nilOcc.String())
+	}
+}
+
+func TestParamsCloneAndString(t *testing.T) {
+	p := Params{"b": 2, "a": 1}
+	q := p.Clone()
+	q["a"] = 99
+	if p["a"] != 1 {
+		t.Errorf("Clone shares storage")
+	}
+	if got := p.String(); got != "{a=1, b=2}" {
+		t.Errorf("Params.String = %q, want sorted keys", got)
+	}
+	if Params(nil).Clone() != nil {
+		t.Errorf("Clone(nil) must be nil")
+	}
+	if (Params{}).String() != "{}" {
+		t.Errorf("empty Params String wrong")
+	}
+}
+
+func TestRegistryDeclareLookup(t *testing.T) {
+	r := NewRegistry()
+	typ, err := r.Declare("Deposit", Database)
+	if err != nil || typ.Name != "Deposit" || typ.Class != Database {
+		t.Fatalf("Declare = %v, %v", typ, err)
+	}
+	got, err := r.Lookup("Deposit")
+	if err != nil || got != typ {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+	if !r.Has("Deposit") || r.Has("Nope") {
+		t.Errorf("Has broken")
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	r := NewRegistry()
+	r.MustDeclare("E", Explicit)
+	if _, err := r.Declare("E", Explicit); !errors.Is(err, ErrDuplicateType) {
+		t.Errorf("duplicate Declare = %v", err)
+	}
+	if _, err := r.Declare("", Explicit); err == nil {
+		t.Errorf("empty name must be rejected")
+	}
+	if _, err := r.Lookup("missing"); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("Lookup missing = %v", err)
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.MustDeclare("zeta", Explicit)
+	r.MustDeclare("alpha", Temporal)
+	names := r.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestMustDeclarePanics(t *testing.T) {
+	r := NewRegistry()
+	r.MustDeclare("E", Explicit)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustDeclare duplicate must panic")
+		}
+	}()
+	r.MustDeclare("E", Explicit)
+}
+
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		Temporal: "temporal", Database: "database", Transaction: "transaction",
+		Explicit: "explicit", Composite: "composite",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Class %d = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if !strings.Contains(Class(9).String(), "9") {
+		t.Errorf("unknown class String should include value")
+	}
+}

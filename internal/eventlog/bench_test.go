@@ -1,0 +1,39 @@
+package eventlog
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkAppend(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	o := occ("Deposit", 123)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(buf.Len())/float64(b.N), "bytes/record")
+}
+
+func BenchmarkScan(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := int64(0); i < 1000; i++ {
+		if err := w.Append(occ("Deposit", i*25)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		occs, _, err := Scan(bytes.NewReader(data))
+		if err != nil || len(occs) != 1000 {
+			b.Fatalf("scan: %d, %v", len(occs), err)
+		}
+	}
+}

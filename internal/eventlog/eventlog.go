@@ -1,0 +1,201 @@
+// Package eventlog is the durability substrate: an append-only log of
+// event occurrences with per-record checksums, and replay-based recovery.
+//
+// Sentinel is an *active database*: event detection state (open windows,
+// unconsumed initiators) must survive restarts, and the classical recipe
+// is the one implemented here — log every primitive occurrence as it is
+// published, and after a crash replay the log through a freshly compiled
+// detector.  Because operator nodes are deterministic functions of their
+// input sequence, replay reconstructs exactly the pre-crash state (see
+// TestRecoveryReconstructsState).
+//
+// Record format (all integers varint unless noted):
+//
+//	magic byte 0xE7 | payload length | payload | CRC-32 (IEEE, 4 bytes LE)
+//
+// where payload is the internal/wire encoding of the occurrence.  A torn
+// tail (partial final record, the usual crash artifact) is detected and
+// reported with the clean prefix length so the caller can truncate.
+package eventlog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/event"
+	"repro/internal/wire"
+)
+
+// magic starts every record; it catches gross misalignment early.
+const magic byte = 0xE7
+
+// maxRecord bounds a single record (a deeply nested composite occurrence
+// stays far below this).
+const maxRecord = 1 << 24
+
+// Errors returned by the reader.
+var (
+	// ErrCorrupt reports a failed checksum or malformed record.
+	ErrCorrupt = errors.New("eventlog: corrupt record")
+	// ErrTorn reports a partial record at the end of the log — the
+	// normal crash artifact.  Scan reports the clean prefix alongside.
+	ErrTorn = errors.New("eventlog: torn record at end of log")
+)
+
+// Writer appends occurrences to an io.Writer.  Not safe for concurrent
+// use; the publishing goroutine owns it.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+	n   uint64
+}
+
+// NewWriter creates a log writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+// Append writes one occurrence record.
+func (lw *Writer) Append(o *event.Occurrence) error {
+	payload, err := wire.AppendOccurrence(lw.buf[:0], o)
+	if err != nil {
+		return err
+	}
+	lw.buf = payload // reuse the allocation next time
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = magic
+	hn := 1 + binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	if _, err := lw.w.Write(hdr[:hn]); err != nil {
+		return err
+	}
+	if _, err := lw.w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	if _, err := lw.w.Write(crc[:]); err != nil {
+		return err
+	}
+	lw.n++
+	return nil
+}
+
+// Count returns the number of records appended.
+func (lw *Writer) Count() uint64 { return lw.n }
+
+// Reader iterates a log.
+type Reader struct {
+	br     *bufio.Reader
+	offset int64 // clean bytes consumed (whole records)
+}
+
+// NewReader creates a log reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReader(r)}
+}
+
+// CleanOffset returns the byte offset after the last whole record read —
+// the truncation point after ErrTorn.
+func (lr *Reader) CleanOffset() int64 { return lr.offset }
+
+// Next returns the next occurrence, io.EOF at a clean end, ErrTorn at a
+// partial tail, or ErrCorrupt on checksum/format failure.
+func (lr *Reader) Next() (*event.Occurrence, error) {
+	m, err := lr.br.ReadByte()
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic 0x%02x", ErrCorrupt, m)
+	}
+	size, err := binary.ReadUvarint(lr.br)
+	if err != nil {
+		return nil, lr.torn(err)
+	}
+	if size > maxRecord {
+		return nil, fmt.Errorf("%w: record of %d bytes", ErrCorrupt, size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(lr.br, payload); err != nil {
+		return nil, lr.torn(err)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(lr.br, crcBuf[:]); err != nil {
+		return nil, lr.torn(err)
+	}
+	if binary.LittleEndian.Uint32(crcBuf[:]) != crc32.ChecksumIEEE(payload) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	o, err := wire.DecodeOccurrence(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	lr.offset += int64(1 + uvarintLen(size) + int(size) + 4)
+	return o, nil
+}
+
+// torn maps unexpected-EOF conditions to ErrTorn.
+func (lr *Reader) torn(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ErrTorn
+	}
+	return err
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Scan reads every occurrence until the log ends, returning the records,
+// the clean byte offset, and nil, io.EOF-free; a torn tail yields the
+// records before it plus ErrTorn, corruption yields ErrCorrupt.
+func Scan(r io.Reader) ([]*event.Occurrence, int64, error) {
+	lr := NewReader(r)
+	var out []*event.Occurrence
+	for {
+		o, err := lr.Next()
+		if err == io.EOF {
+			return out, lr.CleanOffset(), nil
+		}
+		if err != nil {
+			return out, lr.CleanOffset(), err
+		}
+		out = append(out, o)
+	}
+}
+
+// Publisher is the slice of the detector API replay needs.
+type Publisher interface {
+	Publish(*event.Occurrence)
+}
+
+// Replay feeds every logged occurrence into a publisher (normally a
+// freshly compiled detector) and returns the number replayed.  A torn
+// tail is not an error for recovery: everything before it is replayed and
+// ErrTorn is returned so the caller can truncate the log.
+func Replay(r io.Reader, p Publisher) (int, error) {
+	occs, _, err := Scan(r)
+	for _, o := range occs {
+		p.Publish(o)
+	}
+	if err != nil && !errors.Is(err, ErrTorn) {
+		return len(occs), err
+	}
+	n := len(occs)
+	if errors.Is(err, ErrTorn) {
+		return n, ErrTorn
+	}
+	return n, nil
+}

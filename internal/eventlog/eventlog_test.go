@@ -1,0 +1,260 @@
+package eventlog
+
+import (
+	"bytes"
+	"errors"
+
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/event"
+)
+
+func occ(typ string, local int64) *event.Occurrence {
+	return event.NewPrimitive(typ, event.Explicit, core.DeriveStamp("s1", local, 10),
+		event.Params{"local": local})
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var want []*event.Occurrence
+	for i := int64(0); i < 50; i++ {
+		o := occ([]string{"A", "B", "C"}[i%3], i*25)
+		want = append(want, o)
+		if err := w.Append(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 50 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	got, offset, err := Scan(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offset != int64(buf.Len()) {
+		t.Fatalf("clean offset %d != log length %d", offset, buf.Len())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scanned %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type || !got[i].Stamp.Equal(want[i].Stamp) {
+			t.Fatalf("record %d differs: %v vs %v", i, got[i], want[i])
+		}
+		if got[i].Params["local"] != want[i].Stamp[0].Local {
+			t.Fatalf("record %d params lost: %v", i, got[i].Params)
+		}
+	}
+}
+
+func TestTornTailDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := int64(0); i < 10; i++ {
+		if err := w.Append(occ("A", i*25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	whole := buf.Len()
+	if err := w.Append(occ("A", 999)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-record: drop the last 3 bytes.
+	torn := buf.Bytes()[:buf.Len()-3]
+
+	got, offset, err := Scan(bytes.NewReader(torn))
+	if !errors.Is(err, ErrTorn) {
+		t.Fatalf("err = %v, want ErrTorn", err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("recovered %d records, want 10", len(got))
+	}
+	if offset != int64(whole) {
+		t.Fatalf("clean offset %d, want %d (truncation point)", offset, whole)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := int64(0); i < 5; i++ {
+		if err := w.Append(occ("A", i*25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flip a byte in the middle of the log.
+	data := append([]byte{}, buf.Bytes()...)
+	data[len(data)/2] ^= 0xFF
+	_, _, err := Scan(bytes.NewReader(data))
+	if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTorn) {
+		t.Fatalf("corruption not reported: %v", err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	data := []byte{0x00, 0x01, 0x02}
+	if _, _, err := Scan(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic = %v", err)
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	got, offset, err := Scan(bytes.NewReader(nil))
+	if err != nil || len(got) != 0 || offset != 0 {
+		t.Fatalf("empty log: %v %d %v", got, offset, err)
+	}
+}
+
+// The headline recovery property: replaying the log through a fresh
+// detector reconstructs both the detections and the internal state.
+func TestRecoveryReconstructsState(t *testing.T) {
+	newDetector := func() (*detector.Detector, *int) {
+		reg := event.NewRegistry()
+		for _, n := range []string{"A", "B", "C"} {
+			reg.MustDeclare(n, event.Explicit)
+		}
+		d := detector.New("s1", reg, nil)
+		d.MustDefine("X", "(A ; B) ; C", detector.Chronicle)
+		n := 0
+		d.Subscribe("X", func(*event.Occurrence) { n++ })
+		return d, &n
+	}
+
+	// "Production" run: publish and log 60 random events.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	prod, prodDetections := newDetector()
+	r := rand.New(rand.NewSource(5))
+	for i := int64(0); i < 60; i++ {
+		o := occ([]string{"A", "B", "C"}[r.Intn(3)], i*25)
+		if err := w.Append(o); err != nil {
+			t.Fatal(err)
+		}
+		prod.Publish(o)
+	}
+
+	// "Crash and recover": fresh detector, replay the log.
+	rec, recDetections := newDetector()
+	n, err := Replay(bytes.NewReader(buf.Bytes()), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 60 {
+		t.Fatalf("replayed %d, want 60", n)
+	}
+	if *recDetections != *prodDetections {
+		t.Fatalf("recovered detections %d != production %d", *recDetections, *prodDetections)
+	}
+	if rec.StateSize() != prod.StateSize() {
+		t.Fatalf("recovered state %d != production %d", rec.StateSize(), prod.StateSize())
+	}
+	// And the recovered engine continues identically.
+	prod.Publish(occ("C", 10_000))
+	rec.Publish(occ("C", 10_000))
+	if *recDetections != *prodDetections {
+		t.Fatalf("post-recovery divergence: %d vs %d", *recDetections, *prodDetections)
+	}
+}
+
+func TestReplayWithTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := int64(0); i < 4; i++ {
+		if err := w.Append(occ("A", i*25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	torn := buf.Bytes()[:buf.Len()-2]
+	reg := event.NewRegistry()
+	reg.MustDeclare("A", event.Explicit)
+	d := detector.New("s1", reg, nil)
+	n, err := Replay(bytes.NewReader(torn), d)
+	if !errors.Is(err, ErrTorn) {
+		t.Fatalf("err = %v, want ErrTorn", err)
+	}
+	if n != 3 {
+		t.Fatalf("replayed %d records before the tear, want 3", n)
+	}
+}
+
+func TestFileBackedLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.log")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f)
+	for i := int64(0); i < 20; i++ {
+		if err := w.Append(occ("A", i*25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	got, _, err := Scan(f2)
+	if err != nil || len(got) != 20 {
+		t.Fatalf("file scan: %d records, %v", len(got), err)
+	}
+}
+
+func TestTruncateAtCleanOffset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.log")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f)
+	for i := int64(0); i < 8; i++ {
+		if err := w.Append(occ("A", i*25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Torn write at the tail.
+	if _, err := f.Write([]byte{magic, 0x55, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, clean, scanErr := Scan(bytes.NewReader(data))
+	if !errors.Is(scanErr, ErrTorn) {
+		t.Fatalf("scan = %v, want ErrTorn", scanErr)
+	}
+	if err := os.Truncate(path, clean); err != nil {
+		t.Fatal(err)
+	}
+	// After truncation the log is clean.
+	data, _ = os.ReadFile(path)
+	got, _, err := Scan(bytes.NewReader(data))
+	if err != nil || len(got) != 8 {
+		t.Fatalf("after truncate: %d records, %v", len(got), err)
+	}
+}
+
+func TestUnencodableOccurrenceRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	bad := event.NewPrimitive("A", event.Explicit, core.DeriveStamp("s1", 1, 10),
+		event.Params{"ch": make(chan int)})
+	if err := w.Append(bad); err == nil {
+		t.Fatalf("unencodable occurrence accepted")
+	}
+	if w.Count() != 0 {
+		t.Fatalf("failed append counted")
+	}
+}

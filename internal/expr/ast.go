@@ -1,0 +1,262 @@
+// Package expr defines the Snoop composite-event specification language of
+// Sentinel: an AST for the operators of Sections 3.2 and 5.3 (OR, AND,
+// ANY, SEQ, NOT, A, A*, P, P*, PLUS), a lexer and recursive-descent parser
+// for the textual form, a validator against an event.Registry, and a
+// pretty-printer whose output re-parses to the same tree.
+//
+// Concrete syntax (precedence low → high; all binary operators associate
+// left):
+//
+//	expr    := seq
+//	seq     := or  ( ";"  or )*                      sequence E1 ; E2
+//	or      := and ( "OR" and )*                     disjunction
+//	and     := unary ( "AND" unary )*                conjunction
+//	unary   := IDENT mask?
+//	         | "(" expr ")"
+//	         | "ANY"  "(" INT "," expr ("," expr)+ ")"
+//	         | "NOT"  "(" expr ")" "[" expr "," expr "]"
+//	         | "A"    "(" expr "," expr "," expr ")"
+//	         | "A*"   "(" expr "," expr "," expr ")"
+//	         | "P"    "(" expr "," DURATION "," expr ")"
+//	         | "P*"   "(" expr "," DURATION "," expr ")"
+//	         | "PLUS" "(" expr "," DURATION ")"
+//
+//	mask    := "[" cond ("," cond)* "]"             attribute filter
+//	cond    := IDENT ("=="|"!="|"<"|"<="|">"|">=") literal
+//	literal := "-"? INT | "-"? FLOAT | STRING | "true" | "false"
+//
+// DURATION is an integer with an optional unit suffix (t = reference
+// microticks, s, m, h — the latter three assume the one-microtick-per-ms
+// convention of clock.PaperConfig); a bare integer is in microticks.
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is a node of the event-expression AST.
+type Node interface {
+	// String renders the node in concrete syntax that re-parses to an
+	// equal tree.
+	String() string
+	// Children returns the sub-expressions in evaluation order.
+	Children() []Node
+	node()
+}
+
+// Prim references a declared primitive (or named composite) event type,
+// optionally restricted by an attribute mask:
+// "Deposit[amount >= 1000]".
+type Prim struct {
+	Name string
+	Mask Mask
+}
+
+func (p *Prim) String() string {
+	if len(p.Mask) == 0 {
+		return p.Name
+	}
+	return p.Name + p.Mask.String()
+}
+func (p *Prim) Children() []Node { return nil }
+func (p *Prim) node()            {}
+
+// Or is the disjunction E1 ∨ E2: occurs when either constituent occurs.
+type Or struct {
+	L, R Node
+}
+
+func (o *Or) String() string   { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
+func (o *Or) Children() []Node { return []Node{o.L, o.R} }
+func (o *Or) node()            {}
+
+// And is the conjunction E1 ∧ E2 (Section 5.3): occurs when both
+// constituents have occurred, in any order.
+type And struct {
+	L, R Node
+}
+
+func (a *And) String() string   { return fmt.Sprintf("(%s AND %s)", a.L, a.R) }
+func (a *And) Children() []Node { return []Node{a.L, a.R} }
+func (a *And) node()            {}
+
+// Seq is the sequence operator E1 ; E2 (Section 5.3): occurs when E2
+// occurs provided E1 occurred before it — in the distributed semantics,
+// T(e1) < T(e2) under the composite happen-before order.
+type Seq struct {
+	L, R Node
+}
+
+func (s *Seq) String() string   { return fmt.Sprintf("(%s ; %s)", s.L, s.R) }
+func (s *Seq) Children() []Node { return []Node{s.L, s.R} }
+func (s *Seq) node()            {}
+
+// Any is ANY(m, E1, …, En): occurs when m distinct constituent event types
+// out of the n listed have occurred.
+type Any struct {
+	M      int
+	Events []Node
+}
+
+func (a *Any) String() string {
+	parts := make([]string, 0, len(a.Events)+1)
+	parts = append(parts, fmt.Sprintf("%d", a.M))
+	for _, e := range a.Events {
+		parts = append(parts, e.String())
+	}
+	return fmt.Sprintf("ANY(%s)", strings.Join(parts, ", "))
+}
+func (a *Any) Children() []Node { return a.Events }
+func (a *Any) node()            {}
+
+// Not is NOT(E2)[E1, E3] (Section 5.3): occurs when E3 occurs after E1
+// with no occurrence of E2 in the (open) interval between them.
+type Not struct {
+	E2 Node // the absent event
+	E1 Node // interval initiator
+	E3 Node // interval terminator
+}
+
+func (n *Not) String() string   { return fmt.Sprintf("NOT(%s)[%s, %s]", n.E2, n.E1, n.E3) }
+func (n *Not) Children() []Node { return []Node{n.E2, n.E1, n.E3} }
+func (n *Not) node()            {}
+
+// Aperiodic is A(E1, E2, E3) or, when Cumulative, A*(E1, E2, E3)
+// (Section 5.3).  A signals each occurrence of E2 inside the interval
+// opened by E1 and closed by E3; A* accumulates the E2 occurrences and
+// signals once when E3 occurs.
+type Aperiodic struct {
+	E1, E2, E3 Node
+	Cumulative bool
+}
+
+func (a *Aperiodic) String() string {
+	op := "A"
+	if a.Cumulative {
+		op = "A*"
+	}
+	return fmt.Sprintf("%s(%s, %s, %s)", op, a.E1, a.E2, a.E3)
+}
+func (a *Aperiodic) Children() []Node { return []Node{a.E1, a.E2, a.E3} }
+func (a *Aperiodic) node()            {}
+
+// Periodic is P(E1, [t], E3) or, when Cumulative, P*(E1, [t], E3): a
+// temporal event that fires every Period microticks inside the interval
+// opened by E1 and closed by E3; P* accumulates the tick instants and
+// signals once when E3 occurs.
+type Periodic struct {
+	E1         Node
+	Period     int64 // in reference microticks; must be positive
+	E3         Node
+	Cumulative bool
+}
+
+func (p *Periodic) String() string {
+	op := "P"
+	if p.Cumulative {
+		op = "P*"
+	}
+	return fmt.Sprintf("%s(%s, %s, %s)", op, p.E1, FormatDuration(p.Period), p.E3)
+}
+func (p *Periodic) Children() []Node { return []Node{p.E1, p.E3} }
+func (p *Periodic) node()            {}
+
+// Plus is PLUS(E, t): occurs t microticks after each occurrence of E.
+type Plus struct {
+	E     Node
+	Delta int64 // in reference microticks; must be positive
+}
+
+func (p *Plus) String() string   { return fmt.Sprintf("PLUS(%s, %s)", p.E, FormatDuration(p.Delta)) }
+func (p *Plus) Children() []Node { return []Node{p.E} }
+func (p *Plus) node()            {}
+
+// Walk visits the tree rooted at n in pre-order, calling fn on each node;
+// if fn returns false the node's children are skipped.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	for _, c := range n.Children() {
+		Walk(c, fn)
+	}
+}
+
+// Primitives returns the distinct primitive event names referenced by the
+// expression, in first-appearance order.
+func Primitives(n Node) []string {
+	seen := make(map[string]bool)
+	var out []string
+	Walk(n, func(m Node) bool {
+		if p, ok := m.(*Prim); ok && !seen[p.Name] {
+			seen[p.Name] = true
+			out = append(out, p.Name)
+		}
+		return true
+	})
+	return out
+}
+
+// Equal reports structural equality of two expressions.
+func Equal(a, b Node) bool {
+	switch x := a.(type) {
+	case nil:
+		return b == nil
+	case *Prim:
+		y, ok := b.(*Prim)
+		return ok && x.Name == y.Name && maskEqual(x.Mask, y.Mask)
+	case *Or:
+		y, ok := b.(*Or)
+		return ok && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case *And:
+		y, ok := b.(*And)
+		return ok && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case *Seq:
+		y, ok := b.(*Seq)
+		return ok && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case *Any:
+		y, ok := b.(*Any)
+		if !ok || x.M != y.M || len(x.Events) != len(y.Events) {
+			return false
+		}
+		for i := range x.Events {
+			if !Equal(x.Events[i], y.Events[i]) {
+				return false
+			}
+		}
+		return true
+	case *Not:
+		y, ok := b.(*Not)
+		return ok && Equal(x.E2, y.E2) && Equal(x.E1, y.E1) && Equal(x.E3, y.E3)
+	case *Aperiodic:
+		y, ok := b.(*Aperiodic)
+		return ok && x.Cumulative == y.Cumulative &&
+			Equal(x.E1, y.E1) && Equal(x.E2, y.E2) && Equal(x.E3, y.E3)
+	case *Periodic:
+		y, ok := b.(*Periodic)
+		return ok && x.Cumulative == y.Cumulative && x.Period == y.Period &&
+			Equal(x.E1, y.E1) && Equal(x.E3, y.E3)
+	case *Plus:
+		y, ok := b.(*Plus)
+		return ok && x.Delta == y.Delta && Equal(x.E, y.E)
+	default:
+		return false
+	}
+}
+
+// FormatDuration renders a microtick duration with the largest exact unit.
+// Durations are in reference microticks (g_z); the s/m/h units assume the
+// clock.PaperConfig convention of one microtick = 1ms.
+func FormatDuration(d int64) string {
+	switch {
+	case d != 0 && d%3_600_000 == 0:
+		return fmt.Sprintf("%dh", d/3_600_000)
+	case d != 0 && d%60_000 == 0:
+		return fmt.Sprintf("%dm", d/60_000)
+	case d != 0 && d%1_000 == 0:
+		return fmt.Sprintf("%ds", d/1_000)
+	default:
+		return fmt.Sprintf("%dt", d)
+	}
+}

@@ -1,0 +1,107 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Random-AST round-trip: generate arbitrary well-formed expressions,
+// render them, re-parse, and require structural equality.  This covers
+// operator/precedence/mask interactions the hand-written corpus misses.
+
+func randomLiteral(r *rand.Rand) any {
+	switch r.Intn(4) {
+	case 0:
+		return r.Int63n(10_000) - 5_000
+	case 1:
+		return float64(r.Intn(100)) + 0.5
+	case 2:
+		return "v" + string(rune('a'+r.Intn(26)))
+	default:
+		return r.Intn(2) == 0
+	}
+}
+
+func randomMask(r *rand.Rand) Mask {
+	n := r.Intn(3)
+	if n == 0 {
+		return nil
+	}
+	m := make(Mask, n)
+	for i := range m {
+		v := randomLiteral(r)
+		op := CmpOp(r.Intn(6))
+		if _, isBool := v.(bool); isBool {
+			op = []CmpOp{OpEq, OpNe}[r.Intn(2)] // booleans are unordered
+		}
+		m[i] = Cond{
+			Key:   "k" + string(rune('a'+r.Intn(6))),
+			Op:    op,
+			Value: v,
+		}
+	}
+	return m
+}
+
+func randomExpr(r *rand.Rand, depth int) Node {
+	if depth <= 0 || r.Intn(4) == 0 {
+		return &Prim{
+			Name: "Ev" + string(rune('A'+r.Intn(6))),
+			Mask: randomMask(r),
+		}
+	}
+	switch r.Intn(9) {
+	case 0:
+		return &Or{L: randomExpr(r, depth-1), R: randomExpr(r, depth-1)}
+	case 1:
+		return &And{L: randomExpr(r, depth-1), R: randomExpr(r, depth-1)}
+	case 2:
+		return &Seq{L: randomExpr(r, depth-1), R: randomExpr(r, depth-1)}
+	case 3:
+		n := 2 + r.Intn(3)
+		events := make([]Node, n)
+		for i := range events {
+			events[i] = randomExpr(r, depth-1)
+		}
+		return &Any{M: 1 + r.Intn(n), Events: events}
+	case 4:
+		return &Not{E2: randomExpr(r, depth-1), E1: randomExpr(r, depth-1), E3: randomExpr(r, depth-1)}
+	case 5:
+		return &Aperiodic{E1: randomExpr(r, depth-1), E2: randomExpr(r, depth-1),
+			E3: randomExpr(r, depth-1), Cumulative: r.Intn(2) == 0}
+	case 6:
+		return &Periodic{E1: randomExpr(r, depth-1), Period: 1 + r.Int63n(100_000),
+			E3: randomExpr(r, depth-1), Cumulative: r.Intn(2) == 0}
+	case 7:
+		return &Plus{E: randomExpr(r, depth-1), Delta: 1 + r.Int63n(100_000)}
+	default:
+		return &Prim{Name: "EvZ"}
+	}
+}
+
+func TestRandomASTRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(20_24))
+	for trial := 0; trial < 3000; trial++ {
+		n1 := randomExpr(r, 4)
+		text := n1.String()
+		n2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("trial %d: generated %q does not parse: %v", trial, text, err)
+		}
+		if !Equal(n1, n2) {
+			t.Fatalf("trial %d: round trip changed\n  text: %s\n  back: %s", trial, text, n2)
+		}
+	}
+}
+
+// All generated expressions validate against a registry declaring their
+// primitives (structural validity is orthogonal to round-tripping).
+func TestRandomASTValidates(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 500; trial++ {
+		n := randomExpr(r, 3)
+		if err := Validate(n, nil); err != nil {
+			t.Fatalf("trial %d: generated expression invalid: %v (%s)", trial, err, n)
+		}
+	}
+}

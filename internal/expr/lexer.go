@@ -1,0 +1,261 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokenKind enumerates the lexical classes of the Snoop concrete syntax.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt      // bare integer
+	tokDuration // integer with a unit suffix
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokSemi
+	tokKeyword // OR, AND, ANY, NOT, A, ASTAR, P, PSTAR, PLUS
+	tokCmp     // == != < <= > >=
+	tokStr     // double-quoted string literal
+	tokFloat   // floating point literal
+	tokMinus   // '-' (only in mask literals)
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokDuration:
+		return "duration"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokSemi:
+		return "';'"
+	case tokKeyword:
+		return "keyword"
+	case tokCmp:
+		return "comparison"
+	case tokStr:
+		return "string"
+	case tokFloat:
+		return "float"
+	case tokMinus:
+		return "'-'"
+	default:
+		return fmt.Sprintf("tokenKind(%d)", int(k))
+	}
+}
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	val  int64   // for tokInt and tokDuration (microticks)
+	fval float64 // for tokFloat
+	pos  int
+}
+
+// keywords are case-sensitive operator names.  "A*" and "P*" lex as the
+// keywords ASTAR and PSTAR.
+var keywords = map[string]string{
+	"OR":   "OR",
+	"AND":  "AND",
+	"ANY":  "ANY",
+	"NOT":  "NOT",
+	"A":    "A",
+	"P":    "P",
+	"PLUS": "PLUS",
+}
+
+// durationUnits maps unit suffixes to microticks (see FormatDuration).
+var durationUnits = map[string]int64{
+	"t": 1,
+	"s": 1_000,
+	"m": 60_000,
+	"h": 3_600_000,
+}
+
+// SyntaxError is a lexing or parsing error with its byte offset in the
+// input.
+type SyntaxError struct {
+	Pos   int
+	Input string
+	Msg   string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("expr: %s at offset %d in %q", e.Msg, e.Pos, e.Input)
+}
+
+// lex tokenizes the input.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "(", pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")", pos: i})
+			i++
+		case c == '[':
+			toks = append(toks, token{kind: tokLBracket, text: "[", pos: i})
+			i++
+		case c == ']':
+			toks = append(toks, token{kind: tokRBracket, text: "]", pos: i})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, text: ",", pos: i})
+			i++
+		case c == ';':
+			toks = append(toks, token{kind: tokSemi, text: ";", pos: i})
+			i++
+		case c == '-':
+			toks = append(toks, token{kind: tokMinus, text: "-", pos: i})
+			i++
+		case c == '=' || c == '!':
+			if i+1 >= len(input) || input[i+1] != '=' {
+				return nil, &SyntaxError{Pos: i, Input: input, Msg: fmt.Sprintf("unexpected character %q", string(c))}
+			}
+			toks = append(toks, token{kind: tokCmp, text: input[i : i+2], pos: i})
+			i += 2
+		case c == '<' || c == '>':
+			j := i + 1
+			if j < len(input) && input[j] == '=' {
+				j++
+			}
+			toks = append(toks, token{kind: tokCmp, text: input[i:j], pos: i})
+			i = j
+		case c == '"':
+			start := i
+			i++
+			var sb []byte
+			closed := false
+			for i < len(input) {
+				if input[i] == '\\' && i+1 < len(input) {
+					sb = append(sb, input[i+1])
+					i += 2
+					continue
+				}
+				if input[i] == '"' {
+					closed = true
+					i++
+					break
+				}
+				sb = append(sb, input[i])
+				i++
+			}
+			if !closed {
+				return nil, &SyntaxError{Pos: start, Input: input, Msg: "unterminated string literal"}
+			}
+			toks = append(toks, token{kind: tokStr, text: string(sb), pos: start})
+		case unicode.IsDigit(c):
+			start := i
+			for i < len(input) && unicode.IsDigit(rune(input[i])) {
+				i++
+			}
+			// Optional fraction makes it a float literal.
+			if i < len(input) && input[i] == '.' && i+1 < len(input) && unicode.IsDigit(rune(input[i+1])) {
+				i++
+				for i < len(input) && unicode.IsDigit(rune(input[i])) {
+					i++
+				}
+				f, err := strconv.ParseFloat(input[start:i], 64)
+				if err != nil {
+					return nil, &SyntaxError{Pos: start, Input: input, Msg: "bad float literal"}
+				}
+				toks = append(toks, token{kind: tokFloat, text: input[start:i], fval: f, pos: start})
+				continue
+			}
+			digits := input[start:i]
+			n, err := strconv.ParseInt(digits, 10, 64)
+			if err != nil {
+				return nil, &SyntaxError{Pos: start, Input: input, Msg: "integer out of range"}
+			}
+			// Optional unit suffix directly attached.
+			us := i
+			for i < len(input) && unicode.IsLetter(rune(input[i])) {
+				i++
+			}
+			if unit := input[us:i]; unit != "" {
+				mult, ok := durationUnits[unit]
+				if !ok {
+					return nil, &SyntaxError{Pos: us, Input: input, Msg: fmt.Sprintf("unknown duration unit %q", unit)}
+				}
+				toks = append(toks, token{kind: tokDuration, text: input[start:i], val: n * mult, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokInt, text: digits, val: n, pos: start})
+			}
+		case unicode.IsLetter(c) || c == '_':
+			// Identifiers may contain dots after the first character, so
+			// database event names like "Stock.update" and transaction
+			// events like "tx.commit" are first-class.
+			start := i
+			for i < len(input) && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) ||
+				input[i] == '_' || input[i] == '.') {
+				i++
+			}
+			word := input[start:i]
+			kw, isKw := keywords[word]
+			// The one-letter operator names "A" and "P" are keywords only
+			// when they open an argument list ("A(", "A*("); otherwise
+			// they are ordinary event identifiers.
+			if isKw && (kw == "A" || kw == "P") {
+				j := i
+				if j < len(input) && input[j] == '*' {
+					j++
+				}
+				for j < len(input) && (input[j] == ' ' || input[j] == '\t') {
+					j++
+				}
+				if j >= len(input) || input[j] != '(' {
+					isKw = false
+				}
+			}
+			if isKw {
+				// "A*" and "P*" are distinct keywords.
+				if (kw == "A" || kw == "P") && i < len(input) && input[i] == '*' {
+					i++
+					kw += "STAR"
+				}
+				toks = append(toks, token{kind: tokKeyword, text: kw, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		default:
+			return nil, &SyntaxError{Pos: i, Input: input, Msg: fmt.Sprintf("unexpected character %q", string(c))}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}
+
+// describe renders a token for error messages.
+func (t token) describe() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}

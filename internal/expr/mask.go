@@ -1,0 +1,209 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// Event masks: attribute predicates attached to a primitive event
+// reference, as in Sentinel's event parameters — e.g.
+//
+//	Deposit[amount >= 1000, branch == "north"] ; Withdraw
+//
+// A masked reference matches an occurrence only when every condition holds
+// on its parameter list.  Masks filter at the graph edge, before any
+// operator buffering, so non-matching occurrences cost nothing downstream.
+
+// CmpOp is a mask comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(o))
+	}
+}
+
+// Cond is one mask condition: key op value.
+type Cond struct {
+	Key   string
+	Op    CmpOp
+	Value any // int64, float64, string or bool
+}
+
+func (c Cond) String() string {
+	return fmt.Sprintf("%s %s %s", c.Key, c.Op, formatLiteral(c.Value))
+}
+
+func formatLiteral(v any) string {
+	switch x := v.(type) {
+	case string:
+		return strconv.Quote(x)
+	case bool:
+		return strconv.FormatBool(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// Holds evaluates the condition against a parameter list.  A missing key
+// or a type that cannot be compared yields false — masks are filters, not
+// assertions.
+func (c Cond) Holds(p event.Params) bool {
+	v, ok := p[c.Key]
+	if !ok {
+		return false
+	}
+	switch want := c.Value.(type) {
+	case int64:
+		got, ok := numeric(v)
+		if !ok {
+			return false
+		}
+		return cmpFloat(got, float64(want), c.Op)
+	case float64:
+		got, ok := numeric(v)
+		if !ok {
+			return false
+		}
+		return cmpFloat(got, want, c.Op)
+	case string:
+		got, ok := v.(string)
+		if !ok {
+			return false
+		}
+		return cmpOrd(strings.Compare(got, want), c.Op)
+	case bool:
+		got, ok := v.(bool)
+		if !ok {
+			return false
+		}
+		switch c.Op {
+		case OpEq:
+			return got == want
+		case OpNe:
+			return got != want
+		default:
+			return false // booleans are not ordered
+		}
+	default:
+		return false
+	}
+}
+
+// numeric widens the engine's numeric parameter types to float64.
+func numeric(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case uint64:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+func cmpFloat(a, b float64, op CmpOp) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	default:
+		return false
+	}
+}
+
+func cmpOrd(c int, op CmpOp) bool {
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// Mask is a conjunction of conditions.
+type Mask []Cond
+
+// Matches reports whether every condition holds.
+func (m Mask) Matches(p event.Params) bool {
+	for _, c := range m {
+		if !c.Holds(p) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m Mask) String() string {
+	parts := make([]string, len(m))
+	for i, c := range m {
+		parts[i] = c.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// maskEqual reports structural equality of masks.
+func maskEqual(a, b Mask) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].Op != b[i].Op || a[i].Value != b[i].Value {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,166 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestParseMaskForms(t *testing.T) {
+	n := MustParse(`Deposit[amount >= 1000, branch == "north", ok == true, rate < 1.5, delta != -3]`)
+	p, okCast := n.(*Prim)
+	if !okCast || p.Name != "Deposit" || len(p.Mask) != 5 {
+		t.Fatalf("parse = %#v", n)
+	}
+	want := []Cond{
+		{Key: "amount", Op: OpGe, Value: int64(1000)},
+		{Key: "branch", Op: OpEq, Value: "north"},
+		{Key: "ok", Op: OpEq, Value: true},
+		{Key: "rate", Op: OpLt, Value: 1.5},
+		{Key: "delta", Op: OpNe, Value: int64(-3)},
+	}
+	for i, c := range p.Mask {
+		if c != want[i] {
+			t.Errorf("cond %d = %+v, want %+v", i, c, want[i])
+		}
+	}
+}
+
+func TestMaskStringRoundTrip(t *testing.T) {
+	corpus := []string{
+		`Deposit[amount >= 1000]`,
+		`Deposit[amount >= 1000, branch == "north"] ; Withdraw[amount > 500]`,
+		`NOT(Cancel[hard == true])[Open, Close]`,
+		`ANY(2, A1[x == 1], B1[y != "z"], C1)`,
+		`A(S[go == false], M[v <= -2], T)`,
+	}
+	for _, in := range corpus {
+		n1 := MustParse(in)
+		n2, err := Parse(n1.String())
+		if err != nil {
+			t.Errorf("re-parse of %q -> %q failed: %v", in, n1.String(), err)
+			continue
+		}
+		if !Equal(n1, n2) {
+			t.Errorf("round trip changed %q: %s vs %s", in, n1, n2)
+		}
+	}
+}
+
+func TestMaskParseErrors(t *testing.T) {
+	bad := []string{
+		`E[,]`,
+		`E[x]`,
+		`E[x ==]`,
+		`E[x == ]`,
+		`E[x = 1]`,      // single '=' is not a comparison
+		`E[x == "open]`, // unterminated string
+		`E[x == -"s"]`,  // negated string
+		`E[x == -true]`, // negated bool
+		`E[x == yes]`,   // bare identifier literal
+		`E[x == 1`,      // unterminated mask
+		`E[1 == x]`,     // literal on the left
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestCondHolds(t *testing.T) {
+	p := event.Params{"amount": 1000, "rate": 1.25, "branch": "north", "ok": true, "big": int64(5)}
+	cases := []struct {
+		cond Cond
+		want bool
+	}{
+		{Cond{"amount", OpGe, int64(1000)}, true},
+		{Cond{"amount", OpGt, int64(1000)}, false},
+		{Cond{"amount", OpLt, int64(2000)}, true},
+		{Cond{"big", OpEq, int64(5)}, true},
+		{Cond{"rate", OpEq, 1.25}, true},
+		{Cond{"rate", OpNe, 1.25}, false},
+		{Cond{"amount", OpEq, 1000.0}, true}, // int param vs float literal
+		{Cond{"branch", OpEq, "north"}, true},
+		{Cond{"branch", OpLt, "o"}, true},
+		{Cond{"branch", OpGt, "z"}, false},
+		{Cond{"ok", OpEq, true}, true},
+		{Cond{"ok", OpNe, true}, false},
+		{Cond{"ok", OpLt, true}, false}, // bools are unordered
+		{Cond{"missing", OpEq, int64(1)}, false},
+		{Cond{"branch", OpEq, int64(3)}, false}, // type mismatch
+		{Cond{"amount", OpEq, "1000"}, false},   // type mismatch
+	}
+	for _, c := range cases {
+		if got := c.cond.Holds(p); got != c.want {
+			t.Errorf("%s on %v = %v, want %v", c.cond, p, got, c.want)
+		}
+	}
+}
+
+func TestMaskMatchesConjunction(t *testing.T) {
+	m := Mask{
+		{Key: "amount", Op: OpGe, Value: int64(100)},
+		{Key: "branch", Op: OpEq, Value: "north"},
+	}
+	if !m.Matches(event.Params{"amount": 150, "branch": "north"}) {
+		t.Errorf("matching params rejected")
+	}
+	if m.Matches(event.Params{"amount": 150, "branch": "south"}) {
+		t.Errorf("one failing condition must reject")
+	}
+	if (Mask{}).Matches(nil) != true {
+		t.Errorf("empty mask matches everything")
+	}
+}
+
+func TestMaskEqualInExprEqual(t *testing.T) {
+	a := MustParse(`E[x == 1]`)
+	b := MustParse(`E[x == 1]`)
+	c := MustParse(`E[x == 2]`)
+	d := MustParse(`E[x != 1]`)
+	e := MustParse(`E`)
+	if !Equal(a, b) {
+		t.Errorf("identical masks must be Equal")
+	}
+	for _, other := range []Node{c, d, e} {
+		if Equal(a, other) {
+			t.Errorf("Equal(%s, %s) must be false", a, other)
+		}
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	ops := map[CmpOp]string{OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">="}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%d String = %q", int(op), op.String())
+		}
+	}
+}
+
+func TestMaskedDurationLiteral(t *testing.T) {
+	// Duration suffixes in mask literals are microticks.
+	n := MustParse(`E[elapsed > 5s]`)
+	c := n.(*Prim).Mask[0]
+	if c.Value != int64(5000) {
+		t.Errorf("duration literal = %v", c.Value)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	n := MustParse(`E[name == "a\"b"]`)
+	if got := n.(*Prim).Mask[0].Value; got != `a"b` {
+		t.Errorf("escaped string = %q", got)
+	}
+}
+
+func TestValidateRejectsOrderedBooleans(t *testing.T) {
+	n := MustParse(`E[ok < true]`)
+	if err := Validate(n, nil); err == nil {
+		t.Fatalf("ordering a boolean must fail validation")
+	}
+	if err := Validate(MustParse(`E[ok == true]`), nil); err != nil {
+		t.Fatalf("boolean equality must validate: %v", err)
+	}
+}

@@ -1,0 +1,446 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Parse parses the concrete Snoop syntax documented in the package comment
+// and returns the AST.
+func Parse(input string) (Node, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{input: input, toks: toks}
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("unexpected %s after expression", p.peek().describe())
+	}
+	return n, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples with
+// literal expressions.
+func MustParse(input string) Node {
+	n, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	input string
+	toks  []token
+	pos   int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.peek().pos, Input: p.input, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.peek()
+	if t.kind != k {
+		return token{}, p.errorf("expected %s, found %s", k, t.describe())
+	}
+	return p.next(), nil
+}
+
+// parseExpr := seq (lowest precedence).
+func (p *parser) parseExpr() (Node, error) {
+	return p.parseSeq()
+}
+
+func (p *parser) parseSeq() (Node, error) {
+	left, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokSemi {
+		p.next()
+		right, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		left = &Seq{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseOr() (Node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKeyword && p.peek().text == "OR" {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKeyword && p.peek().text == "AND" {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		p.next()
+		prim := &Prim{Name: t.text}
+		if p.peek().kind == tokLBracket {
+			mask, err := p.parseMask()
+			if err != nil {
+				return nil, err
+			}
+			prim.Mask = mask
+		}
+		return prim, nil
+	case tokLParen:
+		p.next()
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case tokKeyword:
+		switch t.text {
+		case "ANY":
+			return p.parseAny()
+		case "NOT":
+			return p.parseNot()
+		case "A", "ASTAR":
+			return p.parseAperiodic(t.text == "ASTAR")
+		case "P", "PSTAR":
+			return p.parsePeriodic(t.text == "PSTAR")
+		case "PLUS":
+			return p.parsePlus()
+		default:
+			return nil, p.errorf("operator %s cannot start an expression", t.describe())
+		}
+	default:
+		return nil, p.errorf("expected event expression, found %s", t.describe())
+	}
+}
+
+func (p *parser) parseAny() (Node, error) {
+	p.next() // ANY
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	mt, err := p.expect(tokInt)
+	if err != nil {
+		return nil, err
+	}
+	var events []Node
+	for p.peek().kind == tokComma {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if len(events) < 2 {
+		return nil, p.errorf("ANY needs at least two constituent events, got %d", len(events))
+	}
+	return &Any{M: int(mt.val), Events: events}, nil
+}
+
+func (p *parser) parseNot() (Node, error) {
+	p.next() // NOT
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	e2, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBracket); err != nil {
+		return nil, err
+	}
+	e1, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return nil, err
+	}
+	e3, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return nil, err
+	}
+	return &Not{E2: e2, E1: e1, E3: e3}, nil
+}
+
+func (p *parser) parseAperiodic(cumulative bool) (Node, error) {
+	p.next() // A or A*
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	e1, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return nil, err
+	}
+	e2, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return nil, err
+	}
+	e3, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return &Aperiodic{E1: e1, E2: e2, E3: e3, Cumulative: cumulative}, nil
+}
+
+func (p *parser) parseDuration() (int64, error) {
+	t := p.peek()
+	if t.kind != tokInt && t.kind != tokDuration {
+		return 0, p.errorf("expected duration, found %s", t.describe())
+	}
+	p.next()
+	return t.val, nil
+}
+
+func (p *parser) parsePeriodic(cumulative bool) (Node, error) {
+	p.next() // P or P*
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	e1, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return nil, err
+	}
+	period, err := p.parseDuration()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return nil, err
+	}
+	e3, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return &Periodic{E1: e1, Period: period, E3: e3, Cumulative: cumulative}, nil
+}
+
+func (p *parser) parsePlus() (Node, error) {
+	p.next() // PLUS
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return nil, err
+	}
+	delta, err := p.parseDuration()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return &Plus{E: e, Delta: delta}, nil
+}
+
+// parseMask parses "[" cond ("," cond)* "]" where
+// cond := IDENT cmp literal.
+func (p *parser) parseMask() (Mask, error) {
+	if _, err := p.expect(tokLBracket); err != nil {
+		return nil, err
+	}
+	var m Mask
+	for {
+		key, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		cmp, err := p.expect(tokCmp)
+		if err != nil {
+			return nil, err
+		}
+		op, ok := cmpOps[cmp.text]
+		if !ok {
+			return nil, p.errorf("unknown comparison %q", cmp.text)
+		}
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		m = append(m, Cond{Key: key.text, Op: op, Value: lit})
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+var cmpOps = map[string]CmpOp{
+	"==": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+// parseLiteral parses a mask value: integer (optionally negative), float,
+// quoted string, or true/false.
+func (p *parser) parseLiteral() (any, error) {
+	neg := false
+	if p.peek().kind == tokMinus {
+		p.next()
+		neg = true
+	}
+	t := p.peek()
+	switch t.kind {
+	case tokInt, tokDuration:
+		p.next()
+		v := t.val
+		if neg {
+			v = -v
+		}
+		return v, nil
+	case tokFloat:
+		p.next()
+		v := t.fval
+		if neg {
+			v = -v
+		}
+		return v, nil
+	case tokStr:
+		if neg {
+			return nil, p.errorf("cannot negate a string literal")
+		}
+		p.next()
+		return t.text, nil
+	case tokIdent:
+		if neg {
+			return nil, p.errorf("cannot negate %q", t.text)
+		}
+		switch t.text {
+		case "true":
+			p.next()
+			return true, nil
+		case "false":
+			p.next()
+			return false, nil
+		}
+		return nil, p.errorf("expected literal, found %s", t.describe())
+	default:
+		return nil, p.errorf("expected literal, found %s", t.describe())
+	}
+}
+
+// ValidationError describes a semantic problem in an expression.
+type ValidationError struct {
+	Node Node
+	Msg  string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("expr: invalid expression %s: %s", e.Node, e.Msg)
+}
+
+// Validate checks the expression against the registry: every referenced
+// primitive must be declared, ANY's m must satisfy 1 ≤ m ≤ n, periods and
+// deltas must be positive.  It returns the first error found.
+func Validate(n Node, reg *event.Registry) error {
+	var firstErr error
+	Walk(n, func(m Node) bool {
+		if firstErr != nil {
+			return false
+		}
+		switch x := m.(type) {
+		case *Prim:
+			if reg != nil && !reg.Has(x.Name) {
+				firstErr = &ValidationError{Node: x, Msg: fmt.Sprintf("event type %q is not declared", x.Name)}
+			}
+			for _, c := range x.Mask {
+				if _, isBool := c.Value.(bool); isBool && c.Op != OpEq && c.Op != OpNe {
+					firstErr = &ValidationError{Node: x,
+						Msg: fmt.Sprintf("mask condition %q orders a boolean; only == and != apply", c.String())}
+					break
+				}
+			}
+		case *Any:
+			if x.M < 1 || x.M > len(x.Events) {
+				firstErr = &ValidationError{Node: x, Msg: fmt.Sprintf("ANY m=%d out of range 1..%d", x.M, len(x.Events))}
+			}
+		case *Periodic:
+			if x.Period <= 0 {
+				firstErr = &ValidationError{Node: x, Msg: "period must be positive"}
+			}
+		case *Plus:
+			if x.Delta <= 0 {
+				firstErr = &ValidationError{Node: x, Msg: "delta must be positive"}
+			}
+		}
+		return true
+	})
+	return firstErr
+}

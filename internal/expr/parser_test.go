@@ -1,0 +1,317 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestParsePrimitive(t *testing.T) {
+	n := MustParse("Deposit")
+	p, ok := n.(*Prim)
+	if !ok || p.Name != "Deposit" {
+		t.Fatalf("parse = %#v, want Prim{Deposit}", n)
+	}
+}
+
+func TestParseBinaryOperators(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"A1 ; B1", "(A1 ; B1)"},
+		{"A1 AND B1", "(A1 AND B1)"},
+		{"A1 OR B1", "(A1 OR B1)"},
+		{"A1 OR B1 OR C1", "((A1 OR B1) OR C1)"}, // left assoc
+		{"A1 AND B1 ; C1", "((A1 AND B1) ; C1)"}, // AND binds tighter
+		{"A1 OR B1 ; C1 OR D1", "((A1 OR B1) ; (C1 OR D1))"},
+		{"A1 AND B1 OR C1", "((A1 AND B1) OR C1)"}, // AND over OR
+		{"(A1 ; B1) AND C1", "((A1 ; B1) AND C1)"},
+	}
+	for _, c := range cases {
+		n, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got := n.String(); got != c.want {
+			t.Errorf("Parse(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSingleLetterOperatorNamesAsIdentifiers(t *testing.T) {
+	// "A" and "P" are operator keywords only before an argument list;
+	// bare they are event identifiers.
+	n := MustParse("A ; P")
+	s, ok := n.(*Seq)
+	if !ok {
+		t.Fatalf("parse = %#v, want Seq", n)
+	}
+	if s.L.(*Prim).Name != "A" || s.R.(*Prim).Name != "P" {
+		t.Fatalf("A/P must parse as identifiers here: %s", n)
+	}
+	if _, ok := MustParse("A(A, P, B)").(*Aperiodic); !ok {
+		t.Fatalf("A( must still parse as the aperiodic operator")
+	}
+	if a, ok := MustParse("A*(A, P, B)").(*Aperiodic); !ok || !a.Cumulative {
+		t.Fatalf("A*( must still parse as the cumulative aperiodic operator")
+	}
+	if _, err := Parse("A * B"); err == nil {
+		t.Fatalf("a stray '*' is not part of the language")
+	}
+}
+
+func TestDottedIdentifiers(t *testing.T) {
+	n := MustParse("Stock.update ; tx.commit")
+	s, ok := n.(*Seq)
+	if !ok || s.L.(*Prim).Name != "Stock.update" || s.R.(*Prim).Name != "tx.commit" {
+		t.Fatalf("dotted identifiers mis-parsed: %s", n)
+	}
+}
+
+func TestParseAny(t *testing.T) {
+	n := MustParse("ANY(2, E1, E2, E3)")
+	a, ok := n.(*Any)
+	if !ok || a.M != 2 || len(a.Events) != 3 {
+		t.Fatalf("parse = %#v", n)
+	}
+}
+
+func TestParseNot(t *testing.T) {
+	n := MustParse("NOT(Mid)[Start, End]")
+	x, ok := n.(*Not)
+	if !ok {
+		t.Fatalf("parse = %#v", n)
+	}
+	if x.E2.String() != "Mid" || x.E1.String() != "Start" || x.E3.String() != "End" {
+		t.Fatalf("NOT roles wrong: %s", n)
+	}
+}
+
+func TestParseAperiodic(t *testing.T) {
+	n := MustParse("A(S, M, E)")
+	a, ok := n.(*Aperiodic)
+	if !ok || a.Cumulative {
+		t.Fatalf("parse = %#v, want non-cumulative A", n)
+	}
+	n = MustParse("A*(S, M, E)")
+	a, ok = n.(*Aperiodic)
+	if !ok || !a.Cumulative {
+		t.Fatalf("parse = %#v, want cumulative A*", n)
+	}
+}
+
+func TestParsePeriodic(t *testing.T) {
+	n := MustParse("P(S, 5s, E)")
+	p, ok := n.(*Periodic)
+	if !ok || p.Cumulative || p.Period != 5000 {
+		t.Fatalf("parse = %#v, want P with period 5000", n)
+	}
+	n = MustParse("P*(S, 100, E)")
+	p, ok = n.(*Periodic)
+	if !ok || !p.Cumulative || p.Period != 100 {
+		t.Fatalf("parse = %#v, want P* with period 100 microticks", n)
+	}
+}
+
+func TestParsePlus(t *testing.T) {
+	n := MustParse("PLUS(E, 2m)")
+	p, ok := n.(*Plus)
+	if !ok || p.Delta != 120000 {
+		t.Fatalf("parse = %#v, want PLUS delta 120000", n)
+	}
+}
+
+func TestParseDurationUnits(t *testing.T) {
+	cases := map[string]int64{"7t": 7, "3s": 3000, "2m": 120000, "1h": 3600000, "42": 42}
+	for in, want := range cases {
+		n := MustParse("PLUS(E, " + in + ")")
+		if got := n.(*Plus).Delta; got != want {
+			t.Errorf("duration %q = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"A1 ;",
+		"(A1",
+		"ANY(2, E1)",           // too few constituents
+		"NOT(A1)[B1]",          // missing comma/second bound
+		"PLUS(E, xyz)",         // not a duration
+		"PLUS(E, 5q)",          // unknown unit
+		"A1 B1",                // juxtaposition
+		"OR",                   // operator cannot start
+		"A1 ; ; B1",            // empty operand
+		"#",                    // bad character
+		"99999999999999999999", // out of range
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestSyntaxErrorIncludesPositionAndInput(t *testing.T) {
+	_, err := Parse("A1 ; #")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T, want *SyntaxError", err)
+	}
+	if se.Pos != 5 || !strings.Contains(se.Error(), "A1 ; #") {
+		t.Errorf("SyntaxError = %v", se)
+	}
+}
+
+// The pretty-printer output re-parses to an equal tree for a corpus of
+// expressions covering every operator.
+func TestStringRoundTrip(t *testing.T) {
+	corpus := []string{
+		"E1",
+		"E1 ; E2",
+		"E1 AND E2 OR E3 ; E4",
+		"ANY(2, E1, E2, E3)",
+		"NOT(E2)[E1, E3]",
+		"A(E1, E2, E3)",
+		"A*(E1, E2 ; E5, E3)",
+		"P(E1, 30s, E3)",
+		"P*(E1, 100t, E3)",
+		"PLUS(E1 OR E2, 1h)",
+		"NOT(A(E1, E2, E3))[ANY(2, X, Y), PLUS(Z, 5s)]",
+	}
+	for _, in := range corpus {
+		n1 := MustParse(in)
+		n2, err := Parse(n1.String())
+		if err != nil {
+			t.Errorf("re-parse of %q -> %q failed: %v", in, n1.String(), err)
+			continue
+		}
+		if !Equal(n1, n2) {
+			t.Errorf("round trip changed %q: %s vs %s", in, n1, n2)
+		}
+	}
+}
+
+func TestEqualDistinguishes(t *testing.T) {
+	pairs := [][2]string{
+		{"E1 ; E2", "E2 ; E1"},
+		{"E1 AND E2", "E1 OR E2"},
+		{"ANY(2, E1, E2, E3)", "ANY(3, E1, E2, E3)"},
+		{"A(E1, E2, E3)", "A*(E1, E2, E3)"},
+		{"P(E1, 5s, E3)", "P(E1, 6s, E3)"},
+		{"PLUS(E1, 5s)", "PLUS(E1, 6s)"},
+		{"NOT(E2)[E1, E3]", "NOT(E1)[E2, E3]"},
+	}
+	for _, p := range pairs {
+		if Equal(MustParse(p[0]), MustParse(p[1])) {
+			t.Errorf("Equal(%q, %q) must be false", p[0], p[1])
+		}
+	}
+	if !Equal(nil, nil) || Equal(MustParse("E1"), nil) {
+		t.Errorf("nil handling broken")
+	}
+}
+
+func TestPrimitives(t *testing.T) {
+	n := MustParse("NOT(E2)[E1, E3 ; E1]")
+	got := Primitives(n)
+	want := []string{"E2", "E1", "E3"}
+	if len(got) != len(want) {
+		t.Fatalf("Primitives = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Primitives = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWalkPruning(t *testing.T) {
+	n := MustParse("(E1 ; E2) AND E3")
+	var visited []string
+	Walk(n, func(m Node) bool {
+		visited = append(visited, m.String())
+		_, isSeq := m.(*Seq)
+		return !isSeq // prune below the sequence
+	})
+	for _, v := range visited {
+		if v == "E1" || v == "E2" {
+			t.Errorf("walk visited pruned node %s", v)
+		}
+	}
+	if len(visited) != 3 { // And, Seq, E3
+		t.Errorf("visited %v, want 3 nodes", visited)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	reg := event.NewRegistry()
+	reg.MustDeclare("E1", event.Explicit)
+	reg.MustDeclare("E2", event.Explicit)
+
+	if err := Validate(MustParse("E1 ; E2"), reg); err != nil {
+		t.Errorf("valid expression rejected: %v", err)
+	}
+	if err := Validate(MustParse("E1 ; Nope"), reg); err == nil {
+		t.Errorf("undeclared event must be rejected")
+	} else if !strings.Contains(err.Error(), "Nope") {
+		t.Errorf("error should name the missing event: %v", err)
+	}
+	bad := &Any{M: 5, Events: []Node{&Prim{Name: "E1"}, &Prim{Name: "E2"}}}
+	if err := Validate(bad, reg); err == nil {
+		t.Errorf("ANY with m > n must be rejected")
+	}
+	if err := Validate(&Periodic{E1: &Prim{Name: "E1"}, Period: 0, E3: &Prim{Name: "E2"}}, reg); err == nil {
+		t.Errorf("non-positive period must be rejected")
+	}
+	if err := Validate(&Plus{E: &Prim{Name: "E1"}, Delta: -1}, reg); err == nil {
+		t.Errorf("negative delta must be rejected")
+	}
+	// nil registry skips declaration checks but not structural ones.
+	if err := Validate(MustParse("Whatever ; Whoever"), nil); err != nil {
+		t.Errorf("nil registry should skip declaration checks: %v", err)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[int64]string{
+		1:       "1t",
+		999:     "999t",
+		1000:    "1s",
+		60000:   "1m",
+		3600000: "1h",
+		7200000: "2h",
+		61000:   "61s",
+		0:       "0t",
+	}
+	for in, want := range cases {
+		if got := FormatDuration(in); got != want {
+			t.Errorf("FormatDuration(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustParse of garbage must panic")
+		}
+	}()
+	MustParse("(((")
+}
+
+func TestChildrenShapes(t *testing.T) {
+	if c := MustParse("P(E1, 5s, E3)").Children(); len(c) != 2 {
+		t.Errorf("Periodic children = %d, want 2 (the period is not a node)", len(c))
+	}
+	if c := MustParse("NOT(E2)[E1, E3]").Children(); len(c) != 3 {
+		t.Errorf("Not children = %d, want 3", len(c))
+	}
+	if c := MustParse("PLUS(E1, 5s)").Children(); len(c) != 1 {
+		t.Errorf("Plus children = %d, want 1", len(c))
+	}
+}

@@ -1,0 +1,209 @@
+// Package network simulates the message-passing substrate of a distributed
+// event-detection system: point-to-point links with configurable latency,
+// jitter and loss-with-retransmission, driven by the same simulated clock
+// as everything else (internal/clock), so every adversarial delivery
+// schedule is deterministic and reproducible.
+//
+// The bus is reliable but unordered: a message is never lost for good
+// (loss is modelled as retransmission delay, the abstraction a CEP
+// transport needs), but jitter freely reorders messages on a link.  The
+// distributed detector (internal/ddetect) restores per-link FIFO order
+// from the sequence numbers the bus stamps and uses watermarks for
+// cross-site ordering, exactly the problem Section 5 of the paper's
+// timestamp algebra exists to solve.
+package network
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+// Message is one transmission on the bus.
+type Message struct {
+	From, To core.SiteID
+	// Seq is the per-(From,To)-link FIFO sequence number, starting at 1.
+	Seq uint64
+	// SentAt and DeliverAt are reference times.
+	SentAt, DeliverAt clock.Microticks
+	// Attempts is 1 plus the number of simulated losses.
+	Attempts int
+	// Payload is the application message (an event occurrence or a
+	// heartbeat in ddetect).
+	Payload any
+}
+
+// Config describes link behaviour.  The zero value is a perfect network:
+// zero latency, no jitter, no loss.
+type Config struct {
+	// BaseLatency is the fixed one-way delay.
+	BaseLatency clock.Microticks
+	// Jitter adds a uniform random delay in [0, Jitter).  Jitter larger
+	// than the inter-message gap reorders messages on a link.
+	Jitter clock.Microticks
+	// DropRate is the per-transmission loss probability in [0, 1); each
+	// loss costs RetransmitDelay before the next attempt.
+	DropRate float64
+	// RetransmitDelay is the delay added per lost transmission.
+	RetransmitDelay clock.Microticks
+	// Seed makes the jitter/loss schedule reproducible.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.BaseLatency < 0 || c.Jitter < 0 || c.RetransmitDelay < 0 {
+		return fmt.Errorf("network: negative delay in config %+v", c)
+	}
+	if c.DropRate < 0 || c.DropRate >= 1 {
+		return fmt.Errorf("network: DropRate %v outside [0, 1)", c.DropRate)
+	}
+	if c.DropRate > 0 && c.RetransmitDelay == 0 {
+		return fmt.Errorf("network: DropRate without RetransmitDelay would be a free drop")
+	}
+	return nil
+}
+
+// Stats counts bus activity.
+type Stats struct {
+	Sent          uint64
+	Delivered     uint64
+	Retransmitted uint64
+	MaxInFlight   int
+}
+
+// Bus is the deterministic simulated network.  It is safe for concurrent
+// use, though the simulation driver typically owns it from one goroutine.
+type Bus struct {
+	mu      sync.Mutex
+	cfg     Config
+	rng     *rand.Rand
+	queue   deliveryQueue
+	pushSeq uint64
+	linkSeq map[linkKey]uint64
+	stats   Stats
+}
+
+type linkKey struct {
+	from, to core.SiteID
+}
+
+// NewBus creates a bus; it panics on an invalid configuration (a
+// configuration is code, not input).
+func NewBus(cfg Config) *Bus {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Bus{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		linkSeq: make(map[linkKey]uint64),
+	}
+}
+
+// Send enqueues a message at reference time now and returns it with its
+// link sequence number and delivery time filled in.
+func (b *Bus) Send(now clock.Microticks, from, to core.SiteID, payload any) Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	k := linkKey{from: from, to: to}
+	b.linkSeq[k]++
+	delay := b.cfg.BaseLatency
+	if b.cfg.Jitter > 0 {
+		delay += b.rng.Int63n(b.cfg.Jitter)
+	}
+	attempts := 1
+	for b.cfg.DropRate > 0 && b.rng.Float64() < b.cfg.DropRate {
+		delay += b.cfg.RetransmitDelay
+		attempts++
+	}
+	m := Message{
+		From:      from,
+		To:        to,
+		Seq:       b.linkSeq[k],
+		SentAt:    now,
+		DeliverAt: now + delay,
+		Attempts:  attempts,
+		Payload:   payload,
+	}
+	b.pushSeq++
+	heap.Push(&b.queue, &queued{msg: m, order: b.pushSeq})
+	b.stats.Sent++
+	if attempts > 1 {
+		b.stats.Retransmitted += uint64(attempts - 1)
+	}
+	if n := b.queue.Len(); n > b.stats.MaxInFlight {
+		b.stats.MaxInFlight = n
+	}
+	return m
+}
+
+// DeliverDue pops every message due at or before now, in deterministic
+// (DeliverAt, send order) order, and hands each to fn.
+func (b *Bus) DeliverDue(now clock.Microticks, fn func(Message)) int {
+	n := 0
+	for {
+		b.mu.Lock()
+		if b.queue.Len() == 0 || b.queue[0].msg.DeliverAt > now {
+			b.mu.Unlock()
+			return n
+		}
+		q := heap.Pop(&b.queue).(*queued)
+		b.stats.Delivered++
+		b.mu.Unlock()
+		fn(q.msg)
+		n++
+	}
+}
+
+// Pending returns the number of in-flight messages.
+func (b *Bus) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.queue.Len()
+}
+
+// NextDeliveryAt returns the earliest pending delivery time.
+func (b *Bus) NextDeliveryAt() (clock.Microticks, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.queue.Len() == 0 {
+		return 0, false
+	}
+	return b.queue[0].msg.DeliverAt, true
+}
+
+// Stats returns a snapshot of the counters.
+func (b *Bus) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+type queued struct {
+	msg   Message
+	order uint64
+}
+
+type deliveryQueue []*queued
+
+func (q deliveryQueue) Len() int { return len(q) }
+func (q deliveryQueue) Less(i, j int) bool {
+	if q[i].msg.DeliverAt != q[j].msg.DeliverAt {
+		return q[i].msg.DeliverAt < q[j].msg.DeliverAt
+	}
+	return q[i].order < q[j].order
+}
+func (q deliveryQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *deliveryQueue) Push(x any)   { *q = append(*q, x.(*queued)) }
+func (q *deliveryQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}

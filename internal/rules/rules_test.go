@@ -1,0 +1,306 @@
+package rules
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/event"
+)
+
+func newEngine(t *testing.T) (*detector.Detector, *Manager) {
+	t.Helper()
+	reg := event.NewRegistry()
+	reg.MustDeclare("A", event.Explicit)
+	reg.MustDeclare("B", event.Explicit)
+	d := detector.New("s1", reg, nil)
+	d.MustDefine("AB", "A ; B", detector.Chronicle)
+	return d, NewManager(d, 0)
+}
+
+func occ(typ string, local int64) *event.Occurrence {
+	return event.NewPrimitive(typ, event.Explicit, core.DeriveStamp("s1", local, 10),
+		event.Params{"local": local})
+}
+
+func fireAB(d *detector.Detector, base int64) {
+	d.Publish(occ("A", base))
+	d.Publish(occ("B", base+10))
+}
+
+func TestImmediateRuleRuns(t *testing.T) {
+	d, m := newEngine(t)
+	ran := 0
+	m.MustAdd(Rule{
+		Name: "r1", EventName: "AB",
+		Action: func(o *event.Occurrence) error { ran++; return nil },
+	})
+	fireAB(d, 10)
+	if ran != 1 {
+		t.Fatalf("action ran %d times, want 1", ran)
+	}
+	st := m.Stats()
+	if st.Triggered != 1 || st.Executed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestConditionGatesAction(t *testing.T) {
+	d, m := newEngine(t)
+	ran := 0
+	m.MustAdd(Rule{
+		Name: "r1", EventName: "AB",
+		Condition: func(o *event.Occurrence) bool {
+			return o.Flatten()[0].Params["local"].(int64) > 50
+		},
+		Action: func(*event.Occurrence) error { ran++; return nil },
+	})
+	fireAB(d, 10) // condition false
+	fireAB(d, 60) // condition true
+	if ran != 1 {
+		t.Fatalf("action ran %d times, want 1", ran)
+	}
+	if st := m.Stats(); st.ConditionFalse != 1 {
+		t.Errorf("ConditionFalse = %d, want 1", st.ConditionFalse)
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	d, m := newEngine(t)
+	var order []string
+	add := func(name string, prio int) {
+		m.MustAdd(Rule{
+			Name: name, EventName: "AB", Priority: prio,
+			Action: func(*event.Occurrence) error { order = append(order, name); return nil },
+		})
+	}
+	add("low", 1)
+	add("high", 10)
+	add("mid2", 5)
+	add("mid1", 5)
+	fireAB(d, 10)
+	want := []string{"high", "mid1", "mid2", "low"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDeferredCoupling(t *testing.T) {
+	d, m := newEngine(t)
+	ran := 0
+	m.MustAdd(Rule{
+		Name: "r1", EventName: "AB", Coupling: Deferred,
+		Action: func(*event.Occurrence) error { ran++; return nil },
+	})
+	fireAB(d, 10)
+	if ran != 0 || m.PendingDeferred() != 1 {
+		t.Fatalf("deferred ran early (ran=%d pending=%d)", ran, m.PendingDeferred())
+	}
+	if n := m.FlushDeferred(); n != 1 || ran != 1 {
+		t.Fatalf("FlushDeferred = %d, ran = %d", n, ran)
+	}
+	if m.PendingDeferred() != 0 {
+		t.Fatalf("queue not drained")
+	}
+}
+
+func TestDetachedCoupling(t *testing.T) {
+	d, m := newEngine(t)
+	ran := 0
+	m.MustAdd(Rule{
+		Name: "r1", EventName: "AB", Coupling: Detached,
+		Action: func(*event.Occurrence) error { ran++; return nil },
+	})
+	fireAB(d, 10)
+	if ran != 0 || m.PendingDetached() != 1 {
+		t.Fatalf("detached ran early")
+	}
+	if n := m.RunDetached(); n != 1 || ran != 1 {
+		t.Fatalf("RunDetached = %d, ran = %d", n, ran)
+	}
+}
+
+func TestDisableEnable(t *testing.T) {
+	d, m := newEngine(t)
+	ran := 0
+	r := m.MustAdd(Rule{
+		Name: "r1", EventName: "AB",
+		Action: func(*event.Occurrence) error { ran++; return nil },
+	})
+	if !r.Enabled() {
+		t.Fatalf("fresh rule must be enabled")
+	}
+	if err := m.Disable("r1"); err != nil {
+		t.Fatal(err)
+	}
+	fireAB(d, 10)
+	if ran != 0 {
+		t.Fatalf("disabled rule ran")
+	}
+	if err := m.Enable("r1"); err != nil {
+		t.Fatal(err)
+	}
+	fireAB(d, 100)
+	if ran != 1 {
+		t.Fatalf("re-enabled rule did not run")
+	}
+	if err := m.Disable("ghost"); !errors.Is(err, ErrUnknownRule) {
+		t.Errorf("Disable ghost = %v", err)
+	}
+}
+
+func TestCascadeTriggersRules(t *testing.T) {
+	// An action raises a primitive that triggers another rule.
+	reg := event.NewRegistry()
+	reg.MustDeclare("A", event.Explicit)
+	reg.MustDeclare("B", event.Explicit)
+	reg.MustDeclare("Alarm", event.Explicit)
+	d := detector.New("s1", reg, nil)
+	d.MustDefine("AB", "A ; B", detector.Chronicle)
+	m := NewManager(d, 0)
+	var log []string
+	m.MustAdd(Rule{
+		Name: "raise-alarm", EventName: "AB",
+		Action: func(o *event.Occurrence) error {
+			log = append(log, "raising")
+			d.Publish(occ("Alarm", 99))
+			return nil
+		},
+	})
+	m.MustAdd(Rule{
+		Name: "on-alarm", EventName: "Alarm",
+		Action: func(*event.Occurrence) error { log = append(log, "alarm"); return nil },
+	})
+	fireAB(d, 10)
+	if len(log) != 2 || log[0] != "raising" || log[1] != "alarm" {
+		t.Fatalf("cascade log = %v", log)
+	}
+}
+
+func TestCascadeLimit(t *testing.T) {
+	reg := event.NewRegistry()
+	reg.MustDeclare("Ping", event.Explicit)
+	d := detector.New("s1", reg, nil)
+	m := NewManager(d, 4)
+	n := int64(0)
+	m.MustAdd(Rule{
+		Name: "loop", EventName: "Ping",
+		Action: func(*event.Occurrence) error {
+			n++
+			d.Publish(occ("Ping", n))
+			return nil
+		},
+	})
+	d.Publish(occ("Ping", 0))
+	if n != 4 {
+		t.Fatalf("cascade ran %d times, want 4 (the limit)", n)
+	}
+	errs := m.Errs()
+	if len(errs) != 1 || !errors.Is(errs[0], ErrCascadeLimit) {
+		t.Fatalf("errs = %v, want one ErrCascadeLimit", errs)
+	}
+	if len(m.Errs()) != 0 {
+		t.Fatalf("Errs must clear")
+	}
+}
+
+func TestActionErrorsCollected(t *testing.T) {
+	d, m := newEngine(t)
+	m.MustAdd(Rule{
+		Name: "r1", EventName: "AB",
+		Action: func(*event.Occurrence) error { return fmt.Errorf("boom") },
+	})
+	fireAB(d, 10)
+	errs := m.Errs()
+	if len(errs) != 1 || errs[0] == nil {
+		t.Fatalf("errs = %v", errs)
+	}
+	if st := m.Stats(); st.Errors != 1 {
+		t.Errorf("Errors = %d", st.Errors)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	_, m := newEngine(t)
+	if _, err := m.Add(Rule{Name: "", EventName: "AB", Action: func(*event.Occurrence) error { return nil }}); err == nil {
+		t.Errorf("empty name accepted")
+	}
+	if _, err := m.Add(Rule{Name: "x", EventName: "AB"}); err == nil {
+		t.Errorf("nil action accepted")
+	}
+	m.MustAdd(Rule{Name: "x", EventName: "AB", Action: func(*event.Occurrence) error { return nil }})
+	if _, err := m.Add(Rule{Name: "x", EventName: "AB", Action: func(*event.Occurrence) error { return nil }}); !errors.Is(err, ErrDuplicateRule) {
+		t.Errorf("duplicate = %v", err)
+	}
+}
+
+func TestRulesListingSorted(t *testing.T) {
+	_, m := newEngine(t)
+	noop := func(*event.Occurrence) error { return nil }
+	m.MustAdd(Rule{Name: "zz", EventName: "AB", Action: noop})
+	m.MustAdd(Rule{Name: "aa", EventName: "AB", Action: noop})
+	rs := m.Rules()
+	if len(rs) != 2 || rs[0].Name != "aa" || rs[1].Name != "zz" {
+		t.Errorf("Rules = %v", rs)
+	}
+}
+
+func TestRuleOnPrimitiveEvent(t *testing.T) {
+	d, m := newEngine(t)
+	ran := 0
+	m.MustAdd(Rule{Name: "onA", EventName: "A",
+		Action: func(*event.Occurrence) error { ran++; return nil }})
+	d.Publish(occ("A", 5))
+	if ran != 1 {
+		t.Fatalf("primitive-event rule did not run")
+	}
+}
+
+func TestCouplingStrings(t *testing.T) {
+	if Immediate.String() != "immediate" || Deferred.String() != "deferred" || Detached.String() != "detached" {
+		t.Errorf("Coupling strings wrong")
+	}
+	if Coupling(7).String() == "" {
+		t.Errorf("unknown coupling String empty")
+	}
+}
+
+func TestSubFuncAdapter(t *testing.T) {
+	called := ""
+	sub := SubFunc(func(name string, h detector.Handler) { called = name })
+	m := NewManager(sub, 0)
+	m.MustAdd(Rule{Name: "r", EventName: "E", Action: func(*event.Occurrence) error { return nil }})
+	if called != "E" {
+		t.Errorf("SubFunc not used: %q", called)
+	}
+}
+
+func TestDeferredFlushRunsCascadedDeferred(t *testing.T) {
+	d, m := newEngine(t)
+	var log []string
+	cascaded := false
+	m.MustAdd(Rule{
+		Name: "first", EventName: "AB", Coupling: Deferred,
+		Action: func(o *event.Occurrence) error {
+			log = append(log, "first")
+			// Trigger the same rule set once more while flushing.
+			if !cascaded {
+				cascaded = true
+				fireAB(d, 500)
+			}
+			return nil
+		},
+	})
+	fireAB(d, 10)
+	m.FlushDeferred()
+	if len(log) != 2 {
+		t.Fatalf("cascaded deferred actions = %v, want 2 entries", log)
+	}
+}

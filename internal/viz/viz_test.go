@@ -1,0 +1,155 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func fig2Opts() Fig2Options {
+	return Fig2Options{
+		Sites: []core.SiteID{"Site1", "Site2", "Site3", "Site4", "Site5", "Site6"},
+		GMin:  2, GMax: 13, Ratio: 10, MarkWeakLE: true,
+	}
+}
+
+func TestClassifyCellRegions(t *testing.T) {
+	e := core.PaperFigure2Stamp() // {(Site3,8,81), (Site6,7,72)}
+	cases := []struct {
+		site core.SiteID
+		g    int64
+		want rune
+	}{
+		{"Site1", 4, SymBefore},     // two granules before both components
+		{"Site1", 5, SymBefore},     // 5 < 7−1 and 5 < 8−1... 5<6 ✓ and 5<7 ✓
+		{"Site1", 7, SymConcurrent}, // within one granule of both
+		{"Site1", 8, SymConcurrent},
+		{"Site1", 10, SymAfter}, // some component two granules earlier
+		{"Site3", 8, SymComponent},
+		{"Site6", 7, SymComponent},
+	}
+	for _, c := range cases {
+		if got := ClassifyCell(e, c.site, c.g, 10); got != c.want {
+			t.Errorf("cell (%s, %d) = %c, want %c", c.site, c.g, got, c.want)
+		}
+	}
+}
+
+// Every grid cell's symbol must agree with the core relations — the
+// figure cannot drift from the semantics.
+func TestFig2GridConsistentWithRelations(t *testing.T) {
+	e := core.PaperFigure2Stamp()
+	opt := fig2Opts()
+	for _, site := range opt.Sites {
+		for g := opt.GMin; g <= opt.GMax; g++ {
+			sym := ClassifyCell(e, site, g, opt.Ratio)
+			probe := core.Singleton(core.Stamp{Site: site, Global: g, Local: g*opt.Ratio + 5})
+			isComponent := false
+			for _, comp := range e {
+				if comp.Site == site && comp.Global == g {
+					isComponent = true
+				}
+			}
+			if isComponent {
+				if sym != SymComponent {
+					t.Errorf("(%s,%d): component not marked", site, g)
+				}
+				continue
+			}
+			var want rune
+			switch probe.Relate(e) {
+			case core.SetBefore:
+				want = SymBefore
+			case core.SetAfter:
+				want = SymAfter
+			case core.SetConcurrent:
+				want = SymConcurrent
+			default:
+				want = SymIncomparable
+			}
+			if sym != want {
+				t.Errorf("(%s,%d): symbol %c, relation says %c", site, g, sym, want)
+			}
+		}
+	}
+}
+
+func TestFig2IncomparableCellsExist(t *testing.T) {
+	// Same-site probes around a component produce incomparable cells:
+	// e.g. (Site3, 7): later than nothing... probe local between the two
+	// components' influence.  Verify the grid contains at least one X.
+	e := core.PaperFigure2Stamp()
+	out := RenderFig2(e, fig2Opts())
+	if !strings.ContainsRune(out, SymIncomparable) {
+		t.Errorf("expected at least one incomparable cell in:\n%s", out)
+	}
+}
+
+func TestRenderFig2Layout(t *testing.T) {
+	e := core.PaperFigure2Stamp()
+	out := RenderFig2(e, fig2Opts())
+	for _, want := range []string{"Figure 2", "legend:", "Site1 |", "Site6 |", "⪯ region"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header (2) + blank + axis + separator + 6 site rows + blank + ⪯ note.
+	if len(lines) < 11 {
+		t.Errorf("unexpectedly short rendering (%d lines):\n%s", len(lines), out)
+	}
+}
+
+func TestRenderFig1WindowsMatchDerivation(t *testing.T) {
+	a := core.Stamp{Site: "k", Global: 10, Local: 100}
+	b := core.Stamp{Site: "l", Global: 16, Local: 160}
+	out := RenderFig1(a, b, 10)
+	if !strings.Contains(out, "{12g_g .. 14g_g}") {
+		t.Errorf("open window not rendered as {12g_g .. 14g_g}:\n%s", out)
+	}
+	if !strings.Contains(out, "{9g_g .. 17g_g}") {
+		t.Errorf("closed window not rendered as {9g_g .. 17g_g}:\n%s", out)
+	}
+	// Membership rows use '#' markers; the open row must have exactly 3,
+	// the closed row exactly 9.
+	for _, rc := range []struct {
+		prefix string
+		want   int
+	}{{"open:", 3}, {"closed:", 9}} {
+		found := false
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, rc.prefix) {
+				found = true
+				if got := strings.Count(line, "#"); got != rc.want {
+					t.Errorf("%s row has %d members, want %d:\n%s", rc.prefix, got, rc.want, out)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("row %q missing:\n%s", rc.prefix, out)
+		}
+	}
+}
+
+func TestRenderFig1EmptyOpenInterval(t *testing.T) {
+	a := core.Stamp{Site: "k", Global: 10, Local: 100}
+	b := core.Stamp{Site: "l", Global: 12, Local: 120} // gap 2: empty open interval
+	out := RenderFig1(a, b, 10)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "open:") && strings.Contains(line, "#") {
+			t.Errorf("empty open interval rendered members:\n%s", out)
+		}
+	}
+	if !strings.Contains(out, "∅") {
+		t.Errorf("empty window should render ∅:\n%s", out)
+	}
+}
+
+func TestDefaultRatio(t *testing.T) {
+	e := core.PaperFigure2Stamp()
+	out := RenderFig2(e, Fig2Options{Sites: []core.SiteID{"Site1"}, GMin: 7, GMax: 7})
+	if !strings.Contains(out, "~") {
+		t.Errorf("default-ratio rendering wrong:\n%s", out)
+	}
+}

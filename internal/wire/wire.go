@@ -1,0 +1,437 @@
+// Package wire is the binary codec for the distributed detector's
+// messages: primitive/composite event occurrences (with their set
+// timestamps, parameters and constituent trees) and watermark heartbeats.
+//
+// The simulated bus could pass Go pointers, but a reproduction of a
+// distributed system should not depend on shared memory: with
+// ddetect.Config.Serialize enabled every envelope crossing the network is
+// encoded here and decoded at the receiver, so the engine demonstrably
+// works over a byte transport, and the codec's cost is measurable
+// (BenchmarkWireCodec).
+//
+// Format: length-prefixed, varint-based (encoding/binary), no reflection.
+// Integers are zigzag varints; strings are length-prefixed UTF-8.
+// Parameter values support the types the engine itself produces: int,
+// int64, uint64, float64, bool and string.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// Value type tags for parameters.
+const (
+	tagInt64 byte = iota
+	tagFloat64
+	tagString
+	tagBool
+	tagUint64
+)
+
+// Message kind tags.
+const (
+	// KindEvent marks an encoded occurrence.
+	KindEvent byte = 1
+	// KindHeartbeat marks an encoded watermark.
+	KindHeartbeat byte = 2
+)
+
+// Errors returned by the decoder.
+var (
+	ErrTruncated   = errors.New("wire: truncated message")
+	ErrBadTag      = errors.New("wire: unknown tag")
+	ErrUnsupported = errors.New("wire: unsupported parameter type")
+)
+
+// limits guard against hostile or corrupt input.
+const (
+	maxString       = 1 << 16
+	maxComponents   = 1 << 12
+	maxParams       = 1 << 12
+	maxConstituents = 1 << 16
+	maxDepth        = 64
+)
+
+// --- primitives -----------------------------------------------------------
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) str(limit int) (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(limit) || r.pos+int(n) > len(r.buf) {
+		return "", ErrTruncated
+	}
+	s := string(r.buf[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, ErrTruncated
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+// --- stamps -----------------------------------------------------------------
+
+// AppendStamp encodes one primitive stamp.
+func AppendStamp(b []byte, t core.Stamp) []byte {
+	b = appendString(b, string(t.Site))
+	b = appendVarint(b, t.Global)
+	return appendVarint(b, t.Local)
+}
+
+func (r *reader) stamp() (core.Stamp, error) {
+	site, err := r.str(maxString)
+	if err != nil {
+		return core.Stamp{}, err
+	}
+	g, err := r.varint()
+	if err != nil {
+		return core.Stamp{}, err
+	}
+	l, err := r.varint()
+	if err != nil {
+		return core.Stamp{}, err
+	}
+	return core.Stamp{Site: core.SiteID(site), Global: g, Local: l}, nil
+}
+
+// AppendSetStamp encodes a composite timestamp.
+func AppendSetStamp(b []byte, s core.SetStamp) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	for _, t := range s {
+		b = AppendStamp(b, t)
+	}
+	return b
+}
+
+func (r *reader) setStamp() (core.SetStamp, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxComponents {
+		return nil, fmt.Errorf("%w: %d stamp components", ErrTruncated, n)
+	}
+	out := make(core.SetStamp, 0, n)
+	for i := uint64(0); i < n; i++ {
+		t, err := r.stamp()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// --- params -----------------------------------------------------------------
+
+// AppendParams encodes a parameter list with deterministic key order.
+func AppendParams(b []byte, p event.Params) ([]byte, error) {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b = appendUvarint(b, uint64(len(keys)))
+	for _, k := range keys {
+		b = appendString(b, k)
+		var err error
+		b, err = appendValue(b, p[k])
+		if err != nil {
+			return nil, fmt.Errorf("%w (key %q)", err, k)
+		}
+	}
+	return b, nil
+}
+
+func appendValue(b []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case int64:
+		return appendVarint(append(b, tagInt64), x), nil
+	case int:
+		return appendVarint(append(b, tagInt64), int64(x)), nil
+	case uint64:
+		return appendUvarint(append(b, tagUint64), x), nil
+	case float64:
+		b = append(b, tagFloat64)
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(x))
+		return append(b, tmp[:]...), nil
+	case string:
+		return appendString(append(b, tagString), x), nil
+	case bool:
+		b = append(b, tagBool)
+		if x {
+			return append(b, 1), nil
+		}
+		return append(b, 0), nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnsupported, v)
+	}
+}
+
+func (r *reader) params() (event.Params, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > maxParams {
+		return nil, fmt.Errorf("%w: %d params", ErrTruncated, n)
+	}
+	p := make(event.Params, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := r.str(maxString)
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.value()
+		if err != nil {
+			return nil, err
+		}
+		p[k] = v
+	}
+	return p, nil
+}
+
+func (r *reader) value() (any, error) {
+	tag, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagInt64:
+		return r.varint()
+	case tagUint64:
+		return r.uvarint()
+	case tagFloat64:
+		if r.pos+8 > len(r.buf) {
+			return nil, ErrTruncated
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.pos:]))
+		r.pos += 8
+		return v, nil
+	case tagString:
+		return r.str(maxString)
+	case tagBool:
+		b, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		return b != 0, nil
+	default:
+		return nil, fmt.Errorf("%w: value tag %d", ErrBadTag, tag)
+	}
+}
+
+// --- occurrences ------------------------------------------------------------
+
+// AppendOccurrence encodes an occurrence with its constituent tree.
+func AppendOccurrence(b []byte, o *event.Occurrence) ([]byte, error) {
+	return appendOccurrence(b, o, 0)
+}
+
+func appendOccurrence(b []byte, o *event.Occurrence, depth int) ([]byte, error) {
+	if depth > maxDepth {
+		return nil, fmt.Errorf("wire: occurrence tree deeper than %d", maxDepth)
+	}
+	b = appendString(b, o.Type)
+	b = append(b, byte(o.Class))
+	b = appendString(b, string(o.Site))
+	b = appendUvarint(b, o.Seq)
+	b = AppendSetStamp(b, o.Stamp)
+	var err error
+	b, err = AppendParams(b, o.Params)
+	if err != nil {
+		return nil, err
+	}
+	b = appendUvarint(b, uint64(len(o.Constituents)))
+	for _, c := range o.Constituents {
+		b, err = appendOccurrence(b, c, depth+1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func (r *reader) occurrence(depth int) (*event.Occurrence, error) {
+	if depth > maxDepth {
+		return nil, fmt.Errorf("wire: occurrence tree deeper than %d", maxDepth)
+	}
+	typ, err := r.str(maxString)
+	if err != nil {
+		return nil, err
+	}
+	classByte, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	site, err := r.str(maxString)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	stamp, err := r.setStamp()
+	if err != nil {
+		return nil, err
+	}
+	params, err := r.params()
+	if err != nil {
+		return nil, err
+	}
+	nKids, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nKids > maxConstituents {
+		return nil, fmt.Errorf("%w: %d constituents", ErrTruncated, nKids)
+	}
+	o := &event.Occurrence{
+		Type:   typ,
+		Class:  event.Class(classByte),
+		Site:   core.SiteID(site),
+		Seq:    seq,
+		Stamp:  stamp,
+		Params: params,
+	}
+	for i := uint64(0); i < nKids; i++ {
+		c, err := r.occurrence(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		o.Constituents = append(o.Constituents, c)
+	}
+	return o, nil
+}
+
+// --- envelopes ---------------------------------------------------------------
+
+// Envelope is the transport-level message: either an event occurrence or a
+// heartbeat watermark, plus the raise time used for latency accounting.
+type Envelope struct {
+	Kind     byte // KindEvent or KindHeartbeat
+	Occ      *event.Occurrence
+	Global   int64
+	RaisedAt int64
+}
+
+// Encode serializes an envelope.
+func Encode(e Envelope) ([]byte, error) {
+	b := make([]byte, 0, 64)
+	b = append(b, e.Kind)
+	b = appendVarint(b, e.RaisedAt)
+	switch e.Kind {
+	case KindHeartbeat:
+		return appendVarint(b, e.Global), nil
+	case KindEvent:
+		if e.Occ == nil {
+			return nil, errors.New("wire: event envelope without occurrence")
+		}
+		return AppendOccurrence(b, e.Occ)
+	default:
+		return nil, fmt.Errorf("%w: envelope kind %d", ErrBadTag, e.Kind)
+	}
+}
+
+// DecodeOccurrence parses a bare occurrence (as produced by
+// AppendOccurrence), rejecting trailing garbage.
+func DecodeOccurrence(buf []byte) (*event.Occurrence, error) {
+	r := &reader{buf: buf}
+	o, err := r.occurrence(0)
+	if err != nil {
+		return nil, err
+	}
+	if r.pos != len(buf) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(buf)-r.pos)
+	}
+	return o, nil
+}
+
+// Decode parses an envelope, rejecting trailing garbage.
+func Decode(buf []byte) (Envelope, error) {
+	r := &reader{buf: buf}
+	kind, err := r.byte()
+	if err != nil {
+		return Envelope{}, err
+	}
+	raisedAt, err := r.varint()
+	if err != nil {
+		return Envelope{}, err
+	}
+	e := Envelope{Kind: kind, RaisedAt: raisedAt}
+	switch kind {
+	case KindHeartbeat:
+		g, err := r.varint()
+		if err != nil {
+			return Envelope{}, err
+		}
+		e.Global = g
+	case KindEvent:
+		o, err := r.occurrence(0)
+		if err != nil {
+			return Envelope{}, err
+		}
+		e.Occ = o
+	default:
+		return Envelope{}, fmt.Errorf("%w: envelope kind %d", ErrBadTag, kind)
+	}
+	if r.pos != len(buf) {
+		return Envelope{}, fmt.Errorf("wire: %d trailing bytes", len(buf)-r.pos)
+	}
+	return e, nil
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestGenStreamDeterministic(t *testing.T) {
+	cfg := StreamConfig{
+		Sites: []core.SiteID{"a", "b"}, Types: []string{"X", "Y"},
+		MeanGap: 50, Count: 200, Seed: 7,
+	}
+	t1, t2 := GenStream(cfg), GenStream(cfg)
+	if t1.Len() != 200 || t2.Len() != 200 {
+		t.Fatalf("lengths %d, %d", t1.Len(), t2.Len())
+	}
+	for i := range t1.Items {
+		a, b := t1.Items[i], t2.Items[i]
+		if a.At != b.At || a.Site != b.Site || a.Type != b.Type {
+			t.Fatalf("trace diverged at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestGenStreamMonotoneAndPositiveGaps(t *testing.T) {
+	tr := GenStream(StreamConfig{
+		Sites: []core.SiteID{"a"}, Types: []string{"X"}, MeanGap: 10, Count: 500, Seed: 1,
+	})
+	prev := int64(0)
+	for _, it := range tr.Items {
+		if it.At <= prev {
+			t.Fatalf("non-monotone trace at %d", it.At)
+		}
+		prev = it.At
+	}
+	if tr.Horizon() != prev {
+		t.Fatalf("Horizon = %d, want %d", tr.Horizon(), prev)
+	}
+}
+
+func TestGenStreamUsesAllSitesAndTypes(t *testing.T) {
+	tr := GenStream(StreamConfig{
+		Sites: []core.SiteID{"a", "b", "c"}, Types: []string{"X", "Y"},
+		MeanGap: 5, Count: 300, Seed: 3,
+	})
+	sites := map[core.SiteID]bool{}
+	types := map[string]bool{}
+	for _, it := range tr.Items {
+		sites[it.Site] = true
+		types[it.Type] = true
+	}
+	if len(sites) != 3 || len(types) != 2 {
+		t.Fatalf("coverage: %d sites, %d types", len(sites), len(types))
+	}
+}
+
+func TestGenStreamPanicsOnDegenerate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("degenerate config must panic")
+		}
+	}()
+	GenStream(StreamConfig{})
+}
+
+func TestGenPairsShape(t *testing.T) {
+	tr := GenPairs(PairConfig{
+		InitSite: "a", TermSite: "b", InitType: "S", TermType: "T",
+		Gap: 300, Spacing: 1000, Pairs: 10,
+	})
+	if tr.Len() != 20 {
+		t.Fatalf("items = %d, want 20", tr.Len())
+	}
+	for i := 0; i < 10; i++ {
+		init, term := tr.Items[2*i], tr.Items[2*i+1]
+		if init.Type != "S" || term.Type != "T" {
+			t.Fatalf("pair %d types = %s, %s", i, init.Type, term.Type)
+		}
+		if term.At-init.At != 300 {
+			t.Fatalf("pair %d gap = %d", i, term.At-init.At)
+		}
+	}
+}
+
+func TestGenPairsWithNoise(t *testing.T) {
+	tr := GenPairs(PairConfig{
+		InitSite: "a", TermSite: "b", InitType: "S", TermType: "T",
+		Gap: 300, Spacing: 1000, Pairs: 4,
+		NoiseTypes: []string{"N1", "N2"}, NoiseSites: []core.SiteID{"c"},
+	})
+	if tr.Len() != 12 {
+		t.Fatalf("items = %d, want 12", tr.Len())
+	}
+	noise := 0
+	for _, it := range tr.Items {
+		if it.Type == "N1" || it.Type == "N2" {
+			noise++
+		}
+	}
+	if noise != 4 {
+		t.Fatalf("noise items = %d", noise)
+	}
+}
+
+func TestGenBurstsConcurrentWithinBurst(t *testing.T) {
+	sites := []core.SiteID{"a", "b", "c", "d"}
+	tr := GenBursts(BurstConfig{
+		Sites: sites, Type: "E", BurstEvery: 10_000, WithinBurst: 80, Bursts: 5, Seed: 2,
+	})
+	if tr.Len() != 20 {
+		t.Fatalf("items = %d, want 20", tr.Len())
+	}
+	// Items are time sorted.
+	for i := 1; i < tr.Len(); i++ {
+		if tr.Items[i].At < tr.Items[i-1].At {
+			t.Fatalf("unsorted burst trace")
+		}
+	}
+	// Every burst spans less than one global granule (100 microticks at
+	// the paper scale), so its stamps will be concurrent.
+	byBurst := map[int][]Item{}
+	for _, it := range tr.Items {
+		b := it.Params["burst"].(int)
+		byBurst[b] = append(byBurst[b], it)
+	}
+	for b, items := range byBurst {
+		if len(items) != len(sites) {
+			t.Fatalf("burst %d has %d items", b, len(items))
+		}
+		span := items[len(items)-1].At - items[0].At
+		if span >= 100 {
+			t.Fatalf("burst %d spans %d microticks", b, span)
+		}
+	}
+}
+
+func TestGenBurstsPanicsOnDegenerate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("degenerate burst config must panic")
+		}
+	}()
+	GenBursts(BurstConfig{})
+}
