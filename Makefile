@@ -1,0 +1,31 @@
+# Tier-1 verification for this repo.  `make ci` is what a reviewer (or a
+# CI job) runs: vet, build, the full test suite under the race detector —
+# the parallel detect stage makes -race load-bearing, not optional — and
+# the pipeline determinism regression explicitly by name so a renamed or
+# skipped test fails loudly.
+
+GO ?= go
+
+.PHONY: ci vet build test race determinism bench
+
+ci: vet build race determinism
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The Workers=0 vs Workers>1 byte-identical occurrence stream regression
+# (internal/ddetect/determinism_test.go), under the race detector.
+determinism:
+	$(GO) test -race -run 'TestPipelineDeterminism' -v ./internal/ddetect
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .

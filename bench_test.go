@@ -9,6 +9,7 @@ package sentinel_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/clock"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/event"
 	"repro/internal/network"
+	"repro/internal/pipeline"
 	"repro/internal/viz"
 	"repro/internal/wire"
 	"repro/internal/workload"
@@ -630,6 +632,93 @@ func BenchmarkSubexpressionSharing(b *testing.B) {
 				d.Publish(event.NewPrimitive(pattern[i%4], event.Explicit,
 					core.DeriveStamp("s1", local, 10), nil))
 			}
+		})
+	}
+}
+
+// --- PIPE: staged pipeline, sequential vs parallel detect -------------------
+
+// runPipelineWorkload drives a detect-heavy multi-definition deployment:
+// `hosts` sites each hosting `defsPerHost` definitions over the same four
+// primitive types, fed by a definition-free feeder site whose raises fan
+// out to every host.  Events are raised in bursts between steps so the
+// release stage hands each host's detect stage sizeable batches — the
+// shape the parallel detect stage (Config.Pipeline.Workers) scales with
+// cores on.
+func runPipelineWorkload(b *testing.B, workers, hosts, defsPerHost, events int) ddetect.Stats {
+	b.Helper()
+	sys := ddetect.MustNewSystem(ddetect.Config{
+		Net:      network.Config{BaseLatency: 20, Jitter: 30, Seed: 7},
+		Pipeline: pipeline.Config{Workers: workers},
+	})
+	feeder := sys.MustAddSite("zz-feed", 0, 0)
+	rng := rand.New(rand.NewSource(13))
+	hostIDs := make([]core.SiteID, hosts)
+	for i := range hostIDs {
+		hostIDs[i] = core.SiteID(fmt.Sprintf("h%02d", i))
+		sys.MustAddSite(hostIDs[i], rng.Int63n(41)-20, 0)
+	}
+	for _, typ := range []string{"A", "B", "C", "D"} {
+		if err := sys.Declare(typ, event.Explicit); err != nil {
+			b.Fatal(err)
+		}
+	}
+	exprs := []string{"A ; B", "C AND D", "ANY(2, A, B, C)", "NOT(C)[A, D]", "(A ; B) ; C"}
+	for h, host := range hostIDs {
+		for d := 0; d < defsPerHost; d++ {
+			name := fmt.Sprintf("X%02d_%02d", h, d)
+			if _, err := sys.DefineAt(host, name, exprs[d%len(exprs)], detector.Chronicle); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	types := [4]string{"A", "B", "C", "D"}
+	for i := 0; i < events; i++ {
+		feeder.MustRaise(types[i%4], event.Explicit, nil)
+		if i%8 == 7 {
+			sys.Step(100) // burst of 8 raises per step: large release batches
+		}
+	}
+	if err := sys.Settle(10_000); err != nil {
+		b.Fatal(err)
+	}
+	return sys.Stats()
+}
+
+// BenchmarkPipelineWorkers is the multi-definition acceptance benchmark
+// for the staged pipeline: identical workload under sequential
+// (workers=0) and parallel (workers=GOMAXPROCS) detect.  On a multi-core
+// box the parallel mode is faster; detections are asserted identical, so
+// the comparison is apples to apples.
+func BenchmarkPipelineWorkers(b *testing.B) {
+	modes := []int{0, 2, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	var wantDetections float64 = -1
+	for _, workers := range modes {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var st ddetect.Stats
+			for i := 0; i < b.N; i++ {
+				st = runPipelineWorkload(b, workers, 8, 12, 640)
+			}
+			if wantDetections < 0 {
+				wantDetections = float64(st.Detections)
+			} else if float64(st.Detections) != wantDetections {
+				b.Fatalf("workers=%d: %d detections, sequential had %.0f",
+					workers, st.Detections, wantDetections)
+			}
+			b.ReportMetric(float64(st.Detections), "detections")
+			var detectBusy float64
+			for _, sg := range st.Stages {
+				if sg.Name == "detect" {
+					detectBusy = float64(sg.Busy.Nanoseconds()) / float64(sg.Ticks)
+				}
+			}
+			b.ReportMetric(detectBusy, "detect-ns/tick")
 		})
 	}
 }

@@ -1,8 +1,11 @@
 // Command distsim runs an end-to-end distributed detection simulation and
 // reports detection counts, timestamp set sizes and raise-to-publish
 // latency under configurable sites, network adversity and clock skew.
+// -workers parallelizes the detect stage across sites (results are
+// identical to sequential); -stats prints per-stage pipeline counters and
+// wall-clock latency histograms.
 //
-//	distsim -sites 8 -events 5000 -latency 20 -jitter 60 -drop 0.05
+//	distsim -sites 8 -events 5000 -latency 20 -jitter 60 -drop 0.05 -workers 4 -stats
 package main
 
 import (
@@ -11,6 +14,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/core"
@@ -18,6 +22,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/event"
 	"repro/internal/network"
+	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
 
@@ -31,6 +36,8 @@ type options struct {
 	drop    float64
 	skew    int64
 	seed    int64
+	workers int
+	stats   bool
 }
 
 func main() {
@@ -42,10 +49,13 @@ func main() {
 	drop := flag.Float64("drop", 0, "network drop rate")
 	skew := flag.Int64("skew", 30, "max clock offset ± (microticks, < Π/2)")
 	seed := flag.Int64("seed", 42, "random seed")
+	workers := flag.Int("workers", 0, "detect-stage worker count (0 = sequential; results identical)")
+	stats := flag.Bool("stats", false, "print per-stage pipeline counters and latency histograms")
 	flag.Parse()
 	simulate(os.Stdout, options{
 		sites: *sites, events: *events, meanGap: *meanGap,
 		latency: *latency, jitter: *jitter, drop: *drop, skew: *skew, seed: *seed,
+		workers: *workers, stats: *stats,
 	})
 }
 
@@ -60,6 +70,7 @@ func simulate(w io.Writer, o options) {
 			BaseLatency: *latency, Jitter: *jitter,
 			DropRate: *drop, RetransmitDelay: 4 * *latency, Seed: *seed,
 		},
+		Pipeline: pipeline.Config{Workers: o.workers},
 	}
 	if *drop > 0 && cfg.Net.RetransmitDelay == 0 {
 		cfg.Net.RetransmitDelay = 100
@@ -129,6 +140,17 @@ func simulate(w io.Writer, o options) {
 	for size := 1; size <= *sites; size++ {
 		if n, ok := setSizes[size]; ok {
 			fmt.Fprintf(w, "  %2d: %d\n", size, n)
+		}
+	}
+
+	if o.stats {
+		fmt.Fprintf(w, "\npipeline stages (workers=%d):\n", sys.Workers())
+		fmt.Fprintf(w, "  %-10s %8s %10s %12s %10s %10s\n",
+			"stage", "ticks", "items", "busy", "max-tick", "p99-tick")
+		for _, sg := range st.Stages {
+			fmt.Fprintf(w, "  %-10s %8d %10d %12v %10v %10v\n",
+				sg.Name, sg.Ticks, sg.Items, sg.Busy.Round(time.Microsecond),
+				sg.MaxTick.Round(time.Microsecond), sg.Hist.Quantile(0.99))
 		}
 	}
 }

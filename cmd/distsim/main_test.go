@@ -57,3 +57,25 @@ func TestSimulateWithAdversity(t *testing.T) {
 		t.Errorf("10%% drop should retransmit:\n%s", out)
 	}
 }
+
+func TestSimulateWorkersParity(t *testing.T) {
+	seq := runSim(t, baseOptions())
+	par := baseOptions()
+	par.workers = 4
+	if got := runSim(t, par); got != seq {
+		t.Fatalf("workers=4 report differs from sequential:\n%s\n---\n%s", got, seq)
+	}
+}
+
+func TestSimulateStatsSection(t *testing.T) {
+	o := baseOptions()
+	o.stats = true
+	out := runSim(t, o)
+	for _, want := range []string{
+		"pipeline stages", "ingest", "transport", "release", "detect", "publish",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-stats report lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package ddetect
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/eventlog"
+	"repro/internal/network"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// runPipelineScenario drives one seeded adversarial scenario — six skewed
+// sites, jittery lossy network, definitions at three hosts including a
+// hierarchically forwarded composite — and serializes every detection (in
+// publish order, with full constituent trees) through internal/eventlog.
+// The returned bytes are a total description of the occurrence stream.
+func runPipelineScenario(t testing.TB, workers int) ([]byte, Stats) {
+	sys := MustNewSystem(Config{
+		Net: network.Config{
+			BaseLatency: 20, Jitter: 70,
+			DropRate: 0.05, RetransmitDelay: 150, Seed: 11,
+		},
+		Pipeline: pipeline.Config{Workers: workers},
+	})
+	rng := rand.New(rand.NewSource(29))
+	ids := make([]core.SiteID, 6)
+	for i := range ids {
+		ids[i] = core.SiteID(fmt.Sprintf("s%02d", i))
+		sys.MustAddSite(ids[i], rng.Int63n(61)-30, rng.Int63n(4))
+	}
+	for _, typ := range []string{"A", "B", "C", "D"} {
+		if err := sys.Declare(typ, event.Explicit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defs := []struct {
+		host       core.SiteID
+		name, expr string
+		ctx        detector.Context
+	}{
+		{ids[0], "Seq", "A ; B", detector.Chronicle},
+		{ids[1], "Conj", "C AND D", detector.Recent},
+		{ids[2], "Guard", "NOT(C)[A, D]", detector.Chronicle},
+		{ids[2], "Any2", "ANY(2, A, B, C)", detector.Chronicle},
+		// Hierarchical: Seq is detected at ids[0] and forwarded to ids[1].
+		{ids[1], "Pair", "Seq AND C", detector.Chronicle},
+	}
+	var buf bytes.Buffer
+	log := eventlog.NewWriter(&buf)
+	for _, d := range defs {
+		if _, err := sys.DefineAt(d.host, d.name, d.expr, d.ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Subscribe(d.name, func(o *event.Occurrence) {
+			if err := log.Append(o); err != nil {
+				t.Errorf("log append: %v", err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trace := workload.GenStream(workload.StreamConfig{
+		Sites: ids, Types: []string{"A", "B", "C", "D"},
+		MeanGap: 40, Count: 900, Seed: 5,
+	})
+	for _, item := range trace.Items {
+		sys.Run(item.At, 50)
+		sys.Site(item.Site).MustRaise(item.Type, event.Explicit, item.Params)
+	}
+	if err := sys.Settle(50_000); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), sys.Stats()
+}
+
+// TestPipelineDeterminism is the regression test for the parallel detect
+// stage: the same seeded scenario must produce byte-identical occurrence
+// logs whatever the worker count.  Run it under -race to also certify the
+// worker pool's isolation contract (the Makefile's ci target does).
+func TestPipelineDeterminism(t *testing.T) {
+	seqLog, seqStats := runPipelineScenario(t, 0)
+	if seqStats.Detections == 0 {
+		t.Fatalf("scenario produced no detections; the comparison is vacuous")
+	}
+	if len(seqLog) == 0 {
+		t.Fatalf("empty occurrence log despite %d detections", seqStats.Detections)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		parLog, parStats := runPipelineScenario(t, workers)
+		if parStats.Detections != seqStats.Detections {
+			t.Fatalf("workers=%d: %d detections, sequential had %d",
+				workers, parStats.Detections, seqStats.Detections)
+		}
+		if !bytes.Equal(seqLog, parLog) {
+			t.Fatalf("workers=%d: occurrence log (%d bytes) differs from sequential (%d bytes)",
+				workers, len(parLog), len(seqLog))
+		}
+	}
+}
+
+// TestPipelineDeterminismRepeated re-runs the sequential scenario to pin
+// that the log itself is reproducible (no map-iteration or wall-clock
+// leakage into the stream).
+func TestPipelineDeterminismRepeated(t *testing.T) {
+	a, _ := runPipelineScenario(t, 0)
+	b, _ := runPipelineScenario(t, 0)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("sequential runs of the same seed diverge")
+	}
+}
+
+// TestPipelineStageStats checks the per-stage instrumentation: counters
+// flow through Stats and the hook sees every stage of every tick.
+func TestPipelineStageStats(t *testing.T) {
+	perStage := map[string]int{}
+	sys := MustNewSystem(Config{
+		Net: network.Config{BaseLatency: 10},
+		Pipeline: pipeline.Config{
+			OnStage: func(ev pipeline.StageEvent) { perStage[ev.Stage] += ev.Items },
+		},
+	})
+	a := sys.MustAddSite("a", 0, 0)
+	sys.MustAddSite("hub", 0, 0)
+	for _, typ := range []string{"A", "B"} {
+		if err := sys.Declare(typ, event.Explicit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.DefineAt("hub", "AB", "A ; B", detector.Chronicle); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		a.MustRaise("A", event.Explicit, nil)
+		sys.Run(sys.Now()+300, 50)
+		a.MustRaise("B", event.Explicit, nil)
+		sys.Run(sys.Now()+300, 50)
+	}
+	if err := sys.Settle(10_000); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if len(st.Stages) != 5 {
+		t.Fatalf("got %d stage stats, want 5", len(st.Stages))
+	}
+	want := []string{"ingest", "transport", "release", "detect", "publish"}
+	for i, name := range want {
+		if st.Stages[i].Name != name {
+			t.Fatalf("stage %d is %q, want %q", i, st.Stages[i].Name, name)
+		}
+		if st.Stages[i].Ticks == 0 {
+			t.Fatalf("stage %q never ticked", name)
+		}
+	}
+	// Cross-check stage item counts against the system counters.
+	if got := uint64(perStage["release"]); got != st.Released {
+		t.Fatalf("release stage saw %d items, stats say %d released", got, st.Released)
+	}
+	if got := uint64(perStage["detect"]); got != st.Released {
+		t.Fatalf("detect stage saw %d items, want %d (everything released is detected-on)", got, st.Released)
+	}
+	if got := uint64(perStage["publish"]); got != st.Detections {
+		t.Fatalf("publish stage saw %d items, stats say %d detections", got, st.Detections)
+	}
+	if st.Detections == 0 {
+		t.Fatalf("scenario produced no detections")
+	}
+	// The detect stage's histogram carries one sample per tick.
+	det := st.Stages[3]
+	if det.Hist.Total() != det.Ticks {
+		t.Fatalf("detect histogram has %d samples over %d ticks", det.Hist.Total(), det.Ticks)
+	}
+}
+
+// TestPipelineWorkersExerciseParallelPath pins that Workers>1 really does
+// run detection across goroutines' worth of sites (smoke, not perf): a
+// crash/decommission scenario plus temporal-free detection must behave
+// identically to sequential even mid-topology-change.
+func TestPipelineWorkersCrashParity(t *testing.T) {
+	run := func(workers int) (uint64, uint64) {
+		sys := MustNewSystem(Config{
+			Net:      network.Config{BaseLatency: 15, Jitter: 30, Seed: 4},
+			Pipeline: pipeline.Config{Workers: workers},
+		})
+		a := sys.MustAddSite("a", -10, 0)
+		b := sys.MustAddSite("b", 10, 0)
+		sys.MustAddSite("hub", 0, 0)
+		for _, typ := range []string{"A", "B"} {
+			if err := sys.Declare(typ, event.Explicit); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sys.DefineAt("hub", "AB", "A ; B", detector.Chronicle); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			a.MustRaise("A", event.Explicit, nil)
+			sys.Run(sys.Now()+200, 50)
+			b.MustRaise("B", event.Explicit, nil)
+			sys.Run(sys.Now()+200, 50)
+		}
+		if err := sys.Crash("b"); err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(sys.Now()+2000, 100)
+		if err := sys.Decommission("b"); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Settle(20_000); err != nil {
+			t.Fatal(err)
+		}
+		st := sys.Stats()
+		return st.Detections, st.Released
+	}
+	seqDet, seqRel := run(0)
+	parDet, parRel := run(4)
+	if seqDet != parDet || seqRel != parRel {
+		t.Fatalf("crash scenario diverged: seq (det=%d rel=%d) vs par (det=%d rel=%d)",
+			seqDet, seqRel, parDet, parRel)
+	}
+	if seqDet == 0 {
+		t.Fatalf("crash scenario produced no detections")
+	}
+}

@@ -1,0 +1,235 @@
+package ddetect
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/event"
+	"repro/internal/network"
+)
+
+// This file holds the five stage drivers the System composes into its
+// per-tick pipeline (see internal/pipeline):
+//
+//	ingest    — site raises (stamping, simultaneity enforcement,
+//	            journaling, bus hand-off) and watermark heartbeats
+//	transport — batch-draining the bus and restoring per-link FIFO
+//	            order in each site's reorderer
+//	release   — watermark release of stable events into per-site
+//	            detect inboxes
+//	detect    — running every site's detector graph over its inbox,
+//	            optionally in parallel across sites (pipeline.Pool)
+//	publish   — subscriber fan-out, hierarchical forwarding and stats,
+//	            in deterministic site order
+//
+// Only the detect stage runs off the crank goroutine, and it confines
+// every write to per-site state (the detector, the site's inbox and
+// detected buffers).  Everything that touches shared state — the bus,
+// the RNG behind it, the Stats counters, user handlers — happens in the
+// single-threaded stages, in site-ID order, so the sequence of
+// side-effects is identical whatever the worker count: the determinism
+// argument for the per-tick barrier.
+
+// ingestStage drives the raise path and the heartbeat cadence.  Raises
+// happen between ticks (the application calls Site.Raise); the stage's
+// Tick emits due heartbeats and accounts the raises since the last tick.
+type ingestStage struct {
+	sys *System
+	// raised counts Site.Raise calls since the last tick, for the
+	// stage's item accounting.
+	raised int
+}
+
+func (st *ingestStage) Name() string { return "ingest" }
+
+func (st *ingestStage) Tick(now clock.Microticks) int {
+	sys := st.sys
+	n := st.raised
+	st.raised = 0
+	for sys.nextHB <= now {
+		for _, s := range sys.sites {
+			if s.crashed {
+				continue
+			}
+			g := s.clk.GlobalTick(s.clk.LocalTick(sys.nextHB))
+			s.re.setFrontier(s.ID, g)
+			for _, dst := range sys.sites {
+				if dst.ID == s.ID {
+					continue
+				}
+				sys.bus.Send(sys.nextHB, s.ID, dst.ID, sys.payload(envelope{Kind: envHeartbeat, Global: g}))
+				sys.stats.Heartbeats++
+				n++
+			}
+		}
+		sys.nextHB += sys.cfg.HeartbeatEvery
+	}
+	return n
+}
+
+// raise is the ingest half of Site.Raise: stamp, enforce the Section 3.1
+// simultaneity assumptions, journal, and hand the occurrence to the
+// transport (bus) or the site's own stream.
+func (st *ingestStage) raise(s *Site, typ string, class event.Class, params event.Params) (*event.Occurrence, error) {
+	sys := st.sys
+	sys.seal()
+	if !sys.reg.Has(typ) {
+		return nil, fmt.Errorf("%w: %q", event.ErrUnknownType, typ)
+	}
+	if s.crashed {
+		return nil, fmt.Errorf("%w: %q", ErrCrashed, s.ID)
+	}
+	occ := event.NewPrimitive(typ, class, s.StampNow(), params)
+	if sys.cfg.EnforceSimultaneity && (class == event.Database || class == event.Explicit) {
+		if s.lastLocal == nil {
+			s.lastLocal = make(map[event.Class]int64)
+		}
+		local := occ.Stamp[0].Local
+		if last, seen := s.lastLocal[class]; seen && last == local {
+			return nil, fmt.Errorf("%w: %s at %s, local tick %d", ErrSimultaneous, class, s.ID, local)
+		}
+		s.lastLocal[class] = local
+	}
+	if sys.journal != nil {
+		if err := sys.journal.Append(occ); err != nil {
+			return nil, fmt.Errorf("ddetect: journal: %w", err)
+		}
+	}
+	now := sys.clk.Now()
+	env := envelope{Kind: envEvent, Occ: occ, RaisedAt: now}
+	sys.stats.Raised++
+	st.raised++
+	needers := sys.needers[typ]
+	if len(needers) == 0 {
+		sys.stats.Unconsumed++
+		return occ, nil
+	}
+	for _, dst := range needers {
+		if dst == s.ID {
+			s.selfDeliver(env)
+		} else {
+			sys.bus.Send(now, s.ID, dst, sys.payload(env))
+			sys.stats.Forwarded++
+			sys.inFlightEvents++
+		}
+	}
+	return occ, nil
+}
+
+// transportStage drains the bus in one batch per tick and feeds each
+// message into its destination site's reorderer, which restores per-link
+// FIFO order.  The batch slice is reused across ticks.
+type transportStage struct {
+	sys   *System
+	batch []network.Message
+}
+
+func (st *transportStage) Name() string { return "transport" }
+
+func (st *transportStage) Tick(now clock.Microticks) int {
+	sys := st.sys
+	st.batch = sys.bus.DrainDue(now, st.batch[:0])
+	for _, m := range st.batch {
+		dst := sys.siteByID[m.To]
+		if dst == nil {
+			panic(fmt.Sprintf("ddetect: message to unknown site %q", m.To))
+		}
+		env := sys.unpayload(m.Payload)
+		if env.Kind == envEvent {
+			sys.inFlightEvents--
+		}
+		if err := dst.re.accept(m.From, m.Seq, env); err != nil {
+			panic(err) // bus sequencing guarantees make this unreachable
+		}
+	}
+	return len(st.batch)
+}
+
+// releaseStage pops every watermark-stable event, in each site's
+// deterministic (global, site, local, arrival) order, into the site's
+// detect inbox, accounting raise-to-release latency.
+type releaseStage struct {
+	sys *System
+}
+
+func (st *releaseStage) Name() string { return "release" }
+
+func (st *releaseStage) Tick(now clock.Microticks) int {
+	sys := st.sys
+	n := 0
+	for _, s := range sys.sites {
+		s := s
+		n += s.re.release(sys.cfg.Release, func(env envelope) {
+			sys.stats.Released++
+			lat := now - env.RaisedAt
+			sys.stats.LatencySum += lat
+			if lat > sys.stats.LatencyMax {
+				sys.stats.LatencyMax = lat
+			}
+			s.inbox = append(s.inbox, env.Occ)
+		})
+	}
+	return n
+}
+
+// detectStage runs every site's detector over its released inbox and
+// fires due detector timers — in parallel across sites when the pool has
+// workers.  Workers confine their writes to the site they own: the
+// detector graph, the inbox they drain and the detected buffer the
+// System's per-definition recorder appends to.  Detections are NOT
+// published here; they are buffered per site and handed to the publish
+// stage, so user handlers, stats and bus traffic stay on the crank
+// goroutine and in deterministic site order.
+type detectStage struct {
+	sys *System
+}
+
+func (st *detectStage) Name() string { return "detect" }
+
+func (st *detectStage) Tick(now clock.Microticks) int {
+	sys := st.sys
+	n := 0
+	for _, s := range sys.sites {
+		n += len(s.inbox)
+	}
+	sys.pool.Run(len(sys.sites), func(i int) {
+		s := sys.sites[i]
+		s.det.PublishBatch(s.inbox)
+		s.inbox = s.inbox[:0]
+		s.det.AdvanceTo(now)
+	})
+	return n
+}
+
+// publishStage completes each buffered detection on the crank goroutine,
+// iterating sites in ID order: count it, fan it out to System.Subscribe
+// handlers, and forward it to remote sites whose definitions reference it
+// by name (hierarchical mode).  Running after the detect barrier keeps
+// the bus send order — and hence the seeded jitter/loss schedule —
+// independent of the worker count.
+type publishStage struct {
+	sys *System
+}
+
+func (st *publishStage) Name() string { return "publish" }
+
+func (st *publishStage) Tick(now clock.Microticks) int {
+	sys := st.sys
+	n := 0
+	for _, s := range sys.sites {
+		// Index loop: a handler that publishes into this site's detector
+		// can append further detections mid-drain; they are completed in
+		// the same tick.
+		for i := 0; i < len(s.detected); i++ {
+			o := s.detected[i]
+			sys.stats.Detections++
+			for _, h := range sys.handlers[o.Type] {
+				h(o)
+			}
+			sys.forwardComposite(s, o)
+			n++
+		}
+		s.detected = s.detected[:0]
+	}
+	return n
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/eventlog"
 	"repro/internal/expr"
 	"repro/internal/network"
+	"repro/internal/pipeline"
 	"repro/internal/wire"
 )
 
@@ -44,6 +45,12 @@ type Config struct {
 	// ErrSimultaneous instead of producing stamps the assumptions forbid
 	// (advance the simulated clock between raises).
 	EnforceSimultaneity bool
+	// Pipeline configures the staged execution: Workers sets the
+	// detect-stage worker count (0 = everything on the crank goroutine,
+	// the sequential legacy behavior; results are identical either way)
+	// and OnStage is an optional per-stage instrumentation hook.  See
+	// internal/pipeline.
+	Pipeline pipeline.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -52,6 +59,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HeartbeatEvery <= 0 {
 		c.HeartbeatEvery = c.Clock.GlobalGranularity
+	}
+	if c.Pipeline.Workers < 0 {
+		c.Pipeline.Workers = 0
 	}
 	return c
 }
@@ -67,6 +77,10 @@ type Stats struct {
 	LatencySum clock.Microticks
 	LatencyMax clock.Microticks
 	Net        network.Stats
+	// Stages holds per-stage tick counters and wall-clock latency
+	// histograms, in pipeline order (ingest, transport, release, detect,
+	// publish).
+	Stages []pipeline.StageStats
 }
 
 // MeanLatency returns the mean raise-to-publish latency in microticks.
@@ -79,8 +93,16 @@ func (s Stats) MeanLatency() float64 {
 
 // System is a simulated multi-site detection deployment.  It owns the
 // clock, the network and all site runtimes, and is driven in simulated
-// time by Step/Run/Settle.  Not safe for concurrent use — the simulation
-// is deterministic precisely because one goroutine turns the crank.
+// time by Step/Run/Settle.
+//
+// Each tick runs an explicit five-stage pipeline — ingest, transport,
+// release, detect, publish (see stages.go and internal/pipeline).  The
+// public entry points are not safe for concurrent use: one goroutine
+// turns the crank.  With Config.Pipeline.Workers > 1 the detect stage
+// fans out across sites on a worker pool that joins at a per-tick
+// barrier; all cross-site effects are buffered and applied in site-ID
+// order afterwards, so the occurrence stream is bit-for-bit identical to
+// the sequential mode.
 type System struct {
 	cfg      Config
 	clk      *clock.System
@@ -93,6 +115,17 @@ type System struct {
 	sealed   bool
 	stats    Stats
 	journal  *eventlog.Writer
+
+	// handlers holds System.Subscribe handlers by definition name; the
+	// publish stage fans detections out to them on the crank goroutine.
+	handlers map[string][]detector.Handler
+
+	// pipe composes the five stage drivers; pool is the detect stage's
+	// worker pool; ingest is kept aside because Site.Raise drives it
+	// between ticks.
+	pipe   *pipeline.Driver
+	pool   *pipeline.Pool
+	ingest *ingestStage
 
 	// inFlightEvents counts event envelopes on the bus (heartbeats are
 	// perpetual and excluded), for the quiescence check.
@@ -116,11 +149,22 @@ func NewSystem(cfg Config) (*System, error) {
 		reg:      event.NewRegistry(),
 		siteByID: make(map[core.SiteID]*Site),
 		needers:  make(map[string][]core.SiteID),
+		handlers: make(map[string][]detector.Handler),
 		nextHB:   cfg.HeartbeatEvery,
+		pool:     pipeline.NewPool(cfg.Pipeline.Workers),
 	}
 	if cfg.Journal != nil {
 		sys.journal = eventlog.NewWriter(cfg.Journal)
 	}
+	sys.ingest = &ingestStage{sys: sys}
+	sys.pipe = pipeline.NewDriver(
+		sys.ingest,
+		&transportStage{sys: sys},
+		&releaseStage{sys: sys},
+		&detectStage{sys: sys},
+		&publishStage{sys: sys},
+	)
+	sys.pipe.Hook(cfg.Pipeline.OnStage)
 	return sys, nil
 }
 
@@ -142,10 +186,15 @@ func (sys *System) Clock() *clock.System { return sys.clk }
 // Now returns the current reference time.
 func (sys *System) Now() clock.Microticks { return sys.clk.Now() }
 
-// Stats returns a snapshot of the counters.
+// Workers returns the detect-stage worker count (0 = sequential).
+func (sys *System) Workers() int { return sys.pool.Workers() }
+
+// Stats returns a snapshot of the counters, including per-stage pipeline
+// stats.
 func (sys *System) Stats() Stats {
 	st := sys.stats
 	st.Net = sys.bus.Stats()
+	st.Stages = sys.pipe.Stats()
 	return st
 }
 
@@ -164,6 +213,16 @@ type Site struct {
 	// crashed marks a site that stopped: it raises nothing and sends no
 	// heartbeats.  See System.Crash and System.Decommission.
 	crashed bool
+
+	// Inter-stage buffers, each owned by exactly one stage at a time:
+	// inbox carries watermark-released occurrences from the release
+	// stage to the detect stage; detected carries this site's composite
+	// detections (appended by the per-definition recorder, in detection
+	// order) from the detect stage to the publish stage.  In parallel
+	// mode the detect-stage worker that owns this site is the only
+	// goroutine touching either.
+	inbox    []*event.Occurrence
+	detected []*event.Occurrence
 }
 
 // ErrSimultaneous reports a violation of the Section 3.1 simultaneity
@@ -267,9 +326,10 @@ func (sys *System) Declare(name string, class event.Class) error {
 
 // DefineAt compiles a named composite event at the hosting site.  Every
 // primitive (or previously defined composite) the expression references is
-// recorded as needed by the host, so Raise forwards matching occurrences
-// there; a referenced composite defined at another site is additionally
-// forwarded from its own host when it is detected (hierarchical mode).
+// recorded as needed by the host, so the ingest stage forwards matching
+// occurrences there; a referenced composite defined at another site is
+// additionally forwarded from its own host when it is detected
+// (hierarchical mode, handled by the publish stage).
 func (sys *System) DefineAt(host core.SiteID, name, expression string, ctx detector.Context) (*detector.Definition, error) {
 	if sys.sealed {
 		return nil, ErrSealed
@@ -288,17 +348,16 @@ func (sys *System) DefineAt(host core.SiteID, name, expression string, ctx detec
 	}
 	for _, prim := range expr.Primitives(root) {
 		sys.addNeeder(prim, host)
-		// Hierarchical forwarding: if prim is a composite defined at a
-		// different site, ship its detections to this host.
-		if producer := sys.hostOf(prim); producer != nil && producer.ID != host {
-			prim := prim
-			from := producer
-			producer.det.Subscribe(prim, func(o *event.Occurrence) {
-				sys.forwardComposite(from, o)
-			})
-		}
 	}
-	s.det.Subscribe(name, func(*event.Occurrence) { sys.stats.Detections++ })
+	// Recorder: buffer every detection of this definition on its host
+	// site, in detection order.  The publish stage completes them after
+	// the detect barrier — counting, System.Subscribe fan-out and
+	// hierarchical forwarding to the sites recorded in needers.  In
+	// parallel mode this closure runs on the worker that owns s, which
+	// is the only goroutine appending to s.detected.
+	s.det.Subscribe(name, func(o *event.Occurrence) {
+		s.detected = append(s.detected, o)
+	})
 	return def, nil
 }
 
@@ -325,13 +384,15 @@ func (sys *System) hostOf(name string) *Site {
 	return nil
 }
 
-// Subscribe attaches a handler to a definition at its hosting site.
+// Subscribe attaches a handler to a definition.  Handlers run on the
+// crank goroutine during the publish stage, after the detect barrier, in
+// deterministic (site, detection) order — never concurrently, whatever
+// the worker count.
 func (sys *System) Subscribe(name string, h detector.Handler) error {
-	s := sys.hostOf(name)
-	if s == nil {
+	if sys.hostOf(name) == nil {
 		return fmt.Errorf("ddetect: no site defines %q", name)
 	}
-	s.det.Subscribe(name, h)
+	sys.handlers[name] = append(sys.handlers[name], h)
 	return nil
 }
 
@@ -359,55 +420,16 @@ func (s *Site) StampNow() core.Stamp {
 }
 
 // Detector exposes the site's detector (for advanced wiring in examples
-// and tests).
+// and tests).  Handlers subscribed directly here — rather than through
+// System.Subscribe — run inside the detect stage, on a worker goroutine
+// when Config.Pipeline.Workers > 1.
 func (s *Site) Detector() *detector.Detector { return s.det }
 
 // Raise raises a primitive event at this site, stamped by its clock, and
-// forwards it to every site whose definitions need it.  It returns the
-// occurrence.
+// forwards it to every site whose definitions need it (the ingest stage).
+// It returns the occurrence.
 func (s *Site) Raise(typ string, class event.Class, params event.Params) (*event.Occurrence, error) {
-	sys := s.sys
-	sys.seal()
-	if !sys.reg.Has(typ) {
-		return nil, fmt.Errorf("%w: %q", event.ErrUnknownType, typ)
-	}
-	if s.crashed {
-		return nil, fmt.Errorf("%w: %q", ErrCrashed, s.ID)
-	}
-	occ := event.NewPrimitive(typ, class, s.StampNow(), params)
-	if sys.cfg.EnforceSimultaneity && (class == event.Database || class == event.Explicit) {
-		if s.lastLocal == nil {
-			s.lastLocal = make(map[event.Class]int64)
-		}
-		local := occ.Stamp[0].Local
-		if last, seen := s.lastLocal[class]; seen && last == local {
-			return nil, fmt.Errorf("%w: %s at %s, local tick %d", ErrSimultaneous, class, s.ID, local)
-		}
-		s.lastLocal[class] = local
-	}
-	if sys.journal != nil {
-		if err := sys.journal.Append(occ); err != nil {
-			return nil, fmt.Errorf("ddetect: journal: %w", err)
-		}
-	}
-	now := sys.clk.Now()
-	env := envelope{Kind: envEvent, Occ: occ, RaisedAt: now}
-	sys.stats.Raised++
-	needers := sys.needers[typ]
-	if len(needers) == 0 {
-		sys.stats.Unconsumed++
-		return occ, nil
-	}
-	for _, dst := range needers {
-		if dst == s.ID {
-			s.selfDeliver(env)
-		} else {
-			sys.bus.Send(now, s.ID, dst, sys.payload(env))
-			sys.stats.Forwarded++
-			sys.inFlightEvents++
-		}
-	}
-	return occ, nil
+	return s.sys.ingest.raise(s, typ, class, params)
 }
 
 // MustRaise is Raise that panics on error.
@@ -420,11 +442,16 @@ func (s *Site) MustRaise(typ string, class event.Class, params event.Params) *ev
 }
 
 // forwardComposite ships a locally detected composite occurrence to the
-// sites that need it by name (hierarchical mode).
+// sites that reference it by name (hierarchical mode).  Runs on the crank
+// goroutine (publish stage).
 func (sys *System) forwardComposite(from *Site, o *event.Occurrence) {
+	needers := sys.needers[o.Type]
+	if len(needers) == 0 {
+		return
+	}
 	now := sys.clk.Now()
 	env := envelope{Kind: envEvent, Occ: o, RaisedAt: now}
-	for _, dst := range sys.needers[o.Type] {
+	for _, dst := range needers {
 		if dst == from.ID {
 			continue // local consumers already saw it via the detector
 		}
@@ -486,13 +513,14 @@ func (s *Site) selfDeliver(env envelope) {
 	}
 }
 
-// Step advances simulated time by dt and processes everything that became
-// due: heartbeats, message deliveries, watermark releases and detector
-// timers.  Processing is deterministic (sites in ID order).
+// Step advances simulated time by dt and runs one pipeline tick over
+// everything that became due: heartbeats, message deliveries, watermark
+// releases, detection and publication.  Processing is deterministic
+// (stages in order, sites in ID order) for every worker count.
 func (sys *System) Step(dt clock.Microticks) {
 	sys.seal()
 	now := sys.clk.Advance(dt)
-	sys.tick(now)
+	sys.pipe.Tick(now)
 }
 
 // Run advances to target in fixed steps.
@@ -526,6 +554,9 @@ func (sys *System) Settle(maxSteps int) error {
 	return nil
 }
 
+// quiescent reports whether nothing is in flight or buffered.  The
+// inter-stage buffers need no check: every Step drains inbox and detected
+// completely before returning.
 func (sys *System) quiescent() bool {
 	if sys.inFlightEvents > 0 {
 		return false
@@ -536,53 +567,4 @@ func (sys *System) quiescent() bool {
 		}
 	}
 	return true
-}
-
-// tick processes everything due at the (already advanced) time now.
-func (sys *System) tick(now clock.Microticks) {
-	// 1. Heartbeats due up to now.
-	for sys.nextHB <= now {
-		for _, s := range sys.sites {
-			if s.crashed {
-				continue
-			}
-			g := s.clk.GlobalTick(s.clk.LocalTick(sys.nextHB))
-			s.re.setFrontier(s.ID, g)
-			for _, dst := range sys.sites {
-				if dst.ID == s.ID {
-					continue
-				}
-				sys.bus.Send(sys.nextHB, s.ID, dst.ID, sys.payload(envelope{Kind: envHeartbeat, Global: g}))
-				sys.stats.Heartbeats++
-			}
-		}
-		sys.nextHB += sys.cfg.HeartbeatEvery
-	}
-	// 2. Deliver due messages into reorderers.
-	sys.bus.DeliverDue(now, func(m network.Message) {
-		dst := sys.siteByID[m.To]
-		if dst == nil {
-			panic(fmt.Sprintf("ddetect: message to unknown site %q", m.To))
-		}
-		env := sys.unpayload(m.Payload)
-		if env.Kind == envEvent {
-			sys.inFlightEvents--
-		}
-		if err := dst.re.accept(m.From, m.Seq, env); err != nil {
-			panic(err) // bus sequencing guarantees make this unreachable
-		}
-	})
-	// 3. Release stable events to detectors and fire timers.
-	for _, s := range sys.sites {
-		s.re.release(sys.cfg.Release, func(env envelope) {
-			sys.stats.Released++
-			lat := now - env.RaisedAt
-			sys.stats.LatencySum += lat
-			if lat > sys.stats.LatencyMax {
-				sys.stats.LatencyMax = lat
-			}
-			s.det.Publish(env.Occ)
-		})
-		s.det.AdvanceTo(now)
-	}
 }

@@ -199,6 +199,11 @@ var ErrUnknownType = errors.New("event: unknown event type")
 // events be pre-defined before use in expressions; the registry enforces
 // that and records each type's class.  It is safe for concurrent use.
 type Registry struct {
+	// mu is load-bearing: one registry is shared by every site's
+	// detector, and with the parallel detect stage (internal/ddetect,
+	// Config.Pipeline.Workers > 1) lookups can race with declarations
+	// made by a detector defining a composite type mid-detection.  Reads
+	// vastly outnumber writes, hence the RWMutex.
 	mu    sync.RWMutex
 	types map[string]Type
 }

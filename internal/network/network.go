@@ -142,6 +142,39 @@ func (b *Bus) Send(now clock.Microticks, from, to core.SiteID, payload any) Mess
 	return m
 }
 
+// DrainDue pops every message due at or before now, in deterministic
+// (DeliverAt, send order) order, appending to buf (pass the previous
+// tick's slice, resliced to zero length, to reuse its backing array).
+// This is the batch form the transport stage drains the bus with: one
+// lock acquisition and one pre-sized append run per tick instead of a
+// lock round trip per message.
+func (b *Bus) DrainDue(now clock.Microticks, buf []Message) []Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Pre-size: count the due messages (a linear scan over the heap
+	// slice, no allocation) and grow buf once.
+	due := 0
+	for _, q := range b.queue {
+		if q.msg.DeliverAt <= now {
+			due++
+		}
+	}
+	if due == 0 {
+		return buf
+	}
+	if free := cap(buf) - len(buf); free < due {
+		grown := make([]Message, len(buf), len(buf)+due)
+		copy(grown, buf)
+		buf = grown
+	}
+	for b.queue.Len() > 0 && b.queue[0].msg.DeliverAt <= now {
+		q := heap.Pop(&b.queue).(*queued)
+		b.stats.Delivered++
+		buf = append(buf, q.msg)
+	}
+	return buf
+}
+
 // DeliverDue pops every message due at or before now, in deterministic
 // (DeliverAt, send order) order, and hands each to fn.
 func (b *Bus) DeliverDue(now clock.Microticks, fn func(Message)) int {

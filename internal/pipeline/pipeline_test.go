@@ -1,0 +1,149 @@
+package pipeline
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// countStage counts ticks and reports a fixed item count.
+type countStage struct {
+	name  string
+	items int
+	ticks int
+	trace *[]string
+}
+
+func (s *countStage) Name() string { return s.name }
+func (s *countStage) Tick(now clock.Microticks) int {
+	s.ticks++
+	if s.trace != nil {
+		*s.trace = append(*s.trace, s.name)
+	}
+	return s.items
+}
+
+func TestDriverRunsStagesInOrder(t *testing.T) {
+	var trace []string
+	a := &countStage{name: "a", items: 2, trace: &trace}
+	b := &countStage{name: "b", items: 3, trace: &trace}
+	d := NewDriver(a, b)
+	d.Tick(10)
+	d.Tick(20)
+	want := []string{"a", "b", "a", "b"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+	st := d.Stats()
+	if st[0].Name != "a" || st[0].Ticks != 2 || st[0].Items != 4 {
+		t.Fatalf("stage a stats %+v", st[0])
+	}
+	if st[1].Name != "b" || st[1].Ticks != 2 || st[1].Items != 6 {
+		t.Fatalf("stage b stats %+v", st[1])
+	}
+	if st[0].Hist.Total() != 2 {
+		t.Fatalf("histogram samples %d, want 2", st[0].Hist.Total())
+	}
+}
+
+func TestDriverHooks(t *testing.T) {
+	a := &countStage{name: "a", items: 1}
+	d := NewDriver(a)
+	var events []StageEvent
+	d.Hook(func(ev StageEvent) { events = append(events, ev) })
+	d.Tick(42)
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Stage != "a" || ev.Now != 42 || ev.Items != 1 || ev.Elapsed < 0 {
+		t.Fatalf("unexpected event %+v", ev)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)                    // bucket 0
+	h.Observe(3 * time.Nanosecond)  // bucket 1
+	h.Observe(1500 * time.Nanosecond)
+	if h.Total() != 4 {
+		t.Fatalf("total %d, want 4", h.Total())
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[10] != 1 {
+		t.Fatalf("counts %v", h.Counts)
+	}
+	if q := h.Quantile(0.5); q <= 0 {
+		t.Fatalf("quantile %v", q)
+	}
+	if h.Quantile(1.0) < h.Quantile(0.0) {
+		t.Fatalf("quantiles not monotone")
+	}
+	if (&Histogram{}).Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram quantile should be 0")
+	}
+	if (&Histogram{}).String() != "-" {
+		t.Fatalf("empty histogram string %q", (&Histogram{}).String())
+	}
+}
+
+func TestPoolRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8} {
+		p := NewPool(workers)
+		const n = 100
+		var hits [n]atomic.Int32
+		p.Run(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestPoolBarrier(t *testing.T) {
+	// Every fn must have completed when Run returns.
+	p := NewPool(4)
+	var done atomic.Int32
+	p.Run(64, func(i int) {
+		time.Sleep(time.Microsecond)
+		done.Add(1)
+	})
+	if got := done.Load(); got != 64 {
+		t.Fatalf("barrier leaked: %d of 64 done at return", got)
+	}
+}
+
+func TestPoolPanicPropagates(t *testing.T) {
+	p := NewPool(4)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	p.Run(8, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+	t.Fatalf("panic did not propagate")
+}
+
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	ran := 0
+	p.Run(5, func(i int) { ran++ })
+	if ran != 5 {
+		t.Fatalf("nil pool ran %d of 5", ran)
+	}
+	if p.Workers() != 0 {
+		t.Fatalf("nil pool workers %d", p.Workers())
+	}
+}

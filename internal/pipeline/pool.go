@@ -1,0 +1,81 @@
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool fans work out across a bounded number of goroutines and joins
+// before returning — the detect stage's per-tick barrier.  A Pool with
+// Workers ≤ 1 (or a nil Pool) runs everything inline on the caller's
+// goroutine, which is the sequential legacy mode.
+//
+// Pool spawns its goroutines per Run call (work stealing off an atomic
+// counter), so it holds no resources between ticks and needs no Close.
+type Pool struct {
+	workers int
+}
+
+// NewPool creates a pool.  workers ≤ 1 means inline execution.
+func NewPool(workers int) *Pool {
+	if workers < 0 {
+		workers = 0
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the configured worker count.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 0
+	}
+	return p.workers
+}
+
+// Run calls fn(i) for every i in [0, n) and returns only when all calls
+// have completed.  fn must confine its writes to state owned by index i;
+// under that contract the results are identical for any worker count, so
+// parallelism cannot perturb determinism.  Panics in fn are re-raised on
+// the calling goroutine after the barrier.
+func (p *Pool) Run(n int, fn func(i int)) {
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	type trapped struct{ v any }
+	var (
+		next     atomic.Int64
+		panicked atomic.Value
+		wg       sync.WaitGroup
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, trapped{v: r})
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r.(trapped).v)
+	}
+}

@@ -16,6 +16,30 @@
 //   - the active-database substrate and ECA rules from internal/activedb
 //     and internal/rules.
 //
+// # Architecture: the staged detection pipeline
+//
+// Every System tick runs an explicit five-stage pipeline
+// (internal/pipeline composed by internal/ddetect):
+//
+//	ingest    — site raises: stamping, simultaneity enforcement,
+//	            journaling, hand-off to the bus; watermark heartbeats
+//	transport — batch bus drain + per-link FIFO restore
+//	release   — watermark release of stable events (ReleaseTotalOrder /
+//	            ReleaseExtension) into per-site detect inboxes
+//	detect    — per-site detector graphs over the released batches,
+//	            in parallel across sites when PipelineConfig.Workers > 1
+//	publish   — subscriber fan-out, hierarchical forwarding, stats
+//
+// Only the detect stage runs on worker goroutines, and each worker owns
+// one site's state outright; everything that touches shared state (the
+// bus and its seeded RNG, counters, user handlers) happens afterwards on
+// the crank goroutine in site-ID order.  Released batches are already
+// deterministically ordered by (watermark global, site, local, arrival),
+// so sequential and parallel runs produce bit-for-bit identical
+// occurrence streams — set SystemConfig.Pipeline.Workers freely.
+// Per-stage counters and wall-clock latency histograms are exposed via
+// SystemStats.Stages, and PipelineConfig.OnStage hooks every stage tick.
+//
 // Quickstart (see examples/quickstart for the runnable version):
 //
 //	sys := sentinel.MustNewSystem(sentinel.SystemConfig{})
@@ -39,6 +63,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/live"
 	"repro/internal/network"
+	"repro/internal/pipeline"
 	"repro/internal/rules"
 )
 
@@ -109,6 +134,17 @@ type (
 	ReleaseMode = ddetect.ReleaseMode
 	// Runtime makes a System safe for concurrent producers.
 	Runtime = live.Runtime
+	// PipelineConfig tunes the staged execution: Workers is the
+	// detect-stage worker count (0 = sequential legacy behavior, with
+	// identical results either way) and OnStage hooks instrumentation.
+	PipelineConfig = pipeline.Config
+	// StageEvent is one per-stage instrumentation sample.
+	StageEvent = pipeline.StageEvent
+	// StageStats aggregates one pipeline stage's counters and latency
+	// histogram; SystemStats.Stages holds one per stage.
+	StageStats = pipeline.StageStats
+	// StageHistogram is a power-of-two-bucketed wall-clock histogram.
+	StageHistogram = pipeline.Histogram
 )
 
 // Watermark release modes.

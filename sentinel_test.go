@@ -258,3 +258,61 @@ func (s sinkThroughSite) RaiseDB(typ string, class sentinel.Class, params sentin
 	s.site.MustRaise(typ, class, params)
 	s.sys.Step(10)
 }
+
+// TestFacadePipelineConfig exercises the staged-pipeline knob through the
+// public API: parallel detect via PipelineConfig.Workers, per-stage stats
+// via SystemStats.Stages, and the StageEvent instrumentation hook.
+func TestFacadePipelineConfig(t *testing.T) {
+	stageTicks := map[string]uint64{}
+	sys := sentinel.MustNewSystem(sentinel.SystemConfig{
+		Net: sentinel.NetConfig{BaseLatency: 15, Jitter: 25, Seed: 2},
+		Pipeline: sentinel.PipelineConfig{
+			Workers: 4,
+			OnStage: func(ev sentinel.StageEvent) { stageTicks[ev.Stage]++ },
+		},
+	})
+	a := sys.MustAddSite("a", -10, 0)
+	sys.MustAddSite("hub1", 0, 0)
+	sys.MustAddSite("hub2", 10, 0)
+	for _, typ := range []string{"A", "B"} {
+		if err := sys.Declare(typ, sentinel.Explicit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, host := range []sentinel.SiteID{"hub1", "hub2"} {
+		if _, err := sys.DefineAt(host, "AB@"+string(host), "A ; B", sentinel.Chronicle); err != nil {
+			t.Fatal(err)
+		}
+	}
+	detections := 0
+	if err := sys.Subscribe("AB@hub1", func(*sentinel.Occurrence) { detections++ }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		a.MustRaise("A", sentinel.Explicit, nil)
+		sys.Run(sys.Now()+200, 50)
+		a.MustRaise("B", sentinel.Explicit, nil)
+		sys.Run(sys.Now()+200, 50)
+	}
+	if err := sys.Settle(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if detections == 0 {
+		t.Fatalf("no detections under parallel pipeline")
+	}
+	st := sys.Stats()
+	if len(st.Stages) != 5 {
+		t.Fatalf("got %d stage stats, want 5", len(st.Stages))
+	}
+	for _, sg := range st.Stages {
+		if stageTicks[sg.Name] != sg.Ticks {
+			t.Fatalf("hook saw %d %q ticks, stats say %d", stageTicks[sg.Name], sg.Name, sg.Ticks)
+		}
+		if sg.Hist.Total() != sg.Ticks {
+			t.Fatalf("stage %q histogram has %d samples over %d ticks", sg.Name, sg.Hist.Total(), sg.Ticks)
+		}
+	}
+	if sys.Workers() != 4 {
+		t.Fatalf("workers %d, want 4", sys.Workers())
+	}
+}
