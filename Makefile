@@ -1,17 +1,25 @@
 # Tier-1 verification for this repo.  `make ci` is what a reviewer (or a
-# CI job) runs: vet, build, the full test suite under the race detector —
-# the parallel detect stage makes -race load-bearing, not optional — and
-# the pipeline determinism regression explicitly by name so a renamed or
-# skipped test fails loudly.
+# CI job) runs: vet, lint, build, the full test suite under the race
+# detector — the parallel detect stage makes -race load-bearing, not
+# optional — and the pipeline determinism regression explicitly by name
+# so a renamed or skipped test fails loudly.
 
 GO ?= go
+LINT := bin/sentinel-lint
 
-.PHONY: ci vet build test race determinism bench
+.PHONY: ci vet lint build test race determinism bench
 
-ci: vet build race determinism
+ci: vet lint build race determinism
 
 vet:
 	$(GO) vet ./...
+
+# The repo's own analyzer suite (walltime, stampcmp, mapiter, stagefx —
+# see DESIGN.md "Enforced invariants"), driven through the go vet
+# unit-checker protocol so test variants are covered too.
+lint:
+	$(GO) build -o $(LINT) ./cmd/sentinel-lint
+	$(GO) vet -vettool=$(LINT) ./...
 
 build:
 	$(GO) build ./...

@@ -68,7 +68,8 @@ func simulate(w io.Writer, o options) {
 	cfg := ddetect.Config{
 		Net: network.Config{
 			BaseLatency: *latency, Jitter: *jitter,
-			DropRate: *drop, RetransmitDelay: 4 * *latency, Seed: *seed,
+			DropRate: *drop, RetransmitDelay: 4 * *latency,
+			Seed: workload.SubSeed(*seed, "net"),
 		},
 		Pipeline: pipeline.Config{Workers: o.workers},
 	}
@@ -77,7 +78,11 @@ func simulate(w io.Writer, o options) {
 	}
 	sys := ddetect.MustNewSystem(cfg)
 
-	rng := rand.New(rand.NewSource(*seed))
+	// Topology, network schedule and event stream each get a derived
+	// sub-seed: feeding all three the raw seed made their first draws
+	// correlated (identical generator states), so e.g. raising -seed by
+	// one shifted every stream in lockstep.
+	rng := rand.New(rand.NewSource(workload.SubSeed(*seed, "topology")))
 	siteIDs := make([]core.SiteID, *sites)
 	for i := range siteIDs {
 		siteIDs[i] = core.SiteID(fmt.Sprintf("site%02d", i))
@@ -115,7 +120,8 @@ func simulate(w io.Writer, o options) {
 	}
 
 	trace := workload.GenStream(workload.StreamConfig{
-		Sites: siteIDs, Types: types, MeanGap: *meanGap, Count: *events, Seed: *seed,
+		Sites: siteIDs, Types: types, MeanGap: *meanGap, Count: *events,
+		Seed: workload.SubSeed(*seed, "stream"),
 	})
 	for _, item := range trace.Items {
 		sys.Run(item.At, clock.Microticks(50))

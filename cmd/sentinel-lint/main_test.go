@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/load"
+)
+
+// TestSelfLintClean runs the full suite over the module in-process
+// (standalone mode) and requires a clean bill: the repo must satisfy its
+// own invariants.
+func TestSelfLintClean(t *testing.T) {
+	if got := run([]string{"sentinel-lint", "./..."}); got != 0 {
+		t.Fatalf("sentinel-lint ./... exited %d, want 0 (see stderr for findings)", got)
+	}
+}
+
+// TestVetProtocol builds the linter binary and drives it through the
+// real `go vet -vettool` protocol over the whole module, covering test
+// variants and the -V=full / -flags / vet.cfg handshake end to end.
+func TestVetProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and vets the module")
+	}
+	modRoot, err := load.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "sentinel-lint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/sentinel-lint")
+	build.Dir = modRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building linter: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = modRoot
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool: %v\n%s", err, out)
+	}
+}

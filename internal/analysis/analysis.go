@@ -1,0 +1,214 @@
+// Package analysis is a minimal, dependency-free static-analysis
+// framework in the shape of golang.org/x/tools/go/analysis, built on the
+// standard library's go/ast and go/types only (the build environment
+// carries no external modules).  It exists so the repo can machine-check
+// the invariants its correctness argument rests on — the paper's
+// timestamp-relation discipline (Defs. 4.6–4.10, 5.3) and the staged
+// pipeline's determinism rules (see internal/ddetect/stages.go) — at vet
+// time, in every build, instead of hoping a regression test's workload
+// happens to exercise them.
+//
+// An Analyzer inspects one type-checked package and reports Diagnostics.
+// Three drivers feed it:
+//
+//   - vetmode implements the `go vet -vettool` unit-checker protocol, so
+//     `make lint` runs the suite over every package including test
+//     variants, with dependency types coming from compiler export data;
+//   - load + the standalone mode of cmd/sentinel-lint type-check module
+//     packages directly for in-process use (self-lint smoke tests, ad-hoc
+//     runs);
+//   - analysistest runs an analyzer over an uncompiled fixture directory
+//     and matches diagnostics against `// want "regexp"` comments.
+//
+// Every analyzer honours the escape hatch
+//
+//	//lint:allow <name>[,<name>...] — <reason>
+//
+// either on (or immediately above) the offending line, or in the doc
+// comment of a function declaration, which exempts the whole function.
+// The reason text is mandatory by convention: an allow is a reviewed,
+// documented exception, not a mute button.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// //lint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced and
+	// the paper definition or architecture rule it encodes.
+	Doc string
+	// AppliesTo reports whether the analyzer inspects the package with
+	// the given import path.  Drivers consult it; test harnesses that
+	// call Run directly bypass it (fixtures live under synthetic paths).
+	AppliesTo func(pkgPath string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of an expression, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Run executes one analyzer over one package and returns its findings
+// with //lint:allow-suppressed diagnostics removed and the rest in
+// position order.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	allows := collectAllows(fset, files)
+	kept := pass.diags[:0]
+	for _, d := range pass.diags {
+		if !allows.allowed(a.Name, fset, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// allowSet indexes //lint:allow directives: by (file, line) for line
+// directives and by position range for function-level directives.
+type allowSet struct {
+	lines map[lineKey]map[string]bool
+	spans []allowSpan
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type allowSpan struct {
+	names    map[string]bool
+	lo, hi   token.Pos
+	fileName string
+}
+
+// collectAllows scans the files' comments for //lint:allow directives.
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	s := &allowSet{lines: make(map[lineKey]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := parseAllow(c.Text)
+				if names == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := lineKey{file: pos.Filename, line: pos.Line}
+				if s.lines[k] == nil {
+					s.lines[k] = make(map[string]bool)
+				}
+				for n := range names {
+					s.lines[k][n] = true
+				}
+			}
+		}
+		// Function-level directives: an allow in a FuncDecl's doc comment
+		// exempts the entire function body, nested literals included.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			names := make(map[string]bool)
+			for _, c := range fd.Doc.List {
+				for n := range parseAllow(c.Text) {
+					names[n] = true
+				}
+			}
+			if len(names) > 0 {
+				s.spans = append(s.spans, allowSpan{names: names, lo: fd.Pos(), hi: fd.End()})
+			}
+		}
+	}
+	return s
+}
+
+// parseAllow extracts analyzer names from a //lint:allow comment, or nil.
+// Accepted forms: "//lint:allow a", "//lint:allow a,b — reason",
+// "// lint:allow a -- reason".
+func parseAllow(text string) map[string]bool {
+	body := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	if !strings.HasPrefix(body, "lint:allow") {
+		return nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(body, "lint:allow"))
+	// Everything after a dash separator is the human reason.
+	for _, sep := range []string{"--", "—", "–"} {
+		if i := strings.Index(rest, sep); i >= 0 {
+			rest = rest[:i]
+		}
+	}
+	names := make(map[string]bool)
+	for _, field := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if field != "" {
+			names[field] = true
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	return names
+}
+
+// allowed reports whether a diagnostic of the named analyzer at pos is
+// suppressed: a line directive on the same or the immediately preceding
+// line, or a function-level directive spanning pos.
+func (s *allowSet) allowed(name string, fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		if names := s.lines[lineKey{file: p.Filename, line: line}]; names[name] {
+			return true
+		}
+	}
+	for _, sp := range s.spans {
+		if sp.names[name] && sp.lo <= pos && pos < sp.hi {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,239 @@
+// Package load type-checks this module's packages for in-process static
+// analysis (the standalone mode of cmd/sentinel-lint, the self-lint smoke
+// test, and the analysistest fixture runner).
+//
+// It shells out to `go list -export -json -deps`, which resolves import
+// paths and produces compiler export data for every dependency from the
+// local build cache — fully offline — then parses the module's own
+// packages from source and type-checks them against that export data,
+// exactly the way the `go vet` unit-checker protocol does (see vetmode).
+// Analyzers therefore see identical types whichever driver runs them.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked module package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output we consume.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -json -deps` over the patterns in dir and
+// decodes the package stream.
+func goList(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a types.Importer backed by the export files in
+// exports (import path → file), as produced by `go list -export`.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gc.(types.ImporterFrom).Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// newInfo returns a fully populated types.Info for analyzer use.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+func sizes() types.Sizes { return types.SizesFor("gc", runtime.GOARCH) }
+
+// Load lists the patterns (e.g. "./...") relative to modRoot and returns
+// every module package parsed and type-checked.  Test files are not
+// included — the vet driver covers test variants; see the package
+// comment.
+func Load(modRoot string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(modRoot, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		exports[p.ImportPath] = p.Export
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, p := range listed {
+		if p.Standard || p.Module == nil {
+			continue // dependency outside the module: export data only
+		}
+		pkg, err := checkFiles(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir parses and type-checks a single directory of Go files that is
+// not part of any build (an analysistest fixture), resolving its imports
+// through `go list -export` run from modRoot.
+func LoadDir(modRoot, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := make(map[string]bool)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			importSet[strings.Trim(spec.Path.Value, `"`)] = true
+		}
+	}
+	exports := make(map[string]string)
+	delete(importSet, "unsafe")
+	if len(importSet) > 0 {
+		paths := make([]string, 0, len(importSet))
+		for p := range importSet {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := goList(modRoot, paths...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	imp := exportImporter(fset, exports)
+	return check(fset, imp, "fixture/"+filepath.Base(dir), dir, files)
+}
+
+// checkFiles parses the named files in dir and type-checks them.
+func checkFiles(fset *token.FileSet, imp types.Importer, path, dir string, names []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return check(fset, imp, path, dir, files)
+}
+
+// check type-checks parsed files as one package.
+func check(fset *token.FileSet, imp types.Importer, path, dir string, files []*ast.File) (*Package, error) {
+	info := newInfo()
+	cfg := &types.Config{Importer: imp, Sizes: sizes()}
+	tpkg, err := cfg.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// ModuleRoot walks up from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,74 @@
+// Package mapiter flags range statements over maps in the packages whose
+// iteration order can leak into the occurrence stream.
+//
+// Go randomizes map iteration order per run.  The distributed detector's
+// contract is a bit-for-bit deterministic occurrence stream for a given
+// seed and worker count (internal/ddetect/determinism_test.go): any map
+// iteration on the ingest → transport → release → detect → publish path
+// that influences event order, bus send order, or emitted output breaks
+// that contract in a way no fixed workload reliably catches.  The
+// reorderer keeps a sorted id slice next to its map for exactly this
+// reason (reorderer.ids); Detector.Definitions sorts before returning.
+//
+// The analyzer covers internal/ddetect, internal/detector and
+// internal/network — the packages reachable from the detect and publish
+// stages — and flags every `range` over a map there.  Iterations that
+// provably cannot observe order (e.g. draining into a set, counting) are
+// annotated //lint:allow mapiter with that argument.  Test files are
+// exempt: tests assert on aggregates and their iteration order feeds no
+// occurrence stream.
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the mapiter checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "mapiter",
+	Doc:       "flag range-over-map in detect/publish-path packages (ddetect, detector, network) where iteration order can leak into the occurrence stream",
+	AppliesTo: appliesTo,
+	Run:       run,
+}
+
+func appliesTo(path string) bool {
+	for _, p := range []string{
+		"repro/internal/ddetect",
+		"repro/internal/detector",
+		"repro/internal/network",
+	} {
+		if path == p || strings.HasPrefix(path, p+"/") || strings.HasPrefix(path, p+"_test") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if name := pass.Fset.Position(f.Pos()).Filename; strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				pass.Reportf(rs.Pos(),
+					"mapiter: ranging over a map (%s) in a detect/publish-path package; iteration order is randomized per run — iterate a sorted key slice instead (see reorderer.ids), or //lint:allow mapiter with a proof order cannot be observed",
+					types.TypeString(t, types.RelativeTo(pass.Pkg)))
+			}
+			return true
+		})
+	}
+	return nil
+}

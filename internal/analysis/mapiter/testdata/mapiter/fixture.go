@@ -1,0 +1,31 @@
+// Package fixture exercises the mapiter analyzer: range over a map is
+// flagged; slice iteration and //lint:allow-ed order-insensitive folds
+// are not.
+package fixture
+
+func bad(m map[string]int) int {
+	n := 0
+	for _, v := range m { // want `mapiter: ranging over a map`
+		n += v
+	}
+	return n
+}
+
+func badKeyed(m map[int]struct{}) []int {
+	var out []int
+	for k := range m { // want `mapiter: ranging over a map`
+		out = append(out, k)
+	}
+	return out
+}
+
+func good(m map[string]int, keys []string) int {
+	n := 0
+	for _, k := range keys {
+		n += m[k]
+	}
+	for range m { //lint:allow mapiter — fixture: counting only, order cannot be observed
+		n++
+	}
+	return n
+}

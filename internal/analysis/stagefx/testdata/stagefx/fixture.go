@@ -1,0 +1,49 @@
+// Package fixture exercises the stagefx analyzer: bus mutation, shared
+// Stats writes and handler fan-out are flagged outside publish-stage
+// context; publishStage methods, local Stats snapshots and
+// //lint:allow-ed crank stages are not.
+package fixture
+
+import (
+	"repro/internal/ddetect"
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/network"
+)
+
+type sys struct {
+	bus   *network.Bus
+	stats ddetect.Stats
+}
+
+func (s *sys) detectTick(h detector.Handler, o *event.Occurrence) {
+	s.bus.Send(0, "a", "b", nil) // want `stagefx: Bus\.Send outside the publish stage`
+	s.stats.Raised++             // want `stagefx: Stats mutation outside the publish stage`
+	h(o)                         // want `stagefx: subscriber fan-out`
+}
+
+func (s *sys) drain() {
+	_ = s.bus.DrainDue(0, nil) // want `stagefx: Bus\.DrainDue outside the publish stage`
+	s.stats.LatencySum = 1     // want `stagefx: Stats mutation outside the publish stage`
+}
+
+type publishStage struct{ sys *sys }
+
+func (p *publishStage) Tick(h detector.Handler, o *event.Occurrence) {
+	p.sys.bus.Send(0, "a", "b", nil)
+	p.sys.stats.Detections++
+	h(o)
+}
+
+// crankStage is serialized on the crank goroutine by construction.
+//
+//lint:allow stagefx — fixture: crank-stage helper, runs before the detect barrier
+func crankStage(s *sys) {
+	s.stats.Heartbeats++
+}
+
+func snapshot(s *sys) ddetect.Stats {
+	st := s.stats
+	st.Raised++ // local copy, not shared state
+	return st
+}

@@ -1,0 +1,142 @@
+// Package stampcmp forbids naive scalar comparison of timestamps outside
+// internal/core.
+//
+// The paper's entire point is that distributed time is only partially
+// ordered: primitive stamps compare through the relations of
+// Definitions 4.6–4.10 (Stamp.Less, Simultaneous, Concurrent, WeakLE)
+// and composite max-sets through the ∀∃ order of Definition 5.3
+// (SetStamp.Less and friends).  Comparing Stamp.Global or Stamp.Local
+// with <, ==, … re-introduces exactly the bogus total order the paper
+// refutes — e.g. `a.Global < b.Global` silently drops the one-granule
+// guard band of Definition 4.7 and misorders concurrent events.
+//
+// The analyzer flags, in every package except internal/core itself:
+//
+//   - ==/!= between core.Stamp values (use Simultaneous or
+//     CompareCanonical, which name the semantics intended);
+//   - any comparison of a .Global or .Local field selected from a
+//     core.Stamp (go through the relation functions, or push the scalar
+//     logic into a named internal/core helper where the invariant is
+//     local and reviewable);
+//   - ==/!= between core.SetStamp values other than nil checks (use
+//     SetStamp.Equal).
+//
+// Non-temporal identity matches (e.g. rendering grid cells) carry a
+// //lint:allow stampcmp with the argument why no temporal meaning is
+// attached.  Test files are exempt, like the rest of the suite:
+// assertions pin exact expected component values (`got.Local != 5`),
+// which is identity checking, not temporal reasoning.
+package stampcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the stampcmp checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "stampcmp",
+	Doc:       "forbid comparing timestamp values or their Global/Local components with built-in operators outside internal/core (use the paper's relations, Defs. 4.6-4.10, 5.3)",
+	AppliesTo: appliesTo,
+	Run:       run,
+}
+
+// appliesTo covers the module except internal/core, where the relation
+// functions themselves live and scalar component comparison is the point.
+func appliesTo(path string) bool {
+	if path != "repro" && !strings.HasPrefix(path, "repro/") {
+		return false
+	}
+	return !strings.HasPrefix(path, "repro/internal/core") &&
+		!strings.HasPrefix(path, "repro/internal/analysis")
+}
+
+var comparisons = map[token.Token]bool{
+	token.EQL: true, token.NEQ: true,
+	token.LSS: true, token.LEQ: true,
+	token.GTR: true, token.GEQ: true,
+}
+
+// isCoreNamed reports whether t (possibly behind pointers) is the named
+// type internal/core.<name>.
+func isCoreNamed(t types.Type, name string) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/core")
+}
+
+// stampComponent reports whether e selects the Global or Local field of a
+// core.Stamp, returning the field name.
+func stampComponent(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if sel.Sel.Name != "Global" && sel.Sel.Name != "Local" {
+		return "", false
+	}
+	if t := pass.TypeOf(sel.X); t != nil && isCoreNamed(t, "Stamp") {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.IsNil()
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || !comparisons[be.Op] {
+				return true
+			}
+			for _, operand := range []ast.Expr{be.X, be.Y} {
+				if name, ok := stampComponent(pass, operand); ok {
+					pass.Reportf(be.Pos(),
+						"stampcmp: comparing Stamp.%s with %s bypasses the temporal relations of Defs. 4.6-4.10 (use Stamp.Less/Simultaneous/Concurrent/WeakLE or CompareCanonical, or move the scalar logic into internal/core)",
+						name, be.Op)
+					return true
+				}
+			}
+			xt, yt := pass.TypeOf(be.X), pass.TypeOf(be.Y)
+			if xt == nil || yt == nil {
+				return true
+			}
+			if isCoreNamed(xt, "Stamp") || isCoreNamed(yt, "Stamp") {
+				pass.Reportf(be.Pos(),
+					"stampcmp: %s on core.Stamp values has no temporal meaning (use Simultaneous for the paper's \"=\" relation, CompareCanonical for storage identity)",
+					be.Op)
+				return true
+			}
+			if (isCoreNamed(xt, "SetStamp") || isCoreNamed(yt, "SetStamp")) &&
+				!isNil(pass, be.X) && !isNil(pass, be.Y) {
+				pass.Reportf(be.Pos(),
+					"stampcmp: %s on core.SetStamp values; use SetStamp.Equal or the Def. 5.3 relations",
+					be.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package stampcmp
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "stampcmp"))
+}
+
+func TestAppliesTo(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/ddetect":  true,
+		"repro/internal/viz":      true,
+		"repro/internal/core":     false,
+		"repro/internal/analysis": false,
+		"othermod":                false,
+	} {
+		if got := Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

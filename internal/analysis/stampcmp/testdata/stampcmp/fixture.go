@@ -1,0 +1,22 @@
+// Package fixture exercises the stampcmp analyzer: raw scalar
+// comparison of timestamps is flagged; the paper's relation functions,
+// nil checks and //lint:allow-ed identity matches are not.
+package fixture
+
+import "repro/internal/core"
+
+func bad(a, b core.Stamp) {
+	_ = a.Global < b.Global  // want `stampcmp: comparing Stamp\.Global with <`
+	_ = a.Local >= b.Local   // want `stampcmp: comparing Stamp\.Local with >=`
+	_ = a.Global == int64(7) // want `stampcmp: comparing Stamp\.Global with ==`
+	_ = a == b               // want `stampcmp: == on core\.Stamp values`
+}
+
+func good(a, b core.Stamp, s core.SetStamp) {
+	_ = a.Less(b)
+	_ = a.Simultaneous(b)
+	_ = a.Concurrent(b)
+	_ = s == nil
+	_ = a.Site == b.Site
+	_ = a.Global == b.Global //lint:allow stampcmp — fixture: identity match, no temporal meaning
+}

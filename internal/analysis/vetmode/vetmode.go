@@ -1,0 +1,186 @@
+// Package vetmode implements the `go vet -vettool` unit-checker protocol
+// on the standard library alone — a minimal re-implementation of the
+// x/tools unitchecker (which is not vendorable in this build
+// environment).
+//
+// `go vet` type-checks nothing itself: for every package (including test
+// variants) it writes a JSON config naming the source files, the import
+// map and the compiler export data of every dependency, then invokes the
+// vettool with that config file as its sole argument.  Run parses the
+// files, type-checks them against the export data via go/importer's gc
+// lookup mode, runs every applicable analyzer, and prints findings in
+// the standard file:line:col format.  Exit codes follow vet convention:
+// 0 clean, 1 operational error, 2 diagnostics reported.
+//
+// Dependencies are visited by go vet in "vetx only" mode (facts
+// pre-computation).  This suite defines no facts, so those invocations
+// write an empty facts file and return immediately — which is what makes
+// `go vet -vettool=sentinel-lint ./...` cheap despite visiting the
+// transitive closure.
+package vetmode
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// Config is the JSON schema `go vet` hands the tool; field names are
+// fixed by cmd/go (see cmd/go/internal/work/exec.go, vetConfig).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Run executes the suite for one vet config file and returns the process
+// exit code.
+func Run(cfgFile string, suite []*analysis.Analyzer) int {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// The facts file must exist for go vet's cache even though the suite
+	// defines no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	var applicable []*analysis.Analyzer
+	for _, a := range suite {
+		if a.AppliesTo == nil || a.AppliesTo(cfg.ImportPath) {
+			applicable = append(applicable, a)
+		}
+	}
+	if len(applicable) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImp.Import(path)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tcfg := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: type-check: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	exit := 0
+	for _, a := range applicable {
+		diags, err := analysis.Run(a, fset, files, pkg, info)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %s: %v\n", cfg.ImportPath, a.Name, err)
+			exit = 1
+			continue
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+func readConfig(name string) (*Config, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("vetmode: parsing %s: %v", name, err)
+	}
+	return cfg, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// PrintFlags implements the `-flags` query cmd/go sends before parsing
+// the vet command line: a JSON list of flags the tool supports.  The
+// suite is not configurable per-flag, so the list is empty.
+func PrintFlags(w io.Writer) {
+	fmt.Fprintln(w, "[]")
+}
+
+// SortedNames returns the suite's analyzer names, for usage text.
+func SortedNames(suite []*analysis.Analyzer) []string {
+	names := make([]string, len(suite))
+	for i, a := range suite {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,31 @@
+// Package fixture exercises the walltime analyzer: ambient-clock reads
+// and package-global randomness are flagged; seeded generators and
+// //lint:allow-ed instrumentation are not.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()                     // want `walltime: time\.Now reads the ambient clock`
+	_ = time.Since(time.Unix(0, 0))    // want `walltime: time\.Since reads the ambient clock`
+	_ = rand.Intn(3)                   // want `walltime: rand\.Intn uses the package-global generator`
+	rand.Shuffle(2, func(i, j int) {}) // want `walltime: rand\.Shuffle uses the package-global generator`
+}
+
+func good() {
+	r := rand.New(rand.NewSource(1))
+	_ = r.Intn(3)
+	_ = time.Unix(42, 0).UTC()
+	_ = time.Now() //lint:allow walltime — fixture: instrumentation-only read
+}
+
+// instrumented measures wall-clock cost without feeding simulated time.
+//
+//lint:allow walltime — fixture: whole-function instrumentation exemption
+func instrumented() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,105 @@
+// Package walltime forbids ambient time and global randomness in
+// simulation and detection code.
+//
+// The simulation never reads the wall clock: time advances only through
+// internal/clock (System.Advance), which is what makes every scenario —
+// including adversarial clock skews and delivery schedules — reproducible
+// (see the internal/clock package comment).  Likewise all randomness must
+// flow from explicitly seeded *rand.Rand instances, never the package
+// globals of math/rand or math/rand/v2, or two runs with the same -seed
+// diverge.  A time.Now that slips into a detection path does not fail any
+// existing test; it silently destroys replayability.  This analyzer makes
+// the rule mechanical.
+//
+// Wall-clock instrumentation that measures the engine without feeding the
+// simulation (the pipeline Driver's stage-latency clock, cmd/ablation's
+// ns/op sampling) is exempted with //lint:allow walltime and a reason.
+// Test files are exempt, like the rest of the suite: tests legitimately
+// sleep to exercise real concurrency, and cannot leak wall time into the
+// simulation they drive through the deterministic API.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the walltime checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "walltime",
+	Doc:       "forbid time.Now/time.Since and package-global math/rand in simulation and detection code (internal/clock and seeded *rand.Rand only)",
+	AppliesTo: appliesTo,
+	Run:       run,
+}
+
+// appliesTo restricts the check to this module, minus the linter itself.
+func appliesTo(path string) bool {
+	if path != "repro" && !strings.HasPrefix(path, "repro/") {
+		return false
+	}
+	return !strings.HasPrefix(path, "repro/internal/analysis") &&
+		!strings.HasPrefix(path, "repro/cmd/sentinel-lint")
+}
+
+// forbiddenTime are the ambient-time entry points of package time.
+// Constructors of timers and tickers are included: they capture the wall
+// clock at creation and fire on it.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRand are the package-level functions of math/rand and
+// math/rand/v2 that do not touch the shared global source: explicit
+// constructors.  Everything else at package level (Intn, Int63, Seed,
+// Shuffle, …) reads or writes global state and is forbidden.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+	"NewZipf": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "time":
+				if forbiddenTime[sel.Sel.Name] {
+					pass.Reportf(call.Pos(),
+						"walltime: time.%s reads the ambient clock; simulated time comes from internal/clock (//lint:allow walltime for pure instrumentation)",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[sel.Sel.Name] {
+					pass.Reportf(call.Pos(),
+						"walltime: rand.%s uses the package-global generator; use an explicitly seeded *rand.Rand so runs are reproducible",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package walltime
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "walltime"))
+}
+
+func TestAppliesTo(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro":                       true,
+		"repro/internal/ddetect":      true,
+		"repro/cmd/distsim":           true,
+		"repro/internal/analysis":     false,
+		"repro/internal/analysistest": false,
+		"repro/cmd/sentinel-lint":     false,
+		"othermod/internal/ddetect":   false,
+	} {
+		if got := Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

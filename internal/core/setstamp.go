@@ -150,6 +150,25 @@ func (s SetStamp) MaxGlobal() int64 {
 	return m
 }
 
+// MaxGlobalComponent returns the component carrying the largest global
+// time — the stamp the watermark release key of internal/ddetect is built
+// from.  Among components with equal global time the earliest in
+// canonical order wins, so the result is deterministic.  Like MaxGlobal
+// it is a scalar convenience, not a substitute for the partial order; it
+// panics on an empty set.
+func (s SetStamp) MaxGlobalComponent() Stamp {
+	if len(s) == 0 {
+		panic("core: MaxGlobalComponent of empty composite timestamp")
+	}
+	best := s[0]
+	for _, t := range s[1:] {
+		if t.Global > best.Global {
+			best = t
+		}
+	}
+	return best
+}
+
 // MinGlobal returns the smallest global component.
 func (s SetStamp) MinGlobal() int64 {
 	if len(s) == 0 {

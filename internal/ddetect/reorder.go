@@ -259,12 +259,7 @@ type key struct {
 }
 
 func releaseKey(o *event.Occurrence, arrival uint64) key {
-	best := o.Stamp[0]
-	for _, t := range o.Stamp[1:] {
-		if t.Global > best.Global {
-			best = t
-		}
-	}
+	best := o.Stamp.MaxGlobalComponent()
 	return key{global: best.Global, site: best.Site, local: best.Local, arrival: arrival}
 }
 

@@ -42,6 +42,9 @@ type ingestStage struct {
 
 func (st *ingestStage) Name() string { return "ingest" }
 
+// Tick emits due watermark heartbeats onto the bus.
+//
+//lint:allow stagefx — ingest runs single-threaded on the crank goroutine before the detect barrier; its heartbeat sends and counters execute in deterministic site order regardless of worker count
 func (st *ingestStage) Tick(now clock.Microticks) int {
 	sys := st.sys
 	n := st.raised
@@ -70,6 +73,8 @@ func (st *ingestStage) Tick(now clock.Microticks) int {
 // raise is the ingest half of Site.Raise: stamp, enforce the Section 3.1
 // simultaneity assumptions, journal, and hand the occurrence to the
 // transport (bus) or the site's own stream.
+//
+//lint:allow stagefx — raise is called by the application between ticks, never from a detect worker; its bus sends and counters are serialized on the caller's goroutine while no stage is running
 func (st *ingestStage) raise(s *Site, typ string, class event.Class, params event.Params) (*event.Occurrence, error) {
 	sys := st.sys
 	sys.seal()
@@ -126,6 +131,9 @@ type transportStage struct {
 
 func (st *transportStage) Name() string { return "transport" }
 
+// Tick drains due messages into per-site reorderers.
+//
+//lint:allow stagefx — transport is the designated consumer of the bus: it runs single-threaded on the crank goroutine before the detect barrier, so its DrainDue cannot race the publish stage's sends
 func (st *transportStage) Tick(now clock.Microticks) int {
 	sys := st.sys
 	st.batch = sys.bus.DrainDue(now, st.batch[:0])
@@ -154,6 +162,9 @@ type releaseStage struct {
 
 func (st *releaseStage) Name() string { return "release" }
 
+// Tick releases watermark-stable events into the detect inboxes.
+//
+//lint:allow stagefx — release runs single-threaded on the crank goroutine before the detect barrier; its latency counters are updated in deterministic (site, release-key) order
 func (st *releaseStage) Tick(now clock.Microticks) int {
 	sys := st.sys
 	n := 0

@@ -153,16 +153,35 @@ type Driver struct {
 	stages []Stage
 	hooks  []func(StageEvent)
 	stats  []StageStats
+	// now supplies the wall-clock instants the per-stage latency
+	// histograms are built from.  It is instrumentation only: nothing it
+	// returns feeds simulated time or detection results, which is why
+	// this is the single permitted wall-clock read in the engine.
+	now func() time.Time
 }
 
 // NewDriver builds a driver over the given stages, run in the given
 // order.
 func NewDriver(stages ...Stage) *Driver {
-	d := &Driver{stages: stages, stats: make([]StageStats, len(stages))}
+	d := &Driver{
+		stages: stages,
+		stats:  make([]StageStats, len(stages)),
+		now:    time.Now, //lint:allow walltime — latency instrumentation, never simulation state; see Driver.now
+	}
 	for i, s := range stages {
 		d.stats[i].Name = s.Name()
 	}
 	return d
+}
+
+// SetNow replaces the wall-clock source used for stage latency
+// instrumentation (nil restores time.Now), making the histograms and
+// per-stage counters testable with a deterministic fake.
+func (d *Driver) SetNow(now func() time.Time) {
+	if now == nil {
+		now = time.Now //lint:allow walltime — default restore of the instrumentation clock
+	}
+	d.now = now
 }
 
 // Hook registers an instrumentation hook; hooks run synchronously after
@@ -176,9 +195,9 @@ func (d *Driver) Hook(fn func(StageEvent)) {
 // Tick runs every stage once at simulated time now.
 func (d *Driver) Tick(now clock.Microticks) {
 	for i, s := range d.stages {
-		start := time.Now()
+		start := d.now()
 		items := s.Tick(now)
-		elapsed := time.Since(start)
+		elapsed := d.now().Sub(start)
 		st := &d.stats[i]
 		st.Ticks++
 		st.Items += uint64(items)

@@ -53,6 +53,44 @@ func TestDriverRunsStagesInOrder(t *testing.T) {
 	}
 }
 
+func TestDriverFakeClock(t *testing.T) {
+	a := &countStage{name: "a", items: 1}
+	b := &countStage{name: "b", items: 1}
+	d := NewDriver(a, b)
+	// Fake clock: each stage appears to take exactly 64ns (two reads per
+	// stage, 32ns apart), so every instrumentation field is predictable.
+	var ticks int64
+	d.SetNow(func() time.Time {
+		ticks++
+		return time.Unix(0, 32*ticks)
+	})
+	var elapsed []time.Duration
+	d.Hook(func(ev StageEvent) { elapsed = append(elapsed, ev.Elapsed) })
+	d.Tick(1)
+	d.Tick(2)
+	for i, e := range elapsed {
+		if e != 32*time.Nanosecond {
+			t.Fatalf("event %d elapsed %v, want 32ns", i, e)
+		}
+	}
+	for _, st := range d.Stats() {
+		if st.Busy != 64*time.Nanosecond || st.MaxTick != 32*time.Nanosecond {
+			t.Fatalf("stage %s busy=%v max=%v, want 64ns/32ns", st.Name, st.Busy, st.MaxTick)
+		}
+		// 32ns falls in bucket [32, 64) = index 5, both samples.
+		if st.Hist.Counts[5] != 2 || st.Hist.Total() != 2 {
+			t.Fatalf("stage %s histogram %v", st.Name, st.Hist.Counts)
+		}
+	}
+	// SetNow(nil) restores a real clock; ticking must not panic and keeps
+	// counting.
+	d.SetNow(nil)
+	d.Tick(3)
+	if st := d.Stats(); st[0].Ticks != 3 {
+		t.Fatalf("ticks %d, want 3", st[0].Ticks)
+	}
+}
+
 func TestDriverHooks(t *testing.T) {
 	a := &countStage{name: "a", items: 1}
 	d := NewDriver(a)
@@ -71,8 +109,8 @@ func TestDriverHooks(t *testing.T) {
 func TestHistogramBuckets(t *testing.T) {
 	var h Histogram
 	h.Observe(0)
-	h.Observe(1)                    // bucket 0
-	h.Observe(3 * time.Nanosecond)  // bucket 1
+	h.Observe(1)                   // bucket 0
+	h.Observe(3 * time.Nanosecond) // bucket 1
 	h.Observe(1500 * time.Nanosecond)
 	if h.Total() != 4 {
 		t.Fatalf("total %d, want 4", h.Total())

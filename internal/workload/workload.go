@@ -14,6 +14,28 @@ import (
 	"repro/internal/event"
 )
 
+// SubSeed derives a stream-specific seed from a root seed and a domain
+// label, so independent consumers (topology, network schedule, event
+// stream) draw from decorrelated generators while one -seed flag still
+// reproduces the whole run.  The mixing is a fixed FNV-1a fold of the
+// domain followed by a splitmix64 finalizer — stable across binaries and
+// platforms, never random at package level.
+func SubSeed(seed int64, domain string) int64 {
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x00000100000001b3
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(domain); i++ {
+		h ^= uint64(domain[i])
+		h *= fnvPrime
+	}
+	z := uint64(seed) + h + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // Item is one scheduled primitive event raising.
 type Item struct {
 	At     clock.Microticks
