@@ -6,10 +6,11 @@
 
 GO ?= go
 LINT := bin/sentinel-lint
+BENCHJSON := bin/benchjson
 
-.PHONY: ci vet lint build test race determinism bench
+.PHONY: ci vet lint build test race determinism bench bench-smoke
 
-ci: vet lint build race determinism
+ci: vet lint build race determinism bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,5 +36,17 @@ race:
 determinism:
 	$(GO) test -race -run 'TestPipelineDeterminism' -v ./internal/ddetect
 
+# Full benchmark run (root harness + eventlog), archived machine-readably
+# at the repo root.  BENCH_baseline.json, when present, is embedded so the
+# report carries its own before/after comparison.
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' .
+	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
+	$(GO) test -bench . -benchmem -benchtime=200ms -count=3 -run '^$$' . ./internal/eventlog \
+		| tee /tmp/bench_pr3.txt
+	$(BENCHJSON) -out BENCH_pr3.json \
+		$$(test -f BENCH_baseline.json && echo -baseline BENCH_baseline.json) \
+		< /tmp/bench_pr3.txt
+
+# One-iteration smoke pass: every benchmark must still run to completion.
+bench-smoke:
+	$(GO) test -bench . -benchmem -benchtime=1x -run '^$$' . ./internal/eventlog > /dev/null

@@ -34,6 +34,7 @@ func BenchmarkFig1OpenClosedIntervals(b *testing.B) {
 		g := int64(i % 20)
 		probes[i] = core.Stamp{Site: "p", Global: g, Local: g*10 + 5}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	n := 0
 	for i := 0; i < b.N; i++ {
@@ -54,6 +55,7 @@ func BenchmarkFig2RegionClassification(b *testing.B) {
 	e := core.PaperFigure2Stamp()
 	sites := []core.SiteID{"Site1", "Site2", "Site3", "Site4", "Site5", "Site6", "Site7", "Site8"}
 	cells := 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, s := range sites {
@@ -70,6 +72,7 @@ func BenchmarkFig2RegionClassification(b *testing.B) {
 
 func BenchmarkSec51Example(b *testing.B) {
 	ts := core.PaperSection51Stamps()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if ts[0].Relate(ts[1]) != core.SetIncomparable ||
@@ -112,6 +115,7 @@ func BenchmarkOrderingComparabilityRate(b *testing.B) {
 				pairs[i] = [2]core.SetStamp{gen(), gen()}
 			}
 			comparable := 0
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				p := pairs[i%len(pairs)]
@@ -135,6 +139,7 @@ func BenchmarkRelationCostVsSetSize(b *testing.B) {
 			for i := range pairs {
 				pairs[i] = [2]core.SetStamp{gen(), gen()}
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				p := pairs[i%len(pairs)]
@@ -160,6 +165,58 @@ func BenchmarkMaxCostVsSetSize(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				p := pairs[i%len(pairs)]
 				sinkSet = core.Max(p[0], p[1])
+			}
+		})
+	}
+}
+
+// --- ALG: the set-stamp algebra, operation by operation --------------------
+
+// BenchmarkSetStampAlgebra prices each core operation of the composite
+// timestamp algebra in isolation across the Theorem 5.1 size range
+// (|T(e)| ≤ #sites).  MaxInto is the scratch-reuse variant the detection
+// hot path leans on; its allocs/op should read 0 once the scratch warms.
+func BenchmarkSetStampAlgebra(b *testing.B) {
+	for _, comps := range []int{1, 2, 4, 8, 16} {
+		comps := comps
+		r := rand.New(rand.NewSource(int64(100 + comps)))
+		gen := core.Generator(r, comps+1, comps, 10, 4000)
+		pairs := make([][2]core.SetStamp, 512)
+		for i := range pairs {
+			pairs[i] = [2]core.SetStamp{gen(), gen()}
+		}
+		b.Run(fmt.Sprintf("Max/components=%d", comps), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				sinkSet = core.Max(p[0], p[1])
+			}
+		})
+		b.Run(fmt.Sprintf("MaxInto/components=%d", comps), func(b *testing.B) {
+			scratch := make(core.SetStamp, 0, 2*comps)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				scratch = core.MaxInto(scratch, p[0], p[1])
+			}
+			sinkSet = scratch
+		})
+		b.Run(fmt.Sprintf("Less/components=%d", comps), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				if p[0].Less(p[1]) {
+					sinkInt++
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("ConcurrentWith/components=%d", comps), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				if p[0].ConcurrentWith(p[1]) {
+					sinkInt++
+				}
 			}
 		})
 	}
@@ -286,6 +343,7 @@ func BenchmarkEndToEndDetection(b *testing.B) {
 		b.Run(fmt.Sprintf("sites=%d", sites), func(b *testing.B) {
 			net := network.Config{BaseLatency: 20, Jitter: 40, Seed: 9}
 			var st ddetect.Stats
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				st = runDistributed(b, sites, net, 600)
 			}
@@ -309,6 +367,7 @@ func BenchmarkNetworkAdversity(b *testing.B) {
 		c := c
 		b.Run(c.name, func(b *testing.B) {
 			var st ddetect.Stats
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				st = runDistributed(b, 4, c.net, 600)
 			}
@@ -328,6 +387,7 @@ func BenchmarkTimestampSetSize(b *testing.B) {
 			// them all (Theorem 5.1 bound: |T(e)| ≤ #sites).
 			stamps := make([]core.SetStamp, sites)
 			totalSize := 0
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				base := int64(i) * 1000
@@ -364,6 +424,7 @@ func BenchmarkMaxSetVsScalarTimestamps(b *testing.B) {
 		}
 	}
 	b.Run("set", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%len(pairs)]
 			if p[0].Less(p[1]) {
@@ -373,6 +434,7 @@ func BenchmarkMaxSetVsScalarTimestamps(b *testing.B) {
 		b.ReportMetric(float64(disagreements)/float64(len(pairs)), "scalar-divergence")
 	})
 	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%len(pairs)]
 			if scalarLess(p[0], p[1]) {
@@ -410,6 +472,7 @@ func BenchmarkGranularitySweep(b *testing.B) {
 			}
 			concurrent := 0
 			total := 0
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				p := pairs[i%len(pairs)]
@@ -458,6 +521,7 @@ func BenchmarkHeartbeatCadence(b *testing.B) {
 		hb := hb
 		b.Run(fmt.Sprintf("every=%d", hb), func(b *testing.B) {
 			var st ddetect.Stats
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sys := ddetect.MustNewSystem(ddetect.Config{
 					Net:            network.Config{BaseLatency: 20},
@@ -530,6 +594,7 @@ func BenchmarkSerializeOverhead(b *testing.B) {
 			name = "wire"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sys := ddetect.MustNewSystem(ddetect.Config{
 					Net:       network.Config{BaseLatency: 20},
@@ -567,6 +632,7 @@ func BenchmarkReleaseModes(b *testing.B) {
 		mode := mode
 		b.Run(mode.String(), func(b *testing.B) {
 			var st ddetect.Stats
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sys := ddetect.MustNewSystem(ddetect.Config{
 					Net:     network.Config{BaseLatency: 20, Jitter: 40, Seed: 3},
@@ -702,6 +768,7 @@ func BenchmarkPipelineWorkers(b *testing.B) {
 		workers := workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			var st ddetect.Stats
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				st = runPipelineWorkload(b, workers, 8, 12, 640)
 			}

@@ -1,0 +1,157 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON report, so benchmark runs can be archived at the
+// repo root (BENCH_pr3.json) and diffed across PRs without scraping text.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson -out BENCH_pr3.json [-baseline BENCH_baseline.json]
+//
+// Stdin is the raw benchmark output.  Every line of the form
+//
+//	BenchmarkName-8   1234   56.7 ns/op   8 B/op   1 allocs/op   0.5 extra/op
+//
+// becomes one record with the recognized per-op measurements lifted into
+// fields and any custom b.ReportMetric units preserved in "metrics".
+// Repeated lines for the same benchmark (from -count=N) stay separate
+// records; consumers aggregate as they see fit.  With -baseline, the
+// given report's records are embedded under "baseline" so a single file
+// carries a before/after comparison.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result line.
+type Record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64          `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file layout: run metadata plus the records, optionally
+// with a baseline run embedded for before/after reading.
+type Report struct {
+	Go       string   `json:"go,omitempty"`
+	Pkg      []string `json:"packages,omitempty"`
+	Records  []Record `json:"benchmarks"`
+	Baseline []Record `json:"baseline,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON file (default stdout)")
+	baseline := flag.String("baseline", "", "existing benchjson report whose records are embedded as the baseline")
+	flag.Parse()
+
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		rep.Baseline = base.Records
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{}
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:") || strings.HasPrefix(line, "cpu:"):
+			// metadata lines we don't need; go version isn't printed, so
+			// record the toolchain-reported one lazily below
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = append(rep.Pkg, strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseLine(line)
+			if ok {
+				rep.Records = append(rep.Records, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Records) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on stdin")
+	}
+	return rep, nil
+}
+
+// parseLine parses one "BenchmarkX-8 N value unit [value unit]..." line.
+func parseLine(line string) (Record, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	// Strip the -GOMAXPROCS suffix: names are stable across machines.
+	name := f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := Record{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+		case "B/op":
+			v := val
+			r.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			r.AllocsPerOp = &v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	return r, true
+}

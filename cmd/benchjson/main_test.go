@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkMaxCostVsSetSize/components=8-8   2905300	       409.9 ns/op	     293 B/op	       3 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if r.Name != "BenchmarkMaxCostVsSetSize/components=8" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix should be stripped)", r.Name)
+	}
+	if r.Iterations != 2905300 || r.NsPerOp != 409.9 {
+		t.Fatalf("iterations/ns = %d/%v", r.Iterations, r.NsPerOp)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 293 || r.AllocsPerOp == nil || *r.AllocsPerOp != 3 {
+		t.Fatalf("memory fields = %v/%v", r.BytesPerOp, r.AllocsPerOp)
+	}
+}
+
+func TestParseLineCustomMetric(t *testing.T) {
+	r, ok := parseLine("BenchmarkEndToEndDetection/sites=2-8  229  5096838 ns/op  149.0 detections  1043 latency-microticks")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if r.Metrics["detections"] != 149 || r.Metrics["latency-microticks"] != 1043 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+	if r.BytesPerOp != nil {
+		t.Fatal("no B/op on this line")
+	}
+}
+
+func TestParseRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  \trepro\t1.2s",
+		"BenchmarkBroken-8 notanumber 1 ns/op",
+		"BenchmarkOdd-8 12 34", // value without unit
+	} {
+		if r, ok := parseLine(line); ok && strings.HasPrefix(line, "Benchmark") {
+			t.Fatalf("parseLine(%q) accepted: %+v", line, r)
+		}
+	}
+}
+
+func TestParseReport(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: fake
+BenchmarkA-8   100	       10.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkA-8   100	       11.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+pkg: repro/internal/eventlog
+BenchmarkB-8   200	       20.0 ns/op
+ok
+`
+	rep, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 3 {
+		t.Fatalf("records = %d, want 3 (repeated -count lines stay separate)", len(rep.Records))
+	}
+	if len(rep.Pkg) != 2 {
+		t.Fatalf("packages = %v", rep.Pkg)
+	}
+	if rep.Records[2].Name != "BenchmarkB" || rep.Records[2].NsPerOp != 20 {
+		t.Fatalf("record = %+v", rep.Records[2])
+	}
+}
+
+func TestParseEmptyErrors(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\n"))); err == nil {
+		t.Fatal("expected an error on input with no benchmark lines")
+	}
+}

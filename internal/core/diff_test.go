@@ -1,0 +1,280 @@
+package core
+
+// Differential property tests for the single-pass merge algebra of
+// merge.go against the quantifier-for-quantifier reference
+// implementations of reference.go.  The merge paths exploit the canonical
+// shape of valid composite timestamps, so agreement is asserted both on
+// valid sets (Generator: max-sets, hence mutually concurrent, one
+// component per site) and on adversarially invalid ones — unsorted,
+// duplicate-site, duplicate-component, non-concurrent, empty — where the
+// exported operations must degrade exactly like the reference scans.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refLess applies the exported emptiness convention to the reference scan.
+func refLess(s, u SetStamp) bool {
+	return len(s) > 0 && len(u) > 0 && lessRef(s, u)
+}
+
+func refConcurrent(s, u SetStamp) bool {
+	return len(s) > 0 && len(u) > 0 && concurrentRef(s, u)
+}
+
+func refWeakLE(s, u SetStamp) bool {
+	return len(s) > 0 && len(u) > 0 && weakLERef(s, u)
+}
+
+func refRelate(s, u SetStamp) SetRelation {
+	switch {
+	case refLess(s, u):
+		return SetBefore
+	case refLess(u, s):
+		return SetAfter
+	case refConcurrent(s, u):
+		return SetConcurrent
+	default:
+		return SetIncomparable
+	}
+}
+
+func refMax(a, b SetStamp) SetStamp {
+	switch {
+	case len(a) == 0:
+		return b.Clone()
+	case len(b) == 0:
+		return a.Clone()
+	default:
+		return unionDominantRef(a, b)
+	}
+}
+
+// checkAgreement asserts every exported relation and the Max operator
+// agree with the reference implementations on the pair (a, b), and —
+// whenever the pair qualifies for the merge fast paths — that the merge
+// functions themselves agree with the reference scans.  The direct merge
+// assertions matter because the exported dispatch only routes to the
+// merges above mergeThreshold; without them small-set merge behaviour
+// would go untested.
+func checkAgreement(t *testing.T, a, b SetStamp) {
+	t.Helper()
+	if got, want := a.Less(b), refLess(a, b); got != want {
+		t.Fatalf("Less(%s, %s) = %v, reference %v", a, b, got, want)
+	}
+	if got, want := b.Less(a), refLess(b, a); got != want {
+		t.Fatalf("Less(%s, %s) = %v, reference %v", b, a, got, want)
+	}
+	if got, want := a.ConcurrentWith(b), refConcurrent(a, b); got != want {
+		t.Fatalf("ConcurrentWith(%s, %s) = %v, reference %v", a, b, got, want)
+	}
+	if got, want := a.WeakLE(b), refWeakLE(a, b); got != want {
+		t.Fatalf("WeakLE(%s, %s) = %v, reference %v", a, b, got, want)
+	}
+	if got, want := b.WeakLE(a), refWeakLE(b, a); got != want {
+		t.Fatalf("WeakLE(%s, %s) = %v, reference %v", b, a, got, want)
+	}
+	if got, want := a.Relate(b), refRelate(a, b); got != want {
+		t.Fatalf("Relate(%s, %s) = %v, reference %v", a, b, got, want)
+	}
+	if got, want := Max(a, b), refMax(a, b); !got.Equal(want) {
+		t.Fatalf("Max(%s, %s) = %s, reference %s", a, b, got, want)
+	}
+	if len(a) > 0 && len(b) > 0 && siteStrict(a) && siteStrict(b) {
+		if got, want := lessMerge(a, b), lessRef(a, b); got != want {
+			t.Fatalf("lessMerge(%s, %s) = %v, reference %v", a, b, got, want)
+		}
+		if got, want := concurrentMerge(a, b), concurrentRef(a, b); got != want {
+			t.Fatalf("concurrentMerge(%s, %s) = %v, reference %v", a, b, got, want)
+		}
+		if got, want := weakLEMerge(a, b), weakLERef(a, b); got != want {
+			t.Fatalf("weakLEMerge(%s, %s) = %v, reference %v", a, b, got, want)
+		}
+	}
+}
+
+func TestMergeAgreesWithReferenceOnValidSets(t *testing.T) {
+	for _, p := range []struct {
+		sites, comps int
+	}{{2, 2}, {3, 3}, {4, 4}, {6, 6}, {8, 4}, {24, 20}} {
+		p := p
+		t.Run(fmt.Sprintf("sites=%d/comps=%d", p.sites, p.comps), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(41*p.sites + p.comps)))
+			gen := Generator(r, p.sites, p.comps, 10, 600)
+			for i := 0; i < 4000; i++ {
+				a, b := gen(), gen()
+				checkAgreement(t, a, b)
+			}
+		})
+	}
+}
+
+// genAdversarial draws a composite timestamp with none of the validity
+// invariants: sites collide, globals are decoupled from locals (no clock
+// would derive them), the slice may be unsorted, contain exact
+// duplicates, or be empty.  The tight value ranges concentrate samples on
+// the guard-band boundaries (global difference exactly 1 and 2).
+func genAdversarial(r *rand.Rand) SetStamp {
+	n := r.Intn(5)
+	s := make(SetStamp, 0, n)
+	for i := 0; i < n; i++ {
+		s = append(s, Stamp{
+			Site:   SiteID(fmt.Sprintf("site%d", r.Intn(3)+1)),
+			Global: int64(r.Intn(6)),
+			Local:  int64(r.Intn(12)),
+		})
+	}
+	switch r.Intn(3) {
+	case 0: // unsorted: stays as drawn
+	case 1:
+		SortCanonical(s)
+	case 2: // sorted with a duplicated component
+		SortCanonical(s)
+		if len(s) > 0 {
+			s = append(s, s[r.Intn(len(s))])
+			SortCanonical(s)
+		}
+	}
+	return s
+}
+
+func TestMergeAgreesWithReferenceOnAdversarialSets(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	for i := 0; i < 20000; i++ {
+		a, b := genAdversarial(r), genAdversarial(r)
+		checkAgreement(t, a, b)
+	}
+}
+
+func TestMergeAgreesWithReferenceOnMixedSets(t *testing.T) {
+	r := rand.New(rand.NewSource(131))
+	gen := Generator(r, 4, 4, 10, 300)
+	for i := 0; i < 10000; i++ {
+		valid, bad := gen(), genAdversarial(r)
+		checkAgreement(t, valid, bad)
+		checkAgreement(t, bad, valid)
+	}
+}
+
+func TestMaxSetAgreesWithReference(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		n := r.Intn(13)
+		stamps := make([]Stamp, 0, n)
+		for j := 0; j < n; j++ {
+			stamps = append(stamps, Stamp{
+				Site:   SiteID(fmt.Sprintf("site%d", r.Intn(4)+1)),
+				Global: int64(r.Intn(6)),
+				Local:  int64(r.Intn(12)),
+			})
+		}
+		got := MaxSet(stamps)
+		want := maxSetRef(stamps)
+		if len(stamps) == 0 {
+			if got != nil {
+				t.Fatalf("MaxSet(empty) = %s, want nil", got)
+			}
+			continue
+		}
+		if !got.Equal(want) {
+			t.Fatalf("MaxSet(%s) = %s, reference %s", FormatStamps(stamps), got, want)
+		}
+		// Theorem 5.1: surviving maxima are pairwise concurrent, so any
+		// non-empty MaxSet output is a valid SetStamp.  (Adversarial
+		// stamps whose globals are decoupled from their locals can make
+		// the primitive happen-before cyclic, leaving no maxima at all —
+		// no clock-derived multiset does.)
+		if len(got) > 0 {
+			if err := got.Valid(); err != nil {
+				t.Fatalf("MaxSet(%s) = %s not valid: %v", FormatStamps(stamps), got, err)
+			}
+		}
+	}
+}
+
+// TestMaxOutputStaysValid pins Theorem 5.4: Max of two valid composite
+// timestamps is again a valid composite timestamp, through both the
+// binary operator and the MaxAll fold.
+func TestMaxOutputStaysValid(t *testing.T) {
+	r := rand.New(rand.NewSource(211))
+	gen := Generator(r, 6, 5, 10, 400)
+	for i := 0; i < 5000; i++ {
+		a, b := gen(), gen()
+		if err := Max(a, b).Valid(); err != nil {
+			t.Fatalf("Max(%s, %s) invalid: %v", a, b, err)
+		}
+		sets := []SetStamp{a, b, gen(), gen()}
+		if err := MaxAll(sets...).Valid(); err != nil {
+			t.Fatalf("MaxAll(%v) invalid", sets)
+		}
+	}
+}
+
+// TestMaxIntoReusesScratch checks the scratch-reuse contract: results
+// equal Max, the returned slice reuses dst's backing array once warm, and
+// stale scratch contents never leak into a result.
+func TestMaxIntoReusesScratch(t *testing.T) {
+	r := rand.New(rand.NewSource(313))
+	gen := Generator(r, 5, 4, 10, 400)
+	scratch := make(SetStamp, 0, 16)
+	for i := 0; i < 5000; i++ {
+		a, b := gen(), gen()
+		scratch = MaxInto(scratch, a, b)
+		if want := Max(a, b); !scratch.Equal(want) {
+			t.Fatalf("MaxInto(%s, %s) = %s, want %s", a, b, scratch, want)
+		}
+		if err := scratch.Valid(); err != nil {
+			t.Fatalf("MaxInto(%s, %s) = %s invalid: %v", a, b, scratch, err)
+		}
+	}
+	if cap(scratch) > 64 {
+		t.Fatalf("scratch capacity grew to %d; expected it to stabilize near the max set size", cap(scratch))
+	}
+	// Adversarial inputs take the reference fallback but still fill dst.
+	bad := SetStamp{{Site: "z", Global: 9, Local: 1}, {Site: "a", Global: 0, Local: 0}}
+	scratch = MaxInto(scratch, bad, bad)
+	if want := Max(bad, bad); !scratch.Equal(want) {
+		t.Fatalf("MaxInto fallback = %s, want %s", scratch, want)
+	}
+}
+
+// TestMaxSharedAliasing pins the documented aliasing contract: with one
+// empty input the other input's backing array is returned unchanged; with
+// two non-empty inputs the result is fresh.
+func TestMaxSharedAliasing(t *testing.T) {
+	s := NewSetStamp(Stamp{Site: "a", Global: 3, Local: 30})
+	if out := MaxShared(nil, s); &out[0] != &s[0] {
+		t.Fatalf("MaxShared(nil, s) should alias s")
+	}
+	if out := MaxShared(s, nil); &out[0] != &s[0] {
+		t.Fatalf("MaxShared(s, nil) should alias s")
+	}
+	u := NewSetStamp(Stamp{Site: "b", Global: 3, Local: 31})
+	out := MaxShared(s, u)
+	if len(out) > 0 && (&out[0] == &s[0] || &out[0] == &u[0]) {
+		t.Fatalf("MaxShared(s, u) must not alias its inputs")
+	}
+	if want := Max(s, u); !out.Equal(want) {
+		t.Fatalf("MaxShared(s, u) = %s, want %s", out, want)
+	}
+}
+
+// TestSiteStrictGate pins the gate itself: valid generator outputs always
+// take the merge path; duplicate-site or unsorted sets never do.
+func TestSiteStrictGate(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	gen := Generator(r, 5, 5, 10, 400)
+	for i := 0; i < 2000; i++ {
+		if s := gen(); !siteStrict(s) {
+			t.Fatalf("valid set %s rejected by siteStrict", s)
+		}
+	}
+	if siteStrict(SetStamp{{Site: "b", Global: 1, Local: 1}, {Site: "a", Global: 1, Local: 2}}) {
+		t.Fatal("unsorted set accepted by siteStrict")
+	}
+	if siteStrict(SetStamp{{Site: "a", Global: 1, Local: 1}, {Site: "a", Global: 1, Local: 2}}) {
+		t.Fatal("duplicate-site set accepted by siteStrict")
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+// This file retains the direct quantifier-for-quantifier transcriptions of
+// the paper's composite-timestamp relations and joins — the O(n·m) ∀∃/∀∀
+// pairwise scans and the O(n²) maxima scan that setstamp.go used before the
+// single-pass site-merge algorithms of merge.go replaced them on the hot
+// path.  They serve two purposes:
+//
+//  1. Semantics of record: each function is the literal reading of its
+//     definition (5.1, 5.3, 5.4, 5.9), with no structural assumptions, so
+//     the differential property tests in diff_test.go can assert the merge
+//     algorithms agree with the definitions on every input — valid,
+//     invalid, adversarial.
+//  2. Fallback: the merge algorithms require the canonical shape that
+//     Proposition 4.2(5) and Theorem 5.1 guarantee for valid composite
+//     timestamps (sorted, at most one component per site).  Inputs that
+//     fail the cheap shape check (see siteStrict) are routed here, so the
+//     exported relations behave identically on degenerate inputs.
+//
+// None of these functions is reachable from a hot path on valid timestamps.
+
+// lessRef is Definition 5.3(2) verbatim: ∀ t2 ∈ u ∃ t1 ∈ s: t1 < t2.
+func lessRef(s, u SetStamp) bool {
+	for _, t2 := range u {
+		found := false
+		for _, t1 := range s {
+			if t1.Less(t2) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// concurrentRef is Definition 5.3(1) verbatim: every component of one set
+// is concurrent with every component of the other.
+func concurrentRef(s, u SetStamp) bool {
+	for _, t1 := range s {
+		for _, t2 := range u {
+			if !t1.Concurrent(t2) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// weakLERef is Definition 5.4 verbatim: every component pair satisfies the
+// primitive ⪯.
+func weakLERef(s, u SetStamp) bool {
+	for _, t1 := range s {
+		for _, t2 := range u {
+			if !t1.WeakLE(t2) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// maxSetRef is Definition 5.1 verbatim: the stamps of ST not happening
+// before any other stamp of ST, deduplicated and canonically ordered.
+func maxSetRef(stamps []Stamp) SetStamp {
+	out := make(SetStamp, 0, len(stamps))
+outer:
+	for i, t := range stamps {
+		for j, u := range stamps {
+			if i != j && t.Less(u) {
+				continue outer // t is dominated; not a maximum
+			}
+		}
+		out = append(out, t)
+	}
+	SortCanonical(out)
+	return dedupCanonical(out)
+}
+
+// unionDominantRef is max(a ∪ b) computed pairwise: components of a
+// dominated by some component of b are dropped and vice versa.  Within a
+// valid SetStamp no component dominates another, so cross-set checks
+// suffice; on invalid inputs this matches Theorem 5.4's max-of-union read
+// of the Max operator, which is what the merge path reproduces.
+func unionDominantRef(a, b SetStamp) SetStamp {
+	out := make(SetStamp, 0, len(a)+len(b))
+	for _, t := range a {
+		if !dominatedBy(t, b) {
+			out = append(out, t)
+		}
+	}
+	for _, t := range b {
+		if !dominatedBy(t, a) {
+			out = append(out, t)
+		}
+	}
+	SortCanonical(out)
+	return dedupCanonical(out)
+}
+
+func dominatedBy(t Stamp, s SetStamp) bool {
+	for _, u := range s {
+		if t.Less(u) {
+			return true
+		}
+	}
+	return false
+}

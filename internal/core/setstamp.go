@@ -38,22 +38,53 @@ func Singleton(t Stamp) SetStamp { return SetStamp{t} }
 // max(ST) is the set of all of them.  The result is deduplicated and
 // canonically ordered.  By Theorem 5.1 its elements are mutually
 // concurrent.  MaxSet of an empty slice returns nil.
+//
+// The input is first brought into canonical order (O(n log n)); a single
+// pass then keeps exactly the non-dominated stamps: within one site's run
+// only the maximal local tick survives (Definition 4.7 orders same-site
+// stamps by local alone), and across sites a stamp survives iff no other
+// site's global exceeds its own by more than one granule — an O(1) query
+// against the crossAgg two-best summary.  The quadratic transcription of
+// the definition is retained as maxSetRef and the differential tests
+// assert agreement on arbitrary inputs.
 func MaxSet(stamps []Stamp) SetStamp {
 	if len(stamps) == 0 {
 		return nil
 	}
-	out := make(SetStamp, 0, len(stamps))
-outer:
-	for i, t := range stamps {
-		for j, u := range stamps {
-			if i != j && t.Less(u) {
-				continue outer // t is dominated; not a maximum
-			}
-		}
-		out = append(out, t)
+	if len(stamps) == 1 {
+		return SetStamp{stamps[0]}
 	}
-	SortCanonical(out)
-	return dedupCanonical(out)
+	sorted := make(SetStamp, len(stamps))
+	copy(sorted, stamps)
+	SortCanonical(sorted)
+	agg := aggregate(sorted)
+	w := 0
+	for i := 0; i < len(sorted); {
+		e := i + 1
+		for e < len(sorted) && sorted[e].Site == sorted[i].Site {
+			e++
+		}
+		// Within the run [i, e) locals are ascending, so the run's last
+		// element carries the maximal local tick; every element with a
+		// smaller local is dominated by it (same-site happen-before).
+		runMaxLocal := sorted[e-1].Local
+		for k := i; k < e; k++ {
+			t := sorted[k]
+			if t.Local < runMaxLocal {
+				continue // dominated within its own site
+			}
+			if crossDominated(t, &agg) {
+				continue // dominated by a cross-site stamp
+			}
+			if w > 0 && CompareCanonical(sorted[w-1], t) == 0 {
+				continue // exact duplicate
+			}
+			sorted[w] = t
+			w++
+		}
+		i = e
+	}
+	return sorted[:w]
 }
 
 // dedupCanonical removes adjacent duplicates from a canonically sorted set.
@@ -192,39 +223,53 @@ func (s SetStamp) MinGlobal() int64 {
 // that are transitive and irreflexive (Theorem 5.2); the ∃∃ variant is not
 // transitive and the ∀∀ and min-based variants are strictly more
 // restricted (see altorder.go).
+//
+// Evaluated as a single O(n+m) merge pass (see merge.go) when the inputs
+// are large and both have the canonical at-most-one-component-per-site
+// shape of a valid SetStamp; other inputs take the quadratic reference
+// path — below mergeThreshold the scan's early exits and the integer-first
+// Stamp.Less beat the merge's mandatory site-ordering walk, and on
+// degenerate sets behaviour must be unchanged.
 func (s SetStamp) Less(u SetStamp) bool {
 	if len(s) == 0 || len(u) == 0 {
 		return false
 	}
-	for _, t2 := range u {
-		found := false
-		for _, t1 := range s {
-			if t1.Less(t2) {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return false
-		}
+	if len(s) == 1 && len(u) == 1 {
+		return s[0].Less(u[0])
 	}
-	return true
+	if (len(s) > mergeThreshold || len(u) > mergeThreshold) && siteStrict(s) && siteStrict(u) {
+		return lessMerge(s, u)
+	}
+	return lessRef(s, u)
 }
+
+// mergeThreshold is the component count above which the relations switch
+// from the early-exiting quadratic scans to the O(n+m) merge passes.  The
+// scans win below it: a typical call either finds a witness in the first
+// element or refutes on the first probe, paying a handful of integer
+// comparisons, while the merge must always walk both site sequences and
+// pay the siteStrict gate's string comparisons up front.  Above it the
+// guaranteed-linear merge takes over before the n·m worst case can bite.
+// Theorem 5.1 bounds a valid set by the site count, so sets this large
+// only appear in wide deployments.  Max/MaxInto are not thresholded: their
+// merge emits sorted output directly, which beats the reference's
+// sort+dedup at every size (BenchmarkSetStampAlgebra).
+const mergeThreshold = 16
 
 // ConcurrentWith is "~" on composite timestamps (Definition 5.3(1)): every
 // component of one set is concurrent with every component of the other.
+// Like Less, it runs as one merge pass on canonically shaped inputs.
 func (s SetStamp) ConcurrentWith(u SetStamp) bool {
 	if len(s) == 0 || len(u) == 0 {
 		return false
 	}
-	for _, t1 := range s {
-		for _, t2 := range u {
-			if !t1.Concurrent(t2) {
-				return false
-			}
-		}
+	if len(s) == 1 && len(u) == 1 {
+		return s[0].Concurrent(u[0])
 	}
-	return true
+	if (len(s) > mergeThreshold || len(u) > mergeThreshold) && siteStrict(s) && siteStrict(u) {
+		return concurrentMerge(s, u)
+	}
+	return concurrentRef(s, u)
 }
 
 // IncomparableWith is "≬" (Definition 5.3(3)): none of <, > or ~ holds.
@@ -243,18 +288,18 @@ func (s SetStamp) IncomparableWith(u SetStamp) bool {
 //
 // for valid (mutually concurrent) composite timestamps, which makes the
 // definition consistent with the primitive ⪯ on singletons.
+// Like Less, it runs as one merge pass on canonically shaped inputs.
 func (s SetStamp) WeakLE(u SetStamp) bool {
 	if len(s) == 0 || len(u) == 0 {
 		return false
 	}
-	for _, t1 := range s {
-		for _, t2 := range u {
-			if !t1.WeakLE(t2) {
-				return false
-			}
-		}
+	if len(s) == 1 && len(u) == 1 {
+		return s[0].WeakLE(u[0])
 	}
-	return true
+	if (len(s) > mergeThreshold || len(u) > mergeThreshold) && siteStrict(s) && siteStrict(u) {
+		return weakLEMerge(s, u)
+	}
+	return weakLERef(s, u)
 }
 
 // SetRelation classifies the temporal relationship between two composite
@@ -331,33 +376,14 @@ func JoinIncomparable(a, b SetStamp) SetStamp {
 	return unionDominant(a, b)
 }
 
-// unionDominant returns max(a ∪ b) computed pairwise: components of a
-// dominated by some component of b are dropped and vice versa.  Within a
-// valid SetStamp no component dominates another, so cross-set checks
-// suffice.
+// unionDominant returns max(a ∪ b) as a fresh slice: one merge pass on
+// canonically shaped inputs (the result comes out sorted and deduplicated
+// with no post-pass), the pairwise reference scan otherwise.
 func unionDominant(a, b SetStamp) SetStamp {
-	out := make(SetStamp, 0, len(a)+len(b))
-	for _, t := range a {
-		if !dominatedBy(t, b) {
-			out = append(out, t)
-		}
+	if siteStrict(a) && siteStrict(b) {
+		return unionDominantMerge(make(SetStamp, 0, len(a)+len(b)), a, b)
 	}
-	for _, t := range b {
-		if !dominatedBy(t, a) {
-			out = append(out, t)
-		}
-	}
-	SortCanonical(out)
-	return dedupCanonical(out)
-}
-
-func dominatedBy(t Stamp, s SetStamp) bool {
-	for _, u := range s {
-		if t.Less(u) {
-			return true
-		}
-	}
-	return false
+	return unionDominantRef(a, b)
 }
 
 // Max is the operator of Definition 5.9 that propagates composite
@@ -387,6 +413,41 @@ func Max(a, b SetStamp) SetStamp {
 	}
 }
 
+// MaxShared is Max without the unconditional Clone on the empty-input
+// fast paths: when one input is empty the other is returned as-is,
+// aliased rather than copied.  It is the right call on hot paths that
+// treat SetStamps as immutable after construction (the convention
+// everywhere in this codebase — the algebra only ever returns fresh
+// sets); use Max when the caller needs an independently mutable result.
+func MaxShared(a, b SetStamp) SetStamp {
+	switch {
+	case len(a) == 0:
+		return b
+	case len(b) == 0:
+		return a
+	default:
+		return unionDominant(a, b)
+	}
+}
+
+// MaxInto computes Max(a, b) into dst's backing array (truncating dst
+// first) and returns the resulting slice, growing it only when capacity
+// runs out — the scratch-reuse form of the Definition 5.9 operator for
+// callers that fold many sets.  dst must not overlap a or b.
+func MaxInto(dst, a, b SetStamp) SetStamp {
+	dst = dst[:0]
+	switch {
+	case len(a) == 0:
+		return append(dst, b...)
+	case len(b) == 0:
+		return append(dst, a...)
+	}
+	if siteStrict(a) && siteStrict(b) {
+		return unionDominantMerge(dst, a, b)
+	}
+	return append(dst, unionDominantRef(a, b)...)
+}
+
 // MaxLiteral59 implements Definition 5.9 exactly as printed: the later set
 // when the inputs are comparable under the composite <, otherwise the
 // join.  It exists to document where the printed definition diverges from
@@ -408,11 +469,30 @@ func MaxLiteral59(a, b SetStamp) SetStamp {
 
 // MaxAll folds Max over any number of composite timestamps.  By Theorem
 // 5.4 and associativity of max-of-union, the result is max of the union of
-// all components regardless of fold order.
+// all components regardless of fold order.  The fold ping-pongs between
+// two right-sized scratch buffers via MaxInto, so the whole chain costs at
+// most two allocations however many sets are folded; the result never
+// aliases an input.
 func MaxAll(sets ...SetStamp) SetStamp {
-	var acc SetStamp
+	switch len(sets) {
+	case 0:
+		return nil
+	case 1:
+		return sets[0].Clone()
+	}
+	total := 0
 	for _, s := range sets {
-		acc = Max(acc, s)
+		total += len(s) // the union bounds every intermediate result
+	}
+	var bufs [2]SetStamp
+	acc := sets[0]
+	k := 0
+	for _, s := range sets[1:] {
+		if bufs[k] == nil {
+			bufs[k] = make(SetStamp, 0, total)
+		}
+		acc = MaxInto(bufs[k], acc, s)
+		k = 1 - k
 	}
 	return acc
 }

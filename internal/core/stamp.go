@@ -57,11 +57,23 @@ func DeriveStamp(site SiteID, local int64, ratio int64) Stamp {
 // the same site compare by local tick; stamps at distinct sites compare by
 // global time with a one-granule guard band (t.global < u.global − 1g_g),
 // which is the 2g_g-restricted temporal order lifted to timestamps.
+//
+// The integer tests run first: when the guard-band test and the local-tick
+// test agree, both the same-site and the cross-site branch return that
+// answer, so the site comparison — the only string operation, and by far
+// the expensive one on this hottest of paths — is skipped.  For
+// clock-derived stamps the two tests disagree only inside the ±1-granule
+// band, so most calls never touch the site at all.
 func (t Stamp) Less(u Stamp) bool {
-	if t.Site == u.Site {
-		return t.Local < u.Local
+	cross := t.Global < u.Global-1
+	local := t.Local < u.Local
+	if cross == local {
+		return cross
 	}
-	return t.Global < u.Global-1
+	if t.Site == u.Site {
+		return local
+	}
+	return cross
 }
 
 // Simultaneous reports the "=" relation of Definition 4.7: same site and

@@ -35,7 +35,6 @@
 package ddetect
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -136,7 +135,7 @@ func (r *reorderer) ingest(from core.SiteID, env envelope) {
 			st.frontier = g
 		}
 		r.arrival++
-		heap.Push(&r.ready, &readyItem{env: env, key: releaseKey(env.Occ, r.arrival)})
+		r.ready.push(readyItem{env: env, key: releaseKey(env.Occ, r.arrival)})
 	case envHeartbeat:
 		if env.Global > st.frontier {
 			st.frontier = env.Global
@@ -235,9 +234,8 @@ func (r *reorderer) release(mode ReleaseMode, fn func(envelope)) int {
 		return 0
 	}
 	n := 0
-	for r.ready.Len() > 0 && r.ready[0].key.global <= minF+mode.slack() {
-		it := heap.Pop(&r.ready).(*readyItem)
-		fn(it.env)
+	for len(r.ready) > 0 && r.ready[0].key.global <= minF+mode.slack() {
+		fn(r.ready.pop().env)
 		n++
 	}
 	return n
@@ -245,7 +243,7 @@ func (r *reorderer) release(mode ReleaseMode, fn func(envelope)) int {
 
 // pendingEvents reports buffered FIFO gaps plus unreleased ready events,
 // for quiescence checks.
-func (r *reorderer) pendingEvents() int { return r.buffered + r.ready.Len() }
+func (r *reorderer) pendingEvents() int { return r.buffered + len(r.ready) }
 
 // key orders ready events: ascending maximal global, then site, then the
 // local tick of the max-global component, then arrival.  For singleton
@@ -281,10 +279,49 @@ type readyItem struct {
 	key key
 }
 
-type readyQueue []*readyItem
+// readyQueue is a value-based binary min-heap on key.  It deliberately
+// avoids container/heap: items are stored by value in one backing array
+// (no per-item allocation) and push/pop sift directly (no interface
+// boxing on the hot per-event path).
+type readyQueue []readyItem
 
-func (q readyQueue) Len() int           { return len(q) }
-func (q readyQueue) Less(i, j int) bool { return q[i].key.less(q[j].key) }
-func (q readyQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *readyQueue) Push(x any)        { *q = append(*q, x.(*readyItem)) }
-func (q *readyQueue) Pop() any          { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q *readyQueue) push(it readyItem) {
+	*q = append(*q, it)
+	h := *q
+	// Sift up.
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h[i].key.less(h[parent].key) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *readyQueue) pop() readyItem {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = readyItem{} // release the envelope's occurrence pointer
+	h = h[:n]
+	*q = h
+	// Sift down.
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && h[r].key.less(h[l].key) {
+			least = r
+		}
+		if !h[least].key.less(h[i].key) {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	return top
+}

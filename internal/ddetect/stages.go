@@ -155,31 +155,48 @@ func (st *transportStage) Tick(now clock.Microticks) int {
 
 // releaseStage pops every watermark-stable event, in each site's
 // deterministic (global, site, local, arrival) order, into the site's
-// detect inbox, accounting raise-to-release latency.
+// detect inbox, accounting raise-to-release latency.  The callback handed
+// to the reorderer is built once and re-targeted via the now/cur fields,
+// so the per-tick, per-site release loop allocates nothing.
 type releaseStage struct {
 	sys *System
+	now clock.Microticks
+	cur *Site
+	fn  func(envelope)
 }
 
 func (st *releaseStage) Name() string { return "release" }
+
+// deliver is the release callback, hoisted out of Tick so the per-site
+// loop reuses one closure instead of allocating one per site per tick.
+//
+//lint:allow stagefx — deliver is invoked only from release Tick, single-threaded on the crank goroutine before the detect barrier; its latency counters are updated in deterministic (site, release-key) order
+func (st *releaseStage) deliver(env envelope) {
+	sys := st.sys
+	sys.stats.Released++
+	lat := st.now - env.RaisedAt
+	sys.stats.LatencySum += lat
+	if lat > sys.stats.LatencyMax {
+		sys.stats.LatencyMax = lat
+	}
+	st.cur.inbox = append(st.cur.inbox, env.Occ)
+}
 
 // Tick releases watermark-stable events into the detect inboxes.
 //
 //lint:allow stagefx — release runs single-threaded on the crank goroutine before the detect barrier; its latency counters are updated in deterministic (site, release-key) order
 func (st *releaseStage) Tick(now clock.Microticks) int {
 	sys := st.sys
+	if st.fn == nil {
+		st.fn = st.deliver
+	}
+	st.now = now
 	n := 0
 	for _, s := range sys.sites {
-		s := s
-		n += s.re.release(sys.cfg.Release, func(env envelope) {
-			sys.stats.Released++
-			lat := now - env.RaisedAt
-			sys.stats.LatencySum += lat
-			if lat > sys.stats.LatencyMax {
-				sys.stats.LatencyMax = lat
-			}
-			s.inbox = append(s.inbox, env.Occ)
-		})
+		st.cur = s
+		n += s.re.release(sys.cfg.Release, st.fn)
 	}
+	st.cur = nil
 	return n
 }
 

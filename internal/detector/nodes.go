@@ -82,6 +82,9 @@ type binaryNode struct {
 	out  emitFunc
 
 	buf [2][]*event.Occurrence
+	// eligible is scratch for the per-terminator initiator scan, reused
+	// across onChild calls so steady-state detection does not allocate.
+	eligible []int
 }
 
 func (n *binaryNode) onChild(idx int, o *event.Occurrence) {
@@ -101,12 +104,13 @@ func (n *binaryNode) onSeq(idx int, o *event.Occurrence) {
 		return
 	}
 	// Terminator: eligible initiators happen before it.
-	var eligible []int
+	eligible := n.eligible[:0]
 	for i, init := range n.buf[0] {
 		if init.Stamp.Less(o.Stamp) {
 			eligible = append(eligible, i)
 		}
 	}
+	n.eligible = eligible[:0]
 	if len(eligible) == 0 {
 		return
 	}
@@ -199,6 +203,18 @@ type anyNode struct {
 	out  emitFunc
 
 	buf [][]*event.Occurrence
+	// Scratch reused across onChild calls: eligible holds the child
+	// indexes with buffered occurrences, chooseSel backs the subset
+	// enumeration, and combo assembles each emitted selection before it
+	// is ordered.  None of them escapes an emission (emitOrdered copies
+	// into the fresh constituents slice the Occurrence retains).
+	eligible  []int
+	chooseSel []int
+	combo     []childOcc
+	// ordered is a second childOcc scratch: emitOrdered sorts its input
+	// in place, so combinations assembled in the shared combo backing are
+	// copied here first to leave the recursion's accumulator untouched.
+	ordered []childOcc
 }
 
 // childOcc pairs a constituent occurrence with the child index it arrived
@@ -215,41 +231,44 @@ func (n *anyNode) onChild(idx int, o *event.Occurrence) {
 	}
 	n.buf[idx] = append(n.buf[idx], o)
 
-	var eligible []int // children with occurrences available, o's child first
+	eligible := n.eligible[:0] // children with occurrences available, o's child first
 	eligible = append(eligible, idx)
 	for c := range n.buf {
 		if c != idx && len(n.buf[c]) > 0 {
 			eligible = append(eligible, c)
 		}
 	}
+	n.eligible = eligible[:0]
 	if len(eligible) < n.m {
 		return
 	}
 	switch n.ctx {
 	case Unrestricted:
 		others := eligible[1:]
-		choose(others, n.m-1, func(sel []int) {
-			n.emitCombos(childOcc{c: idx, occ: o}, sel, 0, make([]childOcc, 0, n.m))
+		n.chooseSel = choose(n.chooseSel, others, n.m-1, func(sel []int) {
+			n.emitCombo(childOcc{c: idx, occ: o}, sel)
 		})
 		// o stays buffered (already appended).
 	case Recent:
-		sel := make([]childOcc, 0, n.m)
+		sel := n.combo[:0]
 		for _, c := range eligible[:n.m] {
 			sel = append(sel, childOcc{c: c, occ: n.buf[c][len(n.buf[c])-1]})
 		}
 		n.emitOrdered(sel)
+		n.combo = sel[:0]
 	case Chronicle, Continuous:
-		sel := make([]childOcc, 0, n.m)
+		sel := n.combo[:0]
 		used := eligible[:n.m]
 		for _, c := range used {
 			sel = append(sel, childOcc{c: c, occ: n.buf[c][0]})
 		}
 		n.emitOrdered(sel)
+		n.combo = sel[:0]
 		for _, c := range used {
-			n.buf[c] = removeIndices(n.buf[c], []int{0})
+			n.buf[c] = removeIndices(n.buf[c], zeroIndex)
 		}
 	case Cumulative:
-		var sel []childOcc
+		sel := n.combo[:0]
 		for _, c := range eligible {
 			for _, b := range n.buf[c] {
 				sel = append(sel, childOcc{c: c, occ: b})
@@ -257,14 +276,37 @@ func (n *anyNode) onChild(idx int, o *event.Occurrence) {
 			n.buf[c] = n.buf[c][:0]
 		}
 		n.emitOrdered(sel)
+		n.combo = sel[:0]
 	}
 }
 
+// zeroIndex is the shared index slice for "remove the head" compactions.
+var zeroIndex = []int{0}
+
+// emitCombo assembles one combination — one buffered occurrence per
+// selected other child, with o fixed — in the combo scratch and emits
+// it.  The combination fan-out walks sel depth-first without allocating
+// per emission.
+func (n *anyNode) emitCombo(o childOcc, sel []int) {
+	if cap(n.combo) < n.m {
+		// Pre-size so recursive appends never outgrow the scratch (depth
+		// is at most m), which would silently drop the reuse.
+		n.combo = make([]childOcc, 0, n.m)
+	}
+	n.emitCombos(o, sel, 0, n.combo[:0])
+}
+
 // emitCombos emits one composite per combination of one buffered
-// occurrence from each selected other child, with o fixed.
+// occurrence from each selected other child, with o fixed.  acc rides the
+// shared combo scratch — each recursion level appends its choice and the
+// slice header truncates on the way out; the completed combination is
+// copied into the ordered scratch because emitOrdered sorts in place and
+// must not permute the live accumulator under the recursion.
 func (n *anyNode) emitCombos(o childOcc, sel []int, depth int, acc []childOcc) {
 	if depth == len(sel) {
-		n.emitOrdered(append(append([]childOcc{}, acc...), o))
+		n.ordered = append(n.ordered[:0], acc...)
+		n.ordered = append(n.ordered, o)
+		n.emitOrdered(n.ordered)
 		return
 	}
 	for _, b := range n.buf[sel[depth]] {
@@ -284,19 +326,26 @@ func (n *anyNode) emitOrdered(sel []childOcc) {
 }
 
 // choose invokes fn with each size-k subset of items, preserving order.
-func choose(items []int, k int, fn func([]int)) {
+// The selection slice handed to fn is a single scratch buffer reused
+// across invocations — fn must not retain it.  scratch provides the
+// backing array; the (possibly grown) buffer is returned for the caller
+// to keep, so steady-state enumeration allocates nothing per combination.
+func choose(scratch []int, items []int, k int, fn func([]int)) []int {
 	if k == 0 {
 		fn(nil)
-		return
+		return scratch
 	}
 	if k > len(items) {
-		return
+		return scratch
 	}
-	sel := make([]int, 0, k)
+	if cap(scratch) < k {
+		scratch = make([]int, 0, k)
+	}
+	sel := scratch[:0]
 	var rec func(start int)
 	rec = func(start int) {
 		if len(sel) == k {
-			fn(append([]int(nil), sel...))
+			fn(sel)
 			return
 		}
 		for i := start; i <= len(items)-(k-len(sel)); i++ {
@@ -306,6 +355,7 @@ func choose(items []int, k int, fn func([]int)) {
 		}
 	}
 	rec(0)
+	return sel[:0]
 }
 
 // notNode implements NOT(E2)[E1, E3]: the composite occurs when E3 occurs
@@ -324,6 +374,8 @@ type notNode struct {
 
 	inits []*event.Occurrence
 	e2s   []*event.Occurrence
+	// eligible is scratch for the per-terminator initiator scan.
+	eligible []int
 }
 
 func (n *notNode) onChild(idx int, o *event.Occurrence) {
@@ -345,12 +397,13 @@ func (n *notNode) onChild(idx int, o *event.Occurrence) {
 		// (linear extension), so it can never spoil: drop.
 	case 2: // terminator E3
 		t3 := o.Stamp
-		var eligible []int
+		eligible := n.eligible[:0]
 		for i, init := range n.inits {
 			if init.Stamp.Less(t3) && !n.spoiled(init.Stamp, t3) {
 				eligible = append(eligible, i)
 			}
 		}
+		n.eligible = eligible[:0]
 		if len(eligible) == 0 {
 			return
 		}
@@ -432,6 +485,11 @@ type aperiodicNode struct {
 	out        emitFunc
 
 	windows []*apWindow
+	// eligible and closed are scratch for the per-occurrence window
+	// scans; window pointers never escape through them (emissions copy
+	// what they need into fresh constituent slices).
+	eligible []*apWindow
+	closed   []*apWindow
 }
 
 func (n *aperiodicNode) onChild(idx int, o *event.Occurrence) {
@@ -442,12 +500,13 @@ func (n *aperiodicNode) onChild(idx int, o *event.Occurrence) {
 		}
 		n.windows = append(n.windows, &apWindow{init: o})
 	case 1: // E2
-		var eligible []*apWindow
+		eligible := n.eligible[:0]
 		for _, w := range n.windows {
 			if w.init.Stamp.Less(o.Stamp) {
 				eligible = append(eligible, w)
 			}
 		}
+		n.eligible = eligible[:0]
 		if len(eligible) == 0 {
 			return
 		}
@@ -474,7 +533,7 @@ func (n *aperiodicNode) onChild(idx int, o *event.Occurrence) {
 		}
 	case 2: // E3 closes windows
 		t3 := o.Stamp
-		var closed []*apWindow
+		closed := n.closed[:0]
 		live := n.windows[:0]
 		for _, w := range n.windows {
 			if w.init.Stamp.Less(t3) {
@@ -484,6 +543,7 @@ func (n *aperiodicNode) onChild(idx int, o *event.Occurrence) {
 			}
 		}
 		n.windows = live
+		n.closed = closed[:0]
 		if !n.cumulative || len(closed) == 0 {
 			return
 		}
@@ -631,19 +691,26 @@ func (n *plusNode) onChild(_ int, o *event.Occurrence) {
 	})
 }
 
-// removeIndices removes the (ascending) indices from s, preserving order.
+// removeIndices removes the (ascending) indices from s in a single
+// compaction pass, preserving order.  The prefix before the first removed
+// index is left untouched, and the vacated tail is nil-ed so consumed
+// occurrences don't stay reachable through the buffer's capacity.
 func removeIndices(s []*event.Occurrence, idx []int) []*event.Occurrence {
 	if len(idx) == 0 {
 		return s
 	}
-	out := s[:0]
-	k := 0
-	for i, v := range s {
+	w := idx[0]
+	k := 1
+	for i := w + 1; i < len(s); i++ {
 		if k < len(idx) && idx[k] == i {
 			k++
 			continue
 		}
-		out = append(out, v)
+		s[w] = s[i]
+		w++
 	}
-	return out
+	for i := w; i < len(s); i++ {
+		s[i] = nil
+	}
+	return s[:w]
 }

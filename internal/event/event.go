@@ -145,22 +145,28 @@ func NewPrimitive(typ string, class Class, stamp core.Stamp, params Params) *Occ
 }
 
 // NewComposite builds a composite occurrence at the given detection site.
-// Its timestamp is core.MaxAll over the constituents' timestamps — the
-// paper's Max-operator propagation — and its constituents are recorded in
-// the order given.
+// Its timestamp is the Max fold over the constituents' timestamps — the
+// paper's Max-operator propagation (Definition 5.9) — and its
+// constituents are recorded in the order given.
+//
+// The fold uses core.MaxShared: occurrence stamps are immutable after
+// construction, so a single-constituent composite shares its
+// constituent's stamp instead of cloning it, and the multi-constituent
+// case allocates only the folded results.  This is the innermost
+// allocation site of the whole detection engine.
 func NewComposite(typ string, site core.SiteID, constituents ...*Occurrence) *Occurrence {
 	if len(constituents) == 0 {
 		panic("event: composite occurrence with no constituents")
 	}
-	stamps := make([]core.SetStamp, len(constituents))
-	for i, c := range constituents {
-		stamps[i] = c.Stamp
+	stamp := constituents[0].Stamp
+	for _, c := range constituents[1:] {
+		stamp = core.MaxShared(stamp, c.Stamp)
 	}
 	return &Occurrence{
 		Type:         typ,
 		Class:        Composite,
 		Site:         site,
-		Stamp:        core.MaxAll(stamps...),
+		Stamp:        stamp,
 		Params:       Params{},
 		Constituents: constituents,
 	}
