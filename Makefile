@@ -36,17 +36,20 @@ race:
 determinism:
 	$(GO) test -race -run 'TestPipelineDeterminism' -v ./internal/ddetect
 
-# Full benchmark run (root harness + eventlog), archived machine-readably
-# at the repo root.  BENCH_baseline.json, when present, is embedded so the
-# report carries its own before/after comparison.
+# Full benchmark run (root harness + eventlog + transport layers),
+# archived machine-readably at the repo root.  BENCH_pr3.json, when
+# present, is embedded so the report carries its own before/after
+# comparison of the PR-4 transport batching.
+BENCH_PKGS := . ./internal/eventlog ./internal/network ./internal/wire
+
 bench:
 	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
-	$(GO) test -bench . -benchmem -benchtime=200ms -count=3 -run '^$$' . ./internal/eventlog \
-		| tee /tmp/bench_pr3.txt
-	$(BENCHJSON) -out BENCH_pr3.json \
-		$$(test -f BENCH_baseline.json && echo -baseline BENCH_baseline.json) \
-		< /tmp/bench_pr3.txt
+	$(GO) test -bench . -benchmem -benchtime=200ms -count=3 -run '^$$' $(BENCH_PKGS) \
+		| tee /tmp/bench_pr4.txt
+	$(BENCHJSON) -out BENCH_pr4.json \
+		$$(test -f BENCH_pr3.json && echo -baseline BENCH_pr3.json) \
+		< /tmp/bench_pr4.txt
 
 # One-iteration smoke pass: every benchmark must still run to completion.
 bench-smoke:
-	$(GO) test -bench . -benchmem -benchtime=1x -run '^$$' . ./internal/eventlog > /dev/null
+	$(GO) test -bench . -benchmem -benchtime=1x -run '^$$' $(BENCH_PKGS) > /dev/null

@@ -349,6 +349,13 @@ func BenchmarkEndToEndDetection(b *testing.B) {
 			}
 			b.ReportMetric(float64(st.Detections), "detections")
 			b.ReportMetric(st.MeanLatency(), "latency-microticks")
+			// Transport coalescing: bus messages per run and the
+			// envelopes-per-message ratio (PR-4 acceptance: ≥5× fewer
+			// messages at 16 sites than one-message-per-envelope).
+			b.ReportMetric(float64(st.Net.Sent), "bus-msgs")
+			if st.Net.Sent > 0 {
+				b.ReportMetric(float64(st.Net.Envelopes)/float64(st.Net.Sent), "envs/msg")
+			}
 		})
 	}
 }

@@ -24,18 +24,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
 
 // Record is one benchmark result line.
 type Record struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	BytesPerOp *float64           `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *float64          `json:"allocs_per_op,omitempty"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the file layout: run metadata plus the records, optionally
@@ -111,6 +112,7 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 	if len(rep.Records) == 0 {
 		return nil, fmt.Errorf("no benchmark lines on stdin")
 	}
+	rep.Go = runtime.Version()
 	return rep, nil
 }
 

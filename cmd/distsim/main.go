@@ -135,6 +135,12 @@ func simulate(w io.Writer, o options) {
 	fmt.Fprintf(w, "sites=%d events=%d horizon=%d microticks\n", *sites, *events, trace.Horizon())
 	fmt.Fprintf(w, "network: latency=%d jitter=%d drop=%.2f  sent=%d retransmitted=%d\n",
 		*latency, *jitter, *drop, st.Net.Sent, st.Net.Retransmitted)
+	ratio := float64(st.Net.Envelopes)
+	if st.Net.Sent > 0 {
+		ratio /= float64(st.Net.Sent)
+	}
+	fmt.Fprintf(w, "transport: messages=%d envelopes=%d batches=%d coalescing=%.2fx payload-bytes=%d\n",
+		st.Net.Sent, st.Net.Envelopes, st.Net.Batches, ratio, st.Net.PayloadBytes)
 	fmt.Fprintf(w, "released=%d detections=%d unconsumed=%d\n", st.Released, st.Detections, st.Unconsumed)
 	fmt.Fprintf(w, "latency: mean=%.1f max=%d microticks (raise -> ordered publish)\n",
 		st.MeanLatency(), st.LatencyMax)

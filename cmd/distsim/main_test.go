@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -24,6 +25,8 @@ func TestSimulateReportShape(t *testing.T) {
 	for _, want := range []string{
 		"sites=3 events=300",
 		"released=300",
+		"transport: messages=",
+		"coalescing=",
 		"detections per definition:",
 		"Seq", "Conj", "Guard", "Sweep",
 		"composite timestamp set sizes",
@@ -64,6 +67,20 @@ func TestSimulateWorkersParity(t *testing.T) {
 	par.workers = 4
 	if got := runSim(t, par); got != seq {
 		t.Fatalf("workers=4 report differs from sequential:\n%s\n---\n%s", got, seq)
+	}
+}
+
+// TestSimulateCoalesces pins that the batched transport actually batches
+// on a multi-site run: strictly fewer bus messages than envelopes.
+func TestSimulateCoalesces(t *testing.T) {
+	out := runSim(t, baseOptions())
+	var msgs, envs int
+	if _, err := fmt.Sscanf(out[strings.Index(out, "transport:"):],
+		"transport: messages=%d envelopes=%d", &msgs, &envs); err != nil {
+		t.Fatalf("cannot parse transport line: %v\n%s", err, out)
+	}
+	if msgs == 0 || envs <= msgs {
+		t.Fatalf("no coalescing: messages=%d envelopes=%d\n%s", msgs, envs, out)
 	}
 }
 

@@ -1,5 +1,6 @@
-// Package stagefx enforces the staged-pipeline effect rule of PR 1: bus
-// sends, subscriber fan-out and Stats mutation are publish-stage work.
+// Package stagefx enforces the staged-pipeline effect rules of PR 1
+// (shared effects on the crank goroutine only) and PR 4 (bus traffic
+// through the transport-flush paths only).
 //
 // The parallel detect stage is only deterministic because workers confine
 // their writes to per-site state and every shared effect — messages onto
@@ -9,18 +10,24 @@
 // internal/ddetect/stages.go).  A bus send or stats increment added to
 // detect-stage code compiles fine, usually even passes -race with one
 // worker, and silently makes results depend on goroutine scheduling.
+// Since PR 4 the bus contract is narrower still: a tick's traffic is
+// coalesced per link, so a stray direct send anywhere else would bypass
+// the batching (skewing the one-draw-per-link delivery schedule that
+// makes batched and unbatched runs byte-identical).
 //
-// The analyzer inspects internal/ddetect and flags the effectful
-// operations —
+// The analyzer inspects internal/ddetect and flags:
 //
-//   - calls to (*network.Bus).Send / DrainDue / DeliverDue,
-//   - writes to fields of ddetect.Stats,
-//   - calls to detector.Handler values (subscriber fan-out),
+//   - calls to the Bus send methods (Send / SendBatch / SendUnbatched)
+//     outside methods of linkCoalescer — the flush is the one place
+//     application traffic meets the bus;
+//   - calls to the Bus drain methods (DrainDue / DeliverDue) outside
+//     methods of transportStage — the one designated consumer;
+//   - writes to fields of ddetect.Stats and calls of detector.Handler
+//     values (subscriber fan-out) outside the publish stage (methods of
+//     publishStage and the System.forwardComposite helper it drives).
 //
-// — everywhere except the publish stage itself (methods of publishStage
-// and the System.forwardComposite helper it drives).  The other
-// single-threaded crank stages (ingest, transport, release) perform
-// effects by design, before the detect barrier; each carries a
+// The other single-threaded crank stages (ingest, transport, release)
+// mutate counters by design, before the detect barrier; each carries a
 // function-level //lint:allow stagefx stating that argument, so the
 // exemption is visible where the code is.  Test files are exempt.
 package stagefx
@@ -45,13 +52,8 @@ func appliesTo(path string) bool {
 	return path == "repro/internal/ddetect"
 }
 
-// publishContext reports whether fd is part of the publish stage: a
-// method of publishStage, or the forwardComposite helper the publish
-// stage calls for hierarchical forwarding.
-func publishContext(fd *ast.FuncDecl) bool {
-	if fd.Name.Name == "forwardComposite" {
-		return true
-	}
+// methodOf reports whether fd is a method of the named receiver type.
+func methodOf(fd *ast.FuncDecl, recv string) bool {
 	if fd.Recv == nil || len(fd.Recv.List) == 0 {
 		return false
 	}
@@ -60,7 +62,14 @@ func publishContext(fd *ast.FuncDecl) bool {
 		t = star.X
 	}
 	id, ok := t.(*ast.Ident)
-	return ok && id.Name == "publishStage"
+	return ok && id.Name == recv
+}
+
+// publishContext reports whether fd is part of the publish stage: a
+// method of publishStage, or the forwardComposite helper the publish
+// stage calls for hierarchical forwarding.
+func publishContext(fd *ast.FuncDecl) bool {
+	return fd.Name.Name == "forwardComposite" || methodOf(fd, "publishStage")
 }
 
 // named reports whether t (behind pointers) is the named type
@@ -82,9 +91,14 @@ func named(t types.Type, pkgSuffix, name string) bool {
 		strings.HasSuffix(obj.Pkg().Path(), pkgSuffix)
 }
 
-// busMutators are the Bus methods that enqueue or dequeue traffic (and
-// advance the bus's seeded RNG); read-only accessors are not effects.
-var busMutators = map[string]bool{"Send": true, "DrainDue": true, "DeliverDue": true}
+// busSenders are the Bus methods that enqueue traffic (and advance the
+// bus's seeded RNG): linkCoalescer-flush-only since PR 4.  busDrainers
+// dequeue traffic: transportStage-only.  Read-only accessors are not
+// effects.
+var (
+	busSenders  = map[string]bool{"Send": true, "SendBatch": true, "SendUnbatched": true}
+	busDrainers = map[string]bool{"DrainDue": true, "DeliverDue": true}
+)
 
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
@@ -93,7 +107,7 @@ func run(pass *analysis.Pass) error {
 		}
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || publishContext(fd) {
+			if !ok || fd.Body == nil {
 				continue
 			}
 			checkBody(pass, fd)
@@ -103,22 +117,37 @@ func run(pass *analysis.Pass) error {
 }
 
 func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	publish := publishContext(fd)
+	sender := methodOf(fd, "linkCoalescer")
+	drainer := methodOf(fd, "transportStage")
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.CallExpr:
-			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && busMutators[sel.Sel.Name] {
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && (busSenders[sel.Sel.Name] || busDrainers[sel.Sel.Name]) {
 				if t := pass.TypeOf(sel.X); t != nil && named(t, "internal/network", "Bus") {
-					pass.Reportf(x.Pos(),
-						"stagefx: Bus.%s outside the publish stage (in %s); shared bus traffic must be ordered on the crank goroutine after the detect barrier",
-						sel.Sel.Name, fd.Name.Name)
+					switch {
+					case busSenders[sel.Sel.Name] && !sender:
+						pass.Reportf(x.Pos(),
+							"stagefx: Bus.%s outside the coalescer flush (in %s); all bus traffic goes through linkCoalescer so a tick's envelopes share one per-link frame and delay draw",
+							sel.Sel.Name, fd.Name.Name)
+					case busDrainers[sel.Sel.Name] && !drainer:
+						pass.Reportf(x.Pos(),
+							"stagefx: Bus.%s outside the transport stage (in %s); the transport stage is the bus's one designated consumer",
+							sel.Sel.Name, fd.Name.Name)
+					}
 				}
 			}
-			if t := pass.TypeOf(x.Fun); t != nil && named(t, "internal/detector", "Handler") {
-				pass.Reportf(x.Pos(),
-					"stagefx: subscriber fan-out (detector.Handler call) outside the publish stage (in %s)",
-					fd.Name.Name)
+			if !publish {
+				if t := pass.TypeOf(x.Fun); t != nil && named(t, "internal/detector", "Handler") {
+					pass.Reportf(x.Pos(),
+						"stagefx: subscriber fan-out (detector.Handler call) outside the publish stage (in %s)",
+						fd.Name.Name)
+				}
 			}
 		case *ast.AssignStmt:
+			if publish {
+				break
+			}
 			for _, lhs := range x.Lhs {
 				if statsWrite(pass, lhs) {
 					pass.Reportf(x.Pos(),
@@ -128,7 +157,7 @@ func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
 				}
 			}
 		case *ast.IncDecStmt:
-			if statsWrite(pass, x.X) {
+			if !publish && statsWrite(pass, x.X) {
 				pass.Reportf(x.Pos(),
 					"stagefx: Stats mutation outside the publish stage (in %s); counters are shared state, updated on the crank goroutine only",
 					fd.Name.Name)

@@ -1,7 +1,8 @@
-// Package fixture exercises the stagefx analyzer: bus mutation, shared
-// Stats writes and handler fan-out are flagged outside publish-stage
-// context; publishStage methods, local Stats snapshots and
-// //lint:allow-ed crank stages are not.
+// Package fixture exercises the stagefx analyzer: bus sends outside the
+// coalescer flush, bus drains outside the transport stage, shared Stats
+// writes and handler fan-out outside publish-stage context are flagged;
+// linkCoalescer sends, transportStage drains, publishStage effects, local
+// Stats snapshots and //lint:allow-ed crank stages are not.
 package fixture
 
 import (
@@ -17,22 +18,49 @@ type sys struct {
 }
 
 func (s *sys) detectTick(h detector.Handler, o *event.Occurrence) {
-	s.bus.Send(0, "a", "b", nil) // want `stagefx: Bus\.Send outside the publish stage`
+	s.bus.Send(0, "a", "b", nil) // want `stagefx: Bus\.Send outside the coalescer flush`
 	s.stats.Raised++             // want `stagefx: Stats mutation outside the publish stage`
 	h(o)                         // want `stagefx: subscriber fan-out`
 }
 
 func (s *sys) drain() {
-	_ = s.bus.DrainDue(0, nil) // want `stagefx: Bus\.DrainDue outside the publish stage`
+	_ = s.bus.DrainDue(0, nil) // want `stagefx: Bus\.DrainDue outside the transport stage`
 	s.stats.LatencySum = 1     // want `stagefx: Stats mutation outside the publish stage`
 }
 
 type publishStage struct{ sys *sys }
 
+// The publish stage may fan out to handlers and count, but since PR 4 it
+// must hand traffic to the coalescer rather than the bus.
 func (p *publishStage) Tick(h detector.Handler, o *event.Occurrence) {
-	p.sys.bus.Send(0, "a", "b", nil)
+	p.sys.bus.Send(0, "a", "b", nil) // want `stagefx: Bus\.Send outside the coalescer flush`
 	p.sys.stats.Detections++
 	h(o)
+}
+
+type linkCoalescer struct{ sys *sys }
+
+// flush is the designated bus sender: every send method is clean here.
+func (c *linkCoalescer) flush() {
+	c.sys.bus.Send(0, "a", "b", nil)
+	c.sys.bus.SendBatch(0, "a", "b", nil, 3, 0)
+	c.sys.bus.SendUnbatched(0, "a", "b", 2, func(int) any { return nil })
+}
+
+type transportStage struct{ sys *sys }
+
+// Tick is the designated bus consumer: drains are clean here, but a send
+// is not.
+func (t *transportStage) Tick() {
+	_ = t.sys.bus.DrainDue(0, nil)
+	t.sys.bus.DeliverDue(0, func(network.Message) {})
+	t.sys.bus.SendBatch(0, "a", "b", nil, 1, 0) // want `stagefx: Bus\.SendBatch outside the coalescer flush`
+}
+
+// Being the designated sender does not make the coalescer a consumer:
+// drains are still transport-only.
+func (c *linkCoalescer) refill() {
+	_ = c.sys.bus.DrainDue(0, nil) // want `stagefx: Bus\.DrainDue outside the transport stage`
 }
 
 // crankStage is serialized on the crank goroutine by construction.

@@ -1,0 +1,165 @@
+package ddetect
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// linkCoalescer accumulates the envelopes bound for each (from,to) link
+// and hands them to the bus in per-tick batches: one Message — one
+// latency/jitter/loss draw, one link sequence number, one wire frame when
+// serializing — per link per flush, instead of one per (occurrence,
+// destination).  The ingest and publish stages are its only producers
+// (Site.Raise between ticks, heartbeats and hierarchical forwards during
+// their Ticks), and each flushes at the end of its Tick, so everything a
+// tick emits onto a link travels as one frame.
+//
+// Batching is a pure transport optimization: per-link envelope order is
+// exactly the per-link send order the unbatched system produced, the
+// receiving reorderer unpacks a batch back into individual envelopes
+// before FIFO restore, and — the property TestBatchingDeterminism pins —
+// the delivery schedule is byte-identical with batching disabled, because
+// the differential mode (Config.DisableBatching → Bus.SendUnbatched)
+// consumes the same one draw per link flush.
+//
+// All methods run on the crank goroutine (stages are single-threaded and
+// Raise is a between-ticks call), so the free lists need no locking.  The
+// flush methods are the only code in this package allowed to call the
+// Bus's send methods — enforced by the stagefx analyzer.
+type linkCoalescer struct {
+	sys    *System
+	byLink map[linkKey]*linkBatch
+	// order lists the links with pending envelopes in first-use order —
+	// deterministic, since every add happens on the crank goroutine —
+	// and is the flush iteration order (the byLink map is lookup-only:
+	// map iteration order must never reach the bus).
+	order []*linkBatch
+
+	// freeEnvs recycles flushed batch slices for in-memory payloads; the
+	// transport stage returns each slice after unpacking it.  freeBufs
+	// does the same for serialized frames, and wenvs is the reused
+	// wire-envelope staging slice for batch encoding.
+	freeEnvs [][]envelope
+	freeBufs [][]byte
+	wenvs    []wire.Envelope
+}
+
+type linkKey struct {
+	from, to core.SiteID
+}
+
+// linkBatch is one link's accumulating envelope run.
+type linkBatch struct {
+	from, to core.SiteID
+	envs     []envelope
+}
+
+func newLinkCoalescer(sys *System) *linkCoalescer {
+	return &linkCoalescer{sys: sys, byLink: make(map[linkKey]*linkBatch)}
+}
+
+// add queues one envelope for the (from,to) link, to be sent at the next
+// flush.
+func (c *linkCoalescer) add(from, to core.SiteID, env envelope) {
+	k := linkKey{from: from, to: to}
+	lb := c.byLink[k]
+	if lb == nil {
+		lb = &linkBatch{from: from, to: to}
+		c.byLink[k] = lb
+	}
+	if len(lb.envs) == 0 {
+		if n := len(c.freeEnvs); n > 0 {
+			lb.envs, c.freeEnvs = c.freeEnvs[n-1], c.freeEnvs[:n-1]
+		}
+		c.order = append(c.order, lb)
+	}
+	lb.envs = append(lb.envs, env)
+}
+
+// pending reports whether any link has unflushed envelopes.
+func (c *linkCoalescer) pendingLinks() int { return len(c.order) }
+
+// flush hands every pending link batch to the bus, in deterministic
+// first-use link order, consuming exactly one delay/loss draw per link.
+// It runs single-threaded on the crank goroutine (end of the ingest and
+// publish Ticks); the stagefx analyzer recognizes linkCoalescer methods
+// as the designated Bus senders.
+func (c *linkCoalescer) flush(now clock.Microticks) {
+	if len(c.order) == 0 {
+		return
+	}
+	sys := c.sys
+	for _, lb := range c.order {
+		envs := lb.envs
+		lb.envs = nil
+		switch {
+		case sys.cfg.DisableBatching:
+			// Differential mode: the same envelopes as per-envelope
+			// messages with consecutive sequence numbers, under the one
+			// shared draw SendBatch would have consumed.
+			sys.bus.SendUnbatched(now, lb.from, lb.to, len(envs), func(i int) any {
+				return sys.payload(envs[i])
+			})
+			c.recycleEnvs(envs)
+		case sys.cfg.Serialize:
+			buf := c.getBuf()
+			buf, err := wire.AppendBatch(buf, c.stage(envs))
+			if err != nil {
+				panic(fmt.Sprintf("ddetect: batch not encodable: %v", err))
+			}
+			clear(c.wenvs) // drop the staged occurrence references
+			sys.bus.SendBatch(now, lb.from, lb.to, buf, len(envs), len(buf))
+			c.recycleEnvs(envs)
+		default:
+			// In-memory payload: ownership of the slice transfers to the
+			// message; the transport stage recycles it after unpacking.
+			sys.bus.SendBatch(now, lb.from, lb.to, envs, len(envs), 0)
+		}
+	}
+	c.order = c.order[:0]
+}
+
+// stage converts a run of internal envelopes to wire envelopes in the
+// reused staging slice.
+func (c *linkCoalescer) stage(envs []envelope) []wire.Envelope {
+	wenvs := c.wenvs[:0]
+	for _, env := range envs {
+		we := wire.Envelope{Global: env.Global, RaisedAt: int64(env.RaisedAt)}
+		if env.Kind == envEvent {
+			we.Kind = wire.KindEvent
+			we.Occ = env.Occ
+		} else {
+			we.Kind = wire.KindHeartbeat
+		}
+		wenvs = append(wenvs, we)
+	}
+	c.wenvs = wenvs
+	return wenvs
+}
+
+// recycleEnvs returns a flushed (or unpacked) batch slice to the free
+// list, dropping its occurrence references first.
+func (c *linkCoalescer) recycleEnvs(envs []envelope) {
+	clear(envs)
+	c.freeEnvs = append(c.freeEnvs, envs[:0])
+}
+
+// getBuf pops a recycled wire-frame buffer (or nil, letting AppendBatch
+// allocate the first time).
+func (c *linkCoalescer) getBuf() []byte {
+	n := len(c.freeBufs)
+	if n == 0 {
+		return nil
+	}
+	buf := c.freeBufs[n-1]
+	c.freeBufs = c.freeBufs[:n-1]
+	return buf[:0]
+}
+
+// recycleBuf returns a delivered wire frame to the free list.
+func (c *linkCoalescer) recycleBuf(buf []byte) {
+	c.freeBufs = append(c.freeBufs, buf[:0])
+}

@@ -15,21 +15,39 @@ import (
 	"repro/internal/workload"
 )
 
-// runPipelineScenario drives one seeded adversarial scenario — six skewed
-// sites, jittery lossy network, definitions at three hosts including a
+// scenarioOpts parameterizes runScenario.  The zero value is invalid; use
+// defaultScenario() for the canonical six-site adversarial run.
+type scenarioOpts struct {
+	workers int
+	sites   int   // ≥ 3: the definitions live at the first three sites
+	count   int   // workload events
+	seed    int64 // drives the workload, the network and the site skews
+	mutate  func(*Config)
+}
+
+func defaultScenario() scenarioOpts {
+	return scenarioOpts{sites: 6, count: 900, seed: 5}
+}
+
+// runScenario drives one seeded adversarial scenario — skewed sites,
+// jittery lossy network, definitions at three hosts including a
 // hierarchically forwarded composite — and serializes every detection (in
 // publish order, with full constituent trees) through internal/eventlog.
 // The returned bytes are a total description of the occurrence stream.
-func runPipelineScenario(t testing.TB, workers int) ([]byte, Stats) {
-	sys := MustNewSystem(Config{
+func runScenario(t testing.TB, o scenarioOpts) ([]byte, Stats) {
+	cfg := Config{
 		Net: network.Config{
 			BaseLatency: 20, Jitter: 70,
-			DropRate: 0.05, RetransmitDelay: 150, Seed: 11,
+			DropRate: 0.05, RetransmitDelay: 150, Seed: o.seed + 101,
 		},
-		Pipeline: pipeline.Config{Workers: workers},
-	})
-	rng := rand.New(rand.NewSource(29))
-	ids := make([]core.SiteID, 6)
+		Pipeline: pipeline.Config{Workers: o.workers},
+	}
+	if o.mutate != nil {
+		o.mutate(&cfg)
+	}
+	sys := MustNewSystem(cfg)
+	rng := rand.New(rand.NewSource(o.seed + 202))
+	ids := make([]core.SiteID, o.sites)
 	for i := range ids {
 		ids[i] = core.SiteID(fmt.Sprintf("s%02d", i))
 		sys.MustAddSite(ids[i], rng.Int63n(61)-30, rng.Int63n(4))
@@ -67,7 +85,7 @@ func runPipelineScenario(t testing.TB, workers int) ([]byte, Stats) {
 	}
 	trace := workload.GenStream(workload.StreamConfig{
 		Sites: ids, Types: []string{"A", "B", "C", "D"},
-		MeanGap: 40, Count: 900, Seed: 5,
+		MeanGap: 40, Count: o.count, Seed: o.seed,
 	})
 	for _, item := range trace.Items {
 		sys.Run(item.At, 50)
@@ -77,6 +95,14 @@ func runPipelineScenario(t testing.TB, workers int) ([]byte, Stats) {
 		t.Fatal(err)
 	}
 	return buf.Bytes(), sys.Stats()
+}
+
+// runPipelineScenario is the canonical six-site scenario at a given
+// worker count (the PR-1 determinism regression's entry point).
+func runPipelineScenario(t testing.TB, workers int) ([]byte, Stats) {
+	o := defaultScenario()
+	o.workers = workers
+	return runScenario(t, o)
 }
 
 // TestPipelineDeterminism is the regression test for the parallel detect
@@ -101,6 +127,65 @@ func TestPipelineDeterminism(t *testing.T) {
 			t.Fatalf("workers=%d: occurrence log (%d bytes) differs from sequential (%d bytes)",
 				workers, len(parLog), len(seqLog))
 		}
+	}
+}
+
+// TestBatchingDeterminism is the PR-4 transport regression: per-link
+// envelope coalescing must be invisible to detection.  Across several
+// seeds and site counts, the occurrence log must be byte-identical in all
+// four transport modes — batching on/off × serialized/in-memory payloads
+// — and the batched bus must actually coalesce (fewer messages than
+// envelopes).
+func TestBatchingDeterminism(t *testing.T) {
+	variants := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"unbatched", func(c *Config) { c.DisableBatching = true }},
+		{"serialized", func(c *Config) { c.Serialize = true }},
+		{"serialized-unbatched", func(c *Config) { c.Serialize = true; c.DisableBatching = true }},
+	}
+	for _, seed := range []int64{5, 23, 41} {
+		for _, sites := range []int{3, 6} {
+			o := scenarioOpts{sites: sites, count: 250, seed: seed}
+			baseLog, baseStats := runScenario(t, o)
+			if baseStats.Detections == 0 {
+				t.Fatalf("seed=%d sites=%d: no detections; comparison is vacuous", seed, sites)
+			}
+			if baseStats.Net.Sent >= baseStats.Net.Envelopes {
+				t.Errorf("seed=%d sites=%d: bus sent %d messages for %d envelopes — nothing coalesced",
+					seed, sites, baseStats.Net.Sent, baseStats.Net.Envelopes)
+			}
+			if baseStats.Net.Batches == 0 {
+				t.Errorf("seed=%d sites=%d: no multi-envelope batches", seed, sites)
+			}
+			for _, v := range variants {
+				vo := o
+				vo.mutate = v.mutate
+				log, st := runScenario(t, vo)
+				if !bytes.Equal(baseLog, log) {
+					t.Errorf("seed=%d sites=%d %s: occurrence log (%d bytes) differs from batched in-memory (%d bytes)",
+						seed, sites, v.name, len(log), len(baseLog))
+				}
+				if st.Detections != baseStats.Detections || st.Released != baseStats.Released {
+					t.Errorf("seed=%d sites=%d %s: det=%d rel=%d, want det=%d rel=%d",
+						seed, sites, v.name, st.Detections, st.Released,
+						baseStats.Detections, baseStats.Released)
+				}
+			}
+		}
+	}
+}
+
+// TestUnbatchedModeReallyUnbatches pins the differential mode's meaning:
+// with DisableBatching every envelope is its own bus message.
+func TestUnbatchedModeReallyUnbatches(t *testing.T) {
+	o := defaultScenario()
+	o.count = 120
+	o.mutate = func(c *Config) { c.DisableBatching = true }
+	_, st := runScenario(t, o)
+	if st.Net.Sent != st.Net.Envelopes || st.Net.Batches != 0 {
+		t.Fatalf("unbatched mode stats: %+v", st.Net)
 	}
 }
 

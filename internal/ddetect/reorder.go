@@ -65,10 +65,13 @@ type envelope struct {
 	RaisedAt clock.Microticks
 }
 
-// sourceState tracks one source's stream at a receiving site.
+// sourceState tracks one source's stream at a receiving site.  One link
+// sequence number covers one bus message, which since the transport
+// started coalescing may carry several envelopes — pending therefore
+// buffers envelope runs, not single envelopes.
 type sourceState struct {
 	nextSeq  uint64
-	pending  map[uint64]envelope
+	pending  map[uint64][]envelope
 	frontier int64
 	// excluded marks a decommissioned source: its frontier no longer
 	// gates the watermark (see System.Decommission).
@@ -90,37 +93,84 @@ type reorderer struct {
 func newReorderer(sources []core.SiteID) *reorderer {
 	r := &reorderer{sources: make(map[core.SiteID]*sourceState, len(sources))}
 	for _, id := range sources {
-		r.sources[id] = &sourceState{nextSeq: 1, pending: make(map[uint64]envelope), frontier: math.MinInt64}
+		r.sources[id] = &sourceState{nextSeq: 1, pending: make(map[uint64][]envelope), frontier: math.MinInt64}
 		r.ids = append(r.ids, id)
 	}
 	sort.Slice(r.ids, func(i, j int) bool { return r.ids[i] < r.ids[j] })
 	return r
 }
 
-// accept ingests a message from a source with its link sequence number,
-// draining any in-order run it completes.
-func (r *reorderer) accept(from core.SiteID, seq uint64, env envelope) error {
+// source resolves and screens one arrival: the sender must be known, and
+// its sequence number neither already consumed nor already buffered.
+func (r *reorderer) source(from core.SiteID, seq uint64) (*sourceState, error) {
 	st := r.sources[from]
 	if st == nil {
-		return fmt.Errorf("ddetect: message from unknown source %q", from)
+		return nil, fmt.Errorf("ddetect: message from unknown source %q", from)
 	}
 	if seq < st.nextSeq {
-		return fmt.Errorf("ddetect: duplicate seq %d from %q (next %d)", seq, from, st.nextSeq)
+		return nil, fmt.Errorf("ddetect: duplicate seq %d from %q (next %d)", seq, from, st.nextSeq)
 	}
 	if _, dup := st.pending[seq]; dup {
-		return fmt.Errorf("ddetect: duplicate buffered seq %d from %q", seq, from)
+		return nil, fmt.Errorf("ddetect: duplicate buffered seq %d from %q", seq, from)
 	}
-	st.pending[seq] = env
+	return st, nil
+}
+
+// accept ingests a single-envelope message from a source with its link
+// sequence number, draining any in-order run it completes.  The common
+// in-order case bypasses the pending map entirely.
+func (r *reorderer) accept(from core.SiteID, seq uint64, env envelope) error {
+	st, err := r.source(from, seq)
+	if err != nil {
+		return err
+	}
+	if seq == st.nextSeq {
+		st.nextSeq++
+		r.ingest(from, env)
+		r.drain(from, st)
+		return nil
+	}
+	st.pending[seq] = []envelope{env}
 	r.buffered++
+	return nil
+}
+
+// acceptBatch ingests one coalesced message: a run of envelopes sharing a
+// single link sequence number, in their sender's emission order.  The
+// in-order case ingests straight from the caller's slice, which the
+// caller may recycle as soon as acceptBatch returns; only an out-of-order
+// arrival copies the run into an owned buffer.
+func (r *reorderer) acceptBatch(from core.SiteID, seq uint64, envs []envelope) error {
+	st, err := r.source(from, seq)
+	if err != nil {
+		return err
+	}
+	if seq == st.nextSeq {
+		st.nextSeq++
+		for _, env := range envs {
+			r.ingest(from, env)
+		}
+		r.drain(from, st)
+		return nil
+	}
+	st.pending[seq] = append([]envelope(nil), envs...)
+	r.buffered += len(envs)
+	return nil
+}
+
+// drain consumes the in-order run now sitting in the pending map.
+func (r *reorderer) drain(from core.SiteID, st *sourceState) {
 	for {
 		next, ok := st.pending[st.nextSeq]
 		if !ok {
-			return nil
+			return
 		}
 		delete(st.pending, st.nextSeq)
 		st.nextSeq++
-		r.buffered--
-		r.ingest(from, next)
+		r.buffered -= len(next)
+		for _, env := range next {
+			r.ingest(from, env)
+		}
 	}
 }
 

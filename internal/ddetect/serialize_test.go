@@ -13,7 +13,7 @@ import (
 
 // runScenario executes a fixed adversarial workload and returns the
 // detection signatures in order.
-func runScenario(t *testing.T, serialize bool) []string {
+func runSerializeScenario(t *testing.T, serialize bool) []string {
 	t.Helper()
 	sys := MustNewSystem(Config{
 		Net: network.Config{BaseLatency: 25, Jitter: 70, DropRate: 0.05,
@@ -64,8 +64,8 @@ func runScenario(t *testing.T, serialize bool) []string {
 // the exact same detections, in the same order, with and without
 // serialization of every bus message.
 func TestSerializeTransparent(t *testing.T) {
-	plain := runScenario(t, false)
-	coded := runScenario(t, true)
+	plain := runSerializeScenario(t, false)
+	coded := runSerializeScenario(t, true)
 	if len(plain) == 0 {
 		t.Fatalf("degenerate scenario: no detections")
 	}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/clock"
+	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/network"
+	"repro/internal/wire"
 )
 
 // This file holds the five stage drivers the System composes into its
@@ -42,9 +44,14 @@ type ingestStage struct {
 
 func (st *ingestStage) Name() string { return "ingest" }
 
-// Tick emits due watermark heartbeats onto the bus.
+// Tick queues due watermark heartbeats — each site's global time read at
+// the nominal heartbeat instant — and then flushes the link coalescer:
+// everything queued since the last flush (raises between ticks plus these
+// heartbeats) leaves as one batch per link.  Per-link order is raises
+// first, heartbeats second, exactly the per-link send order of the
+// unbatched transport.
 //
-//lint:allow stagefx — ingest runs single-threaded on the crank goroutine before the detect barrier; its heartbeat sends and counters execute in deterministic site order regardless of worker count
+//lint:allow stagefx — ingest runs single-threaded on the crank goroutine before the detect barrier; its heartbeat counters and coalescer flush execute in deterministic site/link order regardless of worker count
 func (st *ingestStage) Tick(now clock.Microticks) int {
 	sys := st.sys
 	n := st.raised
@@ -56,25 +63,33 @@ func (st *ingestStage) Tick(now clock.Microticks) int {
 			}
 			g := s.clk.GlobalTick(s.clk.LocalTick(sys.nextHB))
 			s.re.setFrontier(s.ID, g)
-			for _, dst := range sys.sites {
+			// Only the event sinks (sites in some needers list) gate
+			// their watermark on remote frontiers; heartbeating anyone
+			// else would advance a frontier nothing waits on (see
+			// System.seal).
+			for _, dst := range sys.hbSinks {
 				if dst.ID == s.ID {
 					continue
 				}
-				sys.bus.Send(sys.nextHB, s.ID, dst.ID, sys.payload(envelope{Kind: envHeartbeat, Global: g}))
+				sys.coal.add(s.ID, dst.ID, envelope{Kind: envHeartbeat, Global: g})
 				sys.stats.Heartbeats++
 				n++
 			}
 		}
 		sys.nextHB += sys.cfg.HeartbeatEvery
 	}
+	sys.coal.flush(now)
 	return n
 }
 
 // raise is the ingest half of Site.Raise: stamp, enforce the Section 3.1
 // simultaneity assumptions, journal, and hand the occurrence to the
-// transport (bus) or the site's own stream.
+// transport (the link coalescer, flushed at the next ingest tick) or the
+// site's own stream.  With Serialize on, encodability is checked here,
+// eagerly — the encoding itself happens at the deferred flush, and a
+// failure there would be detached from the raise that caused it.
 //
-//lint:allow stagefx — raise is called by the application between ticks, never from a detect worker; its bus sends and counters are serialized on the caller's goroutine while no stage is running
+//lint:allow stagefx — raise is called by the application between ticks, never from a detect worker; its coalescer adds and counters are serialized on the caller's goroutine while no stage is running
 func (st *ingestStage) raise(s *Site, typ string, class event.Class, params event.Params) (*event.Occurrence, error) {
 	sys := st.sys
 	sys.seal()
@@ -85,6 +100,11 @@ func (st *ingestStage) raise(s *Site, typ string, class event.Class, params even
 		return nil, fmt.Errorf("%w: %q", ErrCrashed, s.ID)
 	}
 	occ := event.NewPrimitive(typ, class, s.StampNow(), params)
+	if sys.cfg.Serialize {
+		if err := wire.ValidateOccurrence(occ); err != nil {
+			return nil, fmt.Errorf("ddetect: occurrence not encodable: %w", err)
+		}
+	}
 	if sys.cfg.EnforceSimultaneity && (class == event.Database || class == event.Explicit) {
 		if s.lastLocal == nil {
 			s.lastLocal = make(map[event.Class]int64)
@@ -113,7 +133,7 @@ func (st *ingestStage) raise(s *Site, typ string, class event.Class, params even
 		if dst == s.ID {
 			s.selfDeliver(env)
 		} else {
-			sys.bus.Send(now, s.ID, dst, sys.payload(env))
+			sys.coal.add(s.ID, dst, env)
 			sys.stats.Forwarded++
 			sys.inFlightEvents++
 		}
@@ -121,36 +141,97 @@ func (st *ingestStage) raise(s *Site, typ string, class event.Class, params even
 	return occ, nil
 }
 
-// transportStage drains the bus in one batch per tick and feeds each
-// message into its destination site's reorderer, which restores per-link
-// FIFO order.  The batch slice is reused across ticks.
+// transportStage drains the bus in one batch per tick, unpacks each
+// message's payload — a coalesced envelope run, a serialized batch frame,
+// or a single envelope in the differential unbatched mode — and feeds the
+// envelopes into the destination site's reorderer, which restores
+// per-link FIFO order.  The drain and decode scratch slices are reused
+// across ticks, and unpacked batch containers go back to the coalescer's
+// free lists.
 type transportStage struct {
-	sys   *System
-	batch []network.Message
+	sys     *System
+	batch   []network.Message
+	decoded []envelope
 }
 
 func (st *transportStage) Name() string { return "transport" }
 
-// Tick drains due messages into per-site reorderers.
+// Tick drains due messages into per-site reorderers; the count it reports
+// is envelopes, not bus messages.
 //
-//lint:allow stagefx — transport is the designated consumer of the bus: it runs single-threaded on the crank goroutine before the detect barrier, so its DrainDue cannot race the publish stage's sends
+//lint:allow stagefx — transport is the designated consumer of the bus: it runs single-threaded on the crank goroutine before the detect barrier, so its DrainDue cannot race the coalescer's flushes
 func (st *transportStage) Tick(now clock.Microticks) int {
 	sys := st.sys
 	st.batch = sys.bus.DrainDue(now, st.batch[:0])
-	for _, m := range st.batch {
+	n := 0
+	for i := range st.batch {
+		m := &st.batch[i]
 		dst := sys.siteByID[m.To]
 		if dst == nil {
 			panic(fmt.Sprintf("ddetect: message to unknown site %q", m.To))
 		}
-		env := sys.unpayload(m.Payload)
-		if env.Kind == envEvent {
-			sys.inFlightEvents--
+		switch p := m.Payload.(type) {
+		case []envelope:
+			st.acceptRun(dst, m.From, m.Seq, p)
+			n += len(p)
+			sys.coal.recycleEnvs(p)
+		case []byte:
+			if wire.IsBatch(p) {
+				st.decoded = st.decoded[:0]
+				if err := wire.DecodeBatch(p, st.collect); err != nil {
+					panic(fmt.Sprintf("ddetect: corrupt batch: %v", err))
+				}
+				st.acceptRun(dst, m.From, m.Seq, st.decoded)
+				n += len(st.decoded)
+				clear(st.decoded)
+				sys.coal.recycleBuf(p)
+				break
+			}
+			st.acceptOne(dst, m.From, m.Seq, sys.unpayload(p))
+			n++
+		default:
+			st.acceptOne(dst, m.From, m.Seq, sys.unpayload(p))
+			n++
 		}
-		if err := dst.re.accept(m.From, m.Seq, env); err != nil {
-			panic(err) // bus sequencing guarantees make this unreachable
+		m.Payload = nil
+	}
+	return n
+}
+
+// collect is the streaming DecodeBatch callback, hoisted to a method so
+// the per-message decode loop allocates no closure.
+func (st *transportStage) collect(we wire.Envelope) error {
+	env := envelope{Global: we.Global, RaisedAt: clock.Microticks(we.RaisedAt)}
+	if we.Kind == wire.KindEvent {
+		env.Kind = envEvent
+		env.Occ = we.Occ
+	} else {
+		env.Kind = envHeartbeat
+	}
+	st.decoded = append(st.decoded, env)
+	return nil
+}
+
+// acceptRun hands one coalesced envelope run to the reorderer.
+func (st *transportStage) acceptRun(dst *Site, from core.SiteID, seq uint64, envs []envelope) {
+	for _, env := range envs {
+		if env.Kind == envEvent {
+			st.sys.inFlightEvents--
 		}
 	}
-	return len(st.batch)
+	if err := dst.re.acceptBatch(from, seq, envs); err != nil {
+		panic(err) // bus sequencing guarantees make this unreachable
+	}
+}
+
+// acceptOne hands one single-envelope message to the reorderer.
+func (st *transportStage) acceptOne(dst *Site, from core.SiteID, seq uint64, env envelope) {
+	if env.Kind == envEvent {
+		st.sys.inFlightEvents--
+	}
+	if err := dst.re.accept(from, seq, env); err != nil {
+		panic(err) // bus sequencing guarantees make this unreachable
+	}
 }
 
 // releaseStage pops every watermark-stable event, in each site's
@@ -259,5 +340,8 @@ func (st *publishStage) Tick(now clock.Microticks) int {
 		}
 		s.detected = s.detected[:0]
 	}
+	// Flush the hierarchical forwards (and anything a handler raised)
+	// queued above: one batch per link per tick.
+	sys.coal.flush(now)
 	return n
 }

@@ -34,6 +34,13 @@ type Config struct {
 	// needs no shared memory between sites (and costing one codec round
 	// trip per message).
 	Serialize bool
+	// DisableBatching turns off per-link envelope coalescing: every
+	// envelope travels as its own bus message, with the same per-flush
+	// delay schedule the batched transport would have produced (see
+	// network.Bus.SendUnbatched).  Detection output is byte-identical
+	// either way — this is the differential mode that proves batching is
+	// a pure transport optimization, and a way to measure its win.
+	DisableBatching bool
 	// Journal, when non-nil, receives every raised primitive occurrence
 	// as an internal/eventlog record, enabling replay-based recovery of
 	// detector state after a crash.
@@ -111,10 +118,16 @@ type System struct {
 	sites    []*Site
 	siteByID map[core.SiteID]*Site
 	needers  map[string][]core.SiteID
-	nextHB   clock.Microticks
-	sealed   bool
-	stats    Stats
-	journal  *eventlog.Writer
+	// hbSinks (fixed at seal) lists the sites that can receive remote
+	// event envelopes — the sites appearing in some needers list.  Only
+	// their watermarks gate on remote frontiers, so only they are
+	// heartbeated; a heartbeat to any other site would advance a
+	// frontier nothing ever waits on.
+	hbSinks []*Site
+	nextHB  clock.Microticks
+	sealed  bool
+	stats   Stats
+	journal *eventlog.Writer
 
 	// handlers holds System.Subscribe handlers by definition name; the
 	// publish stage fans detections out to them on the crank goroutine.
@@ -122,10 +135,12 @@ type System struct {
 
 	// pipe composes the five stage drivers; pool is the detect stage's
 	// worker pool; ingest is kept aside because Site.Raise drives it
-	// between ticks.
+	// between ticks; coal is the per-link transport coalescer the ingest
+	// and publish stages queue into and flush (see coalesce.go).
 	pipe   *pipeline.Driver
 	pool   *pipeline.Pool
 	ingest *ingestStage
+	coal   *linkCoalescer
 
 	// inFlightEvents counts event envelopes on the bus (heartbeats are
 	// perpetual and excluded), for the quiescence check.
@@ -156,6 +171,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Journal != nil {
 		sys.journal = eventlog.NewWriter(cfg.Journal)
 	}
+	sys.coal = newLinkCoalescer(sys)
 	sys.ingest = &ingestStage{sys: sys}
 	sys.pipe = pipeline.NewDriver(
 		sys.ingest,
@@ -396,8 +412,14 @@ func (sys *System) Subscribe(name string, h detector.Handler) error {
 	return nil
 }
 
-// seal freezes the topology and equips every site's reorderer with the
-// full source set.
+// seal freezes the topology and equips every site's reorderer with its
+// source set.  Event envelopes only ever flow to the sites recorded in
+// some needers list (any site may raise any type, so each such sink can
+// hear from every other site); a site outside every needers list
+// receives nothing, so its watermark gates only on its own frontier and
+// nobody needs to heartbeat it.  seal fixes both sides of that
+// asymmetry: full source sets (and heartbeat fan-in, see
+// ingestStage.Tick) for the sinks, self-only for everyone else.
 func (sys *System) seal() {
 	if sys.sealed {
 		return
@@ -407,8 +429,20 @@ func (sys *System) seal() {
 	for _, s := range sys.sites {
 		ids = append(ids, s.ID)
 	}
+	sink := make(map[core.SiteID]bool)
+	for _, hosts := range sys.needers { //lint:allow mapiter — builds an order-free set; hbSinks below is appended in sys.sites order
+
+		for _, h := range hosts {
+			sink[h] = true
+		}
+	}
 	for _, s := range sys.sites {
-		s.re = newReorderer(ids)
+		if sink[s.ID] {
+			s.re = newReorderer(ids)
+			sys.hbSinks = append(sys.hbSinks, s)
+		} else {
+			s.re = newReorderer([]core.SiteID{s.ID})
+		}
 	}
 }
 
@@ -441,8 +475,9 @@ func (s *Site) MustRaise(typ string, class event.Class, params event.Params) *ev
 	return o
 }
 
-// forwardComposite ships a locally detected composite occurrence to the
-// sites that reference it by name (hierarchical mode).  Runs on the crank
+// forwardComposite queues a locally detected composite occurrence for the
+// sites that reference it by name (hierarchical mode); the publish stage
+// flushes the queued forwards at the end of its Tick.  Runs on the crank
 // goroutine (publish stage).
 func (sys *System) forwardComposite(from *Site, o *event.Occurrence) {
 	needers := sys.needers[o.Type]
@@ -455,7 +490,7 @@ func (sys *System) forwardComposite(from *Site, o *event.Occurrence) {
 		if dst == from.ID {
 			continue // local consumers already saw it via the detector
 		}
-		sys.bus.Send(now, from.ID, dst, sys.payload(env))
+		sys.coal.add(from.ID, dst, env)
 		sys.stats.Forwarded++
 		sys.inFlightEvents++
 	}

@@ -1,0 +1,167 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSendBatchCountsEnvelopes(t *testing.T) {
+	b := NewBus(Config{})
+	m := b.SendBatch(0, "a", "b", []int{1, 2, 3}, 3, 120)
+	if m.Seq != 1 {
+		t.Fatalf("Seq = %d, want 1", m.Seq)
+	}
+	b.Send(0, "a", "b", nil) // singles share the same link seq space
+	st := b.Stats()
+	if st.Sent != 2 || st.Envelopes != 4 || st.Batches != 1 || st.PayloadBytes != 120 {
+		t.Fatalf("stats = %+v", st)
+	}
+	links := b.LinkStats()
+	if len(links) != 1 {
+		t.Fatalf("links = %+v", links)
+	}
+	want := LinkStat{From: "a", To: "b", Sent: 2, Envelopes: 4, Batches: 1, Bytes: 120}
+	if links[0] != want {
+		t.Fatalf("link stat = %+v, want %+v", links[0], want)
+	}
+}
+
+func TestSendBatchSingleEnvelopeIsNotABatch(t *testing.T) {
+	b := NewBus(Config{})
+	b.SendBatch(0, "a", "b", []int{1}, 1, 0)
+	if st := b.Stats(); st.Batches != 0 || st.Envelopes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// SendUnbatched must give its n messages the exact delivery schedule
+// SendBatch would give the same traffic as one frame: one delay/loss
+// draw, shared DeliverAt and Attempts, consecutive link seqs.  ddetect's
+// DisableBatching differential mode depends on this.
+func TestSendUnbatchedSharesOneDraw(t *testing.T) {
+	cfg := Config{BaseLatency: 5, Jitter: 50, DropRate: 0.3, RetransmitDelay: 40, Seed: 7}
+
+	batched := NewBus(cfg)
+	bm := batched.SendBatch(100, "a", "b", "frame", 3, 0)
+	after := batched.Send(100, "a", "c", nil) // next draw on a fresh bus state
+
+	un := NewBus(cfg)
+	var msgs []Message
+	un.SendUnbatched(100, "a", "b", 3, func(i int) any { return i })
+	un.DeliverDue(1<<40, func(m Message) { msgs = append(msgs, m) })
+	if len(msgs) != 3 {
+		t.Fatalf("delivered %d, want 3", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.Seq != uint64(i+1) {
+			t.Errorf("msg %d Seq = %d", i, m.Seq)
+		}
+		if m.DeliverAt != bm.DeliverAt || m.Attempts != bm.Attempts {
+			t.Errorf("msg %d schedule (%d, %d) diverged from batch (%d, %d)",
+				i, m.DeliverAt, m.Attempts, bm.DeliverAt, bm.Attempts)
+		}
+		if m.Payload.(int) != i {
+			t.Errorf("msg %d payload = %v", i, m.Payload)
+		}
+	}
+	// Both modes consumed exactly one draw: the NEXT send sees the same
+	// RNG state.
+	unAfter := un.Send(100, "a", "c", nil)
+	if unAfter.DeliverAt != after.DeliverAt || unAfter.Attempts != after.Attempts {
+		t.Fatalf("post-flush draw diverged: (%d, %d) vs (%d, %d)",
+			unAfter.DeliverAt, unAfter.Attempts, after.DeliverAt, after.Attempts)
+	}
+
+	if st := un.Stats(); st.Sent != 4 || st.Envelopes != 4 || st.Batches != 0 {
+		t.Fatalf("unbatched stats = %+v", st)
+	}
+	if st := batched.Stats(); st.Sent != 2 || st.Envelopes != 4 || st.Batches != 1 {
+		t.Fatalf("batched stats = %+v", st)
+	}
+}
+
+func TestSendUnbatchedZero(t *testing.T) {
+	b := NewBus(Config{Jitter: 10, Seed: 1})
+	b.SendUnbatched(0, "a", "b", 0, func(int) any { return nil })
+	if st := b.Stats(); st.Sent != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// No draw consumed either: schedule matches a fresh bus.
+	fresh := NewBus(Config{Jitter: 10, Seed: 1})
+	if b.Send(0, "a", "b", nil).DeliverAt != fresh.Send(0, "a", "b", nil).DeliverAt {
+		t.Fatalf("SendUnbatched(n=0) consumed an RNG draw")
+	}
+}
+
+func TestLinkStatsSorted(t *testing.T) {
+	b := NewBus(Config{})
+	b.Send(0, "c", "a", nil)
+	b.Send(0, "a", "b", nil)
+	b.Send(0, "a", "a2", nil)
+	var got [][2]string
+	for _, ls := range b.LinkStats() {
+		got = append(got, [2]string{string(ls.From), string(ls.To)})
+	}
+	want := [][2]string{{"a", "a2"}, {"a", "b"}, {"c", "a"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("LinkStats order = %v, want %v", got, want)
+	}
+}
+
+// The value-based heap must agree with a straightforward sort on the
+// (DeliverAt, push order) key across an adversarial schedule.
+func TestDeliveryQueueOrdering(t *testing.T) {
+	b := NewBus(Config{BaseLatency: 1, Jitter: 200, DropRate: 0.25, RetransmitDelay: 50, Seed: 99})
+	const n = 500
+	for i := 0; i < n; i++ {
+		b.Send(int64(i), "a", "b", i)
+	}
+	var prevAt int64 = -1
+	seen := 0
+	var prevPayload int = -1
+	b.DeliverDue(1<<40, func(m Message) {
+		if m.DeliverAt < prevAt {
+			t.Fatalf("DeliverAt went backwards: %d after %d", m.DeliverAt, prevAt)
+		}
+		if m.DeliverAt == prevAt && m.Payload.(int) < prevPayload {
+			t.Fatalf("tie not broken by send order: %d after %d", m.Payload, prevPayload)
+		}
+		prevAt, prevPayload = m.DeliverAt, m.Payload.(int)
+		seen++
+	})
+	if seen != n {
+		t.Fatalf("delivered %d, want %d", seen, n)
+	}
+}
+
+func BenchmarkBusSend(b *testing.B) {
+	bus := NewBus(Config{BaseLatency: 10, Jitter: 40, Seed: 1})
+	payload := struct{ x int }{1}
+	var drain []Message
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Send(int64(i), "a", "b", payload)
+		if i%1024 == 1023 {
+			b.StopTimer()
+			drain = bus.DrainDue(int64(i)+1024, drain[:0])
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkBusSendBatch(b *testing.B) {
+	bus := NewBus(Config{BaseLatency: 10, Jitter: 40, Seed: 1})
+	payload := struct{ x int }{1}
+	var drain []Message
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.SendBatch(int64(i), "a", "b", payload, 8, 256)
+		if i%1024 == 1023 {
+			b.StopTimer()
+			drain = bus.DrainDue(int64(i)+1024, drain[:0])
+			b.StartTimer()
+		}
+	}
+}

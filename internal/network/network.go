@@ -11,12 +11,20 @@
 // from the sequence numbers the bus stamps and uses watermarks for
 // cross-site ordering, exactly the problem Section 5 of the paper's
 // timestamp algebra exists to solve.
+//
+// A message may carry more than one application envelope: SendBatch
+// models one physical frame coalescing a tick's traffic for a link (the
+// transport batching of internal/ddetect), and the Stats distinguish
+// messages sent from envelopes carried so the coalescing ratio is
+// measurable.  SendUnbatched is the differential twin — the same traffic
+// as envelope-per-message frames under the same delay schedule — used to
+// prove batching is a pure transport optimization.
 package network
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"repro/internal/clock"
@@ -32,8 +40,8 @@ type Message struct {
 	SentAt, DeliverAt clock.Microticks
 	// Attempts is 1 plus the number of simulated losses.
 	Attempts int
-	// Payload is the application message (an event occurrence or a
-	// heartbeat in ddetect).
+	// Payload is the application message (an event occurrence, a
+	// heartbeat, or a coalesced multi-envelope batch in ddetect).
 	Payload any
 }
 
@@ -68,12 +76,32 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Stats counts bus activity.
+// Stats counts bus activity.  Sent counts bus messages; Envelopes counts
+// the application envelopes they carried (equal when nothing is batched),
+// so Envelopes/Sent is the coalescing ratio of the transport layer.
 type Stats struct {
 	Sent          uint64
 	Delivered     uint64
 	Retransmitted uint64
 	MaxInFlight   int
+	// Envelopes is the number of application envelopes carried across
+	// all messages (SendBatch adds its whole batch to one message).
+	Envelopes uint64
+	// Batches is the number of messages that coalesced more than one
+	// envelope.
+	Batches uint64
+	// PayloadBytes accumulates serialized payload sizes where the sender
+	// reported them (zero for in-memory payloads).
+	PayloadBytes uint64
+}
+
+// LinkStat is the per-(from,to)-link activity breakdown.
+type LinkStat struct {
+	From, To  core.SiteID
+	Sent      uint64
+	Envelopes uint64
+	Batches   uint64
+	Bytes     uint64
 }
 
 // Bus is the deterministic simulated network.  It is safe for concurrent
@@ -84,12 +112,23 @@ type Bus struct {
 	rng     *rand.Rand
 	queue   deliveryQueue
 	pushSeq uint64
-	linkSeq map[linkKey]uint64
+	links   map[linkKey]*linkState
 	stats   Stats
 }
 
 type linkKey struct {
 	from, to core.SiteID
+}
+
+// linkState carries the per-link FIFO counter and activity counters in
+// one map entry, so the Send hot path resolves a link with one lookup.
+type linkState struct {
+	key       linkKey
+	seq       uint64
+	sent      uint64
+	envelopes uint64
+	batches   uint64
+	bytes     uint64
 }
 
 // NewBus creates a bus; it panics on an invalid configuration (a
@@ -99,47 +138,146 @@ func NewBus(cfg Config) *Bus {
 		panic(err)
 	}
 	return &Bus{
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		linkSeq: make(map[linkKey]uint64),
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		links: make(map[linkKey]*linkState),
 	}
 }
 
-// Send enqueues a message at reference time now and returns it with its
-// link sequence number and delivery time filled in.
-func (b *Bus) Send(now clock.Microticks, from, to core.SiteID, payload any) Message {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+// link returns (creating on first use) the state for a link.
+func (b *Bus) link(from, to core.SiteID) *linkState {
 	k := linkKey{from: from, to: to}
-	b.linkSeq[k]++
-	delay := b.cfg.BaseLatency
+	ls := b.links[k]
+	if ls == nil {
+		ls = &linkState{key: k}
+		b.links[k] = ls
+	}
+	return ls
+}
+
+// draw rolls one latency/jitter/loss schedule: the delay until delivery
+// and the number of transmission attempts.  Caller holds b.mu.
+func (b *Bus) draw() (delay clock.Microticks, attempts int) {
+	delay = b.cfg.BaseLatency
 	if b.cfg.Jitter > 0 {
 		delay += b.rng.Int63n(b.cfg.Jitter)
 	}
-	attempts := 1
+	attempts = 1
 	for b.cfg.DropRate > 0 && b.rng.Float64() < b.cfg.DropRate {
 		delay += b.cfg.RetransmitDelay
 		attempts++
 	}
+	return delay, attempts
+}
+
+// enqueue pushes one message and maintains the send-side counters.
+// Caller holds b.mu.
+func (b *Bus) enqueue(m Message) {
+	b.pushSeq++
+	b.queue.push(queued{msg: m, order: b.pushSeq})
+	b.stats.Sent++
+	if n := len(b.queue); n > b.stats.MaxInFlight {
+		b.stats.MaxInFlight = n
+	}
+}
+
+// Send enqueues a single-envelope message at reference time now and
+// returns it with its link sequence number and delivery time filled in.
+func (b *Bus) Send(now clock.Microticks, from, to core.SiteID, payload any) Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ls := b.link(from, to)
+	delay, attempts := b.draw()
+	ls.seq++
 	m := Message{
 		From:      from,
 		To:        to,
-		Seq:       b.linkSeq[k],
+		Seq:       ls.seq,
 		SentAt:    now,
 		DeliverAt: now + delay,
 		Attempts:  attempts,
 		Payload:   payload,
 	}
-	b.pushSeq++
-	heap.Push(&b.queue, &queued{msg: m, order: b.pushSeq})
-	b.stats.Sent++
+	b.enqueue(m)
+	ls.sent++
+	ls.envelopes++
+	b.stats.Envelopes++
 	if attempts > 1 {
 		b.stats.Retransmitted += uint64(attempts - 1)
 	}
-	if n := b.queue.Len(); n > b.stats.MaxInFlight {
-		b.stats.MaxInFlight = n
+	return m
+}
+
+// SendBatch enqueues one message carrying envelopes coalesced application
+// envelopes (the payload is their container — a slice or an encoded batch
+// frame of bytes bytes; pass bytes 0 for in-memory payloads).  The batch
+// consumes exactly one latency/jitter/loss draw: it models one physical
+// frame on the link.
+func (b *Bus) SendBatch(now clock.Microticks, from, to core.SiteID, payload any, envelopes, bytes int) Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ls := b.link(from, to)
+	delay, attempts := b.draw()
+	ls.seq++
+	m := Message{
+		From:      from,
+		To:        to,
+		Seq:       ls.seq,
+		SentAt:    now,
+		DeliverAt: now + delay,
+		Attempts:  attempts,
+		Payload:   payload,
+	}
+	b.enqueue(m)
+	ls.sent++
+	ls.envelopes += uint64(envelopes)
+	ls.bytes += uint64(bytes)
+	b.stats.Envelopes += uint64(envelopes)
+	b.stats.PayloadBytes += uint64(bytes)
+	if envelopes > 1 {
+		ls.batches++
+		b.stats.Batches++
+	}
+	if attempts > 1 {
+		b.stats.Retransmitted += uint64(attempts - 1)
 	}
 	return m
+}
+
+// SendUnbatched enqueues n consecutive messages on the (from,to) link —
+// payloadAt(i) supplies the i-th payload — all sharing a single
+// latency/jitter/loss draw, exactly the schedule SendBatch would give the
+// same traffic as one coalesced frame.  It is the differential twin of
+// SendBatch (ddetect's DisableBatching mode): per-envelope framing, same
+// deterministic delivery order, so detection results can be compared
+// byte for byte.  payloadAt is invoked with the bus lock held and must
+// not call back into the Bus.
+func (b *Bus) SendUnbatched(now clock.Microticks, from, to core.SiteID, n int, payloadAt func(int) any) {
+	if n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ls := b.link(from, to)
+	delay, attempts := b.draw()
+	for i := 0; i < n; i++ {
+		ls.seq++
+		b.enqueue(Message{
+			From:      from,
+			To:        to,
+			Seq:       ls.seq,
+			SentAt:    now,
+			DeliverAt: now + delay,
+			Attempts:  attempts,
+			Payload:   payloadAt(i),
+		})
+	}
+	ls.sent += uint64(n)
+	ls.envelopes += uint64(n)
+	b.stats.Envelopes += uint64(n)
+	if attempts > 1 {
+		b.stats.Retransmitted += uint64(attempts - 1)
+	}
 }
 
 // DrainDue pops every message due at or before now, in deterministic
@@ -154,8 +292,8 @@ func (b *Bus) DrainDue(now clock.Microticks, buf []Message) []Message {
 	// Pre-size: count the due messages (a linear scan over the heap
 	// slice, no allocation) and grow buf once.
 	due := 0
-	for _, q := range b.queue {
-		if q.msg.DeliverAt <= now {
+	for i := range b.queue {
+		if b.queue[i].msg.DeliverAt <= now {
 			due++
 		}
 	}
@@ -167,11 +305,10 @@ func (b *Bus) DrainDue(now clock.Microticks, buf []Message) []Message {
 		copy(grown, buf)
 		buf = grown
 	}
-	for b.queue.Len() > 0 && b.queue[0].msg.DeliverAt <= now {
-		q := heap.Pop(&b.queue).(*queued)
-		b.stats.Delivered++
-		buf = append(buf, q.msg)
+	for len(b.queue) > 0 && b.queue[0].msg.DeliverAt <= now {
+		buf = append(buf, b.queue.pop().msg)
 	}
+	b.stats.Delivered += uint64(due)
 	return buf
 }
 
@@ -181,11 +318,11 @@ func (b *Bus) DeliverDue(now clock.Microticks, fn func(Message)) int {
 	n := 0
 	for {
 		b.mu.Lock()
-		if b.queue.Len() == 0 || b.queue[0].msg.DeliverAt > now {
+		if len(b.queue) == 0 || b.queue[0].msg.DeliverAt > now {
 			b.mu.Unlock()
 			return n
 		}
-		q := heap.Pop(&b.queue).(*queued)
+		q := b.queue.pop()
 		b.stats.Delivered++
 		b.mu.Unlock()
 		fn(q.msg)
@@ -197,14 +334,14 @@ func (b *Bus) DeliverDue(now clock.Microticks, fn func(Message)) int {
 func (b *Bus) Pending() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.queue.Len()
+	return len(b.queue)
 }
 
 // NextDeliveryAt returns the earliest pending delivery time.
 func (b *Bus) NextDeliveryAt() (clock.Microticks, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.queue.Len() == 0 {
+	if len(b.queue) == 0 {
 		return 0, false
 	}
 	return b.queue[0].msg.DeliverAt, true
@@ -217,26 +354,81 @@ func (b *Bus) Stats() Stats {
 	return b.stats
 }
 
+// LinkStats returns the per-link activity breakdown, sorted by (From, To)
+// for deterministic reporting.
+func (b *Bus) LinkStats() []LinkStat {
+	b.mu.Lock()
+	out := make([]LinkStat, 0, len(b.links))
+	for _, ls := range b.links { //lint:allow mapiter — snapshot is sorted below; map order never escapes
+		out = append(out, LinkStat{
+			From: ls.key.from, To: ls.key.to,
+			Sent: ls.sent, Envelopes: ls.envelopes, Batches: ls.batches, Bytes: ls.bytes,
+		})
+	}
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
 type queued struct {
 	msg   Message
 	order uint64
 }
 
-type deliveryQueue []*queued
-
-func (q deliveryQueue) Len() int { return len(q) }
-func (q deliveryQueue) Less(i, j int) bool {
-	if q[i].msg.DeliverAt != q[j].msg.DeliverAt {
-		return q[i].msg.DeliverAt < q[j].msg.DeliverAt
+func (q queued) less(u queued) bool {
+	if q.msg.DeliverAt != u.msg.DeliverAt {
+		return q.msg.DeliverAt < u.msg.DeliverAt
 	}
-	return q[i].order < q[j].order
+	return q.order < u.order
 }
-func (q deliveryQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *deliveryQueue) Push(x any)   { *q = append(*q, x.(*queued)) }
-func (q *deliveryQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+
+// deliveryQueue is a value-based binary min-heap on (DeliverAt, send
+// order).  Like ddetect's readyQueue it deliberately avoids
+// container/heap: entries live by value in one backing array (no per-item
+// allocation) and push/pop sift directly (no interface boxing on the
+// per-message hot path).
+type deliveryQueue []queued
+
+func (q *deliveryQueue) push(it queued) {
+	*q = append(*q, it)
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h[i].less(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *deliveryQueue) pop() queued {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = queued{} // release the payload reference
+	h = h[:n]
+	*q = h
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && h[r].less(h[l]) {
+			least = r
+		}
+		if !h[least].less(h[i]) {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	return top
 }

@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// discard is the DecodeBatch callback the fuzzer uses: accept everything,
+// so the decoder itself is what's under attack.
+func discard(Envelope) error { return nil }
+
+// fuzzSeeds is the regression corpus: every shape that has tripped (or
+// could plausibly trip) the decoder — run by plain `go test` through
+// FuzzDecode's seed phase and again explicitly by TestFuzzSeedsDontPanic,
+// so the corpus guards CI even without -fuzz.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	occ := event.NewPrimitive("Deposit", event.Database, stamp("bank1", 7), event.Params{
+		"amount": int64(40), "memo": "salary", "rate": 1.5, "flag": true, "u": uint64(3),
+	})
+	occ.Seq = 2
+	single, err := Encode(Envelope{Kind: KindEvent, Occ: occ, RaisedAt: 9})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	hb, err := Encode(Envelope{Kind: KindHeartbeat, Global: -3, RaisedAt: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	batch, err := AppendBatch(nil, []Envelope{
+		{Kind: KindEvent, Occ: occ, RaisedAt: 9},
+		{Kind: KindHeartbeat, Global: 4, RaisedAt: 10},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+
+	seeds := [][]byte{
+		nil,
+		{},
+		single,
+		hb,
+		batch,
+		single[:len(single)/2], // truncated envelope
+		batch[:len(batch)/2],   // truncated batch
+		append(batch[:0:0], batch...)[:len(batch)-1],
+		{KindBatch},        // batch with no count
+		{KindEvent},        // envelope with no body
+		{0xFF, 0x01, 0x02}, // unknown kind
+		binary.AppendUvarint([]byte{KindBatch}, 0),                // zero count
+		binary.AppendUvarint([]byte{KindBatch}, 1<<40),            // hostile count
+		binary.AppendUvarint([]byte{KindBatch}, uint64(maxBatch)), // max count, no members
+	}
+	// Member length abuse: claims far more bytes than remain.
+	abuse := binary.AppendUvarint([]byte{KindBatch}, 1)
+	abuse = binary.AppendUvarint(abuse, 1<<40)
+	seeds = append(seeds, abuse)
+	// Nested batch: outer frame whose one member is itself a batch.
+	nested := binary.AppendUvarint([]byte{KindBatch}, 1)
+	nested = binary.AppendUvarint(nested, uint64(len(batch)))
+	seeds = append(seeds, append(nested, batch...))
+	// Depth abuse on the occurrence tree: each level claims one
+	// constituent, far past maxDepth.
+	deep := []byte{KindEvent}
+	deep = binary.AppendVarint(deep, 0) // RaisedAt
+	for i := 0; i < maxDepth+8; i++ {
+		deep = appendString(deep, "A")       // type
+		deep = append(deep, 0)               // class
+		deep = appendString(deep, "s")       // site
+		deep = binary.AppendUvarint(deep, 0) // seq
+		deep = binary.AppendUvarint(deep, 0) // stamp components
+		deep = binary.AppendUvarint(deep, 0) // params
+		deep = binary.AppendUvarint(deep, 1) // constituents: one more level
+	}
+	seeds = append(seeds, deep)
+	// Hostile string length inside an envelope.
+	longStr := []byte{KindEvent}
+	longStr = binary.AppendVarint(longStr, 0)
+	longStr = binary.AppendUvarint(longStr, 1<<40) // type-string length
+	seeds = append(seeds, longStr)
+	return seeds
+}
+
+// exercise runs every decoder entry point over data; any panic or
+// unbounded allocation is the fuzzer's (or the corpus test's) failure.
+func exercise(data []byte) {
+	if IsBatch(data) {
+		_ = DecodeBatch(data, discard)
+	}
+	_, _ = Decode(data)
+	_, _ = DecodeOccurrence(data)
+}
+
+func FuzzDecode(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		exercise(data)
+	})
+}
+
+// TestFuzzSeedsDontPanic pins the corpus in the normal test run: every
+// seed must decode cleanly or error — never panic — and the hostile ones
+// must error.
+func TestFuzzSeedsDontPanic(t *testing.T) {
+	for i, s := range fuzzSeeds(t) {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("seed %d panicked: %v", i, r)
+				}
+			}()
+			exercise(s)
+		}()
+	}
+}
+
+// The count prefix must not drive allocation: a frame claiming maxBatch
+// envelopes but carrying none has to fail after O(1) work, not after
+// reserving room for 65536 envelopes.
+func TestDecodeBatchNoCountPreallocation(t *testing.T) {
+	buf := binary.AppendUvarint([]byte{KindBatch}, uint64(maxBatch))
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := DecodeBatch(buf, discard); err == nil {
+			t.Fatal("hostile count accepted")
+		}
+	})
+	// The only allocations allowed are the error values themselves.
+	if allocs > 8 {
+		t.Fatalf("hostile count allocated %v objects/op", allocs)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector is on.  Its
+// instrumentation defeats sync.Pool caching, so zero-alloc assertions
+// only hold on non-race builds.
+const raceEnabled = true

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/event"
@@ -41,6 +42,9 @@ const (
 	KindEvent byte = 1
 	// KindHeartbeat marks an encoded watermark.
 	KindHeartbeat byte = 2
+	// KindBatch marks a frame coalescing several envelopes (see
+	// AppendBatch/DecodeBatch).  Batches never nest.
+	KindBatch byte = 3
 )
 
 // Errors returned by the decoder.
@@ -48,6 +52,11 @@ var (
 	ErrTruncated   = errors.New("wire: truncated message")
 	ErrBadTag      = errors.New("wire: unknown tag")
 	ErrUnsupported = errors.New("wire: unsupported parameter type")
+	// ErrNestedBatch marks a KindBatch frame inside a batch (or handed to
+	// the single-envelope Decode): batches are a transport framing, one
+	// level deep by construction, so a nested one is always corruption or
+	// an attack.
+	ErrNestedBatch = errors.New("wire: batch frame inside an envelope position")
 )
 
 // limits guard against hostile or corrupt input.
@@ -57,6 +66,7 @@ const (
 	maxParams       = 1 << 12
 	maxConstituents = 1 << 16
 	maxDepth        = 64
+	maxBatch        = 1 << 16
 )
 
 // --- primitives -----------------------------------------------------------
@@ -174,23 +184,37 @@ func (r *reader) setStamp() (core.SetStamp, error) {
 
 // --- params -----------------------------------------------------------------
 
+// keysPool recycles the sorted-key scratch slice AppendParams needs for
+// deterministic key order, so steady-state encoding of parameterized
+// occurrences allocates nothing.
+var keysPool = sync.Pool{New: func() any { return new([]string) }}
+
 // AppendParams encodes a parameter list with deterministic key order.
 func AppendParams(b []byte, p event.Params) ([]byte, error) {
-	keys := make([]string, 0, len(p))
+	if len(p) == 0 {
+		return appendUvarint(b, 0), nil
+	}
+	kp := keysPool.Get().(*[]string)
+	keys := (*kp)[:0]
 	for k := range p {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	b = appendUvarint(b, uint64(len(keys)))
+	var err error
 	for _, k := range keys {
 		b = appendString(b, k)
-		var err error
 		b, err = appendValue(b, p[k])
 		if err != nil {
-			return nil, fmt.Errorf("%w (key %q)", err, k)
+			err = fmt.Errorf("%w (key %q)", err, k)
+			b = nil
+			break
 		}
 	}
-	return b, nil
+	clear(keys) // drop the string references before pooling
+	*kp = keys[:0]
+	keysPool.Put(kp)
+	return b, err
 }
 
 func appendValue(b []byte, v any) ([]byte, error) {
@@ -372,17 +396,25 @@ type Envelope struct {
 
 // Encode serializes an envelope.
 func Encode(e Envelope) ([]byte, error) {
-	b := make([]byte, 0, 64)
-	b = append(b, e.Kind)
-	b = appendVarint(b, e.RaisedAt)
+	return EncodeAppend(make([]byte, 0, 64), e)
+}
+
+// EncodeAppend serializes an envelope, appending to dst (which may be
+// nil, or a recycled buffer — the allocation-free form of Encode).
+func EncodeAppend(dst []byte, e Envelope) ([]byte, error) {
+	dst = append(dst, e.Kind)
+	dst = appendVarint(dst, e.RaisedAt)
 	switch e.Kind {
 	case KindHeartbeat:
-		return appendVarint(b, e.Global), nil
+		return appendVarint(dst, e.Global), nil
 	case KindEvent:
 		if e.Occ == nil {
 			return nil, errors.New("wire: event envelope without occurrence")
 		}
-		return AppendOccurrence(b, e.Occ)
+		return AppendOccurrence(dst, e.Occ)
+	case KindBatch:
+		// A batch is a frame of envelopes, not an envelope.
+		return nil, ErrNestedBatch
 	default:
 		return nil, fmt.Errorf("%w: envelope kind %d", ErrBadTag, e.Kind)
 	}
@@ -408,6 +440,13 @@ func Decode(buf []byte) (Envelope, error) {
 	kind, err := r.byte()
 	if err != nil {
 		return Envelope{}, err
+	}
+	if kind == KindBatch {
+		// The frame layout after KindBatch is a count, not an envelope
+		// body; callers must route batches through DecodeBatch.  Reject
+		// here so a batch can never be mistaken for (or nested inside)
+		// an envelope.
+		return Envelope{}, ErrNestedBatch
 	}
 	raisedAt, err := r.varint()
 	if err != nil {
