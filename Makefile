@@ -8,15 +8,15 @@ GO ?= go
 LINT := bin/sentinel-lint
 BENCHJSON := bin/benchjson
 
-.PHONY: ci vet lint build test race determinism bench bench-smoke
+.PHONY: ci vet lint build test race determinism obs-determinism trace-overhead bench bench-smoke bench-diff
 
-ci: vet lint build race determinism bench-smoke
+ci: vet lint build race determinism obs-determinism trace-overhead bench-smoke
 
 vet:
 	$(GO) vet ./...
 
-# The repo's own analyzer suite (walltime, stampcmp, mapiter, stagefx —
-# see DESIGN.md "Enforced invariants"), driven through the go vet
+# The repo's own analyzer suite (walltime, stampcmp, mapiter, stagefx,
+# obsfx — see DESIGN.md "Enforced invariants"), driven through the go vet
 # unit-checker protocol so test variants are covered too.
 lint:
 	$(GO) build -o $(LINT) ./cmd/sentinel-lint
@@ -36,20 +36,37 @@ race:
 determinism:
 	$(GO) test -race -run 'TestPipelineDeterminism' -v ./internal/ddetect
 
-# Full benchmark run (root harness + eventlog + transport layers),
-# archived machine-readably at the repo root.  BENCH_pr3.json, when
+# The PR-5 tentpole regression: the full observability stack (tracer into
+# span log + flight recorder, metrics registry) must be a pure observer —
+# byte-identical occurrence logs with it attached or detached, and a span
+# stream identical across worker counts.  Under -race like the rest.
+obs-determinism:
+	$(GO) test -race -run 'TestObsDeterminism' -v ./internal/ddetect
+
+# Enabled-but-unsunk tracing must cost <5% on the pipeline workload
+# (median of interleaved runs); the test self-skips without the env gate.
+trace-overhead:
+	SENTINEL_TRACE_OVERHEAD=1 $(GO) test -run 'TestTraceOverheadSmoke' -v .
+
+# Full benchmark run (root harness + eventlog + transport + obs layers),
+# archived machine-readably at the repo root.  BENCH_pr4.json, when
 # present, is embedded so the report carries its own before/after
-# comparison of the PR-4 transport batching.
-BENCH_PKGS := . ./internal/eventlog ./internal/network ./internal/wire
+# comparison of the PR-5 observability instrumentation.
+BENCH_PKGS := . ./internal/eventlog ./internal/network ./internal/wire ./internal/obs
 
 bench:
 	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
 	$(GO) test -bench . -benchmem -benchtime=200ms -count=3 -run '^$$' $(BENCH_PKGS) \
-		| tee /tmp/bench_pr4.txt
-	$(BENCHJSON) -out BENCH_pr4.json \
-		$$(test -f BENCH_pr3.json && echo -baseline BENCH_pr3.json) \
-		< /tmp/bench_pr4.txt
+		| tee /tmp/bench_pr5.txt
+	$(BENCHJSON) -out BENCH_pr5.json \
+		$$(test -f BENCH_pr4.json && echo -baseline BENCH_pr4.json) \
+		< /tmp/bench_pr5.txt
 
 # One-iteration smoke pass: every benchmark must still run to completion.
 bench-smoke:
 	$(GO) test -bench . -benchmem -benchtime=1x -run '^$$' $(BENCH_PKGS) > /dev/null
+
+# Delta table between the archived PR-4 and PR-5 benchmark runs.
+bench-diff:
+	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
+	$(BENCHJSON) -compare BENCH_pr4.json BENCH_pr5.json

@@ -9,7 +9,9 @@ package sentinel_test
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
+	"sort"
 	"testing"
 
 	"repro/internal/clock"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/event"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/viz"
 	"repro/internal/wire"
@@ -303,9 +306,13 @@ func BenchmarkParameterContexts(b *testing.B) {
 
 // --- SEM-D / E2E: distributed detection end to end ------------------------
 
-func runDistributed(b *testing.B, sites int, net network.Config, events int) ddetect.Stats {
+func runDistributed(b *testing.B, sites int, net network.Config, events int, mutate ...func(*ddetect.Config)) ddetect.Stats {
 	b.Helper()
-	sys := ddetect.MustNewSystem(ddetect.Config{Net: net})
+	cfg := ddetect.Config{Net: net}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	sys := ddetect.MustNewSystem(cfg)
 	rng := rand.New(rand.NewSource(1))
 	ids := make([]core.SiteID, sites)
 	for i := range ids {
@@ -718,12 +725,16 @@ func BenchmarkSubexpressionSharing(b *testing.B) {
 // release stage hands each host's detect stage sizeable batches — the
 // shape the parallel detect stage (Config.Pipeline.Workers) scales with
 // cores on.
-func runPipelineWorkload(b *testing.B, workers, hosts, defsPerHost, events int) ddetect.Stats {
+func runPipelineWorkload(b *testing.B, workers, hosts, defsPerHost, events int, mutate ...func(*ddetect.Config)) ddetect.Stats {
 	b.Helper()
-	sys := ddetect.MustNewSystem(ddetect.Config{
+	cfg := ddetect.Config{
 		Net:      network.Config{BaseLatency: 20, Jitter: 30, Seed: 7},
 		Pipeline: pipeline.Config{Workers: workers},
-	})
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	sys := ddetect.MustNewSystem(cfg)
 	feeder := sys.MustAddSite("zz-feed", 0, 0)
 	rng := rand.New(rand.NewSource(13))
 	hostIDs := make([]core.SiteID, hosts)
@@ -794,6 +805,78 @@ func BenchmarkPipelineWorkers(b *testing.B) {
 			}
 			b.ReportMetric(detectBusy, "detect-ns/tick")
 		})
+	}
+}
+
+// --- OBS: observability overhead ------------------------------------------
+
+// detachedTracer arms tracing with no sink attached: every span point in
+// the pipeline executes (ID assignment, event construction, the Emit
+// call) but nothing is written.  This isolates the instrumentation cost
+// itself — the acceptance number for the PR-5 observability layer is
+// "detached" within 2% of "off" at 16 sites.
+func detachedTracer(c *ddetect.Config) { c.Trace = obs.NewTracer(nil) }
+
+// BenchmarkTraceOverhead measures the end-to-end 16-site detection run
+// with tracing off versus enabled-but-unsunk.  Full-stack cost with real
+// sinks attached is workload-dependent and reported by distsim instead.
+func BenchmarkTraceOverhead(b *testing.B) {
+	net := network.Config{BaseLatency: 20, Jitter: 40, Seed: 9}
+	modes := []struct {
+		name   string
+		mutate []func(*ddetect.Config)
+	}{
+		{"off", nil},
+		{"detached", []func(*ddetect.Config){detachedTracer}},
+	}
+	for _, mode := range modes {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var st ddetect.Stats
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st = runDistributed(b, 16, net, 600, mode.mutate...)
+			}
+			b.ReportMetric(float64(st.Detections), "detections")
+		})
+	}
+}
+
+// TestTraceOverheadSmoke is the CI guard for the instrumentation cost:
+// enabled-but-unsunk tracing must not regress the pipeline-workers
+// workload by more than 5% on the median of interleaved measurements.
+// Benchmark-grade timing in a test is noisy, so it only runs when asked:
+//
+//	SENTINEL_TRACE_OVERHEAD=1 go test -run TestTraceOverheadSmoke -v .
+func TestTraceOverheadSmoke(t *testing.T) {
+	if os.Getenv("SENTINEL_TRACE_OVERHEAD") == "" {
+		t.Skip("set SENTINEL_TRACE_OVERHEAD=1 to run the trace-overhead smoke benchmark")
+	}
+	measure := func(mutate ...func(*ddetect.Config)) float64 {
+		return float64(testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runPipelineWorkload(b, 0, 4, 6, 320, mutate...)
+			}
+		}).NsPerOp())
+	}
+	const rounds = 3
+	off := make([]float64, 0, rounds)
+	traced := make([]float64, 0, rounds)
+	measure() // warm-up discarded
+	for i := 0; i < rounds; i++ { // interleave so drift hits both arms
+		off = append(off, measure())
+		traced = append(traced, measure(detachedTracer))
+	}
+	median := func(v []float64) float64 {
+		sort.Float64s(v)
+		return v[len(v)/2]
+	}
+	mOff, mTraced := median(off), median(traced)
+	ratio := mTraced / mOff
+	t.Logf("median ns/op: off=%.0f detached-tracing=%.0f (%.1f%%)", mOff, mTraced, (ratio-1)*100)
+	if ratio > 1.05 {
+		t.Fatalf("enabled-but-unsunk tracing costs %.1f%% (median of %d), budget is 5%%",
+			(ratio-1)*100, rounds)
 	}
 }
 

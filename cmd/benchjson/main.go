@@ -5,6 +5,14 @@
 // Usage:
 //
 //	go test -bench . -benchmem ./... | benchjson -out BENCH_pr3.json [-baseline BENCH_baseline.json]
+//	benchjson -compare BENCH_pr4.json BENCH_pr5.json
+//
+// -compare reads two reports and prints a delta table: per benchmark,
+// the median ns/op of each run (repeated -count lines collapse to their
+// median) and the relative change, with allocations appended when both
+// runs recorded them.  Benchmarks present in only one report are listed
+// at the end.  `make bench-diff` drives it against the archived
+// before/after files at the repo root.
 //
 // Stdin is the raw benchmark output.  Every line of the form
 //
@@ -23,10 +31,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Record is one benchmark result line.
@@ -51,7 +62,27 @@ type Report struct {
 func main() {
 	out := flag.String("out", "", "output JSON file (default stdout)")
 	baseline := flag.String("baseline", "", "existing benchjson report whose records are embedded as the baseline")
+	compare := flag.Bool("compare", false, "compare two report files (old.json new.json) and print a delta table")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two report files: old.json new.json")
+			os.Exit(2)
+		}
+		oldRep, err := readReport(flag.Arg(0))
+		if err == nil {
+			var newRep *Report
+			if newRep, err = readReport(flag.Arg(1)); err == nil {
+				err = writeDelta(os.Stdout, flag.Arg(0), flag.Arg(1), oldRep.Records, newRep.Records)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -86,6 +117,113 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// readReport loads a benchjson report file.
+func readReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// aggregate collapses repeated -count records per benchmark to their
+// median, which is robust against a single cold or preempted repeat.
+type aggregate struct {
+	NsPerOp     float64
+	AllocsPerOp *float64
+}
+
+func aggregateRecords(recs []Record) (map[string]aggregate, []string) {
+	ns := map[string][]float64{}
+	allocs := map[string][]float64{}
+	var order []string
+	for _, r := range recs {
+		if _, seen := ns[r.Name]; !seen {
+			order = append(order, r.Name)
+		}
+		ns[r.Name] = append(ns[r.Name], r.NsPerOp)
+		if r.AllocsPerOp != nil {
+			allocs[r.Name] = append(allocs[r.Name], *r.AllocsPerOp)
+		}
+	}
+	agg := make(map[string]aggregate, len(ns))
+	for name, vals := range ns {
+		a := aggregate{NsPerOp: median(vals)}
+		if av, ok := allocs[name]; ok && len(av) == len(vals) {
+			m := median(av)
+			a.AllocsPerOp = &m
+		}
+		agg[name] = a
+	}
+	return agg, order
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 0 {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+	return s[len(s)/2]
+}
+
+// writeDelta prints the comparison table for two record sets.
+func writeDelta(w io.Writer, oldName, newName string, oldRecs, newRecs []Record) error {
+	oldAgg, _ := aggregateRecords(oldRecs)
+	newAgg, newOrder := aggregateRecords(newRecs)
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "benchmark\told ns/op\tnew ns/op\tdelta\tallocs/op\t\n")
+	var onlyOld, onlyNew []string
+	for _, name := range newOrder {
+		na := newAgg[name]
+		oa, ok := oldAgg[name]
+		if !ok {
+			onlyNew = append(onlyNew, name)
+			continue
+		}
+		delta := "~"
+		if oa.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (na.NsPerOp/oa.NsPerOp-1)*100)
+		}
+		allocCol := ""
+		if oa.AllocsPerOp != nil && na.AllocsPerOp != nil {
+			allocCol = fmt.Sprintf("%.0f -> %.0f", *oa.AllocsPerOp, *na.AllocsPerOp)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t\n",
+			name, fmtNs(oa.NsPerOp), fmtNs(na.NsPerOp), delta, allocCol)
+	}
+	for name := range oldAgg {
+		if _, ok := newAgg[name]; !ok {
+			onlyOld = append(onlyOld, name)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	sort.Strings(onlyOld)
+	if len(onlyOld) > 0 {
+		fmt.Fprintf(w, "\nonly in %s: %s\n", oldName, strings.Join(onlyOld, ", "))
+	}
+	if len(onlyNew) > 0 {
+		fmt.Fprintf(w, "only in %s: %s\n", newName, strings.Join(onlyNew, ", "))
+	}
+	return nil
+}
+
+// fmtNs keeps sub-microsecond results readable without drowning the
+// slow end-to-end rows in decimals.
+func fmtNs(v float64) string {
+	if v >= 1000 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 1, 64)
 }
 
 func parse(sc *bufio.Scanner) (*Report, error) {

@@ -75,6 +75,52 @@ ok
 	}
 }
 
+func fp(v float64) *float64 { return &v }
+
+func TestMedianCollapsesRepeats(t *testing.T) {
+	agg, order := aggregateRecords([]Record{
+		{Name: "BenchmarkA", NsPerOp: 10, AllocsPerOp: fp(3)},
+		{Name: "BenchmarkA", NsPerOp: 90, AllocsPerOp: fp(3)}, // outlier repeat
+		{Name: "BenchmarkA", NsPerOp: 12, AllocsPerOp: fp(3)},
+		{Name: "BenchmarkB", NsPerOp: 20},
+	})
+	if len(order) != 2 || order[0] != "BenchmarkA" || order[1] != "BenchmarkB" {
+		t.Fatalf("order = %v", order)
+	}
+	if a := agg["BenchmarkA"]; a.NsPerOp != 12 || a.AllocsPerOp == nil || *a.AllocsPerOp != 3 {
+		t.Fatalf("BenchmarkA aggregate = %+v (median should shrug off the outlier)", a)
+	}
+	if b := agg["BenchmarkB"]; b.NsPerOp != 20 || b.AllocsPerOp != nil {
+		t.Fatalf("BenchmarkB aggregate = %+v", b)
+	}
+}
+
+func TestWriteDelta(t *testing.T) {
+	oldRecs := []Record{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: fp(4)},
+		{Name: "BenchmarkGone", NsPerOp: 7},
+	}
+	newRecs := []Record{
+		{Name: "BenchmarkA", NsPerOp: 90, AllocsPerOp: fp(2)},
+		{Name: "BenchmarkNew", NsPerOp: 5},
+	}
+	var b strings.Builder
+	if err := writeDelta(&b, "old.json", "new.json", oldRecs, newRecs); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"benchmark", "old ns/op", "new ns/op", "delta",
+		"BenchmarkA", "-10.0%", "4 -> 2",
+		"only in old.json: BenchmarkGone",
+		"only in new.json: BenchmarkNew",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delta table lacks %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestParseEmptyErrors(t *testing.T) {
 	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\n"))); err == nil {
 		t.Fatal("expected an error on input with no benchmark lines")

@@ -1,11 +1,20 @@
 // Command distsim runs an end-to-end distributed detection simulation and
-// reports detection counts, timestamp set sizes and raise-to-publish
-// latency under configurable sites, network adversity and clock skew.
+// reports detection counts, timestamp set sizes and latency under
+// configurable sites, network adversity and clock skew.
 // -workers parallelizes the detect stage across sites (results are
 // identical to sequential); -stats prints per-stage pipeline counters and
 // wall-clock latency histograms.
 //
+// Observability (internal/obs): -trace FILE writes the event lineage as
+// Chrome trace_event JSON (load in chrome://tracing or Perfetto; one
+// trace microsecond = one simulated microtick), -spanlog FILE writes the
+// same spans as greppable key=value lines, -metrics prom|json appends a
+// metrics export to the report, and -flightrec N dumps the last N spans
+// per site at the end of the run.  All of it is a pure observer: the
+// simulation output is identical with every flag on or off.
+//
 //	distsim -sites 8 -events 5000 -latency 20 -jitter 60 -drop 0.05 -workers 4 -stats
+//	distsim -sites 4 -events 2000 -trace trace.json -metrics prom -flightrec 32
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/event"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
@@ -38,6 +48,17 @@ type options struct {
 	seed    int64
 	workers int
 	stats   bool
+	// metrics selects a registry export appended to the report: "",
+	// "prom" (Prometheus text) or "json" (expvar-style).
+	metrics string
+	// flightrec > 0 keeps the last N spans per site and dumps them at
+	// the end of the report.
+	flightrec int
+	// trace and spanlog, when non-nil, receive the Chrome trace_event
+	// JSON and the line-oriented span log (main points them at the
+	// -trace and -spanlog files).
+	trace   io.Writer
+	spanlog io.Writer
 }
 
 func main() {
@@ -51,12 +72,36 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	workers := flag.Int("workers", 0, "detect-stage worker count (0 = sequential; results identical)")
 	stats := flag.Bool("stats", false, "print per-stage pipeline counters and latency histograms")
+	metrics := flag.String("metrics", "", "append a metrics export to the report: prom or json")
+	flightrec := flag.Int("flightrec", 0, "keep and dump the last N spans per site")
+	traceFile := flag.String("trace", "", "write the event lineage as Chrome trace_event JSON to this file")
+	spanFile := flag.String("spanlog", "", "write the event lineage as key=value span lines to this file")
 	flag.Parse()
-	simulate(os.Stdout, options{
+	if *metrics != "" && *metrics != "prom" && *metrics != "json" {
+		fmt.Fprintf(os.Stderr, "distsim: -metrics must be prom or json, got %q\n", *metrics)
+		os.Exit(2)
+	}
+	o := options{
 		sites: *sites, events: *events, meanGap: *meanGap,
 		latency: *latency, jitter: *jitter, drop: *drop, skew: *skew, seed: *seed,
-		workers: *workers, stats: *stats,
-	})
+		workers: *workers, stats: *stats, metrics: *metrics, flightrec: *flightrec,
+	}
+	for _, f := range []struct {
+		path string
+		dst  *io.Writer
+	}{{*traceFile, &o.trace}, {*spanFile, &o.spanlog}} {
+		if f.path == "" {
+			continue
+		}
+		file, err := os.Create(f.path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "distsim:", err)
+			os.Exit(1)
+		}
+		defer file.Close()
+		*f.dst = file
+	}
+	simulate(os.Stdout, o)
 }
 
 // simulate runs one configuration and writes the report to w.
@@ -76,6 +121,33 @@ func simulate(w io.Writer, o options) {
 	if *drop > 0 && cfg.Net.RetransmitDelay == 0 {
 		cfg.Net.RetransmitDelay = 100
 	}
+
+	// Observability sinks (all optional, all pure observers).
+	var sinks obs.MultiSink
+	var chrome *obs.ChromeTrace
+	if o.trace != nil {
+		chrome = obs.NewChromeTrace(o.trace)
+		sinks = append(sinks, chrome)
+	}
+	var spanLog *obs.SpanLog
+	if o.spanlog != nil {
+		spanLog = obs.NewSpanLog(o.spanlog)
+		sinks = append(sinks, spanLog)
+	}
+	var rec *obs.FlightRecorder
+	if o.flightrec > 0 {
+		rec = obs.NewFlightRecorder(o.flightrec)
+		sinks = append(sinks, rec)
+	}
+	if len(sinks) > 0 {
+		cfg.Trace = obs.NewTracer(sinks)
+	}
+	var reg *obs.Registry
+	if o.metrics != "" {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+	}
+
 	sys := ddetect.MustNewSystem(cfg)
 
 	// Topology, network schedule and event stream each get a derived
@@ -107,12 +179,9 @@ func simulate(w io.Writer, o options) {
 			panic(err)
 		}
 	}
-	perDef := map[string]int{}
 	setSizes := map[int]int{}
 	for _, d := range defs {
-		name := d.name
-		if err := sys.Subscribe(name, func(o *event.Occurrence) {
-			perDef[name]++
+		if err := sys.Subscribe(d.name, func(o *event.Occurrence) {
 			setSizes[len(o.Stamp)]++
 		}); err != nil {
 			panic(err)
@@ -142,11 +211,12 @@ func simulate(w io.Writer, o options) {
 	fmt.Fprintf(w, "transport: messages=%d envelopes=%d batches=%d coalescing=%.2fx payload-bytes=%d\n",
 		st.Net.Sent, st.Net.Envelopes, st.Net.Batches, ratio, st.Net.PayloadBytes)
 	fmt.Fprintf(w, "released=%d detections=%d unconsumed=%d\n", st.Released, st.Detections, st.Unconsumed)
-	fmt.Fprintf(w, "latency: mean=%.1f max=%d microticks (raise -> ordered publish)\n",
+	fmt.Fprintf(w, "latency: mean=%.1f max=%d microticks (raise -> watermark release)\n",
 		st.MeanLatency(), st.LatencyMax)
-	fmt.Fprintln(w, "\ndetections per definition:")
-	for _, d := range defs {
-		fmt.Fprintf(w, "  %-8s %6d\n", d.name, perDef[d.name])
+	fmt.Fprintln(w, "\ndetections per definition (detect latency in event-time microticks):")
+	for _, ds := range st.Definitions {
+		fmt.Fprintf(w, "  %-8s %6d  latency mean=%.1f max=%d\n",
+			ds.Name, ds.Detections, ds.MeanLatency(), ds.LatencyMax)
 	}
 	fmt.Fprintln(w, "\ncomposite timestamp set sizes (|T(e)|): count")
 	for size := 1; size <= *sites; size++ {
@@ -164,5 +234,32 @@ func simulate(w io.Writer, o options) {
 				sg.Name, sg.Ticks, sg.Items, sg.Busy.Round(time.Microsecond),
 				sg.MaxTick.Round(time.Microsecond), sg.Hist.Quantile(0.99))
 		}
+	}
+
+	if reg != nil {
+		fmt.Fprintf(w, "\nmetrics (%s):\n", o.metrics)
+		var err error
+		if o.metrics == "json" {
+			err = reg.WriteJSON(w)
+		} else {
+			err = reg.WritePrometheus(w)
+		}
+		if err != nil {
+			panic(err)
+		}
+	}
+	if rec != nil {
+		fmt.Fprintf(w, "\nflight recorder (last %d spans per site):\n", o.flightrec)
+		if err := rec.Dump(w); err != nil {
+			panic(err)
+		}
+	}
+	if chrome != nil {
+		if err := chrome.Close(); err != nil {
+			panic(err)
+		}
+	}
+	if spanLog != nil && spanLog.Err() != nil {
+		panic(spanLog.Err())
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
@@ -27,7 +28,7 @@ func TestSimulateReportShape(t *testing.T) {
 		"released=300",
 		"transport: messages=",
 		"coalescing=",
-		"detections per definition:",
+		"detections per definition",
 		"Seq", "Conj", "Guard", "Sweep",
 		"composite timestamp set sizes",
 	} {
@@ -81,6 +82,107 @@ func TestSimulateCoalesces(t *testing.T) {
 	}
 	if msgs == 0 || envs <= msgs {
 		t.Fatalf("no coalescing: messages=%d envelopes=%d\n%s", msgs, envs, out)
+	}
+}
+
+// TestSimulatePerDefinitionLatency pins the per-definition latency
+// satellite: every definition row carries mean/max detection latency,
+// and rows with detections have non-zero latency.
+func TestSimulatePerDefinitionLatency(t *testing.T) {
+	out := runSim(t, baseOptions())
+	sec := out[strings.Index(out, "detections per definition"):]
+	for _, def := range []string{"Seq", "Conj", "Guard", "Sweep"} {
+		var n, max int
+		var mean float64
+		if _, err := fmt.Sscanf(sec[strings.Index(sec, def):],
+			def+" %d latency mean=%f max=%d", &n, &mean, &max); err != nil {
+			t.Fatalf("cannot parse %s row: %v\n%s", def, err, sec)
+		}
+		if n > 0 && (mean <= 0 || max < int(mean)) {
+			t.Errorf("%s: %d detections but implausible latency mean=%.1f max=%d", def, n, mean, max)
+		}
+	}
+}
+
+// TestSimulateObservabilityIsPureObserver pins the tentpole claim at the
+// CLI level: the report is identical with every observability sink armed
+// versus none.
+func TestSimulateObservabilityIsPureObserver(t *testing.T) {
+	bare := runSim(t, baseOptions())
+
+	o := baseOptions()
+	var trace, spans strings.Builder
+	o.trace = &trace
+	o.spanlog = &spans
+	o.flightrec = 8
+	o.metrics = "prom"
+	full := runSim(t, o)
+
+	// The armed report is the bare report plus the metrics and flight
+	// recorder sections appended.
+	if !strings.HasPrefix(full, bare) {
+		t.Fatalf("observability flags perturbed the base report:\n%s\n--- want prefix ---\n%s", full, bare)
+	}
+	if !strings.Contains(full, "metrics (prom):") || !strings.Contains(full, "sentinel_detections_total") {
+		t.Errorf("metrics section missing:\n%s", full)
+	}
+	if !strings.Contains(full, "flight recorder (last 8 spans per site):") {
+		t.Errorf("flight recorder section missing:\n%s", full)
+	}
+	if !strings.Contains(full, "kind=") {
+		t.Errorf("flight recorder dumped no spans:\n%s", full)
+	}
+
+	// The Chrome trace must be loadable JSON; the span log greppable.
+	var recs []map[string]any
+	if err := json.Unmarshal([]byte(trace.String()), &recs); err != nil {
+		t.Fatalf("-trace output is not valid JSON: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("-trace output is empty")
+	}
+	for _, kind := range []string{"kind=raise", "kind=send", "kind=recv", "kind=release", "kind=detect", "kind=publish"} {
+		if !strings.Contains(spans.String(), kind) {
+			t.Errorf("-spanlog lacks %s events", kind)
+		}
+	}
+}
+
+// TestSimulateMetricsJSON pins the expvar-style export end to end.
+func TestSimulateMetricsJSON(t *testing.T) {
+	o := baseOptions()
+	o.metrics = "json"
+	out := runSim(t, o)
+	blob := out[strings.Index(out, "metrics (json):")+len("metrics (json):"):]
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(blob), &decoded); err != nil {
+		t.Fatalf("-metrics json output invalid: %v\n%s", err, blob)
+	}
+	if decoded["sentinel_released_total"] != float64(300) {
+		t.Errorf("sentinel_released_total = %v, want 300", decoded["sentinel_released_total"])
+	}
+	if _, ok := decoded["sentinel_detect_latency_microticks"]; !ok {
+		t.Errorf("native detect-latency histogram missing from export")
+	}
+}
+
+// TestSimulateObsDeterministic pins that the span log and metrics export
+// are themselves deterministic run to run.
+func TestSimulateObsDeterministic(t *testing.T) {
+	run := func() (string, string) {
+		o := baseOptions()
+		var spans strings.Builder
+		o.spanlog = &spans
+		o.metrics = "prom"
+		return runSim(t, o), spans.String()
+	}
+	repA, spansA := run()
+	repB, spansB := run()
+	if repA != repB {
+		t.Fatal("reports with metrics differ across identical runs")
+	}
+	if spansA != spansB || spansA == "" {
+		t.Fatal("span logs differ across identical runs (or are empty)")
 	}
 }
 

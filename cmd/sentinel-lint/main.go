@@ -11,6 +11,10 @@
 //	            iteration order leaks into the occurrence stream
 //	stagefx   — bus sends, subscriber fan-out and Stats mutation stay
 //	            in the publish stage (PR-1 pipeline rule)
+//	obsfx     — internal/obs sinks are the only observability effects
+//	            in stage context (no fmt/log/os printing, no tracer in
+//	            the worker-side detect stage), and internal/obs itself
+//	            never imports time or math/rand (PR-5 pure-observer rule)
 //
 // Two modes:
 //

@@ -6,6 +6,7 @@ package analyzers
 import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/mapiter"
+	"repro/internal/analysis/obsfx"
 	"repro/internal/analysis/stagefx"
 	"repro/internal/analysis/stampcmp"
 	"repro/internal/analysis/walltime"
@@ -18,5 +19,6 @@ func All() []*analysis.Analyzer {
 		stampcmp.Analyzer,
 		mapiter.Analyzer,
 		stagefx.Analyzer,
+		obsfx.Analyzer,
 	}
 }

@@ -1,0 +1,29 @@
+package obsfx
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestStageFixture(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "obsfx"))
+}
+
+func TestObsPackageFixture(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "obspkg"))
+}
+
+func TestAppliesTo(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/obs":      true,
+		"repro/internal/ddetect":  true,
+		"repro/internal/detector": false,
+		"repro/internal/network":  false,
+	} {
+		if got := Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Package obs mirrors the real internal/obs package name so the obsfx
+// analyzer applies its pure-observer rule set: ambient time and
+// randomness imports are banned outright — spans and metrics carry only
+// caller-supplied simulated time.
+package obs
+
+import (
+	"math/rand"          // want `obsfx: package obs must not import "math/rand"`
+	rand2 "math/rand/v2" // want `obsfx: package obs must not import "math/rand/v2"`
+	"strconv"
+	"time" // want `obsfx: package obs must not import "time"`
+)
+
+// stamp is exactly the bug the rule exists for: a sink minting its own
+// wall-clock timestamps instead of carrying the pipeline's microticks.
+func stamp() int64 { return time.Now().UnixNano() + rand.Int63() + rand2.Int64() }
+
+// format shows benign stdlib use stays clean.
+func format(v int64) string { return strconv.FormatInt(v, 10) }

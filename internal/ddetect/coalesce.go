@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -95,6 +96,18 @@ func (c *linkCoalescer) flush(now clock.Microticks) {
 	for _, lb := range c.order {
 		envs := lb.envs
 		lb.envs = nil
+		if tr := sys.tr; tr != nil {
+			// One send span per event envelope, stamped with the flush
+			// instant — the moment the occurrence actually hits the bus
+			// (heartbeats are perpetual noise and go untraced).
+			for _, env := range envs {
+				if env.Kind != envEvent {
+					continue
+				}
+				tr.Emit(obs.SpanEvent{ID: tr.ID(env.Occ), At: int64(now), Kind: obs.KindSend,
+					Site: string(lb.from), Peer: string(lb.to), Type: env.Occ.Type})
+			}
+		}
 		switch {
 		case sys.cfg.DisableBatching:
 			// Differential mode: the same envelopes as per-envelope

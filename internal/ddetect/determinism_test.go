@@ -23,6 +23,11 @@ type scenarioOpts struct {
 	count   int   // workload events
 	seed    int64 // drives the workload, the network and the site skews
 	mutate  func(*Config)
+	// noObs leaves the system completely uninstrumented.  By default
+	// runScenario arms a flight-recorder-backed tracer (dumped into the
+	// test log on failure); TestObsDeterminism needs a genuinely bare
+	// baseline to compare against.
+	noObs bool
 }
 
 func defaultScenario() scenarioOpts {
@@ -44,6 +49,9 @@ func runScenario(t testing.TB, o scenarioOpts) ([]byte, Stats) {
 	}
 	if o.mutate != nil {
 		o.mutate(&cfg)
+	}
+	if !o.noObs && cfg.Trace == nil {
+		attachFlightRecorder(t, &cfg, 48)
 	}
 	sys := MustNewSystem(cfg)
 	rng := rand.New(rand.NewSource(o.seed + 202))

@@ -29,12 +29,16 @@ func TestSoak(t *testing.T) {
 	const sites = 6
 	const events = 3_000
 
-	sys := MustNewSystem(Config{
+	cfg := Config{
 		Net: network.Config{
 			BaseLatency: 25, Jitter: 120, DropRate: 0.08, RetransmitDelay: 180, Seed: 1234,
 		},
 		Serialize: true,
-	})
+	}
+	// Flight recorder: if any invariant below trips, the last spans per
+	// site land in the test log.
+	attachFlightRecorder(t, &cfg, 64)
+	sys := MustNewSystem(cfg)
 	rng := rand.New(rand.NewSource(99))
 	ids := make([]core.SiteID, sites)
 	for i := range ids {

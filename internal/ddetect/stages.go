@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -124,6 +125,14 @@ func (st *ingestStage) raise(s *Site, typ string, class event.Class, params even
 	env := envelope{Kind: envEvent, Occ: occ, RaisedAt: now}
 	sys.stats.Raised++
 	st.raised++
+	if tr := sys.tr; tr != nil {
+		var detail string
+		if tr.Active() {
+			detail = occ.Stamp.String()
+		}
+		tr.Emit(obs.SpanEvent{ID: tr.ID(occ), At: int64(now), Kind: obs.KindRaise,
+			Site: string(s.ID), Type: typ, Detail: detail})
+	}
 	needers := sys.needers[typ]
 	if len(needers) == 0 {
 		sys.stats.Unconsumed++
@@ -152,6 +161,9 @@ type transportStage struct {
 	sys     *System
 	batch   []network.Message
 	decoded []envelope
+	// now is the current tick's simulated time, stashed by Tick so the
+	// accept helpers can stamp recv spans without threading it through.
+	now clock.Microticks
 }
 
 func (st *transportStage) Name() string { return "transport" }
@@ -162,6 +174,7 @@ func (st *transportStage) Name() string { return "transport" }
 //lint:allow stagefx — transport is the designated consumer of the bus: it runs single-threaded on the crank goroutine before the detect barrier, so its DrainDue cannot race the coalescer's flushes
 func (st *transportStage) Tick(now clock.Microticks) int {
 	sys := st.sys
+	st.now = now
 	st.batch = sys.bus.DrainDue(now, st.batch[:0])
 	n := 0
 	for i := range st.batch {
@@ -214,9 +227,14 @@ func (st *transportStage) collect(we wire.Envelope) error {
 
 // acceptRun hands one coalesced envelope run to the reorderer.
 func (st *transportStage) acceptRun(dst *Site, from core.SiteID, seq uint64, envs []envelope) {
+	tr := st.sys.tr
 	for _, env := range envs {
 		if env.Kind == envEvent {
 			st.sys.inFlightEvents--
+			if tr != nil {
+				tr.Emit(obs.SpanEvent{ID: tr.ID(env.Occ), At: int64(st.now), Kind: obs.KindRecv,
+					Site: string(dst.ID), Peer: string(from), Type: env.Occ.Type})
+			}
 		}
 	}
 	if err := dst.re.acceptBatch(from, seq, envs); err != nil {
@@ -228,6 +246,10 @@ func (st *transportStage) acceptRun(dst *Site, from core.SiteID, seq uint64, env
 func (st *transportStage) acceptOne(dst *Site, from core.SiteID, seq uint64, env envelope) {
 	if env.Kind == envEvent {
 		st.sys.inFlightEvents--
+		if tr := st.sys.tr; tr != nil {
+			tr.Emit(obs.SpanEvent{ID: tr.ID(env.Occ), At: int64(st.now), Kind: obs.KindRecv,
+				Site: string(dst.ID), Peer: string(from), Type: env.Occ.Type})
+		}
 	}
 	if err := dst.re.accept(from, seq, env); err != nil {
 		panic(err) // bus sequencing guarantees make this unreachable
@@ -259,6 +281,11 @@ func (st *releaseStage) deliver(env envelope) {
 	sys.stats.LatencySum += lat
 	if lat > sys.stats.LatencyMax {
 		sys.stats.LatencyMax = lat
+	}
+	sys.hRelease.Observe(int64(lat))
+	if tr := sys.tr; tr != nil {
+		tr.Emit(obs.SpanEvent{ID: tr.ID(env.Occ), At: int64(st.now), Kind: obs.KindRelease,
+			Site: string(st.cur.ID), Type: env.Occ.Type})
 	}
 	st.cur.inbox = append(st.cur.inbox, env.Occ)
 }
@@ -332,6 +359,39 @@ func (st *publishStage) Tick(now clock.Microticks) int {
 		for i := 0; i < len(s.detected); i++ {
 			o := s.detected[i]
 			sys.stats.Detections++
+			// Detection latency in event time: how far past the newest
+			// global granule in its Max-set timestamp this detection
+			// published.  A pure function of simulated time and the
+			// composite timestamp, so identical across worker counts and
+			// transport modes.
+			lat := now - clock.Microticks(o.Stamp.MaxGlobal())*sys.cfg.Clock.GlobalGranularity
+			if lat < 0 {
+				lat = 0
+			}
+			if ds := sys.defStats[o.Type]; ds != nil {
+				ds.Detections++
+				ds.LatencySum += lat
+				if lat > ds.LatencyMax {
+					ds.LatencyMax = lat
+				}
+			}
+			sys.hDetect.Observe(int64(lat))
+			if tr := sys.tr; tr != nil {
+				links := tr.LinkBuf()
+				for _, c := range o.Constituents {
+					links = append(links, tr.ID(c))
+				}
+				var detail string
+				if tr.Active() {
+					detail = o.Stamp.String()
+				}
+				id := tr.ID(o)
+				tr.Emit(obs.SpanEvent{ID: id, At: int64(now), Kind: obs.KindDetect,
+					Site: string(s.ID), Type: o.Type, Detail: detail, Links: links})
+				tr.KeepLinkBuf(links)
+				tr.Emit(obs.SpanEvent{ID: id, At: int64(now), Kind: obs.KindPublish,
+					Site: string(s.ID), Type: o.Type})
+			}
 			for _, h := range sys.handlers[o.Type] {
 				h(o)
 			}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/eventlog"
 	"repro/internal/expr"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/wire"
 )
@@ -58,6 +59,23 @@ type Config struct {
 	// and OnStage is an optional per-stage instrumentation hook.  See
 	// internal/pipeline.
 	Pipeline pipeline.Config
+	// Trace, when non-nil, receives a span event at every lineage point
+	// an occurrence crosses — raise, send, recv, release, detect,
+	// publish — plus a per-stage note each tick.  Tracing is a pure
+	// observer: span IDs are assigned in crank-order (deterministic for
+	// every worker count), all timestamps are simulated microticks, and
+	// the occurrence stream is byte-identical with tracing on or off
+	// (TestObsDeterminism).  In Serialize mode, occurrences decoded on
+	// the receiving side are distinct objects and get fresh span IDs;
+	// the send/recv hop is still visible via site+peer+type.  A tracing
+	// run retains an ID per traced occurrence, so prefer bounded runs.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, is populated with the system's native
+	// instruments (release/detection latency histograms) and a collector
+	// bridging the Stats/StageStats/network.Stats counters, so one
+	// Registry snapshot exports everything.  A Registry belongs to one
+	// System (instrument names would collide otherwise).
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -88,14 +106,46 @@ type Stats struct {
 	// histograms, in pipeline order (ingest, transport, release, detect,
 	// publish).
 	Stages []pipeline.StageStats
+	// Definitions holds per-definition detection counts and latencies,
+	// sorted by definition name.
+	Definitions []DefStats
 }
 
-// MeanLatency returns the mean raise-to-publish latency in microticks.
+// MeanLatency returns the mean raise-to-release latency in microticks:
+// how long the average occurrence waited between being raised and
+// clearing its consumer's watermark.  (It was previously documented as
+// raise-to-publish, which conflated transport latency with detection
+// latency; per-definition detection latency lives in Definitions.)
 func (s Stats) MeanLatency() float64 {
 	if s.Released == 0 {
 		return 0
 	}
 	return float64(s.LatencySum) / float64(s.Released)
+}
+
+// DefStats aggregates one definition's detections.  Latency here is
+// *detection* latency in event time: publish instant minus the start of
+// the newest global granule in the detection's Max-set timestamp — i.e.
+// how far behind its own constituents each detection ran.  Being a pure
+// function of simulated time and the composite timestamp, it is
+// identical across worker counts and transport modes.
+type DefStats struct {
+	// Name is the definition name.
+	Name string
+	// Detections counts published occurrences of this definition.
+	Detections uint64
+	// LatencySum and LatencyMax aggregate detection latency in
+	// microticks.
+	LatencySum clock.Microticks
+	LatencyMax clock.Microticks
+}
+
+// MeanLatency returns the mean detection latency in microticks.
+func (d DefStats) MeanLatency() float64 {
+	if d.Detections == 0 {
+		return 0
+	}
+	return float64(d.LatencySum) / float64(d.Detections)
 }
 
 // System is a simulated multi-site detection deployment.  It owns the
@@ -128,6 +178,19 @@ type System struct {
 	sealed  bool
 	stats   Stats
 	journal *eventlog.Writer
+
+	// tr is the lineage tracer (nil when Config.Trace is unset: every
+	// span point then costs one nil check).  defStats accumulates
+	// per-definition detection stats, keyed by name; defNames keeps the
+	// names sorted so snapshots and exporters never iterate the map.
+	tr       *obs.Tracer
+	defStats map[string]*DefStats
+	defNames []string
+	// hRelease and hDetect are the system's native metric instruments
+	// (nil no-ops without Config.Metrics): simulated-time histograms of
+	// raise-to-release and detection latency.
+	hRelease *obs.Histogram
+	hDetect  *obs.Histogram
 
 	// handlers holds System.Subscribe handlers by definition name; the
 	// publish stage fans detections out to them on the crank goroutine.
@@ -167,6 +230,16 @@ func NewSystem(cfg Config) (*System, error) {
 		handlers: make(map[string][]detector.Handler),
 		nextHB:   cfg.HeartbeatEvery,
 		pool:     pipeline.NewPool(cfg.Pipeline.Workers),
+		tr:       cfg.Trace,
+		defStats: make(map[string]*DefStats),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		// Bucket bounds in microticks, spanning sub-granule to
+		// many-granule latencies under the default 100-microtick granule.
+		bounds := []int64{10, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000}
+		sys.hRelease = reg.Histogram("sentinel_release_latency_microticks", bounds...)
+		sys.hDetect = reg.Histogram("sentinel_detect_latency_microticks", bounds...)
+		reg.RegisterCollector(sys.collectMetrics)
 	}
 	if cfg.Journal != nil {
 		sys.journal = eventlog.NewWriter(cfg.Journal)
@@ -181,7 +254,26 @@ func NewSystem(cfg Config) (*System, error) {
 		&publishStage{sys: sys},
 	)
 	sys.pipe.Hook(cfg.Pipeline.OnStage)
+	if sys.tr != nil {
+		sys.pipe.Hook(sys.stageNote)
+	}
 	return sys, nil
+}
+
+// stageNote mirrors non-empty stage ticks into the tracer as system-ring
+// notes, giving flight-recorder dumps the stage context around the spans.
+// Wall-clock elapsed time is deliberately omitted: every field of a span
+// must be a function of simulated time so traces diff cleanly across
+// runs.
+func (sys *System) stageNote(ev pipeline.StageEvent) {
+	if ev.Items == 0 {
+		return
+	}
+	var detail string
+	if sys.tr.Active() {
+		detail = fmt.Sprintf("items=%d", ev.Items)
+	}
+	sys.tr.Emit(obs.SpanEvent{At: int64(ev.Now), Kind: obs.KindNote, Type: ev.Stage, Detail: detail})
 }
 
 // MustNewSystem is NewSystem that panics on error.
@@ -206,12 +298,58 @@ func (sys *System) Now() clock.Microticks { return sys.clk.Now() }
 func (sys *System) Workers() int { return sys.pool.Workers() }
 
 // Stats returns a snapshot of the counters, including per-stage pipeline
-// stats.
+// stats and per-definition detection stats (sorted by name).
 func (sys *System) Stats() Stats {
 	st := sys.stats
 	st.Net = sys.bus.Stats()
 	st.Stages = sys.pipe.Stats()
+	if len(sys.defNames) > 0 {
+		st.Definitions = make([]DefStats, 0, len(sys.defNames))
+		for _, name := range sys.defNames {
+			st.Definitions = append(st.Definitions, *sys.defStats[name])
+		}
+	}
 	return st
+}
+
+// collectMetrics is the pull bridge registered on Config.Metrics: it
+// republishes the Stats/StageStats/network.Stats counters as registry
+// samples at snapshot time, keeping the structs the single source of
+// truth with zero hot-path duplication.  Only simulated-time quantities
+// are exported (stage wall-clock histograms stay in Stats.Stages), so a
+// registry export is as deterministic as the run itself.
+func (sys *System) collectMetrics(emit func(name string, value float64)) {
+	st := sys.stats
+	emit("sentinel_raised_total", float64(st.Raised))
+	emit("sentinel_forwarded_total", float64(st.Forwarded))
+	emit("sentinel_heartbeats_total", float64(st.Heartbeats))
+	emit("sentinel_released_total", float64(st.Released))
+	emit("sentinel_detections_total", float64(st.Detections))
+	emit("sentinel_unconsumed_total", float64(st.Unconsumed))
+	net := sys.bus.Stats()
+	emit("sentinel_net_messages_sent_total", float64(net.Sent))
+	emit("sentinel_net_messages_delivered_total", float64(net.Delivered))
+	emit("sentinel_net_retransmitted_total", float64(net.Retransmitted))
+	emit("sentinel_net_envelopes_total", float64(net.Envelopes))
+	emit("sentinel_net_batches_total", float64(net.Batches))
+	emit("sentinel_net_payload_bytes_total", float64(net.PayloadBytes))
+	emit("sentinel_net_max_in_flight", float64(net.MaxInFlight))
+	for _, ss := range sys.pipe.Stats() {
+		emit(fmt.Sprintf("sentinel_stage_items_total{stage=%q}", ss.Name), float64(ss.Items))
+		emit(fmt.Sprintf("sentinel_stage_ticks_total{stage=%q}", ss.Name), float64(ss.Ticks))
+	}
+	for _, name := range sys.defNames {
+		ds := sys.defStats[name]
+		emit(fmt.Sprintf("sentinel_def_detections_total{def=%q}", name), float64(ds.Detections))
+		emit(fmt.Sprintf("sentinel_def_latency_max_microticks{def=%q}", name), float64(ds.LatencyMax))
+		emit(fmt.Sprintf("sentinel_def_latency_mean_microticks{def=%q}", name), ds.MeanLatency())
+	}
+	for _, s := range sys.sites {
+		is := s.det.Introspect()
+		emit(fmt.Sprintf("sentinel_detector_state_size{site=%q}", s.ID), float64(is.StateSize))
+		emit(fmt.Sprintf("sentinel_detector_dropped_total{site=%q}", s.ID), float64(is.Dropped))
+		emit(fmt.Sprintf("sentinel_detector_pending_timers{site=%q}", s.ID), float64(is.PendingTimers))
+	}
 }
 
 // Site is one site runtime: a clock, a detector and a reorderer.
@@ -364,6 +502,13 @@ func (sys *System) DefineAt(host core.SiteID, name, expression string, ctx detec
 	}
 	for _, prim := range expr.Primitives(root) {
 		sys.addNeeder(prim, host)
+	}
+	// Per-definition stats slot (publish stage fills it); defNames keeps
+	// the map's keys sorted so snapshots never iterate the map.
+	if sys.defStats[name] == nil {
+		sys.defStats[name] = &DefStats{Name: name}
+		sys.defNames = append(sys.defNames, name)
+		sort.Strings(sys.defNames)
 	}
 	// Recorder: buffer every detection of this definition on its host
 	// site, in detection order.  The publish stage completes them after

@@ -56,3 +56,34 @@ func (d *Detector) StateSize() int {
 
 // NodeCount returns the number of operator nodes compiled into the graph.
 func (d *Detector) NodeCount() int { return len(d.nodes) }
+
+// IntrospectStats is a one-call snapshot of the detector's health
+// gauges, for monitoring bridges (the observability registry reads one
+// per site at export time instead of four separate accessors).
+type IntrospectStats struct {
+	// StateSize is Detector.StateSize: buffered occurrences plus armed
+	// timers across all operator nodes.
+	StateSize int
+	// NodeCount is the number of compiled operator nodes.
+	NodeCount int
+	// PendingTimers is the number of armed temporal-operator timers.
+	PendingTimers int
+	// Dropped is DroppedOccurrences: buffer-limit evictions (recall lost
+	// to bounded state).
+	Dropped uint64
+	// OrderViolations is OrderViolations: out-of-order publishes seen
+	// with order checking enabled.
+	OrderViolations uint64
+}
+
+// Introspect returns the current health gauges.  Like the accessors it
+// bundles, it must not run concurrently with Publish.
+func (d *Detector) Introspect() IntrospectStats {
+	return IntrospectStats{
+		StateSize:       d.StateSize(),
+		NodeCount:       len(d.nodes),
+		PendingTimers:   d.timers.Len(),
+		Dropped:         d.dropped,
+		OrderViolations: d.orderViolations,
+	}
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// ring is a bounded span buffer: once full, the oldest event is
+// overwritten and counted as dropped.
+type ring struct {
+	evs     []SpanEvent
+	start   int
+	n       int
+	dropped uint64
+}
+
+func (r *ring) push(ev SpanEvent) {
+	if len(ev.Links) > 0 {
+		// Sinks must not retain Links; the ring does, so copy.
+		ev.Links = append([]uint64(nil), ev.Links...)
+	}
+	if r.n < len(r.evs) {
+		r.evs[(r.start+r.n)%len(r.evs)] = ev
+		r.n++
+		return
+	}
+	r.evs[r.start] = ev
+	r.start = (r.start + 1) % len(r.evs)
+	r.dropped++
+}
+
+// FlightRecorder is a span sink keeping the most recent events in a
+// bounded ring per site, so a failing test or a distsim run can dump the
+// last moments before the anomaly without having logged everything.
+// Events with an empty Site land on the "(system)" ring.
+type FlightRecorder struct {
+	per   int
+	rings map[string]*ring
+}
+
+// NewFlightRecorder returns a recorder keeping up to perSite events per
+// site ring (minimum 1).
+func NewFlightRecorder(perSite int) *FlightRecorder {
+	if perSite < 1 {
+		perSite = 1
+	}
+	return &FlightRecorder{per: perSite, rings: make(map[string]*ring)}
+}
+
+// Span implements Sink.
+func (f *FlightRecorder) Span(ev SpanEvent) {
+	site := ev.Site
+	if site == "" {
+		site = "(system)"
+	}
+	r := f.rings[site]
+	if r == nil {
+		r = &ring{evs: make([]SpanEvent, f.per)}
+		f.rings[site] = r
+	}
+	r.push(ev)
+}
+
+// Note records a free-form breadcrumb (stage summaries, test context) on
+// the given site's ring.
+func (f *FlightRecorder) Note(site string, at int64, text string) {
+	f.Span(SpanEvent{At: at, Kind: KindNote, Site: site, Detail: text})
+}
+
+// Len returns the number of buffered events across all rings.
+func (f *FlightRecorder) Len() int {
+	n := 0
+	for _, r := range f.rings {
+		n += r.n
+	}
+	return n
+}
+
+// Dump writes the buffered events grouped by site (sites sorted, events
+// oldest first) in the SpanLog line format, with a header per site
+// noting how many older events the ring dropped.
+func (f *FlightRecorder) Dump(w io.Writer) error {
+	for _, site := range sortedSites(f.rings) {
+		r := f.rings[site]
+		if _, err := fmt.Fprintf(w, "-- site %s: last %d span(s), %d dropped --\n", site, r.n, r.dropped); err != nil {
+			return err
+		}
+		l := NewSpanLog(w)
+		for i := 0; i < r.n; i++ {
+			l.Span(r.evs[(r.start+i)%len(r.evs)])
+		}
+		if err := l.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

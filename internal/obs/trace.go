@@ -1,0 +1,346 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SpanKind names a lineage stage: the life of an occurrence is raise →
+// send → recv → release → detect → publish, and each span event marks
+// its crossing of one of those boundaries.
+type SpanKind uint8
+
+const (
+	// KindRaise marks a primitive or composite occurrence entering the
+	// system at its origin site.
+	KindRaise SpanKind = iota
+	// KindSend marks an occurrence leaving a site inside a transport
+	// envelope (Peer is the destination).
+	KindSend
+	// KindRecv marks an occurrence arriving at a consumer site (Peer is
+	// the origin).
+	KindRecv
+	// KindRelease marks the reorder buffer handing an occurrence to the
+	// detectors once the site watermark passes it.
+	KindRelease
+	// KindDetect marks a composite detection; Links carries the span IDs
+	// of the constituent occurrences, Detail the Max-set timestamp.
+	KindDetect
+	// KindPublish marks a detection reaching subscribers (and, for
+	// hierarchical definitions, re-entering transport as a constituent).
+	KindPublish
+	// KindNote is free-form annotation (stage summaries, test
+	// breadcrumbs) — mostly used through FlightRecorder.Note.
+	KindNote
+)
+
+// String returns the lowercase stage name.
+func (k SpanKind) String() string {
+	switch k {
+	case KindRaise:
+		return "raise"
+	case KindSend:
+		return "send"
+	case KindRecv:
+		return "recv"
+	case KindRelease:
+		return "release"
+	case KindDetect:
+		return "detect"
+	case KindPublish:
+		return "publish"
+	case KindNote:
+		return "note"
+	}
+	return "unknown"
+}
+
+// SpanEvent is one point on an occurrence's lineage.  At is simulated
+// time in microticks; ID is the tracer-assigned span ID of the subject
+// occurrence (IDs are assigned in emission order on the crank goroutine,
+// so they are deterministic).
+type SpanEvent struct {
+	ID   uint64
+	At   int64
+	Kind SpanKind
+	// Site is where the event happened; Peer is the other side of a
+	// send/recv hop ("" otherwise).
+	Site string
+	Peer string
+	// Type is the event type of the subject occurrence.
+	Type string
+	// Detail carries the composite timestamp (raise/detect) or other
+	// stage-specific context.
+	Detail string
+	// Links are span IDs of related occurrences: for KindDetect, the
+	// constituents whose Max-set formed this detection's timestamp.
+	Links []uint64
+}
+
+// Sink consumes span events.  Implementations must not retain ev.Links
+// past the call (tracers may reuse the slice).
+type Sink interface {
+	Span(ev SpanEvent)
+}
+
+// Tracer assigns span IDs to occurrences and forwards events to a sink.
+// A nil *Tracer no-ops everywhere, so instrumented code guards one
+// pointer check per span point.  A tracer with a nil sink is equally
+// inert — ID assignment is skipped along with emission, so wiring the
+// tracer in with sinks detached costs only the call-site branches and
+// stack-built events (the "enabled-but-unsunk" overhead mode the smoke
+// benchmark measures).
+//
+// Not safe for concurrent use — all span points sit on the crank
+// goroutine, which is exactly what makes the IDs deterministic.
+type Tracer struct {
+	sink Sink
+	ids  map[any]uint64
+	next uint64
+	// links is a scratch buffer handed out by LinkBuf so KindDetect
+	// events can carry constituent IDs without a per-event allocation.
+	links []uint64
+}
+
+// NewTracer returns a tracer feeding sink (which may be nil).
+func NewTracer(sink Sink) *Tracer {
+	return &Tracer{sink: sink, ids: make(map[any]uint64)}
+}
+
+// Active reports whether Emit would reach a sink.  Use it to skip
+// building expensive Detail strings.
+func (t *Tracer) Active() bool {
+	return t != nil && t.sink != nil
+}
+
+// ID returns the span ID for subject, assigning the next sequential ID
+// on first sight.  Subjects are compared by identity (pointer), so the
+// same *event.Occurrence keeps one ID across stages.  Returns 0 on a nil
+// or sinkless tracer; real IDs start at 1.
+func (t *Tracer) ID(subject any) uint64 {
+	if t == nil || t.sink == nil {
+		return 0
+	}
+	if id, ok := t.ids[subject]; ok {
+		return id
+	}
+	t.next++
+	t.ids[subject] = t.next
+	return t.next
+}
+
+// Forget drops the subject's ID mapping.  Call when an occurrence's
+// storage is about to be recycled into a pool, so a reused pointer does
+// not inherit the old span.
+func (t *Tracer) Forget(subject any) {
+	if t != nil {
+		delete(t.ids, subject)
+	}
+}
+
+// LinkBuf returns the tracer's scratch link buffer, emptied.  Append
+// constituent IDs to it and pass it as SpanEvent.Links; it is valid
+// until the next LinkBuf call.
+func (t *Tracer) LinkBuf() []uint64 {
+	if t == nil {
+		return nil
+	}
+	t.links = t.links[:0]
+	return t.links
+}
+
+// KeepLinkBuf stores the (possibly grown) buffer back for reuse.
+func (t *Tracer) KeepLinkBuf(buf []uint64) {
+	if t != nil {
+		t.links = buf
+	}
+}
+
+// Emit forwards the event to the sink, if any.
+func (t *Tracer) Emit(ev SpanEvent) {
+	if t == nil || t.sink == nil {
+		return
+	}
+	t.sink.Span(ev)
+}
+
+// MultiSink fans one event out to several sinks in order.
+type MultiSink []Sink
+
+// Span implements Sink.
+func (m MultiSink) Span(ev SpanEvent) {
+	for _, s := range m {
+		s.Span(ev)
+	}
+}
+
+// SpanLog is a line-oriented span sink: one `key=value` record per
+// event, human-greppable and trivially diffable.  Write errors are
+// sticky; check Err once at the end.
+type SpanLog struct {
+	w   io.Writer
+	err error
+	buf []byte
+}
+
+// NewSpanLog returns a span log writing to w.
+func NewSpanLog(w io.Writer) *SpanLog {
+	return &SpanLog{w: w}
+}
+
+// Span implements Sink.
+func (l *SpanLog) Span(ev SpanEvent) {
+	if l.err != nil {
+		return
+	}
+	b := l.buf[:0]
+	b = append(b, "at="...)
+	b = strconv.AppendInt(b, ev.At, 10)
+	b = append(b, " kind="...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, " id="...)
+	b = strconv.AppendUint(b, ev.ID, 10)
+	if ev.Site != "" {
+		b = append(b, " site="...)
+		b = append(b, ev.Site...)
+	}
+	if ev.Peer != "" {
+		b = append(b, " peer="...)
+		b = append(b, ev.Peer...)
+	}
+	if ev.Type != "" {
+		b = append(b, " type="...)
+		b = append(b, ev.Type...)
+	}
+	if len(ev.Links) > 0 {
+		b = append(b, " links="...)
+		for i, id := range ev.Links {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendUint(b, id, 10)
+		}
+	}
+	if ev.Detail != "" {
+		b = append(b, " detail="...)
+		b = strconv.AppendQuote(b, ev.Detail)
+	}
+	b = append(b, '\n')
+	l.buf = b
+	_, l.err = l.w.Write(b)
+}
+
+// Err returns the first write error, if any.
+func (l *SpanLog) Err() error { return l.err }
+
+// ChromeTrace streams span events as Chrome trace_event JSON (the format
+// chrome://tracing and Perfetto load): each span event becomes an
+// instant event on a per-site track, with the span ID, links and detail
+// in args.  Microticks are written as the microsecond timestamps the
+// format expects, so one trace-viewer microsecond is one simulated
+// microtick.  Call Close to terminate the JSON array.
+type ChromeTrace struct {
+	w     io.Writer
+	err   error
+	wrote bool
+	// tids maps site → synthetic thread ID, assigned in first-seen
+	// order; tidNames remembers them for ordering metadata.
+	tids  map[string]int
+	order []string
+}
+
+// NewChromeTrace returns a Chrome trace writer targeting w.
+func NewChromeTrace(w io.Writer) *ChromeTrace {
+	_, err := io.WriteString(w, "[")
+	return &ChromeTrace{w: w, err: err, tids: make(map[string]int)}
+}
+
+// tid returns the synthetic thread ID for a site, emitting a
+// thread_name metadata record on first sight so viewers label the
+// track with the site name.
+func (c *ChromeTrace) tid(site string) int {
+	if site == "" {
+		site = "(system)"
+	}
+	if id, ok := c.tids[site]; ok {
+		return id
+	}
+	id := len(c.order) + 1
+	c.tids[site] = id
+	c.order = append(c.order, site)
+	c.record(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`, id, site))
+	return id
+}
+
+// record writes one JSON object into the stream.
+func (c *ChromeTrace) record(obj string) {
+	if c.err != nil {
+		return
+	}
+	sep := ",\n"
+	if !c.wrote {
+		sep = "\n"
+		c.wrote = true
+	}
+	_, c.err = io.WriteString(c.w, sep+obj)
+}
+
+// Span implements Sink.
+func (c *ChromeTrace) Span(ev SpanEvent) {
+	if c.err != nil {
+		return
+	}
+	tid := c.tid(ev.Site)
+	var args strings.Builder
+	fmt.Fprintf(&args, `{"id":%d`, ev.ID)
+	if ev.Peer != "" {
+		fmt.Fprintf(&args, `,"peer":%q`, ev.Peer)
+	}
+	if len(ev.Links) > 0 {
+		args.WriteString(`,"links":[`)
+		for i, id := range ev.Links {
+			if i > 0 {
+				args.WriteByte(',')
+			}
+			fmt.Fprintf(&args, "%d", id)
+		}
+		args.WriteByte(']')
+	}
+	if ev.Detail != "" {
+		fmt.Fprintf(&args, `,"stamp":%q`, ev.Detail)
+	}
+	args.WriteByte('}')
+	name := ev.Kind.String()
+	if ev.Type != "" {
+		name += " " + ev.Type
+	}
+	c.record(fmt.Sprintf(`{"name":%q,"ph":"i","s":"t","pid":1,"tid":%d,"ts":%d,"args":%s}`,
+		name, tid, ev.At, args.String()))
+}
+
+// Close terminates the JSON array.  The trace is not loadable before
+// Close.
+func (c *ChromeTrace) Close() error {
+	if c.err != nil {
+		return c.err
+	}
+	_, c.err = io.WriteString(c.w, "\n]\n")
+	return c.err
+}
+
+// Err returns the first write error, if any.
+func (c *ChromeTrace) Err() error { return c.err }
+
+// sortedSites returns map keys in sorted order (export-path helper; the
+// hot path never iterates maps).
+func sortedSites[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
