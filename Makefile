@@ -8,16 +8,16 @@ GO ?= go
 LINT := bin/sentinel-lint
 BENCHJSON := bin/benchjson
 
-.PHONY: ci vet lint build test race determinism obs-determinism trace-overhead bench bench-smoke bench-diff
+.PHONY: ci vet lint build test race determinism obs-determinism trace-overhead bench bench-smoke bench-diff scale-smoke
 
-ci: vet lint build race determinism obs-determinism trace-overhead bench-smoke
+ci: vet lint build race determinism obs-determinism trace-overhead bench-smoke scale-smoke
 
 vet:
 	$(GO) vet ./...
 
-# The repo's own analyzer suite (walltime, stampcmp, mapiter, stagefx,
-# obsfx — see DESIGN.md "Enforced invariants"), driven through the go vet
-# unit-checker protocol so test variants are covered too.
+# The repo's own analyzer suite (walltime, stampcmp, mapiter, sitemap,
+# stagefx, obsfx — see DESIGN.md "Enforced invariants"), driven through
+# the go vet unit-checker protocol so test variants are covered too.
 lint:
 	$(GO) build -o $(LINT) ./cmd/sentinel-lint
 	$(GO) vet -vettool=$(LINT) ./...
@@ -49,24 +49,33 @@ trace-overhead:
 	SENTINEL_TRACE_OVERHEAD=1 $(GO) test -run 'TestTraceOverheadSmoke' -v .
 
 # Full benchmark run (root harness + eventlog + transport + obs layers),
-# archived machine-readably at the repo root.  BENCH_pr4.json, when
+# archived machine-readably at the repo root.  BENCH_pr5.json, when
 # present, is embedded so the report carries its own before/after
-# comparison of the PR-5 observability instrumentation.
+# comparison of the PR-6 site-interning refactor (the 16-site e2e ns/op
+# must hold within ±2% of that baseline; BenchmarkScaleSites adds the
+# 16 → 2048 membership curve with bytes-on-wire).
 BENCH_PKGS := . ./internal/eventlog ./internal/network ./internal/wire ./internal/obs
 
 bench:
 	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
 	$(GO) test -bench . -benchmem -benchtime=200ms -count=3 -run '^$$' $(BENCH_PKGS) \
-		| tee /tmp/bench_pr5.txt
-	$(BENCHJSON) -out BENCH_pr5.json \
-		$$(test -f BENCH_pr4.json && echo -baseline BENCH_pr4.json) \
-		< /tmp/bench_pr5.txt
+		| tee /tmp/bench_pr6.txt
+	$(BENCHJSON) -out BENCH_pr6.json \
+		$$(test -f BENCH_pr5.json && echo -baseline BENCH_pr5.json) \
+		< /tmp/bench_pr6.txt
 
 # One-iteration smoke pass: every benchmark must still run to completion.
 bench-smoke:
 	$(GO) test -bench . -benchmem -benchtime=1x -run '^$$' $(BENCH_PKGS) > /dev/null
 
-# Delta table between the archived PR-4 and PR-5 benchmark runs.
+# Delta table between the archived PR-5 and PR-6 benchmark runs.
 bench-diff:
 	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
-	$(BENCHJSON) -compare BENCH_pr4.json BENCH_pr5.json
+	$(BENCHJSON) -compare BENCH_pr5.json BENCH_pr6.json
+
+# The PR-6 scale deliverable as a CI gate: a 512-site end-to-end run must
+# complete (and stay fast — the timeout is the assertion; before the dense
+# roster refactor this configuration did not finish in minutes).
+scale-smoke:
+	$(GO) build -o bin/distsim ./cmd/distsim
+	timeout 60 bin/distsim -sites 512 -events 2000 > /dev/null

@@ -367,6 +367,73 @@ func BenchmarkEndToEndDetection(b *testing.B) {
 	}
 }
 
+// --- SCALE: membership sweep on the dense roster-indexed pipeline ----------
+
+// BenchmarkScaleSites is the PR-6 deliverable curve: end-to-end runs from
+// 16 to 2048 sites in serialize mode, so bytes-on-wire is the real frame
+// size under the roster codec (dense site indexes, delta frontiers).  The
+// event count is fixed — the sweep varies membership, i.e. roster width,
+// frontier-vector length and heartbeat fan-in, not offered load.
+func BenchmarkScaleSites(b *testing.B) {
+	for _, sites := range []int{16, 64, 256, 1024, 2048} {
+		sites := sites
+		b.Run(fmt.Sprintf("sites=%d", sites), func(b *testing.B) {
+			var st ddetect.Stats
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st = runScaleSites(b, sites, 400)
+			}
+			b.ReportMetric(float64(st.Detections), "detections")
+			b.ReportMetric(float64(st.Net.Sent), "bus-msgs")
+			b.ReportMetric(float64(st.Net.PayloadBytes), "bytes-on-wire")
+			if st.Net.Sent > 0 {
+				b.ReportMetric(float64(st.Net.PayloadBytes)/float64(st.Net.Sent), "bytes/msg")
+			}
+		})
+	}
+}
+
+// runScaleSites is runDistributed's membership-sweep variant: zero-padded
+// roster-ordered site IDs (lexical order == roster index order at any
+// width) and serialized transport, so the wire codec's dense encoding is
+// on the measured path.
+func runScaleSites(b *testing.B, sites, events int) ddetect.Stats {
+	b.Helper()
+	cfg := ddetect.Config{
+		Net:       network.Config{BaseLatency: 20, Jitter: 40, Seed: 9},
+		Serialize: true,
+	}
+	sys := ddetect.MustNewSystem(cfg)
+	rng := rand.New(rand.NewSource(1))
+	ids := workload.SiteIDs(sites)
+	for _, id := range ids {
+		sys.MustAddSite(id, rng.Int63n(61)-30, 0)
+	}
+	for _, typ := range []string{"A", "B", "C", "D"} {
+		if err := sys.Declare(typ, event.Explicit); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, def := range []struct{ name, expr string }{
+		{"Seq", "A ; B"}, {"Conj", "C AND D"}, {"Guard", "NOT(C)[A, D]"},
+	} {
+		if _, err := sys.DefineAt(ids[0], def.name, def.expr, detector.Chronicle); err != nil {
+			b.Fatal(err)
+		}
+	}
+	trace := workload.GenStream(workload.StreamConfig{
+		Sites: ids, Types: []string{"A", "B", "C", "D"}, MeanGap: 60, Count: events, Seed: 2,
+	})
+	for _, item := range trace.Items {
+		sys.Run(item.At, 100)
+		sys.Site(item.Site).MustRaise(item.Type, event.Explicit, nil)
+	}
+	if err := sys.Settle(10_000); err != nil {
+		b.Fatal(err)
+	}
+	return sys.Stats()
+}
+
 func BenchmarkNetworkAdversity(b *testing.B) {
 	cases := []struct {
 		name string
@@ -862,7 +929,7 @@ func TestTraceOverheadSmoke(t *testing.T) {
 	const rounds = 3
 	off := make([]float64, 0, rounds)
 	traced := make([]float64, 0, rounds)
-	measure() // warm-up discarded
+	measure()                     // warm-up discarded
 	for i := 0; i < rounds; i++ { // interleave so drift hits both arms
 		off = append(off, measure())
 		traced = append(traced, measure(detachedTracer))

@@ -26,7 +26,6 @@ import (
 	"time"
 
 	"repro/internal/clock"
-	"repro/internal/core"
 	"repro/internal/ddetect"
 	"repro/internal/detector"
 	"repro/internal/event"
@@ -155,9 +154,8 @@ func simulate(w io.Writer, o options) {
 	// correlated (identical generator states), so e.g. raising -seed by
 	// one shifted every stream in lockstep.
 	rng := rand.New(rand.NewSource(workload.SubSeed(*seed, "topology")))
-	siteIDs := make([]core.SiteID, *sites)
+	siteIDs := workload.SiteIDs(*sites)
 	for i := range siteIDs {
-		siteIDs[i] = core.SiteID(fmt.Sprintf("site%02d", i))
 		offset := rng.Int63n(2**skew+1) - *skew
 		sys.MustAddSite(siteIDs[i], offset, rng.Int63n(5))
 	}
@@ -186,6 +184,17 @@ func simulate(w io.Writer, o options) {
 		}); err != nil {
 			panic(err)
 		}
+	}
+
+	// Topology and definitions are final: seal, and hand the roster to the
+	// roster-aware observers so tracks and rings key by dense site index
+	// (stable across runs, whatever order sites first speak in).
+	roster := sys.Roster()
+	if chrome != nil {
+		chrome.UseRoster(roster)
+	}
+	if rec != nil {
+		rec.UseRoster(roster)
 	}
 
 	trace := workload.GenStream(workload.StreamConfig{

@@ -7,6 +7,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/mapiter"
 	"repro/internal/analysis/obsfx"
+	"repro/internal/analysis/sitemap"
 	"repro/internal/analysis/stagefx"
 	"repro/internal/analysis/stampcmp"
 	"repro/internal/analysis/walltime"
@@ -18,6 +19,7 @@ func All() []*analysis.Analyzer {
 		walltime.Analyzer,
 		stampcmp.Analyzer,
 		mapiter.Analyzer,
+		sitemap.Analyzer,
 		stagefx.Analyzer,
 		obsfx.Analyzer,
 	}

@@ -18,9 +18,9 @@ import (
 type ingestStage struct{ tr *obs.Tracer }
 
 func (st *ingestStage) raise() {
-	fmt.Println("raised")        // want `obsfx: fmt\.Println in stage context`
-	log.Printf("raised")         // want `obsfx: log\.Printf in stage context`
-	println("raised")            // want `obsfx: builtin println in stage context`
+	fmt.Println("raised") // want `obsfx: fmt\.Println in stage context`
+	log.Printf("raised")  // want `obsfx: log\.Printf in stage context`
+	println("raised")     // want `obsfx: builtin println in stage context`
 	_ = fmt.Sprintf("stamp %d", 1)
 	_ = fmt.Errorf("pure formatting is fine")
 	st.tr.Emit(obs.SpanEvent{Kind: obs.KindRaise}) // crank stage: sinks are the sanctioned effect
@@ -39,7 +39,7 @@ type detectStage struct{ tr *obs.Tracer }
 // Tick runs on worker goroutines: even the sanctioned tracer is
 // off-limits here.
 func (st *detectStage) Tick() {
-	_ = st.tr.ID("occ")                            // want `obsfx: Tracer\.ID in the detect stage`
+	_ = st.tr.ID("occ")                             // want `obsfx: Tracer\.ID in the detect stage`
 	st.tr.Emit(obs.SpanEvent{Kind: obs.KindDetect}) // want `obsfx: Tracer\.Emit in the detect stage`
 }
 

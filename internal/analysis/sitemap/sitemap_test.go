@@ -1,0 +1,27 @@
+package sitemap
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "sitemap"))
+}
+
+func TestAppliesTo(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/ddetect":  true,
+		"repro/internal/detector": true,
+		"repro/internal/network":  true,
+		"repro/internal/core":     false,
+		"repro/internal/workload": false,
+		"repro/internal/obs":      false,
+	} {
+		if got := Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Package fixture exercises the sitemap analyzer: map types keyed by
+// core.SiteID are flagged wherever they appear, ranging over one is
+// flagged separately, and dense roster-indexed slices, string-keyed
+// registries and //lint:allow-ed sparse maps are not.
+package fixture
+
+import "repro/internal/core"
+
+type badHolder struct {
+	frontiers map[core.SiteID]int64 // want `sitemap: map keyed by core.SiteID`
+}
+
+func badParam(m map[core.SiteID]bool) int { // want `sitemap: map keyed by core.SiteID`
+	n := 0
+	for id := range m { // want `sitemap: ranging over a map keyed by core.SiteID`
+		if id != "" {
+			n++
+		}
+	}
+	return n
+}
+
+func badMake() {
+	_ = make(map[core.SiteID][]byte, 8) // want `sitemap: map keyed by core.SiteID`
+}
+
+func good(roster *core.Roster, needers map[string][]core.SiteID) []int64 {
+	// Dense per-site state: indexed by core.Site, iterated in roster
+	// (canonical site-ID) order by construction.
+	frontiers := make([]int64, roster.Len())
+	for i := range frontiers {
+		frontiers[i] = int64(i)
+	}
+	// String-keyed registries holding ID slices are fine.
+	for _, ids := range needers["typ"] {
+		_ = ids
+	}
+	return frontiers
+}
+
+func allowed() {
+	off := map[core.SiteID]int{} //lint:allow sitemap — fixture: off-roster stragglers, membership unknown at seal
+	off["z"] = 1
+}

@@ -96,7 +96,10 @@ func named(t types.Type, pkgSuffix, name string) bool {
 // dequeue traffic: transportStage-only.  Read-only accessors are not
 // effects.
 var (
-	busSenders  = map[string]bool{"Send": true, "SendBatch": true, "SendUnbatched": true}
+	busSenders = map[string]bool{
+		"Send": true, "SendBatch": true, "SendUnbatched": true,
+		"SendBatchSite": true, "SendUnbatchedSite": true,
+	}
 	busDrainers = map[string]bool{"DrainDue": true, "DeliverDue": true}
 )
 

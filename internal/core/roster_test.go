@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestRosterInternsSortedDeduped(t *testing.T) {
+	r := NewRoster([]SiteID{"m", "k", "z", "k", "a", "m"})
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	want := []SiteID{"a", "k", "m", "z"}
+	for i, id := range r.IDs() {
+		if id != want[i] {
+			t.Fatalf("IDs()[%d] = %q, want %q", i, id, want[i])
+		}
+		if r.ID(Site(i)) != id {
+			t.Fatalf("ID(%d) = %q, want %q", i, r.ID(Site(i)), id)
+		}
+		if r.Site(id) != Site(i) || r.MustSite(id) != Site(i) {
+			t.Fatalf("Site(%q) = %d, want %d", id, r.Site(id), i)
+		}
+	}
+	if got := r.Site("nosuch"); got != NoSite {
+		t.Fatalf("Site of unknown id = %d, want NoSite", got)
+	}
+}
+
+func TestRosterIndexOrderIsCanonicalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		ids := make([]SiteID, n)
+		for i := range ids {
+			ids[i] = SiteID(fmt.Sprintf("s%03d", rng.Intn(60)))
+		}
+		r := NewRoster(ids)
+		for i := 1; i < r.Len(); i++ {
+			if !(r.ID(Site(i-1)) < r.ID(Site(i))) {
+				t.Fatalf("roster not strictly ascending at %d: %q, %q",
+					i, r.ID(Site(i-1)), r.ID(Site(i)))
+			}
+		}
+	}
+}
+
+func TestRosterMustSitePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSite of unknown id did not panic")
+		}
+	}()
+	NewRoster([]SiteID{"a"}).MustSite("b")
+}
+
+func TestRosterCanonRoundTrip(t *testing.T) {
+	r := NewRoster([]SiteID{"a", "b", "c"})
+	in := Stamp{Site: "b", Global: 7, Local: 71}
+	rt, ok := r.Canon(in)
+	if !ok {
+		t.Fatal("Canon of member site reported not ok")
+	}
+	if back := r.Stamp(rt); back != in {
+		t.Fatalf("round trip = %v, want %v", back, in)
+	}
+	if _, ok := r.Canon(Stamp{Site: "x"}); ok {
+		t.Fatal("Canon of non-member site reported ok")
+	}
+}
+
+// TestRStampRelationsMatchStamp is the differential pin for the tentpole:
+// on arbitrary clock-shaped and adversarial stamps, the interned relations
+// must agree with the string semantics of record, including inside the
+// ±1-granule guard band where Less's two integer tests disagree.
+func TestRStampRelationsMatchStamp(t *testing.T) {
+	r := NewRoster([]SiteID{"k", "l", "m", "n", "o", "p", "q", "r"})
+	rng := rand.New(rand.NewSource(62))
+	randStamp := func() Stamp {
+		// Globals clustered within a few granules of each other so the
+		// guard band is hit constantly; locals sometimes derived,
+		// sometimes adversarial.
+		g := int64(100 + rng.Intn(5))
+		l := g*10 + int64(rng.Intn(10))
+		if rng.Intn(4) == 0 {
+			l = int64(rng.Intn(2000))
+		}
+		return Stamp{Site: r.ID(Site(rng.Intn(r.Len()))), Global: g, Local: l}
+	}
+	for trial := 0; trial < 20000; trial++ {
+		a, b := randStamp(), randStamp()
+		ra, ok := r.Canon(a)
+		if !ok {
+			t.Fatalf("Canon(%v) not ok", a)
+		}
+		rb, _ := r.Canon(b)
+		if got, want := ra.Less(rb), a.Less(b); got != want {
+			t.Fatalf("RStamp.Less(%v, %v) = %v, Stamp.Less = %v", a, b, got, want)
+		}
+		if got, want := ra.Simultaneous(rb), a.Simultaneous(b); got != want {
+			t.Fatalf("RStamp.Simultaneous(%v, %v) = %v, want %v", a, b, got, want)
+		}
+		if got, want := ra.Concurrent(rb), a.Concurrent(b); got != want {
+			t.Fatalf("RStamp.Concurrent(%v, %v) = %v, want %v", a, b, got, want)
+		}
+		if got, want := CompareCanonicalR(ra, rb), CompareCanonical(a, b); got != want {
+			t.Fatalf("CompareCanonicalR(%v, %v) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func BenchmarkRStampLess(b *testing.B) {
+	r := NewRoster([]SiteID{"site00", "site01", "site02", "site03"})
+	rng := rand.New(rand.NewSource(63))
+	const n = 1024
+	stamps := make([]RStamp, n)
+	for i := range stamps {
+		g := int64(100 + rng.Intn(4))
+		stamps[i] = RStamp{Site: Site(rng.Intn(r.Len())), Global: g, Local: g*10 + int64(rng.Intn(10))}
+	}
+	b.ReportAllocs()
+	sink := false
+	for i := 0; i < b.N; i++ {
+		sink = stamps[i%n].Less(stamps[(i+1)%n]) != sink
+	}
+	_ = sink
+}

@@ -31,8 +31,11 @@ import (
 // flush methods are the only code in this package allowed to call the
 // Bus's send methods — enforced by the stagefx analyzer.
 type linkCoalescer struct {
-	sys    *System
-	byLink map[linkKey]*linkBatch
+	sys *System
+	// byLink indexes the accumulating batches by packed (from,to) roster
+	// index pair — an integer-keyed map, so the per-envelope add hashes
+	// two int32s instead of two strings.
+	byLink map[uint64]*linkBatch
 	// order lists the links with pending envelopes in first-use order —
 	// deterministic, since every add happens on the crank goroutine —
 	// and is the flush iteration order (the byLink map is lookup-only:
@@ -48,24 +51,26 @@ type linkCoalescer struct {
 	wenvs    []wire.Envelope
 }
 
-type linkKey struct {
-	from, to core.SiteID
-}
-
-// linkBatch is one link's accumulating envelope run.
+// linkBatch is one link's accumulating envelope run, addressed by dense
+// roster indexes.
 type linkBatch struct {
-	from, to core.SiteID
+	from, to core.Site
 	envs     []envelope
 }
 
 func newLinkCoalescer(sys *System) *linkCoalescer {
-	return &linkCoalescer{sys: sys, byLink: make(map[linkKey]*linkBatch)}
+	return &linkCoalescer{sys: sys, byLink: make(map[uint64]*linkBatch)}
+}
+
+// packLink packs a (from,to) roster index pair into one map key.
+func packLink(from, to core.Site) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
 }
 
 // add queues one envelope for the (from,to) link, to be sent at the next
 // flush.
-func (c *linkCoalescer) add(from, to core.SiteID, env envelope) {
-	k := linkKey{from: from, to: to}
+func (c *linkCoalescer) add(from, to core.Site, env envelope) {
+	k := packLink(from, to)
 	lb := c.byLink[k]
 	if lb == nil {
 		lb = &linkBatch{from: from, to: to}
@@ -99,37 +104,39 @@ func (c *linkCoalescer) flush(now clock.Microticks) {
 		if tr := sys.tr; tr != nil {
 			// One send span per event envelope, stamped with the flush
 			// instant — the moment the occurrence actually hits the bus
-			// (heartbeats are perpetual noise and go untraced).
+			// (heartbeats are perpetual noise and go untraced).  Span
+			// fields stay strings, so traces diff against old captures.
+			from, to := sys.roster.ID(lb.from), sys.roster.ID(lb.to)
 			for _, env := range envs {
 				if env.Kind != envEvent {
 					continue
 				}
 				tr.Emit(obs.SpanEvent{ID: tr.ID(env.Occ), At: int64(now), Kind: obs.KindSend,
-					Site: string(lb.from), Peer: string(lb.to), Type: env.Occ.Type})
+					Site: string(from), SiteRef: int32(lb.from) + 1, Peer: string(to), Type: env.Occ.Type})
 			}
 		}
 		switch {
 		case sys.cfg.DisableBatching:
 			// Differential mode: the same envelopes as per-envelope
 			// messages with consecutive sequence numbers, under the one
-			// shared draw SendBatch would have consumed.
-			sys.bus.SendUnbatched(now, lb.from, lb.to, len(envs), func(i int) any {
+			// shared draw SendBatchSite would have consumed.
+			sys.bus.SendUnbatchedSite(now, lb.from, lb.to, len(envs), func(i int) any {
 				return sys.payload(envs[i])
 			})
 			c.recycleEnvs(envs)
 		case sys.cfg.Serialize:
 			buf := c.getBuf()
-			buf, err := wire.AppendBatch(buf, c.stage(envs))
+			buf, err := sys.codec.AppendBatch(buf, c.stage(envs))
 			if err != nil {
 				panic(fmt.Sprintf("ddetect: batch not encodable: %v", err))
 			}
 			clear(c.wenvs) // drop the staged occurrence references
-			sys.bus.SendBatch(now, lb.from, lb.to, buf, len(envs), len(buf))
+			sys.bus.SendBatchSite(now, lb.from, lb.to, buf, len(envs), len(buf))
 			c.recycleEnvs(envs)
 		default:
 			// In-memory payload: ownership of the slice transfers to the
 			// message; the transport stage recycles it after unpacking.
-			sys.bus.SendBatch(now, lb.from, lb.to, envs, len(envs), 0)
+			sys.bus.SendBatchSite(now, lb.from, lb.to, envs, len(envs), 0)
 		}
 	}
 	c.order = c.order[:0]

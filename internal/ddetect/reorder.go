@@ -32,12 +32,18 @@
 // false detection — only possibly missing one).  The default deployment —
 // each definition fully evaluated at one hosting site over primitive
 // streams — is exact.
+//
+// All per-source state is indexed by dense roster index (core.Site), not
+// by SiteID string: a full-membership reorderer (an event sink's) holds
+// one sourceState slot per roster member, addressed directly, and a
+// self-only reorderer (every other site's) holds exactly one.  Because
+// roster index order equals canonical SiteID order, the dense release key
+// orders identically to the old string key.
 package ddetect
 
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/clock"
 	"repro/internal/core"
@@ -60,15 +66,19 @@ type envelope struct {
 	Occ *event.Occurrence
 	// Global is the watermark for envHeartbeat.
 	Global int64
-	// RaisedAt is the reference time the occurrence was raised, for
-	// latency accounting.
+	// RaisedAt is the reference time the occurrence was raised (for
+	// latency accounting) or the heartbeat's nominal instant (the
+	// reference the wire codec delta-encodes the frontier against).
 	RaisedAt clock.Microticks
 }
 
 // sourceState tracks one source's stream at a receiving site.  One link
 // sequence number covers one bus message, which since the transport
 // started coalescing may carry several envelopes — pending therefore
-// buffers envelope runs, not single envelopes.
+// buffers envelope runs, not single envelopes.  States live by value in
+// the reorderer's dense slice; the pending map is allocated lazily, on a
+// source's first out-of-order arrival, so a site with n in-order sources
+// carries n small structs and no maps.
 type sourceState struct {
 	nextSeq  uint64
 	pending  map[uint64][]envelope
@@ -81,37 +91,97 @@ type sourceState struct {
 // reorderer restores a linear extension of happen-before from out-of-order
 // arrivals.  Not safe for concurrent use; owned by its site.
 type reorderer struct {
-	sources map[core.SiteID]*sourceState
-	ids     []core.SiteID // sorted, for deterministic iteration
+	roster *core.Roster
+	// self is the owning site's index for a self-only reorderer (its one
+	// sourceState is sources[0]); core.NoSite marks full membership, where
+	// sources is roster-length and addressed by index directly.
+	self    core.Site
+	sources []sourceState
 	ready   readyQueue
 	arrival uint64
 
 	// buffered counts FIFO-pending envelopes for quiescence checks.
 	buffered int
+	// gating counts non-excluded sources, so exhaustion (everything
+	// decommissioned) is O(1) to detect.
+	gating int
+	// minF caches minFrontier; minDirty forces a recompute after a
+	// frontier advance or an exclusion.  The cache is what keeps the
+	// release scan from walking the full frontier vector on every tick —
+	// a site whose frontiers did not move pays one flag check.
+	minF     int64
+	minDirty bool
+	// stale records that something release-relevant changed (an event
+	// ingested, a frontier advanced, a source excluded) since the last
+	// release call; a clean reorderer's release is an immediate no-op.
+	stale bool
 }
 
-func newReorderer(sources []core.SiteID) *reorderer {
-	r := &reorderer{sources: make(map[core.SiteID]*sourceState, len(sources))}
-	for _, id := range sources {
-		r.sources[id] = &sourceState{nextSeq: 1, pending: make(map[uint64][]envelope), frontier: math.MinInt64}
-		r.ids = append(r.ids, id)
+// newReorderer builds a full-membership reorderer: one source slot per
+// roster member, for the event sinks that can hear from everyone.
+func newReorderer(roster *core.Roster) *reorderer {
+	r := &reorderer{
+		roster:   roster,
+		self:     core.NoSite,
+		sources:  make([]sourceState, roster.Len()),
+		gating:   roster.Len(),
+		minDirty: true,
 	}
-	sort.Slice(r.ids, func(i, j int) bool { return r.ids[i] < r.ids[j] })
+	for i := range r.sources {
+		r.sources[i] = sourceState{nextSeq: 1, frontier: math.MinInt64}
+	}
 	return r
+}
+
+// newSelfReorderer builds a self-only reorderer for a site outside every
+// needers list: it hears nobody but itself, so one source slot suffices
+// and its watermark gates only on its own clock.
+func newSelfReorderer(roster *core.Roster, self core.Site) *reorderer {
+	return &reorderer{
+		roster:   roster,
+		self:     self,
+		sources:  []sourceState{{nextSeq: 1, frontier: math.MinInt64}},
+		gating:   1,
+		minDirty: true,
+	}
+}
+
+// slot maps a source's roster index to its position in sources, or -1 for
+// a site this reorderer does not listen to.
+func (r *reorderer) slot(from core.Site) int {
+	if r.self != core.NoSite {
+		if from == r.self {
+			return 0
+		}
+		return -1
+	}
+	if from < 0 || int(from) >= len(r.sources) {
+		return -1
+	}
+	return int(from)
+}
+
+// siteID renders a source index for error messages.
+func (r *reorderer) siteID(from core.Site) core.SiteID {
+	if r.roster != nil && from >= 0 && int(from) < r.roster.Len() {
+		return r.roster.ID(from)
+	}
+	return core.SiteID(fmt.Sprintf("#%d", from))
 }
 
 // source resolves and screens one arrival: the sender must be known, and
 // its sequence number neither already consumed nor already buffered.
-func (r *reorderer) source(from core.SiteID, seq uint64) (*sourceState, error) {
-	st := r.sources[from]
-	if st == nil {
-		return nil, fmt.Errorf("ddetect: message from unknown source %q", from)
+func (r *reorderer) source(from core.Site, seq uint64) (*sourceState, error) {
+	i := r.slot(from)
+	if i < 0 {
+		return nil, fmt.Errorf("ddetect: message from unknown source %q", r.siteID(from))
 	}
+	st := &r.sources[i]
 	if seq < st.nextSeq {
-		return nil, fmt.Errorf("ddetect: duplicate seq %d from %q (next %d)", seq, from, st.nextSeq)
+		return nil, fmt.Errorf("ddetect: duplicate seq %d from %q (next %d)", seq, r.siteID(from), st.nextSeq)
 	}
 	if _, dup := st.pending[seq]; dup {
-		return nil, fmt.Errorf("ddetect: duplicate buffered seq %d from %q", seq, from)
+		return nil, fmt.Errorf("ddetect: duplicate buffered seq %d from %q", seq, r.siteID(from))
 	}
 	return st, nil
 }
@@ -119,16 +189,19 @@ func (r *reorderer) source(from core.SiteID, seq uint64) (*sourceState, error) {
 // accept ingests a single-envelope message from a source with its link
 // sequence number, draining any in-order run it completes.  The common
 // in-order case bypasses the pending map entirely.
-func (r *reorderer) accept(from core.SiteID, seq uint64, env envelope) error {
+func (r *reorderer) accept(from core.Site, seq uint64, env envelope) error {
 	st, err := r.source(from, seq)
 	if err != nil {
 		return err
 	}
 	if seq == st.nextSeq {
 		st.nextSeq++
-		r.ingest(from, env)
-		r.drain(from, st)
+		r.ingest(st, env)
+		r.drain(st)
 		return nil
+	}
+	if st.pending == nil {
+		st.pending = make(map[uint64][]envelope)
 	}
 	st.pending[seq] = []envelope{env}
 	r.buffered++
@@ -140,7 +213,7 @@ func (r *reorderer) accept(from core.SiteID, seq uint64, env envelope) error {
 // in-order case ingests straight from the caller's slice, which the
 // caller may recycle as soon as acceptBatch returns; only an out-of-order
 // arrival copies the run into an owned buffer.
-func (r *reorderer) acceptBatch(from core.SiteID, seq uint64, envs []envelope) error {
+func (r *reorderer) acceptBatch(from core.Site, seq uint64, envs []envelope) error {
 	st, err := r.source(from, seq)
 	if err != nil {
 		return err
@@ -148,10 +221,13 @@ func (r *reorderer) acceptBatch(from core.SiteID, seq uint64, envs []envelope) e
 	if seq == st.nextSeq {
 		st.nextSeq++
 		for _, env := range envs {
-			r.ingest(from, env)
+			r.ingest(st, env)
 		}
-		r.drain(from, st)
+		r.drain(st)
 		return nil
+	}
+	if st.pending == nil {
+		st.pending = make(map[uint64][]envelope)
 	}
 	st.pending[seq] = append([]envelope(nil), envs...)
 	r.buffered += len(envs)
@@ -159,8 +235,8 @@ func (r *reorderer) acceptBatch(from core.SiteID, seq uint64, envs []envelope) e
 }
 
 // drain consumes the in-order run now sitting in the pending map.
-func (r *reorderer) drain(from core.SiteID, st *sourceState) {
-	for {
+func (r *reorderer) drain(st *sourceState) {
+	for len(st.pending) > 0 {
 		next, ok := st.pending[st.nextSeq]
 		if !ok {
 			return
@@ -169,69 +245,79 @@ func (r *reorderer) drain(from core.SiteID, st *sourceState) {
 		st.nextSeq++
 		r.buffered -= len(next)
 		for _, env := range next {
-			r.ingest(from, env)
+			r.ingest(st, env)
 		}
 	}
 }
 
 // ingest processes one in-order envelope: events join the ready queue and
 // advance the frontier; heartbeats only advance the frontier.
-func (r *reorderer) ingest(from core.SiteID, env envelope) {
-	st := r.sources[from]
+func (r *reorderer) ingest(st *sourceState, env envelope) {
 	switch env.Kind {
 	case envEvent:
 		g := env.Occ.Stamp.MaxGlobal()
 		if g > st.frontier {
 			st.frontier = g
+			r.minDirty = true
 		}
 		r.arrival++
-		r.ready.push(readyItem{env: env, key: releaseKey(env.Occ, r.arrival)})
+		r.ready.push(readyItem{env: env, key: r.releaseKey(env.Occ, r.arrival)})
+		r.stale = true
 	case envHeartbeat:
 		if env.Global > st.frontier {
 			st.frontier = env.Global
+			r.minDirty = true
+			r.stale = true
 		}
 	}
 }
 
 // setFrontier advances a source's frontier directly (used for the site's
 // own clock, which needs no heartbeat message).
-func (r *reorderer) setFrontier(id core.SiteID, g int64) {
-	if st := r.sources[id]; st != nil && g > st.frontier {
-		st.frontier = g
+func (r *reorderer) setFrontier(from core.Site, g int64) {
+	if i := r.slot(from); i >= 0 && g > r.sources[i].frontier {
+		r.sources[i].frontier = g
+		r.minDirty = true
+		r.stale = true
 	}
 }
 
 // minFrontier returns the minimum frontier over the sources still gating
-// the watermark.  With every source excluded there is nothing left to
-// wait for and buffered events release unconditionally.
+// the watermark, recomputing the cache only after a frontier actually
+// moved.  With every source excluded there is nothing left to wait for
+// and buffered events release unconditionally.
 func (r *reorderer) minFrontier() int64 {
+	if !r.minDirty {
+		return r.minF
+	}
+	r.minDirty = false
+	if r.gating == 0 {
+		r.minF = math.MaxInt64
+		return r.minF
+	}
 	min := int64(math.MaxInt64)
-	any := false
-	for _, id := range r.ids {
-		st := r.sources[id]
+	for i := range r.sources {
+		st := &r.sources[i]
 		if st.excluded {
 			continue
 		}
-		any = true
 		if st.frontier < min {
 			min = st.frontier
 		}
 	}
-	if !any {
-		return math.MaxInt64
-	}
-	if len(r.ids) == 0 {
-		return math.MinInt64
-	}
+	r.minF = min
 	return min
 }
 
 // exclude removes a source from watermark gating.  Its already-buffered
 // FIFO stream remains valid; only its (now silent) clock stops holding
 // everyone else back.
-func (r *reorderer) exclude(id core.SiteID) {
-	if st := r.sources[id]; st != nil {
-		st.excluded = true
+func (r *reorderer) exclude(from core.Site) {
+	if i := r.slot(from); i >= 0 && !r.sources[i].excluded {
+		r.sources[i].excluded = true
+		r.gating--
+		r.minDirty = true
+		r.stale = true
 	}
 }
 
@@ -278,7 +364,17 @@ func (m ReleaseMode) slack() int64 {
 // release pops every stable event — maximal global component at most
 // minFrontier + slack(mode) — in (global, site, local, arrival) order and
 // hands it to fn.  It returns the number released.
+//
+// A reorderer nothing touched since its last release returns immediately:
+// no event arrived and no frontier moved, so the stable set cannot have
+// grown.  This is what shards the crank's release scan — of thousands of
+// sites, only the ones with fresh arrivals or watermark movement do any
+// work, and only they consult the frontier vector.
 func (r *reorderer) release(mode ReleaseMode, fn func(envelope)) int {
+	if !r.stale || len(r.ready) == 0 {
+		return 0
+	}
+	r.stale = false
 	minF := r.minFrontier()
 	if minF == math.MinInt64 {
 		return 0
@@ -298,17 +394,21 @@ func (r *reorderer) pendingEvents() int { return r.buffered + len(r.ready) }
 // key orders ready events: ascending maximal global, then site, then the
 // local tick of the max-global component, then arrival.  For singleton
 // stamps this is a linear extension of the composite happen-before order
-// (see the package comment).
+// (see the package comment).  The site is a dense roster index: interning
+// preserves SiteID order, so the integer compare in less orders exactly
+// as the string compare it replaced.
 type key struct {
 	global  int64
-	site    core.SiteID
+	site    core.Site
 	local   int64
 	arrival uint64
 }
 
-func releaseKey(o *event.Occurrence, arrival uint64) key {
+// releaseKey interns the occurrence's max-global stamp component into the
+// dense ordering key.
+func (r *reorderer) releaseKey(o *event.Occurrence, arrival uint64) key {
 	best := o.Stamp.MaxGlobalComponent()
-	return key{global: best.Global, site: best.Site, local: best.Local, arrival: arrival}
+	return key{global: best.Global, site: r.roster.MustSite(best.Site), local: best.Local, arrival: arrival}
 }
 
 func (k key) less(u key) bool {

@@ -63,16 +63,18 @@ func (st *ingestStage) Tick(now clock.Microticks) int {
 				continue
 			}
 			g := s.clk.GlobalTick(s.clk.LocalTick(sys.nextHB))
-			s.re.setFrontier(s.ID, g)
+			s.re.setFrontier(s.idx, g)
 			// Only the event sinks (sites in some needers list) gate
 			// their watermark on remote frontiers; heartbeating anyone
 			// else would advance a frontier nothing waits on (see
-			// System.seal).
+			// System.seal).  RaisedAt carries the nominal heartbeat
+			// instant — the reference the wire codec delta-encodes the
+			// frontier against in Serialize mode.
 			for _, dst := range sys.hbSinks {
-				if dst.ID == s.ID {
+				if dst == s {
 					continue
 				}
-				sys.coal.add(s.ID, dst.ID, envelope{Kind: envHeartbeat, Global: g})
+				sys.coal.add(s.idx, dst.idx, envelope{Kind: envHeartbeat, Global: g, RaisedAt: sys.nextHB})
 				sys.stats.Heartbeats++
 				n++
 			}
@@ -131,18 +133,18 @@ func (st *ingestStage) raise(s *Site, typ string, class event.Class, params even
 			detail = occ.Stamp.String()
 		}
 		tr.Emit(obs.SpanEvent{ID: tr.ID(occ), At: int64(now), Kind: obs.KindRaise,
-			Site: string(s.ID), Type: typ, Detail: detail})
+			Site: string(s.ID), SiteRef: int32(s.idx) + 1, Type: typ, Detail: detail})
 	}
-	needers := sys.needers[typ]
+	needers := sys.needersIdx[typ]
 	if len(needers) == 0 {
 		sys.stats.Unconsumed++
 		return occ, nil
 	}
 	for _, dst := range needers {
-		if dst == s.ID {
+		if dst == s.idx {
 			s.selfDeliver(env)
 		} else {
-			sys.coal.add(s.ID, dst, env)
+			sys.coal.add(s.idx, dst, env)
 			sys.stats.Forwarded++
 			sys.inFlightEvents++
 		}
@@ -179,31 +181,34 @@ func (st *transportStage) Tick(now clock.Microticks) int {
 	n := 0
 	for i := range st.batch {
 		m := &st.batch[i]
-		dst := sys.siteByID[m.To]
-		if dst == nil {
+		// The bus carries dense indexes once the roster is attached (at
+		// seal, before any traffic); resolving the destination is one
+		// slice index, no string hash.
+		if m.ToSite < 0 || int(m.ToSite) >= len(sys.sites) {
 			panic(fmt.Sprintf("ddetect: message to unknown site %q", m.To))
 		}
+		dst := sys.sites[m.ToSite]
 		switch p := m.Payload.(type) {
 		case []envelope:
-			st.acceptRun(dst, m.From, m.Seq, p)
+			st.acceptRun(dst, m.FromSite, m.From, m.Seq, p)
 			n += len(p)
 			sys.coal.recycleEnvs(p)
 		case []byte:
 			if wire.IsBatch(p) {
 				st.decoded = st.decoded[:0]
-				if err := wire.DecodeBatch(p, st.collect); err != nil {
+				if err := sys.codec.DecodeBatch(p, st.collect); err != nil {
 					panic(fmt.Sprintf("ddetect: corrupt batch: %v", err))
 				}
-				st.acceptRun(dst, m.From, m.Seq, st.decoded)
+				st.acceptRun(dst, m.FromSite, m.From, m.Seq, st.decoded)
 				n += len(st.decoded)
 				clear(st.decoded)
 				sys.coal.recycleBuf(p)
 				break
 			}
-			st.acceptOne(dst, m.From, m.Seq, sys.unpayload(p))
+			st.acceptOne(dst, m.FromSite, m.From, m.Seq, sys.unpayload(p))
 			n++
 		default:
-			st.acceptOne(dst, m.From, m.Seq, sys.unpayload(p))
+			st.acceptOne(dst, m.FromSite, m.From, m.Seq, sys.unpayload(p))
 			n++
 		}
 		m.Payload = nil
@@ -225,15 +230,16 @@ func (st *transportStage) collect(we wire.Envelope) error {
 	return nil
 }
 
-// acceptRun hands one coalesced envelope run to the reorderer.
-func (st *transportStage) acceptRun(dst *Site, from core.SiteID, seq uint64, envs []envelope) {
+// acceptRun hands one coalesced envelope run to the reorderer.  The dense
+// from index feeds the reorderer; the string peer only labels spans.
+func (st *transportStage) acceptRun(dst *Site, from core.Site, peer core.SiteID, seq uint64, envs []envelope) {
 	tr := st.sys.tr
 	for _, env := range envs {
 		if env.Kind == envEvent {
 			st.sys.inFlightEvents--
 			if tr != nil {
 				tr.Emit(obs.SpanEvent{ID: tr.ID(env.Occ), At: int64(st.now), Kind: obs.KindRecv,
-					Site: string(dst.ID), Peer: string(from), Type: env.Occ.Type})
+					Site: string(dst.ID), SiteRef: int32(dst.idx) + 1, Peer: string(peer), Type: env.Occ.Type})
 			}
 		}
 	}
@@ -243,12 +249,12 @@ func (st *transportStage) acceptRun(dst *Site, from core.SiteID, seq uint64, env
 }
 
 // acceptOne hands one single-envelope message to the reorderer.
-func (st *transportStage) acceptOne(dst *Site, from core.SiteID, seq uint64, env envelope) {
+func (st *transportStage) acceptOne(dst *Site, from core.Site, peer core.SiteID, seq uint64, env envelope) {
 	if env.Kind == envEvent {
 		st.sys.inFlightEvents--
 		if tr := st.sys.tr; tr != nil {
 			tr.Emit(obs.SpanEvent{ID: tr.ID(env.Occ), At: int64(st.now), Kind: obs.KindRecv,
-				Site: string(dst.ID), Peer: string(from), Type: env.Occ.Type})
+				Site: string(dst.ID), SiteRef: int32(dst.idx) + 1, Peer: string(peer), Type: env.Occ.Type})
 		}
 	}
 	if err := dst.re.accept(from, seq, env); err != nil {
@@ -285,7 +291,7 @@ func (st *releaseStage) deliver(env envelope) {
 	sys.hRelease.Observe(int64(lat))
 	if tr := sys.tr; tr != nil {
 		tr.Emit(obs.SpanEvent{ID: tr.ID(env.Occ), At: int64(st.now), Kind: obs.KindRelease,
-			Site: string(st.cur.ID), Type: env.Occ.Type})
+			Site: string(st.cur.ID), SiteRef: int32(st.cur.idx) + 1, Type: env.Occ.Type})
 	}
 	st.cur.inbox = append(st.cur.inbox, env.Occ)
 }
@@ -318,6 +324,14 @@ func (st *releaseStage) Tick(now clock.Microticks) int {
 // goroutine and in deterministic site order.
 type detectStage struct {
 	sys *System
+	// active is the reused shard list: the sites with a non-empty inbox
+	// or an armed detector timer this tick.  For an idle site both
+	// PublishBatch (empty batch) and AdvanceTo (no timers) are no-ops, so
+	// skipping it changes nothing except the work: at thousands of sites
+	// the stage touches only the handful that heard something.  Built by
+	// iterating sys.sites in ID order, so the shard keeps the
+	// deterministic site order the barrier argument relies on.
+	active []*Site
 }
 
 func (st *detectStage) Name() string { return "detect" }
@@ -325,11 +339,16 @@ func (st *detectStage) Name() string { return "detect" }
 func (st *detectStage) Tick(now clock.Microticks) int {
 	sys := st.sys
 	n := 0
+	active := st.active[:0]
 	for _, s := range sys.sites {
-		n += len(s.inbox)
+		if len(s.inbox) > 0 || s.det.PendingTimers() > 0 {
+			active = append(active, s)
+			n += len(s.inbox)
+		}
 	}
-	sys.pool.Run(len(sys.sites), func(i int) {
-		s := sys.sites[i]
+	st.active = active
+	sys.pool.Run(len(active), func(i int) {
+		s := active[i]
 		s.det.PublishBatch(s.inbox)
 		s.inbox = s.inbox[:0]
 		s.det.AdvanceTo(now)
@@ -353,6 +372,13 @@ func (st *publishStage) Tick(now clock.Microticks) int {
 	sys := st.sys
 	n := 0
 	for _, s := range sys.sites {
+		// The full-site scan stays (an active list here would change when
+		// handler-injected detections at already-visited sites drain,
+		// breaking byte-parity with the sequential history); the common
+		// idle site costs one length check.
+		if len(s.detected) == 0 {
+			continue
+		}
 		// Index loop: a handler that publishes into this site's detector
 		// can append further detections mid-drain; they are completed in
 		// the same tick.
@@ -387,10 +413,10 @@ func (st *publishStage) Tick(now clock.Microticks) int {
 				}
 				id := tr.ID(o)
 				tr.Emit(obs.SpanEvent{ID: id, At: int64(now), Kind: obs.KindDetect,
-					Site: string(s.ID), Type: o.Type, Detail: detail, Links: links})
+					Site: string(s.ID), SiteRef: int32(s.idx) + 1, Type: o.Type, Detail: detail, Links: links})
 				tr.KeepLinkBuf(links)
 				tr.Emit(obs.SpanEvent{ID: id, At: int64(now), Kind: obs.KindPublish,
-					Site: string(s.ID), Type: o.Type})
+					Site: string(s.ID), SiteRef: int32(s.idx) + 1, Type: o.Type})
 			}
 			for _, h := range sys.handlers[o.Type] {
 				h(o)

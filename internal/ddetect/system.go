@@ -161,13 +161,27 @@ func (d DefStats) MeanLatency() float64 {
 // order afterwards, so the occurrence stream is bit-for-bit identical to
 // the sequential mode.
 type System struct {
-	cfg      Config
-	clk      *clock.System
-	bus      *network.Bus
-	reg      *event.Registry
-	sites    []*Site
-	siteByID map[core.SiteID]*Site
-	needers  map[string][]core.SiteID
+	cfg   Config
+	clk   *clock.System
+	bus   *network.Bus
+	reg   *event.Registry
+	sites []*Site
+	// roster is the sealed membership: dense index i names sys.sites[i]
+	// (AddSite keeps sites sorted by ID, and roster order is ID order).
+	// Every post-seal hot path — reorderers, the coalescer's link keys,
+	// the bus's dense link index, the wire codec — runs on these indexes;
+	// strings survive only at the public API and in eventlog/report
+	// output, so determinism artifacts stay byte-identical.
+	roster *core.Roster
+	// needers records, per event type, the ID-sorted hosting sites whose
+	// definitions reference it; needersIdx is its dense post-seal twin
+	// (same order — interning preserves ID order), the form the raise and
+	// publish hot paths consult.
+	needers    map[string][]core.SiteID
+	needersIdx map[string][]core.Site
+	// codec is the roster-aware wire codec (Serialize mode): interned site
+	// indexes in occurrence frames, delta-encoded heartbeat frontiers.
+	codec *wire.Codec
 	// hbSinks (fixed at seal) lists the sites that can receive remote
 	// event envelopes — the sites appearing in some needers list.  Only
 	// their watermarks gate on remote frontiers, so only they are
@@ -225,7 +239,6 @@ func NewSystem(cfg Config) (*System, error) {
 		clk:      clk,
 		bus:      network.NewBus(cfg.Net),
 		reg:      event.NewRegistry(),
-		siteByID: make(map[core.SiteID]*Site),
 		needers:  make(map[string][]core.SiteID),
 		handlers: make(map[string][]detector.Handler),
 		nextHB:   cfg.HeartbeatEvery,
@@ -359,6 +372,9 @@ type Site struct {
 	clk *clock.SiteClock
 	det *detector.Detector
 	re  *reorderer
+	// idx is the site's dense roster index, assigned at seal; every
+	// post-seal per-message path addresses the site by it.
+	idx core.Site
 
 	selfSeq uint64
 	// lastLocal tracks the last raised local tick per event class, for
@@ -392,7 +408,7 @@ var ErrCrashed = errors.New("ddetect: site has crashed")
 // the operator acknowledges the loss with Decommission.
 func (sys *System) Crash(id core.SiteID) error {
 	sys.seal()
-	s := sys.siteByID[id]
+	s := sys.siteFor(id)
 	if s == nil {
 		return fmt.Errorf("ddetect: unknown site %q", id)
 	}
@@ -408,14 +424,15 @@ func (sys *System) Crash(id core.SiteID) error {
 // completed — the honest semantics of a lost site.
 func (sys *System) Decommission(id core.SiteID) error {
 	sys.seal()
-	if sys.siteByID[id] == nil {
+	dead := sys.siteFor(id)
+	if dead == nil {
 		return fmt.Errorf("ddetect: unknown site %q", id)
 	}
 	if err := sys.Crash(id); err != nil {
 		return err
 	}
 	for _, s := range sys.sites {
-		s.re.exclude(id)
+		s.re.exclude(dead.idx)
 	}
 	return nil
 }
@@ -456,8 +473,19 @@ func (sys *System) AddSite(id core.SiteID, offset clock.Microticks, driftPPM int
 	}
 	sys.sites = append(sys.sites, s)
 	sort.Slice(sys.sites, func(i, j int) bool { return sys.sites[i].ID < sys.sites[j].ID })
-	sys.siteByID[id] = s
 	return s, nil
+}
+
+// siteFor resolves a SiteID to its runtime by binary search over the
+// ID-sorted site slice — the one string lookup left on the control paths
+// (Crash, Decommission, DefineAt, Site); everything per-message runs on
+// dense roster indexes.
+func (sys *System) siteFor(id core.SiteID) *Site {
+	i := sort.Search(len(sys.sites), func(i int) bool { return sys.sites[i].ID >= id })
+	if i < len(sys.sites) && sys.sites[i].ID == id {
+		return sys.sites[i]
+	}
+	return nil
 }
 
 // MustAddSite is AddSite that panics on error.
@@ -470,7 +498,17 @@ func (sys *System) MustAddSite(id core.SiteID, offset clock.Microticks, driftPPM
 }
 
 // Site returns the site runtime registered under id, or nil.
-func (sys *System) Site(id core.SiteID) *Site { return sys.siteByID[id] }
+func (sys *System) Site(id core.SiteID) *Site { return sys.siteFor(id) }
+
+// Roster returns the sealed membership — index i names the i'th site in
+// ID order — sealing the topology if the simulation has not started yet
+// (call it after every AddSite/DefineAt).  Attach it to roster-aware
+// observers (obs.ChromeTrace.UseRoster, obs.FlightRecorder.UseRoster)
+// before the first tick so their per-site state keys by dense index.
+func (sys *System) Roster() *core.Roster {
+	sys.seal()
+	return sys.roster
+}
 
 // Declare registers a primitive event type usable at any site.
 func (sys *System) Declare(name string, class event.Class) error {
@@ -488,7 +526,7 @@ func (sys *System) DefineAt(host core.SiteID, name, expression string, ctx detec
 	if sys.sealed {
 		return nil, ErrSealed
 	}
-	s := sys.siteByID[host]
+	s := sys.siteFor(host)
 	if s == nil {
 		return nil, fmt.Errorf("ddetect: unknown host site %q", host)
 	}
@@ -557,14 +595,17 @@ func (sys *System) Subscribe(name string, h detector.Handler) error {
 	return nil
 }
 
-// seal freezes the topology and equips every site's reorderer with its
-// source set.  Event envelopes only ever flow to the sites recorded in
-// some needers list (any site may raise any type, so each such sink can
-// hear from every other site); a site outside every needers list
-// receives nothing, so its watermark gates only on its own frontier and
-// nobody needs to heartbeat it.  seal fixes both sides of that
-// asymmetry: full source sets (and heartbeat fan-in, see
-// ingestStage.Tick) for the sinks, self-only for everyone else.
+// seal freezes the topology: it interns the membership into the roster
+// (dense index i names sys.sites[i], since both are ID-sorted), attaches
+// the roster to the bus and the wire codec, translates the needers lists
+// to dense form, and equips every site's reorderer with its source set.
+// Event envelopes only ever flow to the sites recorded in some needers
+// list (any site may raise any type, so each such sink can hear from
+// every other site); a site outside every needers list receives nothing,
+// so its watermark gates only on its own frontier and nobody needs to
+// heartbeat it.  seal fixes both sides of that asymmetry: full source
+// sets (and heartbeat fan-in, see ingestStage.Tick) for the sinks,
+// self-only for everyone else.
 func (sys *System) seal() {
 	if sys.sealed {
 		return
@@ -574,19 +615,28 @@ func (sys *System) seal() {
 	for _, s := range sys.sites {
 		ids = append(ids, s.ID)
 	}
-	sink := make(map[core.SiteID]bool)
-	for _, hosts := range sys.needers { //lint:allow mapiter — builds an order-free set; hbSinks below is appended in sys.sites order
-
-		for _, h := range hosts {
-			sink[h] = true
+	sys.roster = core.NewRoster(ids)
+	for i, s := range sys.sites {
+		s.idx = core.Site(i)
+	}
+	sys.bus.SetRoster(sys.roster)
+	sys.codec = &wire.Codec{Roster: sys.roster, Granule: int64(sys.cfg.Clock.GlobalGranularity)}
+	sink := make([]bool, len(sys.sites))
+	sys.needersIdx = make(map[string][]core.Site, len(sys.needers))
+	for typ, hosts := range sys.needers { //lint:allow mapiter — per-type entries are independent and each dense list inherits its string list's ID-sorted order; hbSinks below is appended in sys.sites order
+		dense := make([]core.Site, len(hosts))
+		for i, h := range hosts {
+			dense[i] = sys.roster.MustSite(h)
+			sink[dense[i]] = true
 		}
+		sys.needersIdx[typ] = dense
 	}
 	for _, s := range sys.sites {
-		if sink[s.ID] {
-			s.re = newReorderer(ids)
+		if sink[s.idx] {
+			s.re = newReorderer(sys.roster)
 			sys.hbSinks = append(sys.hbSinks, s)
 		} else {
-			s.re = newReorderer([]core.SiteID{s.ID})
+			s.re = newSelfReorderer(sys.roster, s.idx)
 		}
 	}
 }
@@ -625,24 +675,25 @@ func (s *Site) MustRaise(typ string, class event.Class, params event.Params) *ev
 // flushes the queued forwards at the end of its Tick.  Runs on the crank
 // goroutine (publish stage).
 func (sys *System) forwardComposite(from *Site, o *event.Occurrence) {
-	needers := sys.needers[o.Type]
+	needers := sys.needersIdx[o.Type]
 	if len(needers) == 0 {
 		return
 	}
 	now := sys.clk.Now()
 	env := envelope{Kind: envEvent, Occ: o, RaisedAt: now}
 	for _, dst := range needers {
-		if dst == from.ID {
+		if dst == from.idx {
 			continue // local consumers already saw it via the detector
 		}
-		sys.coal.add(from.ID, dst, env)
+		sys.coal.add(from.idx, dst, env)
 		sys.stats.Forwarded++
 		sys.inFlightEvents++
 	}
 }
 
 // payload prepares an envelope for the bus: the envelope itself, or its
-// wire encoding when Config.Serialize is set.
+// wire encoding — dense site indexes, delta frontiers — when
+// Config.Serialize is set.
 func (sys *System) payload(env envelope) any {
 	if !sys.cfg.Serialize {
 		return env
@@ -654,7 +705,7 @@ func (sys *System) payload(env envelope) any {
 	} else {
 		we.Kind = wire.KindHeartbeat
 	}
-	buf, err := wire.Encode(we)
+	buf, err := sys.codec.Encode(we)
 	if err != nil {
 		panic(fmt.Sprintf("ddetect: envelope not encodable: %v", err))
 	}
@@ -667,7 +718,7 @@ func (sys *System) unpayload(p any) envelope {
 	case envelope:
 		return x
 	case []byte:
-		we, err := wire.Decode(x)
+		we, err := sys.codec.Decode(x)
 		if err != nil {
 			panic(fmt.Sprintf("ddetect: corrupt envelope: %v", err))
 		}
@@ -688,7 +739,7 @@ func (sys *System) unpayload(p any) envelope {
 // stream so local and remote events interleave in one linear extension.
 func (s *Site) selfDeliver(env envelope) {
 	s.selfSeq++
-	if err := s.re.accept(s.ID, s.selfSeq, env); err != nil {
+	if err := s.re.accept(s.idx, s.selfSeq, env); err != nil {
 		panic(err) // programming error: self stream is always in order
 	}
 }

@@ -34,6 +34,11 @@ import (
 // Message is one transmission on the bus.
 type Message struct {
 	From, To core.SiteID
+	// FromSite and ToSite are the dense roster indexes of From and To when
+	// the message was sent through one of the roster-native Site methods;
+	// core.NoSite otherwise.  Receivers on the hot path dispatch on these
+	// instead of re-resolving the string IDs.
+	FromSite, ToSite core.Site
 	// Seq is the per-(From,To)-link FIFO sequence number, starting at 1.
 	Seq uint64
 	// SentAt and DeliverAt are reference times.
@@ -113,11 +118,26 @@ type Bus struct {
 	queue   deliveryQueue
 	pushSeq uint64
 	links   map[linkKey]*linkState
-	stats   Stats
+	// byFrom is the dense (from,to) link index, populated once SetRoster
+	// attaches a roster: byFrom[from] holds the destinations this site has
+	// ever sent to, resolved by a short linear scan (a site's out-degree is
+	// the number of sinks it feeds — small by construction, see ddetect's
+	// seal).  It indexes the same *linkState values as the string map, which
+	// stays authoritative for rosterless sends and LinkStats enumeration.
+	byFrom []fromLinks
+	roster *core.Roster
+	stats  Stats
 }
 
 type linkKey struct {
 	from, to core.SiteID
+}
+
+// fromLinks is one site's outbound links: parallel destination-index and
+// state slices, appended on first use and scanned linearly.
+type fromLinks struct {
+	tos []core.Site
+	ls  []*linkState
 }
 
 // linkState carries the per-link FIFO counter and activity counters in
@@ -144,14 +164,56 @@ func NewBus(cfg Config) *Bus {
 	}
 }
 
-// link returns (creating on first use) the state for a link.
+// SetRoster attaches the sealed site roster, enabling the dense link
+// index and the Site send methods.  Call it before traffic flows (ddetect
+// does so at seal); links opened earlier through the string path are
+// re-homed into the dense index.
+func (b *Bus) SetRoster(r *core.Roster) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.roster = r
+	b.byFrom = make([]fromLinks, r.Len())
+	for k, ls := range b.links { //lint:allow mapiter — one-time re-home at seal; per-link state is independent, so index order is immaterial
+		f, t := r.Site(k.from), r.Site(k.to)
+		if f != core.NoSite && t != core.NoSite {
+			b.byFrom[f].tos = append(b.byFrom[f].tos, t)
+			b.byFrom[f].ls = append(b.byFrom[f].ls, ls)
+		}
+	}
+}
+
+// link returns (creating on first use) the state for a link, keeping the
+// dense index in sync when a roster is attached.
 func (b *Bus) link(from, to core.SiteID) *linkState {
 	k := linkKey{from: from, to: to}
 	ls := b.links[k]
 	if ls == nil {
 		ls = &linkState{key: k}
 		b.links[k] = ls
+		if b.roster != nil {
+			if f, t := b.roster.Site(from), b.roster.Site(to); f != core.NoSite && t != core.NoSite {
+				b.byFrom[f].tos = append(b.byFrom[f].tos, t)
+				b.byFrom[f].ls = append(b.byFrom[f].ls, ls)
+			}
+		}
 	}
+	return ls
+}
+
+// linkSite resolves a link by dense indexes: a short scan of the sender's
+// destination list, falling through to creation on first use.  Requires a
+// roster (the Site send methods are unreachable without one).
+func (b *Bus) linkSite(from, to core.Site) *linkState {
+	fl := &b.byFrom[from]
+	for i, t := range fl.tos {
+		if t == to {
+			return fl.ls[i]
+		}
+	}
+	ls := &linkState{key: linkKey{from: b.roster.ID(from), to: b.roster.ID(to)}}
+	fl.tos = append(fl.tos, to)
+	fl.ls = append(fl.ls, ls)
+	b.links[ls.key] = ls
 	return ls
 }
 
@@ -192,11 +254,16 @@ func (b *Bus) Send(now clock.Microticks, from, to core.SiteID, payload any) Mess
 	m := Message{
 		From:      from,
 		To:        to,
+		FromSite:  core.NoSite,
+		ToSite:    core.NoSite,
 		Seq:       ls.seq,
 		SentAt:    now,
 		DeliverAt: now + delay,
 		Attempts:  attempts,
 		Payload:   payload,
+	}
+	if b.roster != nil {
+		m.FromSite, m.ToSite = b.roster.Site(from), b.roster.Site(to)
 	}
 	b.enqueue(m)
 	ls.sent++
@@ -216,12 +283,34 @@ func (b *Bus) Send(now clock.Microticks, from, to core.SiteID, payload any) Mess
 func (b *Bus) SendBatch(now clock.Microticks, from, to core.SiteID, payload any, envelopes, bytes int) Message {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	ls := b.link(from, to)
+	fromSite, toSite := core.NoSite, core.NoSite
+	if b.roster != nil {
+		fromSite, toSite = b.roster.Site(from), b.roster.Site(to)
+	}
+	return b.sendBatchLocked(now, b.link(from, to), from, to, fromSite, toSite, payload, envelopes, bytes)
+}
+
+// SendBatchSite is SendBatch addressed by dense roster indexes — the form
+// the transport coalescer uses once the topology is sealed.  Link
+// resolution is a slice index plus a short scan; no string is hashed.
+func (b *Bus) SendBatchSite(now clock.Microticks, from, to core.Site, payload any, envelopes, bytes int) Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ls := b.linkSite(from, to)
+	return b.sendBatchLocked(now, ls, ls.key.from, ls.key.to, from, to, payload, envelopes, bytes)
+}
+
+// sendBatchLocked is the shared body of SendBatch/SendBatchSite.  Caller
+// holds b.mu.
+func (b *Bus) sendBatchLocked(now clock.Microticks, ls *linkState, from, to core.SiteID,
+	fromSite, toSite core.Site, payload any, envelopes, bytes int) Message {
 	delay, attempts := b.draw()
 	ls.seq++
 	m := Message{
 		From:      from,
 		To:        to,
+		FromSite:  fromSite,
+		ToSite:    toSite,
 		Seq:       ls.seq,
 		SentAt:    now,
 		DeliverAt: now + delay,
@@ -258,13 +347,36 @@ func (b *Bus) SendUnbatched(now clock.Microticks, from, to core.SiteID, n int, p
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	ls := b.link(from, to)
+	fromSite, toSite := core.NoSite, core.NoSite
+	if b.roster != nil {
+		fromSite, toSite = b.roster.Site(from), b.roster.Site(to)
+	}
+	b.sendUnbatchedLocked(b.link(from, to), now, from, to, fromSite, toSite, n, payloadAt)
+}
+
+// SendUnbatchedSite is SendUnbatched addressed by dense roster indexes.
+func (b *Bus) SendUnbatchedSite(now clock.Microticks, from, to core.Site, n int, payloadAt func(int) any) {
+	if n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ls := b.linkSite(from, to)
+	b.sendUnbatchedLocked(ls, now, ls.key.from, ls.key.to, from, to, n, payloadAt)
+}
+
+// sendUnbatchedLocked is the shared body of SendUnbatched and its Site
+// twin.  Caller holds b.mu.
+func (b *Bus) sendUnbatchedLocked(ls *linkState, now clock.Microticks, from, to core.SiteID,
+	fromSite, toSite core.Site, n int, payloadAt func(int) any) {
 	delay, attempts := b.draw()
 	for i := 0; i < n; i++ {
 		ls.seq++
 		b.enqueue(Message{
 			From:      from,
 			To:        to,
+			FromSite:  fromSite,
+			ToSite:    toSite,
 			Seq:       ls.seq,
 			SentAt:    now,
 			DeliverAt: now + delay,

@@ -3,6 +3,8 @@ package obs
 import (
 	"fmt"
 	"io"
+
+	"repro/internal/core"
 )
 
 // ring is a bounded span buffer: once full, the oldest event is
@@ -33,9 +35,18 @@ func (r *ring) push(ev SpanEvent) {
 // bounded ring per site, so a failing test or a distsim run can dump the
 // last moments before the anomaly without having logged everything.
 // Events with an empty Site land on the "(system)" ring.
+//
+// With UseRoster attached, rings are keyed by dense roster index — the
+// per-span path is a slice index, and both a SiteRef-carrying span and a
+// Note addressed by site name land on the same ring.  Off-roster site
+// strings keep falling back to the name-keyed map.
 type FlightRecorder struct {
 	per   int
 	rings map[string]*ring
+	// roster and dense, once UseRoster runs, key rings by SiteRef
+	// (dense[0] is the "(system)" ring, dense[i+1] roster site i).
+	roster *core.Roster
+	dense  []*ring
 }
 
 // NewFlightRecorder returns a recorder keeping up to perSite events per
@@ -47,8 +58,36 @@ func NewFlightRecorder(perSite int) *FlightRecorder {
 	return &FlightRecorder{per: perSite, rings: make(map[string]*ring)}
 }
 
+// UseRoster switches the recorder to dense ring keying: one slot per
+// roster member plus the system ring, addressed by SpanEvent.SiteRef (or
+// by roster lookup for Notes and hand-built spans that carry only the
+// site name).  Call it before the first span.
+func (f *FlightRecorder) UseRoster(r *core.Roster) {
+	f.roster = r
+	f.dense = make([]*ring, r.Len()+1)
+}
+
 // Span implements Sink.
 func (f *FlightRecorder) Span(ev SpanEvent) {
+	if f.dense != nil {
+		ref := int(ev.SiteRef)
+		if ref == 0 && ev.Site != "" {
+			if s := f.roster.Site(core.SiteID(ev.Site)); s != core.NoSite {
+				ref = int(s) + 1
+			} else {
+				ref = -1 // off-roster name: map fallback below
+			}
+		}
+		if ref >= 0 && ref < len(f.dense) {
+			r := f.dense[ref]
+			if r == nil {
+				r = &ring{evs: make([]SpanEvent, f.per)}
+				f.dense[ref] = r
+			}
+			r.push(ev)
+			return
+		}
+	}
 	site := ev.Site
 	if site == "" {
 		site = "(system)"
@@ -62,7 +101,8 @@ func (f *FlightRecorder) Span(ev SpanEvent) {
 }
 
 // Note records a free-form breadcrumb (stage summaries, test context) on
-// the given site's ring.
+// the given site's ring — the same dense ring the site's spans occupy
+// when a roster is attached.
 func (f *FlightRecorder) Note(site string, at int64, text string) {
 	f.Span(SpanEvent{At: at, Kind: KindNote, Site: site, Detail: text})
 }
@@ -73,6 +113,11 @@ func (f *FlightRecorder) Len() int {
 	for _, r := range f.rings {
 		n += r.n
 	}
+	for _, r := range f.dense {
+		if r != nil {
+			n += r.n
+		}
+	}
 	return n
 }
 
@@ -80,8 +125,22 @@ func (f *FlightRecorder) Len() int {
 // oldest first) in the SpanLog line format, with a header per site
 // noting how many older events the ring dropped.
 func (f *FlightRecorder) Dump(w io.Writer) error {
-	for _, site := range sortedSites(f.rings) {
-		r := f.rings[site]
+	named := make(map[string]*ring, len(f.rings)+len(f.dense))
+	for site, r := range f.rings { //lint:allow mapiter — collecting into a map rendered via sortedSites below
+		named[site] = r
+	}
+	for ref, r := range f.dense {
+		if r == nil {
+			continue
+		}
+		site := "(system)"
+		if ref > 0 {
+			site = string(f.roster.ID(core.Site(ref - 1)))
+		}
+		named[site] = r
+	}
+	for _, site := range sortedSites(named) {
+		r := named[site]
 		if _, err := fmt.Fprintf(w, "-- site %s: last %d span(s), %d dropped --\n", site, r.n, r.dropped); err != nil {
 			return err
 		}

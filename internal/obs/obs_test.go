@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 func TestNilInstrumentsNoop(t *testing.T) {
@@ -230,6 +232,92 @@ func TestChromeTraceValidJSON(t *testing.T) {
 	// Both events on s2 must share a tid distinct from s1's.
 	if recs[1]["tid"] == recs[3]["tid"] || recs[3]["tid"] != recs[4]["tid"] {
 		t.Fatalf("tid assignment wrong: %v %v %v", recs[1]["tid"], recs[3]["tid"], recs[4]["tid"])
+	}
+}
+
+// chromeTids parses a trace and returns the site → tid assignment from
+// its thread_name metadata records.
+func chromeTids(t *testing.T, raw []byte) map[string]float64 {
+	t.Helper()
+	var recs []map[string]any
+	if err := json.Unmarshal(raw, &recs); err != nil {
+		t.Fatalf("invalid trace JSON %q: %v", raw, err)
+	}
+	tids := make(map[string]float64)
+	for _, r := range recs {
+		if r["ph"] == "M" && r["name"] == "thread_name" {
+			args := r["args"].(map[string]any)
+			tids[args["name"].(string)] = r["tid"].(float64)
+		}
+	}
+	return tids
+}
+
+// TestChromeTraceRosterStableTids pins the UseRoster contract: thread IDs
+// are a function of the sealed membership alone, so two runs whose sites
+// speak in different orders still number every track identically (the
+// first-seen fallback, by contrast, assigns tids in arrival order).
+func TestChromeTraceRosterStableTids(t *testing.T) {
+	roster := core.NewRoster([]core.SiteID{"a", "b", "c"})
+	run := func(order []string) (map[string]float64, int) {
+		var buf bytes.Buffer
+		c := NewChromeTrace(&buf)
+		c.UseRoster(roster)
+		for i, site := range order {
+			ref := int32(roster.MustSite(core.SiteID(site))) + 1
+			c.Span(SpanEvent{ID: uint64(i + 1), At: int64(i * 10), Kind: KindRaise, Site: site, SiteRef: ref, Type: "A"})
+		}
+		c.Span(SpanEvent{At: 99, Kind: KindNote, Detail: "tick"}) // system track
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var recs []map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &recs); err != nil {
+			t.Fatalf("invalid trace JSON: %v", err)
+		}
+		return chromeTids(t, buf.Bytes()), len(recs)
+	}
+	first, n1 := run([]string{"c", "a", "b"})
+	second, n2 := run([]string{"b", "c", "a"})
+	if n1 != n2 {
+		t.Fatalf("record counts differ: %d vs %d", n1, n2)
+	}
+	want := map[string]float64{"a": 1, "b": 2, "c": 3, "(system)": 4}
+	for site, tid := range want {
+		if first[site] != tid || second[site] != tid {
+			t.Fatalf("tid[%s] = %v / %v across runs, want %v (map %v)", site, first[site], second[site], tid, first)
+		}
+	}
+}
+
+// TestFlightRecorderRosterKeying pins the dense-ring contract: a
+// SiteRef-carrying span and a Note addressed by site name share one ring.
+func TestFlightRecorderRosterKeying(t *testing.T) {
+	roster := core.NewRoster([]core.SiteID{"a", "b"})
+	f := NewFlightRecorder(4)
+	f.UseRoster(roster)
+	ref := int32(roster.MustSite("b")) + 1
+	f.Span(SpanEvent{ID: 1, At: 10, Kind: KindRelease, Site: "b", SiteRef: ref, Type: "A"})
+	f.Note("b", 20, "checkpoint")
+	f.Note("", 30, "tick done")            // system ring
+	f.Note("zz", 40, "off-roster visitor") // name-keyed fallback
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", f.Len())
+	}
+	var buf bytes.Buffer
+	if err := f.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `-- site (system): last 1 span(s), 0 dropped --
+at=30 kind=note id=0 detail="tick done"
+-- site b: last 2 span(s), 0 dropped --
+at=10 kind=release id=1 site=b type=A
+at=20 kind=note id=0 site=b detail="checkpoint"
+-- site zz: last 1 span(s), 0 dropped --
+at=40 kind=note id=0 site=zz detail="off-roster visitor"
+`
+	if buf.String() != want {
+		t.Fatalf("dump:\n%s\nwant:\n%s", buf.String(), want)
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/core"
 )
 
 // SpanKind names a lineage stage: the life of an occurrence is raise →
@@ -70,6 +72,13 @@ type SpanEvent struct {
 	// send/recv hop ("" otherwise).
 	Site string
 	Peer string
+	// SiteRef is Site's dense roster index plus one (0 = no site / not
+	// interned).  Emitters inside a sealed system set it so roster-aware
+	// sinks (ChromeTrace.UseRoster, FlightRecorder.UseRoster) can key
+	// their per-site state by integer instead of hashing the string.
+	// Text sinks ignore it — span logs print only the string, so
+	// determinism artifacts are unchanged.
+	SiteRef int32
 	// Type is the event type of the subject occurrence.
 	Type string
 	// Detail carries the composite timestamp (raise/detect) or other
@@ -250,12 +259,32 @@ type ChromeTrace struct {
 	// order; tidNames remembers them for ordering metadata.
 	tids  map[string]int
 	order []string
+	// refTids, once UseRoster runs, maps SpanEvent.SiteRef → tid (index 0
+	// is the "(system)" track), making the per-span tid lookup a slice
+	// index instead of a string hash.
+	refTids []int
 }
 
 // NewChromeTrace returns a Chrome trace writer targeting w.
 func NewChromeTrace(w io.Writer) *ChromeTrace {
 	_, err := io.WriteString(w, "[")
 	return &ChromeTrace{w: w, err: err, tids: make(map[string]int)}
+}
+
+// UseRoster pre-assigns every site's synthetic thread ID in roster
+// (canonical ID) order — tid i+1 for roster index i, with the "(system)"
+// track after them — and emits all the thread_name metadata up front.
+// Track numbering then depends only on the sealed membership, never on
+// which site happens to speak first, so traces from different runs,
+// worker counts or transport modes line up track-for-track.  Call it
+// before the first span; events carrying a SiteRef skip the string map
+// entirely afterwards.
+func (c *ChromeTrace) UseRoster(r *core.Roster) {
+	c.refTids = make([]int, r.Len()+1)
+	for i := 0; i < r.Len(); i++ {
+		c.refTids[i+1] = c.tid(string(r.ID(core.Site(i))))
+	}
+	c.refTids[0] = c.tid("")
 }
 
 // tid returns the synthetic thread ID for a site, emitting a
@@ -273,6 +302,20 @@ func (c *ChromeTrace) tid(site string) int {
 	c.order = append(c.order, site)
 	c.record(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`, id, site))
 	return id
+}
+
+// tidFor resolves an event's track: the dense SiteRef path when a roster
+// is attached, the first-seen string map otherwise.
+func (c *ChromeTrace) tidFor(ev SpanEvent) int {
+	if c.refTids != nil {
+		if ev.SiteRef > 0 && int(ev.SiteRef) < len(c.refTids) {
+			return c.refTids[ev.SiteRef]
+		}
+		if ev.Site == "" {
+			return c.refTids[0]
+		}
+	}
+	return c.tid(ev.Site)
 }
 
 // record writes one JSON object into the stream.
@@ -293,7 +336,7 @@ func (c *ChromeTrace) Span(ev SpanEvent) {
 	if c.err != nil {
 		return
 	}
-	tid := c.tid(ev.Site)
+	tid := c.tidFor(ev)
 	var args strings.Builder
 	fmt.Fprintf(&args, `{"id":%d`, ev.ID)
 	if ev.Peer != "" {

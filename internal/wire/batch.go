@@ -29,6 +29,12 @@ var scratchPool = sync.Pool{New: func() any { return new([]byte) }}
 // may be nil or a recycled buffer).  It rejects empty batches and
 // KindBatch members.
 func AppendBatch(dst []byte, envs []Envelope) ([]byte, error) {
+	return appendBatchWith(dst, envs, EncodeAppend)
+}
+
+// appendBatchWith is the shared batch-framing body: enc supplies the
+// member encoding (the string EncodeAppend, or a Codec's dense form).
+func appendBatchWith(dst []byte, envs []Envelope, enc func([]byte, Envelope) ([]byte, error)) ([]byte, error) {
 	if len(envs) == 0 {
 		return nil, errors.New("wire: empty batch")
 	}
@@ -41,7 +47,7 @@ func AppendBatch(dst []byte, envs []Envelope) ([]byte, error) {
 	scratch := *sp
 	var err error
 	for i := range envs {
-		scratch, err = EncodeAppend(scratch[:0], envs[i])
+		scratch, err = enc(scratch[:0], envs[i])
 		if err != nil {
 			err = fmt.Errorf("wire: batch envelope %d: %w", i, err)
 			dst = nil
@@ -65,6 +71,12 @@ func IsBatch(buf []byte) bool {
 // is bounded by one envelope regardless of the count the frame claims,
 // and all the single-envelope hostile-input limits apply to each member.
 func DecodeBatch(buf []byte, fn func(Envelope) error) error {
+	return decodeBatchWith(buf, Decode, fn)
+}
+
+// decodeBatchWith is the shared batch-walking body: dec parses each
+// member frame (the string Decode, or a Codec's dense-aware form).
+func decodeBatchWith(buf []byte, dec func([]byte) (Envelope, error), fn func(Envelope) error) error {
 	r := &reader{buf: buf}
 	kind, err := r.byte()
 	if err != nil {
@@ -95,7 +107,7 @@ func DecodeBatch(buf []byte, fn func(Envelope) error) error {
 		r.pos += int(l)
 		// Decode rejects trailing garbage, so the member must fill its
 		// declared window exactly, and rejects KindBatch (ErrNestedBatch).
-		e, err := Decode(member)
+		e, err := dec(member)
 		if err != nil {
 			return fmt.Errorf("wire: batch envelope %d: %w", i, err)
 		}

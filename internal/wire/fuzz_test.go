@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/event"
 )
 
@@ -80,17 +81,70 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 	longStr = binary.AppendVarint(longStr, 0)
 	longStr = binary.AppendUvarint(longStr, 1<<40) // type-string length
 	seeds = append(seeds, longStr)
+
+	// Roster-aware frames (decoded by fuzzCodec in exercise).
+	roster := fuzzCodec.Roster
+	seeds = append(seeds, AppendRoster(nil, roster))
+	idxEnv, err := fuzzCodec.Encode(Envelope{Kind: KindEvent, Occ: occ, RaisedAt: 9})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	delta, err := fuzzCodec.Encode(Envelope{Kind: KindHeartbeat, Global: 3, RaisedAt: 31})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	denseBatch, err := fuzzCodec.AppendBatch(nil, []Envelope{
+		{Kind: KindEvent, Occ: occ, RaisedAt: 9},
+		{Kind: KindHeartbeat, Global: 4, RaisedAt: 42},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seeds = append(seeds,
+		idxEnv,
+		delta,
+		denseBatch,
+		idxEnv[:len(idxEnv)/2],         // truncated idx frame
+		delta[:len(delta)-1],           // truncated delta
+		denseBatch[:len(denseBatch)-2], // truncated dense batch
+	)
+	// Unknown site index: one past the roster length.
+	unknownIdx := []byte{KindEventIdx}
+	unknownIdx = binary.AppendVarint(unknownIdx, 0)
+	unknownIdx = appendString(unknownIdx, "T")
+	unknownIdx = append(unknownIdx, 0)
+	unknownIdx = binary.AppendUvarint(unknownIdx, uint64(roster.Len()))
+	seeds = append(seeds, unknownIdx)
+	// Duplicate site in a roster frame.
+	dupRoster := []byte{KindRoster}
+	dupRoster = binary.AppendUvarint(dupRoster, 2)
+	dupRoster = appendString(dupRoster, "s")
+	dupRoster = appendString(dupRoster, "s")
+	seeds = append(seeds, dupRoster)
+	// Hostile roster count with no members.
+	seeds = append(seeds, binary.AppendUvarint([]byte{KindRoster}, 1<<40))
 	return seeds
 }
 
-// exercise runs every decoder entry point over data; any panic or
-// unbounded allocation is the fuzzer's (or the corpus test's) failure.
+// fuzzCodec is the roster-aware decoder under attack alongside the string
+// one: a small fixed roster and granule, so idx and delta seeds decode.
+var fuzzCodec = &Codec{
+	Roster:  core.NewRoster([]core.SiteID{"bank1", "s", "t"}),
+	Granule: 10,
+}
+
+// exercise runs every decoder entry point over data — the string codec
+// and the roster-aware one; any panic or unbounded allocation is the
+// fuzzer's (or the corpus test's) failure.
 func exercise(data []byte) {
 	if IsBatch(data) {
 		_ = DecodeBatch(data, discard)
+		_ = fuzzCodec.DecodeBatch(data, discard)
 	}
 	_, _ = Decode(data)
+	_, _ = fuzzCodec.Decode(data)
 	_, _ = DecodeOccurrence(data)
+	_, _ = DecodeRoster(data)
 }
 
 func FuzzDecode(f *testing.F) {

@@ -1,0 +1,358 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// This file is the roster-aware side of the codec (DESIGN.md §2g): once
+// both ends of a link share a sealed core.Roster, site identities travel
+// as uvarint dense indexes instead of length-prefixed strings, and
+// heartbeat frontiers are delta-encoded against the raise time.  The
+// string frames of wire.go remain the rosterless interchange form — a
+// Codec decodes both, so old captures and the fuzz corpus stay readable.
+//
+// Frames:
+//
+//	KindRoster        | uvarint n | n × string        (strictly ascending)
+//	KindEventIdx      | varint raisedAt | occurrence with uvarint site indexes
+//	KindFrontierDelta | varint raisedAt | varint (global − raisedAt/granule)
+//
+// The delta form exploits that a watermark heartbeat's global frontier
+// tracks its own raise time: with the granule (microticks per global
+// tick) agreed out of band, the difference is a small integer — typically
+// one varint byte where the absolute global costs four or five.
+
+// Roster-aware message kinds.
+const (
+	// KindRoster frames a sealed site membership (see AppendRoster).
+	KindRoster byte = 4
+	// KindEventIdx is KindEvent with interned sites.
+	KindEventIdx byte = 5
+	// KindFrontierDelta is KindHeartbeat with the global frontier encoded
+	// as a delta against the raise time's granule.
+	KindFrontierDelta byte = 6
+)
+
+// Errors specific to roster frames.
+var (
+	// ErrUnknownSite marks a site index at or beyond the roster length, or
+	// an idx frame decoded without a roster.
+	ErrUnknownSite = errors.New("wire: site index outside roster")
+	// ErrDuplicateSite marks a roster frame whose IDs are not strictly
+	// ascending — duplicates and disorder are both corruption, since
+	// NewRoster output is canonical by construction.
+	ErrDuplicateSite = errors.New("wire: roster sites not strictly ascending")
+)
+
+// maxRosterSites bounds a roster frame's claimed membership.
+const maxRosterSites = 1 << 16
+
+// AppendRoster encodes a roster frame: the sealed membership in canonical
+// order, so equal rosters always produce identical bytes.
+func AppendRoster(dst []byte, r *core.Roster) []byte {
+	dst = append(dst, KindRoster)
+	dst = appendUvarint(dst, uint64(r.Len()))
+	for _, id := range r.IDs() {
+		dst = appendString(dst, string(id))
+	}
+	return dst
+}
+
+// DecodeRoster parses a roster frame, rejecting disorder, duplicates and
+// trailing garbage.
+func DecodeRoster(buf []byte) (*core.Roster, error) {
+	r := &reader{buf: buf}
+	kind, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindRoster {
+		return nil, fmt.Errorf("%w: kind %d is not a roster frame", ErrBadTag, kind)
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, errors.New("wire: empty roster")
+	}
+	if n > maxRosterSites {
+		return nil, fmt.Errorf("%w: roster of %d sites", ErrTruncated, n)
+	}
+	capHint := n
+	if capHint > 1024 {
+		capHint = 1024 // never trust the claimed count for allocation
+	}
+	ids := make([]core.SiteID, 0, capHint)
+	prev := ""
+	for i := uint64(0); i < n; i++ {
+		s, err := r.str(maxString)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && s <= prev {
+			return nil, fmt.Errorf("%w: %q after %q", ErrDuplicateSite, s, prev)
+		}
+		prev = s
+		ids = append(ids, core.SiteID(s))
+	}
+	if r.pos != len(buf) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after roster", len(buf)-r.pos)
+	}
+	return core.NewRoster(ids), nil
+}
+
+// Codec is the roster-aware encoder/decoder for one sealed run.  Both
+// ends build it from shared configuration (the roster from the sealed
+// membership, the granule from the clock's local-per-global ratio), so
+// delta frames decode statelessly.  A zero Granule disables frontier
+// deltas; a nil Roster makes Codec equivalent to the package-level
+// string codec.
+//
+// Codec is immutable after construction and safe for concurrent use.
+type Codec struct {
+	Roster *core.Roster
+	// Granule is the number of RaisedAt microticks per global granule
+	// (clock's local-per-global ratio), the shared reference the frontier
+	// delta is taken against.
+	Granule int64
+}
+
+// frontierBase is the shared reference point a heartbeat's global
+// frontier is delta-encoded against: the granule floor of its raise time.
+func (c *Codec) frontierBase(raisedAt int64) int64 {
+	g := raisedAt / c.Granule
+	if raisedAt < 0 && raisedAt%c.Granule != 0 {
+		g--
+	}
+	return g
+}
+
+// EncodeAppend serializes an envelope in the densest form the codec
+// supports: interned occurrence frames when a roster is attached
+// (ErrUnknownSite if the occurrence mentions a site outside it) and
+// delta heartbeats when a granule is configured.
+func (c *Codec) EncodeAppend(dst []byte, e Envelope) ([]byte, error) {
+	switch e.Kind {
+	case KindHeartbeat:
+		if c.Granule <= 0 {
+			return EncodeAppend(dst, e)
+		}
+		dst = append(dst, KindFrontierDelta)
+		dst = appendVarint(dst, e.RaisedAt)
+		return appendVarint(dst, e.Global-c.frontierBase(e.RaisedAt)), nil
+	case KindEvent:
+		if c.Roster == nil {
+			return EncodeAppend(dst, e)
+		}
+		if e.Occ == nil {
+			return nil, errors.New("wire: event envelope without occurrence")
+		}
+		dst = append(dst, KindEventIdx)
+		dst = appendVarint(dst, e.RaisedAt)
+		return c.appendOccurrenceIdx(dst, e.Occ, 0)
+	case KindBatch:
+		return nil, ErrNestedBatch
+	default:
+		return nil, fmt.Errorf("%w: envelope kind %d", ErrBadTag, e.Kind)
+	}
+}
+
+// Encode is the allocating form of EncodeAppend.
+func (c *Codec) Encode(e Envelope) ([]byte, error) {
+	return c.EncodeAppend(make([]byte, 0, 64), e)
+}
+
+// appendSite writes one interned site identity.
+func (c *Codec) appendSite(dst []byte, id core.SiteID) ([]byte, error) {
+	s := c.Roster.Site(id)
+	if s == core.NoSite {
+		return nil, fmt.Errorf("%w: %q not in roster", ErrUnknownSite, id)
+	}
+	return appendUvarint(dst, uint64(s)), nil
+}
+
+// appendOccurrenceIdx is appendOccurrence with every site identity —
+// the occurrence's own and each stamp component's — as a roster index.
+func (c *Codec) appendOccurrenceIdx(b []byte, o *event.Occurrence, depth int) ([]byte, error) {
+	if depth > maxDepth {
+		return nil, fmt.Errorf("wire: occurrence tree deeper than %d", maxDepth)
+	}
+	b = appendString(b, o.Type)
+	b = append(b, byte(o.Class))
+	b, err := c.appendSite(b, o.Site)
+	if err != nil {
+		return nil, err
+	}
+	b = appendUvarint(b, o.Seq)
+	b = appendUvarint(b, uint64(len(o.Stamp)))
+	for _, t := range o.Stamp {
+		b, err = c.appendSite(b, t.Site)
+		if err != nil {
+			return nil, err
+		}
+		b = appendVarint(b, t.Global)
+		b = appendVarint(b, t.Local)
+	}
+	b, err = AppendParams(b, o.Params)
+	if err != nil {
+		return nil, err
+	}
+	b = appendUvarint(b, uint64(len(o.Constituents)))
+	for _, k := range o.Constituents {
+		b, err = c.appendOccurrenceIdx(b, k, depth+1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// site reads one interned site identity, validating against the roster.
+func (c *Codec) site(r *reader) (core.SiteID, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if c.Roster == nil || v >= uint64(c.Roster.Len()) {
+		return "", fmt.Errorf("%w: index %d", ErrUnknownSite, v)
+	}
+	return c.Roster.ID(core.Site(v)), nil
+}
+
+func (c *Codec) occurrenceIdx(r *reader, depth int) (*event.Occurrence, error) {
+	if depth > maxDepth {
+		return nil, fmt.Errorf("wire: occurrence tree deeper than %d", maxDepth)
+	}
+	typ, err := r.str(maxString)
+	if err != nil {
+		return nil, err
+	}
+	classByte, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	site, err := c.site(r)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	nStamps, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nStamps > maxComponents {
+		return nil, fmt.Errorf("%w: %d stamp components", ErrTruncated, nStamps)
+	}
+	stamp := make(core.SetStamp, 0, nStamps)
+	for i := uint64(0); i < nStamps; i++ {
+		ts, err := c.site(r)
+		if err != nil {
+			return nil, err
+		}
+		g, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		l, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		stamp = append(stamp, core.Stamp{Site: ts, Global: g, Local: l})
+	}
+	params, err := r.params()
+	if err != nil {
+		return nil, err
+	}
+	nKids, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nKids > maxConstituents {
+		return nil, fmt.Errorf("%w: %d constituents", ErrTruncated, nKids)
+	}
+	o := &event.Occurrence{
+		Type:   typ,
+		Class:  event.Class(classByte),
+		Site:   site,
+		Seq:    seq,
+		Stamp:  stamp,
+		Params: params,
+	}
+	for i := uint64(0); i < nKids; i++ {
+		k, err := c.occurrenceIdx(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		o.Constituents = append(o.Constituents, k)
+	}
+	return o, nil
+}
+
+// Decode parses any envelope frame — interned, delta, or the legacy
+// string forms — rejecting trailing garbage.  Idx frames require the
+// codec's roster (ErrUnknownSite otherwise); delta frames require its
+// granule.
+func (c *Codec) Decode(buf []byte) (Envelope, error) {
+	if len(buf) == 0 {
+		return Envelope{}, ErrTruncated
+	}
+	switch buf[0] {
+	case KindEvent, KindHeartbeat:
+		return Decode(buf)
+	case KindBatch:
+		return Envelope{}, ErrNestedBatch
+	case KindRoster:
+		return Envelope{}, fmt.Errorf("%w: roster frame in envelope position", ErrBadTag)
+	}
+	r := &reader{buf: buf}
+	kind, _ := r.byte()
+	raisedAt, err := r.varint()
+	if err != nil {
+		return Envelope{}, err
+	}
+	e := Envelope{RaisedAt: raisedAt}
+	switch kind {
+	case KindFrontierDelta:
+		if c.Granule <= 0 {
+			return Envelope{}, fmt.Errorf("%w: frontier delta without a granule", ErrBadTag)
+		}
+		delta, err := r.varint()
+		if err != nil {
+			return Envelope{}, err
+		}
+		e.Kind = KindHeartbeat
+		e.Global = c.frontierBase(raisedAt) + delta
+	case KindEventIdx:
+		o, err := c.occurrenceIdx(r, 0)
+		if err != nil {
+			return Envelope{}, err
+		}
+		e.Kind = KindEvent
+		e.Occ = o
+	default:
+		return Envelope{}, fmt.Errorf("%w: envelope kind %d", ErrBadTag, kind)
+	}
+	if r.pos != len(buf) {
+		return Envelope{}, fmt.Errorf("wire: %d trailing bytes", len(buf)-r.pos)
+	}
+	return e, nil
+}
+
+// AppendBatch is AppendBatch with the codec's dense member encoding.
+func (c *Codec) AppendBatch(dst []byte, envs []Envelope) ([]byte, error) {
+	return appendBatchWith(dst, envs, c.EncodeAppend)
+}
+
+// DecodeBatch is DecodeBatch accepting the codec's dense member frames
+// alongside the legacy string ones.
+func (c *Codec) DecodeBatch(buf []byte, fn func(Envelope) error) error {
+	return decodeBatchWith(buf, c.Decode, fn)
+}

@@ -1,0 +1,240 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+func testRoster() *core.Roster {
+	return core.NewRoster([]core.SiteID{"bank1", "bank2", "hq", "s"})
+}
+
+func testCodec() *Codec {
+	return &Codec{Roster: testRoster(), Granule: 10}
+}
+
+func codecOccurrence() *event.Occurrence {
+	inner := event.NewPrimitive("Withdraw", event.Database, stamp("bank2", 41), nil)
+	o := event.NewPrimitive("Deposit", event.Database, stamp("bank1", 123), event.Params{
+		"amount": int64(40), "memo": "salary", "rate": 1.5, "flag": true, "u": uint64(3),
+	})
+	o.Seq = 7
+	o.Constituents = append(o.Constituents, inner)
+	o.Stamp = core.NewSetStamp(stamp("bank1", 123), stamp("hq", 124))
+	return o
+}
+
+func TestRosterFrameRoundTrip(t *testing.T) {
+	r := testRoster()
+	buf := AppendRoster(nil, r)
+	got, err := DecodeRoster(buf)
+	if err != nil {
+		t.Fatalf("DecodeRoster: %v", err)
+	}
+	if !reflect.DeepEqual(got.IDs(), r.IDs()) {
+		t.Fatalf("round trip = %v, want %v", got.IDs(), r.IDs())
+	}
+}
+
+func TestRosterFrameHostile(t *testing.T) {
+	dup := []byte{KindRoster}
+	dup = binary.AppendUvarint(dup, 2)
+	dup = appendString(dup, "a")
+	dup = appendString(dup, "a")
+	if _, err := DecodeRoster(dup); !errors.Is(err, ErrDuplicateSite) {
+		t.Fatalf("duplicate site: err = %v, want ErrDuplicateSite", err)
+	}
+	disorder := []byte{KindRoster}
+	disorder = binary.AppendUvarint(disorder, 2)
+	disorder = appendString(disorder, "b")
+	disorder = appendString(disorder, "a")
+	if _, err := DecodeRoster(disorder); !errors.Is(err, ErrDuplicateSite) {
+		t.Fatalf("disorder: err = %v, want ErrDuplicateSite", err)
+	}
+	huge := binary.AppendUvarint([]byte{KindRoster}, 1<<40)
+	if _, err := DecodeRoster(huge); err == nil {
+		t.Fatal("hostile roster count accepted")
+	}
+	if _, err := DecodeRoster(binary.AppendUvarint([]byte{KindRoster}, 0)); err == nil {
+		t.Fatal("empty roster accepted")
+	}
+}
+
+func TestCodecEventIdxRoundTrip(t *testing.T) {
+	c := testCodec()
+	e := Envelope{Kind: KindEvent, Occ: codecOccurrence(), RaisedAt: 1234}
+	buf, err := c.Encode(e)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if buf[0] != KindEventIdx {
+		t.Fatalf("kind byte = %d, want KindEventIdx", buf[0])
+	}
+	got, err := c.Decode(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Kind != KindEvent || got.RaisedAt != 1234 {
+		t.Fatalf("envelope header = %+v", got)
+	}
+	if !reflect.DeepEqual(got.Occ, e.Occ) {
+		t.Fatalf("occurrence round trip:\n got %+v\nwant %+v", got.Occ, e.Occ)
+	}
+	// The interned frame must beat the string frame on size — that is the
+	// whole point of the encoding.
+	strBuf, err := Encode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) >= len(strBuf) {
+		t.Fatalf("idx frame %dB not smaller than string frame %dB", len(buf), len(strBuf))
+	}
+}
+
+func TestCodecFrontierDeltaRoundTrip(t *testing.T) {
+	c := testCodec()
+	for _, tc := range []struct{ global, raisedAt int64 }{
+		{global: 123, raisedAt: 1234},  // frontier exactly at the raise granule
+		{global: 120, raisedAt: 1239},  // frontier behind
+		{global: 125, raisedAt: 1230},  // frontier ahead
+		{global: -3, raisedAt: -25},    // negative time (floor semantics)
+		{global: 0, raisedAt: 0},       // origin
+		{global: 1 << 40, raisedAt: 7}, // wild skew still round-trips
+	} {
+		e := Envelope{Kind: KindHeartbeat, Global: tc.global, RaisedAt: tc.raisedAt}
+		buf, err := c.Encode(e)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", tc, err)
+		}
+		if buf[0] != KindFrontierDelta {
+			t.Fatalf("kind byte = %d, want KindFrontierDelta", buf[0])
+		}
+		got, err := c.Decode(buf)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", tc, err)
+		}
+		if got.Kind != KindHeartbeat || got.Global != tc.global || got.RaisedAt != tc.raisedAt {
+			t.Fatalf("round trip %+v = %+v", tc, got)
+		}
+	}
+	// A tracking frontier (global ≈ raisedAt/granule) must delta-encode
+	// smaller than the absolute form.
+	e := Envelope{Kind: KindHeartbeat, Global: 123456, RaisedAt: 1234567}
+	dense, _ := c.Encode(e)
+	str, _ := Encode(e)
+	if len(dense) >= len(str) {
+		t.Fatalf("delta frame %dB not smaller than absolute frame %dB", len(dense), len(str))
+	}
+}
+
+func TestCodecDecodesLegacyFrames(t *testing.T) {
+	c := testCodec()
+	e := Envelope{Kind: KindHeartbeat, Global: 9, RaisedAt: 90}
+	legacy, err := Encode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(legacy)
+	if err != nil {
+		t.Fatalf("codec rejected legacy heartbeat: %v", err)
+	}
+	if got != e {
+		t.Fatalf("legacy round trip = %+v, want %+v", got, e)
+	}
+	ev := Envelope{Kind: KindEvent, Occ: codecOccurrence(), RaisedAt: 5}
+	legacyEv, err := Encode(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEv, err := c.Decode(legacyEv)
+	if err != nil {
+		t.Fatalf("codec rejected legacy event: %v", err)
+	}
+	if !reflect.DeepEqual(gotEv.Occ, ev.Occ) {
+		t.Fatal("legacy event occurrence mismatch")
+	}
+}
+
+func TestCodecHostileInputs(t *testing.T) {
+	c := testCodec()
+	// Unknown site index: one past the roster.
+	bad := []byte{KindEventIdx}
+	bad = binary.AppendVarint(bad, 0) // raisedAt
+	bad = appendString(bad, "T")
+	bad = append(bad, 0)                                    // class
+	bad = binary.AppendUvarint(bad, uint64(c.Roster.Len())) // site index out of range
+	if _, err := c.Decode(bad); !errors.Is(err, ErrUnknownSite) {
+		t.Fatalf("unknown index: err = %v, want ErrUnknownSite", err)
+	}
+	// Encoding a site outside the roster must fail, not silently intern.
+	alien := event.NewPrimitive("T", event.Database, stamp("alien", 1), nil)
+	if _, err := c.Encode(Envelope{Kind: KindEvent, Occ: alien, RaisedAt: 0}); !errors.Is(err, ErrUnknownSite) {
+		t.Fatalf("alien encode: err = %v, want ErrUnknownSite", err)
+	}
+	// Truncated delta: header but no delta varint.
+	trunc := []byte{KindFrontierDelta}
+	trunc = binary.AppendVarint(trunc, 1234)
+	if _, err := c.Decode(trunc); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated delta: err = %v, want ErrTruncated", err)
+	}
+	// A delta frame is undecodable without a granule.
+	whole := binary.AppendVarint(trunc, 0)
+	noGranule := &Codec{Roster: c.Roster}
+	if _, err := noGranule.Decode(whole); err == nil {
+		t.Fatal("granule-less codec accepted a delta frame")
+	}
+	// An idx frame is undecodable without a roster.
+	good, err := c.Encode(Envelope{Kind: KindEvent, Occ: codecOccurrence(), RaisedAt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noRoster := &Codec{Granule: 10}
+	if _, err := noRoster.Decode(good); !errors.Is(err, ErrUnknownSite) {
+		t.Fatalf("rosterless idx decode: err = %v, want ErrUnknownSite", err)
+	}
+	// Roster frames never sit in envelope positions.
+	if _, err := c.Decode(AppendRoster(nil, c.Roster)); !errors.Is(err, ErrBadTag) {
+		t.Fatalf("roster in envelope position: err = %v, want ErrBadTag", err)
+	}
+}
+
+func TestCodecBatchRoundTrip(t *testing.T) {
+	c := testCodec()
+	envs := []Envelope{
+		{Kind: KindEvent, Occ: codecOccurrence(), RaisedAt: 9},
+		{Kind: KindHeartbeat, Global: 4, RaisedAt: 49},
+		{Kind: KindHeartbeat, Global: 6, RaisedAt: 58},
+	}
+	buf, err := c.AppendBatch(nil, envs)
+	if err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if !IsBatch(buf) {
+		t.Fatal("codec batch not recognized by IsBatch")
+	}
+	var got []Envelope
+	if err := c.DecodeBatch(buf, func(e Envelope) error { got = append(got, e); return nil }); err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if len(got) != len(envs) {
+		t.Fatalf("decoded %d envelopes, want %d", len(got), len(envs))
+	}
+	for i := range envs {
+		if got[i].Kind != envs[i].Kind || got[i].Global != envs[i].Global || got[i].RaisedAt != envs[i].RaisedAt {
+			t.Fatalf("member %d = %+v, want %+v", i, got[i], envs[i])
+		}
+	}
+	if !reflect.DeepEqual(got[0].Occ, envs[0].Occ) {
+		t.Fatal("member occurrence mismatch")
+	}
+	// The string DecodeBatch must reject dense members — rosterless
+	// receivers cannot resolve indexes, and silence would corrupt.
+	if err := DecodeBatch(buf, discard); err == nil {
+		t.Fatal("string DecodeBatch accepted dense members")
+	}
+}

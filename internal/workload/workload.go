@@ -36,6 +36,28 @@ func SubSeed(seed int64, domain string) int64 {
 	return int64(z ^ (z >> 31))
 }
 
+// SiteIDs generates n site identifiers ("site00".."siteNN") zero-padded
+// to the width of the largest index, so the lexical SiteID order equals
+// the numeric index order for any n.  That equality is load-bearing once
+// membership is sealed: the roster interns IDs in sorted order, and code
+// that builds topology with SiteIDs(n) gets roster index i == generation
+// index i.  Width is at least 2, which keeps runs of up to 100 sites
+// byte-identical with the historical "site%02d" naming.
+func SiteIDs(n int) []core.SiteID {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: SiteIDs(%d)", n))
+	}
+	width := 2
+	for limit := 100; n > limit; limit *= 10 {
+		width++
+	}
+	ids := make([]core.SiteID, n)
+	for i := range ids {
+		ids[i] = core.SiteID(fmt.Sprintf("site%0*d", width, i))
+	}
+	return ids
+}
+
 // Item is one scheduled primitive event raising.
 type Item struct {
 	At     clock.Microticks

@@ -29,6 +29,29 @@ func TestSubSeed(t *testing.T) {
 	}
 }
 
+func TestSiteIDsLexicalOrderEqualsIndexOrder(t *testing.T) {
+	for _, n := range []int{1, 2, 16, 99, 100, 101, 1024, 2048} {
+		ids := SiteIDs(n)
+		if len(ids) != n {
+			t.Fatalf("SiteIDs(%d) returned %d ids", n, len(ids))
+		}
+		for i := 1; i < n; i++ {
+			if !(ids[i-1] < ids[i]) {
+				t.Fatalf("SiteIDs(%d): ids[%d]=%q !< ids[%d]=%q — roster order would diverge from generation order",
+					n, i-1, ids[i-1], i, ids[i])
+			}
+		}
+	}
+	// Pinned: runs of ≤ 100 sites keep the historical two-digit naming, so
+	// published distsim eventlogs and traces stay byte-identical.
+	if ids := SiteIDs(16); ids[0] != "site00" || ids[15] != "site15" {
+		t.Fatalf("SiteIDs(16) = %q..%q, want site00..site15", ids[0], ids[15])
+	}
+	if ids := SiteIDs(2048); ids[0] != "site0000" || ids[2047] != "site2047" {
+		t.Fatalf("SiteIDs(2048) = %q..%q, want site0000..site2047", ids[0], ids[2047])
+	}
+}
+
 func TestGenStreamDeterministic(t *testing.T) {
 	cfg := StreamConfig{
 		Sites: []core.SiteID{"a", "b"}, Types: []string{"X", "Y"},
