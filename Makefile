@@ -1,26 +1,35 @@
 # Tier-1 verification for this repo.  `make ci` is what a reviewer (or a
 # CI job) runs: vet, lint, build, the full test suite under the race
 # detector — the parallel detect stage makes -race load-bearing, not
-# optional — and the pipeline determinism regression explicitly by name
-# so a renamed or skipped test fails loudly.
+# optional — the pipeline determinism regression explicitly by name so a
+# renamed or skipped test fails loudly, the compiler escape-analysis
+# gate, and the allocs/op budget inside bench-smoke.
 
 GO ?= go
 LINT := bin/sentinel-lint
 BENCHJSON := bin/benchjson
 
-.PHONY: ci vet lint build test race determinism obs-determinism trace-overhead bench bench-smoke bench-diff scale-smoke
+.PHONY: ci vet lint build test race determinism obs-determinism trace-overhead escape-gate bench bench-smoke bench-diff scale-smoke
 
-ci: vet lint build race determinism obs-determinism trace-overhead bench-smoke scale-smoke
+ci: vet lint build race determinism obs-determinism trace-overhead escape-gate bench-smoke scale-smoke
 
 vet:
 	$(GO) vet ./...
 
 # The repo's own analyzer suite (walltime, stampcmp, mapiter, sitemap,
-# stagefx, obsfx — see DESIGN.md "Enforced invariants"), driven through
-# the go vet unit-checker protocol so test variants are covered too.
+# stagefx, obsfx, hotalloc — see DESIGN.md "Enforced invariants"),
+# driven through the go vet unit-checker protocol so test variants are
+# covered too and per-package facts flow bottom-up for the
+# interprocedural checks.
 lint:
 	$(GO) build -o $(LINT) ./cmd/sentinel-lint
 	$(GO) vet -vettool=$(LINT) ./...
+
+# Compiler-proven heap escapes in the hot packages, diffed against the
+# committed escape.manifest.  A new or increased escape fails; shrink
+# the manifest with `go run ./cmd/escapegate -update` after reviewing.
+escape-gate:
+	$(GO) run ./cmd/escapegate
 
 build:
 	$(GO) build ./...
@@ -49,29 +58,37 @@ trace-overhead:
 	SENTINEL_TRACE_OVERHEAD=1 $(GO) test -run 'TestTraceOverheadSmoke' -v .
 
 # Full benchmark run (root harness + eventlog + transport + obs layers),
-# archived machine-readably at the repo root.  BENCH_pr5.json, when
+# archived machine-readably at the repo root.  BENCH_pr6.json, when
 # present, is embedded so the report carries its own before/after
-# comparison of the PR-6 site-interning refactor (the 16-site e2e ns/op
-# must hold within ±2% of that baseline; BenchmarkScaleSites adds the
-# 16 → 2048 membership curve with bytes-on-wire).
+# comparison of the PR-7 hot-path allocation sweep (the e2e rows drop
+# ~340 allocs/op — one Params map per detected composite).
 BENCH_PKGS := . ./internal/eventlog ./internal/network ./internal/wire ./internal/obs
 
 bench:
 	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
 	$(GO) test -bench . -benchmem -benchtime=200ms -count=3 -run '^$$' $(BENCH_PKGS) \
-		| tee /tmp/bench_pr6.txt
-	$(BENCHJSON) -out BENCH_pr6.json \
-		$$(test -f BENCH_pr5.json && echo -baseline BENCH_pr5.json) \
-		< /tmp/bench_pr6.txt
+		| tee /tmp/bench_pr7.txt
+	$(BENCHJSON) -out BENCH_pr7.json \
+		$$(test -f BENCH_pr6.json && echo -baseline BENCH_pr6.json) \
+		< /tmp/bench_pr7.txt
 
-# One-iteration smoke pass: every benchmark must still run to completion.
+# Smoke pass doubling as the allocs/op budget: every benchmark must run
+# to completion, and no benchmark's allocs/op may grow more than 10%
+# over the archived BENCH_pr7.json baseline.  100 iterations, not 1, so
+# one-time warmup allocations (pool fills, lazy maps, buffer growth)
+# amortize out of the per-op average instead of reading as phantom
+# regressions — at 20x the residue still inflated small benchmarks by a
+# whole alloc/op.
 bench-smoke:
-	$(GO) test -bench . -benchmem -benchtime=1x -run '^$$' $(BENCH_PKGS) > /dev/null
+	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
+	$(GO) test -bench . -benchmem -benchtime=100x -run '^$$' $(BENCH_PKGS) > /tmp/bench_smoke.txt
+	$(BENCHJSON) -out /tmp/bench_smoke.json < /tmp/bench_smoke.txt
+	$(BENCHJSON) -compare -max-alloc-regress 10 BENCH_pr7.json /tmp/bench_smoke.json > /dev/null
 
-# Delta table between the archived PR-5 and PR-6 benchmark runs.
+# Delta table between the archived PR-6 and PR-7 benchmark runs.
 bench-diff:
 	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
-	$(BENCHJSON) -compare BENCH_pr5.json BENCH_pr6.json
+	$(BENCHJSON) -compare BENCH_pr6.json BENCH_pr7.json
 
 # The PR-6 scale deliverable as a CI gate: a 512-site end-to-end run must
 # complete (and stay fast — the timeout is the assertion; before the dense

@@ -63,6 +63,8 @@ func main() {
 	out := flag.String("out", "", "output JSON file (default stdout)")
 	baseline := flag.String("baseline", "", "existing benchjson report whose records are embedded as the baseline")
 	compare := flag.Bool("compare", false, "compare two report files (old.json new.json) and print a delta table")
+	maxAllocRegress := flag.Float64("max-alloc-regress", -1,
+		"with -compare: fail (exit 1) if any benchmark's median allocs/op grew more than this percentage over the old report (0 = any growth fails)")
 	flag.Parse()
 
 	if *compare {
@@ -75,6 +77,16 @@ func main() {
 			var newRep *Report
 			if newRep, err = readReport(flag.Arg(1)); err == nil {
 				err = writeDelta(os.Stdout, flag.Arg(0), flag.Arg(1), oldRep.Records, newRep.Records)
+				if err == nil && *maxAllocRegress >= 0 {
+					bad := allocRegressions(oldRep.Records, newRep.Records, *maxAllocRegress)
+					if len(bad) > 0 {
+						for _, b := range bad {
+							fmt.Fprintln(os.Stderr, "benchjson:", b)
+						}
+						fmt.Fprintf(os.Stderr, "benchjson: allocs/op budget exceeded (max regression %.1f%%)\n", *maxAllocRegress)
+						os.Exit(1)
+					}
+				}
 			}
 		}
 		if err != nil {
@@ -82,6 +94,10 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+	if *maxAllocRegress >= 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: -max-alloc-regress only applies with -compare")
+		os.Exit(2)
 	}
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))
@@ -215,6 +231,29 @@ func writeDelta(w io.Writer, oldName, newName string, oldRecs, newRecs []Record)
 		fmt.Fprintf(w, "only in %s: %s\n", newName, strings.Join(onlyNew, ", "))
 	}
 	return nil
+}
+
+// allocRegressions lists the benchmarks present in both runs whose
+// median allocs/op grew beyond maxPct percent.  A benchmark the old run
+// measured at zero allocations fails on any growth: there is no base to
+// scale a tolerance from, and zero-alloc paths are exactly the ones the
+// budget exists to protect.
+func allocRegressions(oldRecs, newRecs []Record, maxPct float64) []string {
+	oldAgg, _ := aggregateRecords(oldRecs)
+	newAgg, newOrder := aggregateRecords(newRecs)
+	var bad []string
+	for _, name := range newOrder {
+		na := newAgg[name]
+		oa, ok := oldAgg[name]
+		if !ok || oa.AllocsPerOp == nil || na.AllocsPerOp == nil {
+			continue
+		}
+		o, n := *oa.AllocsPerOp, *na.AllocsPerOp
+		if n > o*(1+maxPct/100) {
+			bad = append(bad, fmt.Sprintf("%s: allocs/op %.1f -> %.1f (limit %+.1f%%)", name, o, n, maxPct))
+		}
+	}
+	return bad
 }
 
 // fmtNs keeps sub-microsecond results readable without drowning the

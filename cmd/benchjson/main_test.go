@@ -121,6 +121,37 @@ func TestWriteDelta(t *testing.T) {
 	}
 }
 
+func TestAllocRegressions(t *testing.T) {
+	oldRecs := []Record{
+		{Name: "BenchmarkFlat", NsPerOp: 10, AllocsPerOp: fp(10)},
+		{Name: "BenchmarkGrew", NsPerOp: 10, AllocsPerOp: fp(10)},
+		{Name: "BenchmarkZero", NsPerOp: 10, AllocsPerOp: fp(0)},
+		{Name: "BenchmarkNoMem", NsPerOp: 10},
+	}
+	newRecs := []Record{
+		{Name: "BenchmarkFlat", NsPerOp: 10, AllocsPerOp: fp(10)},
+		{Name: "BenchmarkGrew", NsPerOp: 10, AllocsPerOp: fp(13)},
+		{Name: "BenchmarkZero", NsPerOp: 10, AllocsPerOp: fp(1)},
+		{Name: "BenchmarkNoMem", NsPerOp: 10},
+		{Name: "BenchmarkOnlyNew", NsPerOp: 10, AllocsPerOp: fp(99)},
+	}
+	// 30% growth and 0 -> 1 both break a 10% budget; flat, unmeasured and
+	// unmatched benchmarks never do.
+	bad := allocRegressions(oldRecs, newRecs, 10)
+	if len(bad) != 2 {
+		t.Fatalf("regressions = %v, want BenchmarkGrew and BenchmarkZero", bad)
+	}
+	if !strings.Contains(bad[0], "BenchmarkGrew") || !strings.Contains(bad[1], "BenchmarkZero") {
+		t.Fatalf("regressions = %v", bad)
+	}
+	// A 50% budget tolerates the 30% growth but still rejects any growth
+	// from a zero-alloc baseline.
+	bad = allocRegressions(oldRecs, newRecs, 50)
+	if len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkZero") {
+		t.Fatalf("regressions at 50%% = %v", bad)
+	}
+}
+
 func TestParseEmptyErrors(t *testing.T) {
 	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\n"))); err == nil {
 		t.Fatal("expected an error on input with no benchmark lines")

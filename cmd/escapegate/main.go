@@ -1,0 +1,285 @@
+// Command escapegate holds the line on compiler-proven heap escapes in
+// the hot packages.
+//
+// The hotalloc analyzer (internal/analysis/hotalloc) enforces the
+// hot-path allocation discipline syntactically: it sees the constructs
+// that must allocate.  The compiler's escape analysis sees the other
+// half — values that *could* live on the stack but are proven to
+// escape — and its -m diagnostics are the ground truth the analyzer
+// cannot recover from syntax.  escapegate turns that output into a CI
+// gate:
+//
+//	go run ./cmd/escapegate           # compare against escape.manifest
+//	go run ./cmd/escapegate -update   # rewrite the manifest
+//
+// It builds the module with -gcflags='<module>/...=-m', keeps the
+// "escapes to heap" / "moved to heap" lines that fall inside the hot
+// packages, normalizes them to file-plus-message keys (line numbers
+// churn with every edit; the set of escaping expressions per file is
+// what the gate cares about), and diffs the tally against the committed
+// manifest.  New keys or increased counts fail the run with the exact
+// compiler lines, so `make ci` rejects a change that introduces a new
+// hot-path escape until the author either removes it or regenerates the
+// manifest with -update — making the regression a reviewed diff instead
+// of silent drift.  Shrunk or vanished entries only print a reminder to
+// -update: losing an escape should never block a build.
+//
+// The -m replay comes from the build cache when the packages are
+// already compiled, so the steady-state gate costs one cache probe, not
+// a rebuild.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// hotDirs are the module-relative package directories under the gate:
+// the packages the //sentinel:hotpath roots live in plus everything
+// those paths traverse per occurrence (stamp algebra, event model,
+// clock, transport, codec, pipeline driver).
+var hotDirs = []string{
+	"internal/core",
+	"internal/event",
+	"internal/clock",
+	"internal/ddetect",
+	"internal/detector",
+	"internal/network",
+	"internal/wire",
+	"internal/pipeline",
+}
+
+func main() {
+	update := flag.Bool("update", false, "rewrite the manifest from the current build instead of diffing")
+	manifest := flag.String("manifest", "escape.manifest", "manifest path, relative to the module root")
+	flag.Parse()
+
+	root, module, err := moduleInfo()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "escapegate:", err)
+		os.Exit(2)
+	}
+	out, err := buildWithEscapes(root, module)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "escapegate:", err)
+		os.Exit(2)
+	}
+	cur, lines := parseEscapes(out, hotDirs)
+
+	path := *manifest
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(root, path)
+	}
+	if *update {
+		if err := writeManifest(path, cur); err != nil {
+			fmt.Fprintln(os.Stderr, "escapegate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("escapegate: wrote %d entries (%d escape lines) to %s\n", len(cur), total(cur), path)
+		return
+	}
+
+	old, err := readManifest(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "escapegate: %v\nescapegate: run with -update to create the manifest\n", err)
+		os.Exit(2)
+	}
+	added, increased, shrunk := diffInventories(old, cur)
+	for _, k := range shrunk {
+		fmt.Printf("escapegate: note: %q now %d (manifest %d) — run -update to tighten the manifest\n", k, cur[k], old[k])
+	}
+	if len(added) == 0 && len(increased) == 0 {
+		fmt.Printf("escapegate: ok — %d escape lines across %d hot packages, no new heap escapes\n", total(cur), len(hotDirs))
+		return
+	}
+	for _, k := range added {
+		fmt.Fprintf(os.Stderr, "escapegate: NEW escape (%d): %s\n", cur[k], k)
+		for _, l := range lines[k] {
+			fmt.Fprintf(os.Stderr, "\t%s\n", l)
+		}
+	}
+	for _, k := range increased {
+		fmt.Fprintf(os.Stderr, "escapegate: INCREASED escape (%d -> %d): %s\n", old[k], cur[k], k)
+		for _, l := range lines[k] {
+			fmt.Fprintf(os.Stderr, "\t%s\n", l)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "escapegate: the hot path grew heap escapes — keep the value on the stack, or regenerate the manifest with -update and justify the diff in review")
+	os.Exit(1)
+}
+
+// moduleInfo resolves the module root directory and module path of the
+// enclosing module.
+func moduleInfo() (root, module string, err error) {
+	gomod, err := goOutput("", "env", "GOMOD")
+	if err != nil {
+		return "", "", err
+	}
+	if gomod == "" || gomod == os.DevNull {
+		return "", "", fmt.Errorf("not inside a module")
+	}
+	root = filepath.Dir(gomod)
+	module, err = goOutput(root, "list", "-m")
+	if err != nil {
+		return "", "", err
+	}
+	return root, module, nil
+}
+
+func goOutput(dir string, args ...string) (string, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go %s: %v", strings.Join(args, " "), err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// buildWithEscapes compiles the module with escape-analysis diagnostics
+// enabled for every module package and returns the combined output.
+// The build itself succeeding is part of the contract; its diagnostics
+// land on stderr.
+func buildWithEscapes(root, module string) ([]byte, error) {
+	cmd := exec.Command("go", "build", "-gcflags="+module+"/...=-m", "./...")
+	cmd.Dir = root
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m failed: %v\n%s", err, buf.Bytes())
+	}
+	return buf.Bytes(), nil
+}
+
+// parseEscapes tallies the heap-escape diagnostics inside dirs.  The
+// returned inventory maps the normalized "file: message" key to its
+// count; lines maps each key to the raw diagnostic lines behind it, for
+// failure output that points at real positions.
+func parseEscapes(out []byte, dirs []string) (map[string]int, map[string][]string) {
+	inv := make(map[string]int)
+	lines := make(map[string][]string)
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		key, ok := normalize(line, dirs)
+		if !ok {
+			continue
+		}
+		inv[key]++
+		lines[key] = append(lines[key], line)
+	}
+	return inv, lines
+}
+
+// normalize turns "dir/file.go:12:3: x escapes to heap" into
+// "dir/file.go: x escapes to heap" when the file lies inside one of
+// dirs.  Dropping line and column keeps the manifest stable across
+// unrelated edits to the same file.
+func normalize(line string, dirs []string) (string, bool) {
+	i := strings.Index(line, ".go:")
+	if i < 0 {
+		return "", false
+	}
+	file := line[:i+3]
+	in := false
+	for _, d := range dirs {
+		if strings.HasPrefix(file, d+string(filepath.Separator)) || strings.HasPrefix(file, d+"/") {
+			in = true
+			break
+		}
+	}
+	if !in {
+		return "", false
+	}
+	rest := line[i+4:] // "12:3: x escapes to heap"
+	if j := strings.Index(rest, ": "); j >= 0 {
+		rest = rest[j+2:]
+	}
+	return file + ": " + rest, true
+}
+
+// readManifest loads a manifest written by writeManifest.
+func readManifest(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	inv := make(map[string]int)
+	for n, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		count, key, ok := strings.Cut(line, "\t")
+		c, err := strconv.Atoi(count)
+		if !ok || err != nil || c <= 0 {
+			return nil, fmt.Errorf("%s:%d: malformed manifest line %q", path, n+1, line)
+		}
+		inv[key] = c
+	}
+	return inv, nil
+}
+
+// writeManifest persists the inventory deterministically: sorted keys,
+// count-tab-key lines, a header documenting the regeneration command.
+func writeManifest(path string, inv map[string]int) error {
+	keys := make([]string, 0, len(inv))
+	for k := range inv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# escape.manifest — committed inventory of compiler-proven heap escapes\n")
+	b.WriteString("# in the hot packages (see cmd/escapegate).  Each line is the number of\n")
+	b.WriteString("# escape diagnostics for one file+message pair, line numbers elided.\n")
+	b.WriteString("# Regenerate with: go run ./cmd/escapegate -update\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%d\t%s\n", inv[k], k)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// diffInventories splits the current inventory's divergence from the
+// committed one into the three cases the gate treats differently.
+func diffInventories(old, cur map[string]int) (added, increased, shrunk []string) {
+	for k, c := range cur {
+		switch o := old[k]; {
+		case o == 0:
+			added = append(added, k)
+		case c > o:
+			increased = append(increased, k)
+		case c < o:
+			shrunk = append(shrunk, k)
+		}
+	}
+	for k := range old {
+		if cur[k] == 0 {
+			shrunk = append(shrunk, k)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(increased)
+	sort.Strings(shrunk)
+	return added, increased, shrunk
+}
+
+func total(inv map[string]int) int {
+	n := 0
+	for _, c := range inv {
+		n += c
+	}
+	return n
+}

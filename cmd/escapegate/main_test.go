@@ -1,0 +1,155 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBuild = `# repro/internal/core
+internal/core/stamp.go:49:20: fmt.Sprintf(...) escapes to heap
+internal/core/stamp.go:49:69: ratio escapes to heap
+internal/core/setstamp.go:55:18: SetStamp{...} escapes to heap
+internal/core/setstamp.go:60:18: SetStamp{...} escapes to heap
+internal/core/stamp.go:12:6: can inline DeriveStamp
+internal/obs/trace.go:33:9: &SpanEvent{...} escapes to heap
+cmd/ablation/main.go:80:12: x escapes to heap
+internal/network/network.go:422:12: make([]Message, ...) escapes to heap
+internal/clock/clock.go:70:15: moved to heap: g
+`
+
+func TestParseEscapes(t *testing.T) {
+	inv, lines := parseEscapes([]byte(sampleBuild), hotDirs)
+	want := map[string]int{
+		"internal/core/stamp.go: fmt.Sprintf(...) escapes to heap":          1,
+		"internal/core/stamp.go: ratio escapes to heap":                     1,
+		"internal/core/setstamp.go: SetStamp{...} escapes to heap":          2,
+		"internal/network/network.go: make([]Message, ...) escapes to heap": 1,
+		"internal/clock/clock.go: moved to heap: g":                         1,
+	}
+	if len(inv) != len(want) {
+		t.Fatalf("got %d keys, want %d: %v", len(inv), len(want), inv)
+	}
+	for k, c := range want {
+		if inv[k] != c {
+			t.Errorf("inv[%q] = %d, want %d", k, inv[k], c)
+		}
+	}
+	// obs and cmd are outside the hot dirs; inline notes are not escapes.
+	for k := range inv {
+		if strings.Contains(k, "obs") || strings.Contains(k, "cmd/") || strings.Contains(k, "inline") {
+			t.Errorf("unexpected key %q", k)
+		}
+	}
+	if got := len(lines["internal/core/setstamp.go: SetStamp{...} escapes to heap"]); got != 2 {
+		t.Errorf("raw lines for doubled key = %d, want 2", got)
+	}
+}
+
+func TestDiffInventories(t *testing.T) {
+	old := map[string]int{"a.go: x escapes to heap": 2, "b.go: y escapes to heap": 1, "gone.go: z escapes to heap": 1}
+	cur := map[string]int{"a.go: x escapes to heap": 3, "b.go: y escapes to heap": 1, "new.go: w escapes to heap": 1}
+	added, increased, shrunk := diffInventories(old, cur)
+	if len(added) != 1 || added[0] != "new.go: w escapes to heap" {
+		t.Errorf("added = %v", added)
+	}
+	if len(increased) != 1 || increased[0] != "a.go: x escapes to heap" {
+		t.Errorf("increased = %v", increased)
+	}
+	if len(shrunk) != 1 || shrunk[0] != "gone.go: z escapes to heap" {
+		t.Errorf("shrunk = %v", shrunk)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "escape.manifest")
+	inv := map[string]int{
+		"internal/core/stamp.go: ratio escapes to heap": 3,
+		"internal/wire/wire.go: buf escapes to heap":    1,
+	}
+	if err := writeManifest(path, inv); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(inv) {
+		t.Fatalf("round trip lost entries: %v", got)
+	}
+	for k, c := range inv {
+		if got[k] != c {
+			t.Errorf("got[%q] = %d, want %d", k, got[k], c)
+		}
+	}
+	if _, err := readManifest(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("reading a missing manifest should fail")
+	}
+}
+
+// TestGateCatchesSyntheticEscape is the negative test the gate exists
+// for: a scratch module gains one new heap escape and the diff against
+// its previous manifest must flag exactly that.  The build runs through
+// the real toolchain so the parse sees genuine -m output.
+func TestGateCatchesSyntheticEscape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a scratch module")
+	}
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.MkdirAll(filepath.Dir(filepath.Join(dir, name)), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.24.0\n")
+	base := `package hot
+
+//go:noinline
+func Box(n int) *int { return &n }
+`
+	write("internal/core/hot.go", base)
+
+	build := func() []byte {
+		t.Helper()
+		cmd := exec.Command("go", "build", "-gcflags=scratch/...=-m", "./...")
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("scratch build: %v\n%s", err, out)
+		}
+		return out
+	}
+
+	before, _ := parseEscapes(build(), []string{"internal/core"})
+	if len(before) == 0 {
+		t.Fatal("baseline escape not detected — &n must move to the heap")
+	}
+	added, increased, _ := diffInventories(before, before)
+	if len(added)+len(increased) != 0 {
+		t.Fatalf("identical inventories must not diff: %v %v", added, increased)
+	}
+
+	// The synthetic regression: a second function leaks a slice.
+	write("internal/core/hot.go", base+`
+var sink []byte
+
+//go:noinline
+func Leak() { b := make([]byte, 16); sink = b }
+`)
+	after, _ := parseEscapes(build(), []string{"internal/core"})
+	added, _, _ = diffInventories(before, after)
+	if len(added) == 0 {
+		t.Fatalf("new escape not flagged; before=%v after=%v", before, after)
+	}
+	for _, k := range added {
+		if !strings.HasPrefix(k, "internal/core/hot.go: ") {
+			t.Errorf("added key %q not normalized to file: message", k)
+		}
+	}
+}

@@ -4,11 +4,18 @@
 // suite (see internal/analysis/analyzers):
 //
 //	walltime  — no ambient time.Now/time.Since or package-global
-//	            math/rand in simulation and detection code
+//	            math/rand in simulation and detection code, enforced
+//	            across the call graph via per-function facts
 //	stampcmp  — timestamps compare through the paper's relations
 //	            (Defs. 4.6–4.10, 5.3), never raw </==/… on components
-//	mapiter   — no range-over-map on the detect/publish path, where
-//	            iteration order leaks into the occurrence stream
+//	mapiter   — no range-over-map (or calls to functions that
+//	            transitively iterate maps) on the detect/publish path,
+//	            where iteration order leaks into the occurrence stream
+//	hotalloc  — no per-call allocating constructs (fmt, string concat,
+//	            map/slice literals, loop-var closures, stamp boxing) in
+//	            functions reachable from a //sentinel:hotpath root
+//	sitemap   — map[SiteID] keys stay off the hot path (dense core.Site
+//	            roster indexes instead)
 //	stagefx   — bus sends, subscriber fan-out and Stats mutation stay
 //	            in the publish stage (PR-1 pipeline rule)
 //	obsfx     — internal/obs sinks are the only observability effects
@@ -16,14 +23,21 @@
 //	            the worker-side detect stage), and internal/obs itself
 //	            never imports time or math/rand (PR-5 pure-observer rule)
 //
+// Both drivers audit the //lint:allow exception list: a directive that
+// suppresses nothing is reported stale.  `sentinel-lint -allows ./...`
+// prints the full audit table — every directive with its analyzers,
+// reason and whether it still suppresses anything.
+//
 // Two modes:
 //
 //	go vet -vettool=$(which sentinel-lint) ./...   # vet protocol (make lint)
-//	sentinel-lint ./...                            # standalone, non-test files
+//	sentinel-lint [-allows] ./...                  # standalone, non-test files
 //
 // The vet mode covers test variants too and is what CI runs; standalone
-// mode type-checks the module in-process and exists for ad-hoc runs and
-// the self-lint smoke test.  Exit codes: 0 clean, 1 error, 2 findings.
+// mode type-checks the module in-process, walking packages in dependency
+// order with one shared fact set, and exists for ad-hoc runs, the allow
+// audit and the self-lint smoke test.  Exit codes: 0 clean, 1 error,
+// 2 findings.
 package main
 
 import (
@@ -32,9 +46,11 @@ import (
 	"io"
 	"os"
 	"strings"
+	"text/tabwriter"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/analyzers"
+	"repro/internal/analysis/facts"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/vetmode"
 )
@@ -57,12 +73,17 @@ func run(argv []string) int {
 			return vetmode.Run(args[0], suite)
 		}
 	}
+	audit := false
+	if len(args) > 0 && args[0] == "-allows" {
+		audit = true
+		args = args[1:]
+	}
 	if len(args) == 0 {
-		fmt.Fprintf(os.Stderr, "usage: sentinel-lint ./...  (or as go vet -vettool)\nanalyzers: %s\n",
+		fmt.Fprintf(os.Stderr, "usage: sentinel-lint [-allows] ./...  (or as go vet -vettool)\nanalyzers: %s\n",
 			strings.Join(vetmode.SortedNames(suite), ", "))
 		return 1
 	}
-	return standalone(args, suite)
+	return standalone(args, suite, audit)
 }
 
 // printVersion answers the -V=full probe cmd/go uses to build a cache
@@ -85,8 +106,10 @@ func printVersion(argv0 string) int {
 }
 
 // standalone loads the module packages matching the patterns and runs
-// every applicable analyzer in-process.
-func standalone(patterns []string, suite []*analysis.Analyzer) int {
+// the suite in-process: one dependency-ordered walk, one shared fact
+// set, one allow index per package shared across analyzers.  With audit
+// set it prints the //lint:allow table instead of diagnostics.
+func standalone(patterns []string, suite []*analysis.Analyzer, audit bool) int {
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -102,16 +125,41 @@ func standalone(patterns []string, suite []*analysis.Analyzer) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	exit := 0
+	known := make(map[string]bool, len(suite))
+	for _, a := range suite {
+		known[a.Name] = true
+	}
+	set, exit := facts.NewSet(), 0
+	type auditRow struct {
+		pkg string
+		a   *analysis.Allow
+	}
+	var auditRows []auditRow
 	for _, pkg := range pkgs {
+		allows := analysis.CollectAllows(pkg.Fset, pkg.Files)
+		reported := false
 		for _, a := range suite {
-			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+			applies := a.AppliesTo == nil || a.AppliesTo(pkg.Path)
+			computes := a.Facts != nil && a.FactsFor != nil && a.FactsFor(pkg.Path)
+			if !applies && !computes {
 				continue
 			}
-			diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+			pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, set, allows)
+			if !applies {
+				if err := a.Facts(pass); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %s: %v\n", pkg.Path, a.Name, err)
+					exit = 1
+				}
+				continue
+			}
+			reported = true
+			diags, err := analysis.RunPass(pass)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %s: %v\n", pkg.Path, a.Name, err)
 				exit = 1
+				continue
+			}
+			if audit {
 				continue
 			}
 			for _, d := range diags {
@@ -121,6 +169,43 @@ func standalone(patterns []string, suite []*analysis.Analyzer) int {
 				}
 			}
 		}
+		if audit {
+			for _, a := range allows.All() {
+				auditRows = append(auditRows, auditRow{pkg: pkg.Path, a: a})
+			}
+		} else if reported {
+			for _, d := range allows.StaleAllows(known) {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", pkg.Fset.Position(d.Pos), d.Message)
+				if exit == 0 {
+					exit = 2
+				}
+			}
+		}
+	}
+	if audit {
+		w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+		fmt.Fprintln(w, "LOCATION\tANALYZERS\tSCOPE\tSTATUS\tREASON")
+		for _, row := range auditRows {
+			scope := "line"
+			if row.a.FuncLevel {
+				scope = "func " + row.a.Func
+			}
+			status := "active"
+			switch {
+			case row.a.TestFile:
+				status = "test-file"
+			case !row.a.Used():
+				status = "STALE"
+			}
+			reason := row.a.Reason
+			if reason == "" {
+				reason = "(no reason given)"
+			}
+			fmt.Fprintf(w, "%s:%d\t%s\t%s\t%s\t%s\n",
+				row.a.File, row.a.Line, strings.Join(row.a.Names, ","), scope, status, reason)
+		}
+		w.Flush()
+		fmt.Printf("%d directives\n", len(auditRows))
 	}
 	return exit
 }

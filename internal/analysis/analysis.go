@@ -9,14 +9,20 @@
 // happens to exercise them.
 //
 // An Analyzer inspects one type-checked package and reports Diagnostics.
-// Three drivers feed it:
+// Since the interprocedural upgrade it may also exchange Facts —
+// per-function summaries (see the facts package) computed bottom-up in
+// dependency order — so an invariant follows the call graph across
+// package boundaries instead of stopping at the package that declares
+// it.  Three drivers feed analyzers:
 //
 //   - vetmode implements the `go vet -vettool` unit-checker protocol, so
 //     `make lint` runs the suite over every package including test
-//     variants, with dependency types coming from compiler export data;
+//     variants, with dependency types coming from compiler export data
+//     and dependency facts from the per-package vetx files cmd/go
+//     shuttles between invocations;
 //   - load + the standalone mode of cmd/sentinel-lint type-check module
-//     packages directly for in-process use (self-lint smoke tests, ad-hoc
-//     runs);
+//     packages directly, walking them in dependency order with one
+//     in-process fact Set;
 //   - analysistest runs an analyzer over an uncompiled fixture directory
 //     and matches diagnostics against `// want "regexp"` comments.
 //
@@ -25,9 +31,13 @@
 //	//lint:allow <name>[,<name>...] — <reason>
 //
 // either on (or immediately above) the offending line, or in the doc
-// comment of a function declaration, which exempts the whole function.
-// The reason text is mandatory by convention: an allow is a reviewed,
-// documented exception, not a mute button.
+// comment of a function declaration, which exempts the whole function
+// (facts included: an allowed function does not export the suppressed
+// invariant to its callers — the allow is a reviewed sanction, not a
+// blind spot).  The reason text is mandatory by convention.  Allows are
+// themselves audited: a directive that suppresses nothing is reported
+// stale by the drivers (see StaleAllows), so the exception list cannot
+// rot.
 package analysis
 
 import (
@@ -37,6 +47,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"repro/internal/analysis/facts"
 )
 
 // Diagnostic is one finding, anchored to a source position.
@@ -53,12 +65,23 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of the invariant enforced and
 	// the paper definition or architecture rule it encodes.
 	Doc string
-	// AppliesTo reports whether the analyzer inspects the package with
-	// the given import path.  Drivers consult it; test harnesses that
-	// call Run directly bypass it (fixtures live under synthetic paths).
+	// AppliesTo reports whether the analyzer reports diagnostics for the
+	// package with the given import path.  Drivers consult it; test
+	// harnesses that call Run directly bypass it (fixtures live under
+	// synthetic paths).
 	AppliesTo func(pkgPath string) bool
-	// Run inspects one package and reports findings through the pass.
+	// FactsFor, when non-nil, reports whether the analyzer computes
+	// facts for the package with the given import path.  Drivers call
+	// Facts (or Run, which must subsume it) for every such package —
+	// including ones AppliesTo rejects — so summaries exist for the
+	// packages that merely feed the checked ones.
+	FactsFor func(pkgPath string) bool
+	// Run inspects one package, reports findings through the pass, and
+	// exports the analyzer's facts for it (when the analyzer has any).
 	Run func(*Pass) error
+	// Facts computes and exports facts only, for packages where the
+	// analyzer checks nothing.  Nil for purely intraprocedural analyzers.
+	Facts func(*Pass) error
 }
 
 // Pass carries one type-checked package through an analyzer.
@@ -68,6 +91,13 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Facts is the cross-package fact store; never nil (drivers without
+	// an interprocedural walk get a fresh empty set per package).
+	Facts *facts.Set
+	// Allows indexes the package's //lint:allow directives; never nil.
+	// Shared across the analyzers of one package so used-tracking for the
+	// stale-allow audit aggregates over the whole suite.
+	Allows *Allows
 
 	diags []Diagnostic
 }
@@ -90,18 +120,29 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return nil
 }
 
-// Run executes one analyzer over one package and returns its findings
-// with //lint:allow-suppressed diagnostics removed and the rest in
-// position order.
-func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
-	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
-	if err := a.Run(pass); err != nil {
+// NewPass assembles a pass with the given shared state.  A nil set or
+// allows gets a fresh instance, so analyzers never see nil.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, set *facts.Set, allows *Allows) *Pass {
+	if set == nil {
+		set = facts.NewSet()
+	}
+	if allows == nil {
+		allows = CollectAllows(fset, files)
+	}
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info, Facts: set, Allows: allows}
+}
+
+// RunPass executes the pass's analyzer and returns its findings with
+// //lint:allow-suppressed diagnostics removed and the rest in position
+// order.  Suppressions are recorded on the pass's Allows for the
+// stale-allow audit.
+func RunPass(pass *Pass) ([]Diagnostic, error) {
+	if err := pass.Analyzer.Run(pass); err != nil {
 		return nil, err
 	}
-	allows := collectAllows(fset, files)
 	kept := pass.diags[:0]
 	for _, d := range pass.diags {
-		if !allows.allowed(a.Name, fset, d.Pos) {
+		if !pass.Allows.Allowed(pass.Analyzer.Name, pass.Fset, d.Pos) {
 			kept = append(kept, d)
 		}
 	}
@@ -109,11 +150,47 @@ func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package
 	return kept, nil
 }
 
-// allowSet indexes //lint:allow directives: by (file, line) for line
-// directives and by position range for function-level directives.
-type allowSet struct {
-	lines map[lineKey]map[string]bool
-	spans []allowSpan
+// Run executes one analyzer over one package with fresh fact and allow
+// state — the single-package entry point used by fixtures and ad-hoc
+// callers.  Interprocedural drivers build passes with NewPass and a
+// shared Set instead.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	return RunPass(NewPass(a, fset, files, pkg, info, nil, nil))
+}
+
+// Allow is one parsed //lint:allow directive.
+type Allow struct {
+	Pos   token.Pos
+	File  string
+	Line  int
+	Names []string
+	// Reason is the text after the dash separator; empty when the author
+	// omitted it (itself worth flagging in the audit).
+	Reason string
+	// FuncLevel marks a directive in a function's doc comment, which
+	// exempts the whole body.
+	FuncLevel bool
+	// Func is the exempted function's name for FuncLevel directives.
+	Func string
+	// TestFile marks a directive in a _test.go file.  Analyzers skip
+	// test files, so such a directive can never fire and is excluded
+	// from the stale audit rather than reported.
+	TestFile bool
+
+	used bool
+	lo   token.Pos // FuncLevel span
+	hi   token.Pos
+}
+
+// Used reports whether the directive suppressed at least one diagnostic
+// or fact during the runs sharing this Allows.
+func (a *Allow) Used() bool { return a.used }
+
+// Allows indexes a package's //lint:allow directives and tracks which of
+// them actually suppressed something.
+type Allows struct {
+	list  []*Allow
+	lines map[lineKey][]*Allow
 }
 
 type lineKey struct {
@@ -121,94 +198,160 @@ type lineKey struct {
 	line int
 }
 
-type allowSpan struct {
-	names    map[string]bool
-	lo, hi   token.Pos
-	fileName string
-}
-
-// collectAllows scans the files' comments for //lint:allow directives.
-func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
-	s := &allowSet{lines: make(map[lineKey]map[string]bool)}
+// CollectAllows scans the files' comments for //lint:allow directives.
+func CollectAllows(fset *token.FileSet, files []*ast.File) *Allows {
+	s := &Allows{lines: make(map[lineKey][]*Allow)}
 	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				names := parseAllow(c.Text)
-				if names == nil {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				k := lineKey{file: pos.Filename, line: pos.Line}
-				if s.lines[k] == nil {
-					s.lines[k] = make(map[string]bool)
-				}
-				for n := range names {
-					s.lines[k][n] = true
-				}
-			}
-		}
-		// Function-level directives: an allow in a FuncDecl's doc comment
-		// exempts the entire function body, nested literals included.
+		testFile := strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+		// Function-level directives first, so line-level lookup can skip
+		// doc comments indexed here.
+		funcDoc := make(map[*ast.Comment]bool)
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Doc == nil {
 				continue
 			}
-			names := make(map[string]bool)
 			for _, c := range fd.Doc.List {
-				for n := range parseAllow(c.Text) {
-					names[n] = true
+				names, reason := parseAllow(c.Text)
+				if len(names) == 0 {
+					continue
 				}
+				funcDoc[c] = true
+				pos := fset.Position(c.Pos())
+				s.list = append(s.list, &Allow{
+					Pos: c.Pos(), File: pos.Filename, Line: pos.Line,
+					Names: names, Reason: reason,
+					FuncLevel: true, Func: fd.Name.Name, TestFile: testFile,
+					lo: fd.Pos(), hi: fd.End(),
+				})
 			}
-			if len(names) > 0 {
-				s.spans = append(s.spans, allowSpan{names: names, lo: fd.Pos(), hi: fd.End()})
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if funcDoc[c] {
+					continue
+				}
+				names, reason := parseAllow(c.Text)
+				if len(names) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				a := &Allow{
+					Pos: c.Pos(), File: pos.Filename, Line: pos.Line,
+					Names: names, Reason: reason, TestFile: testFile,
+				}
+				s.list = append(s.list, a)
+				k := lineKey{file: pos.Filename, line: pos.Line}
+				s.lines[k] = append(s.lines[k], a)
 			}
 		}
 	}
+	sort.Slice(s.list, func(i, j int) bool { return s.list[i].Pos < s.list[j].Pos })
 	return s
 }
 
-// parseAllow extracts analyzer names from a //lint:allow comment, or nil.
-// Accepted forms: "//lint:allow a", "//lint:allow a,b — reason",
+// parseAllow extracts analyzer names and the reason from a //lint:allow
+// comment.  Accepted forms: "//lint:allow a", "//lint:allow a,b — reason",
 // "// lint:allow a -- reason".
-func parseAllow(text string) map[string]bool {
+func parseAllow(text string) (names []string, reason string) {
 	body := strings.TrimSpace(strings.TrimPrefix(text, "//"))
 	if !strings.HasPrefix(body, "lint:allow") {
-		return nil
+		return nil, ""
 	}
 	rest := strings.TrimSpace(strings.TrimPrefix(body, "lint:allow"))
-	// Everything after a dash separator is the human reason.
 	for _, sep := range []string{"--", "—", "–"} {
 		if i := strings.Index(rest, sep); i >= 0 {
+			reason = strings.TrimSpace(rest[i+len(sep):])
 			rest = rest[:i]
+			break
 		}
 	}
-	names := make(map[string]bool)
 	for _, field := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
 		if field != "" {
-			names[field] = true
+			names = append(names, field)
 		}
 	}
-	if len(names) == 0 {
-		return nil
-	}
-	return names
+	return names, reason
 }
 
-// allowed reports whether a diagnostic of the named analyzer at pos is
-// suppressed: a line directive on the same or the immediately preceding
-// line, or a function-level directive spanning pos.
-func (s *allowSet) allowed(name string, fset *token.FileSet, pos token.Pos) bool {
+// Allowed reports whether a diagnostic (or fact) of the named analyzer
+// at pos is suppressed — a line directive on the same or the immediately
+// preceding line, or a function-level directive spanning pos — and marks
+// the suppressing directive used.
+func (s *Allows) Allowed(name string, fset *token.FileSet, pos token.Pos) bool {
 	p := fset.Position(pos)
 	for _, line := range []int{p.Line, p.Line - 1} {
-		if names := s.lines[lineKey{file: p.Filename, line: line}]; names[name] {
-			return true
+		for _, a := range s.lines[lineKey{file: p.Filename, line: line}] {
+			if hasName(a.Names, name) {
+				a.used = true
+				return true
+			}
 		}
 	}
-	for _, sp := range s.spans {
-		if sp.names[name] && sp.lo <= pos && pos < sp.hi {
+	for _, a := range s.list {
+		if a.FuncLevel && hasName(a.Names, name) && a.lo <= pos && pos < a.hi {
+			a.used = true
 			return true
 		}
 	}
 	return false
+}
+
+// AllowedFunc reports whether the named analyzer is suppressed for the
+// whole function declared at fd — a function-level directive naming it —
+// marking the directive used.  Analyzers consult this before computing
+// facts, so a sanctioned function exports nothing.
+func (s *Allows) AllowedFunc(name string, fd *ast.FuncDecl) bool {
+	for _, a := range s.list {
+		if a.FuncLevel && hasName(a.Names, name) && a.lo == fd.Pos() {
+			a.used = true
+			return true
+		}
+	}
+	return false
+}
+
+func hasName(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns every directive in position order, for the audit table.
+func (s *Allows) All() []*Allow { return s.list }
+
+// StaleAllows reports, after every analyzer of a suite has run against
+// this Allows, the directives that suppressed nothing: either they name
+// no analyzer that fired, or they name analyzers that do not exist.
+// known is the set of valid analyzer names.  Directives in test files
+// are skipped — analyzers do not inspect test files, so an allow there
+// is inert by design, not rot.
+func (s *Allows) StaleAllows(known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range s.list {
+		if a.TestFile {
+			continue
+		}
+		var unknown []string
+		for _, n := range a.Names {
+			if !known[n] {
+				unknown = append(unknown, n)
+			}
+		}
+		if len(unknown) > 0 {
+			out = append(out, Diagnostic{Pos: a.Pos, Message: fmt.Sprintf(
+				"staleallow: //lint:allow names unknown analyzer %s (known: see sentinel-lint usage)",
+				strings.Join(unknown, ", "))})
+			continue
+		}
+		if !a.used {
+			out = append(out, Diagnostic{Pos: a.Pos, Message: fmt.Sprintf(
+				"staleallow: //lint:allow %s suppresses no diagnostic — the code it excused has moved on; delete the directive",
+				strings.Join(a.Names, ","))})
+		}
+	}
+	return out
 }

@@ -5,6 +5,7 @@ package analyzers
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/mapiter"
 	"repro/internal/analysis/obsfx"
 	"repro/internal/analysis/sitemap"
@@ -19,6 +20,7 @@ func All() []*analysis.Analyzer {
 		walltime.Analyzer,
 		stampcmp.Analyzer,
 		mapiter.Analyzer,
+		hotalloc.Analyzer,
 		sitemap.Analyzer,
 		stagefx.Analyzer,
 		obsfx.Analyzer,

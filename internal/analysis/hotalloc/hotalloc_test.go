@@ -1,0 +1,45 @@
+package hotalloc
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "hotalloc"))
+}
+
+func TestAppliesTo(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/core":             true,
+		"repro/internal/ddetect":          true,
+		"repro/internal/detector":         true,
+		"repro/internal/network":          true,
+		"repro/internal/ddetect [d.test]": true,
+		"repro/internal/wire":             false,
+		"repro/internal/workload":         false,
+		"repro/internal/analysis":         false,
+	} {
+		if got := Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestFactsFor(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/wire":            true,
+		"repro/internal/event":           true,
+		"repro/cmd/ablation":             true,
+		"repro/internal/analysis/facts":  false,
+		"repro/cmd/sentinel-lint":        false,
+		"fmt":                            false,
+		"golang.org/x/tools/go/analysis": false,
+	} {
+		if got := Analyzer.FactsFor(path); got != want {
+			t.Errorf("FactsFor(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Package fixture exercises the hotalloc analyzer.  crank is a declared
+// //sentinel:hotpath root; step inherits the discipline by local
+// reachability; cold has the same constructs and stays silent (facts
+// only).  One construct per line: the analyzer anchors each diagnostic
+// to the construct, and the harness matches one want per line.
+package fixture
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+var (
+	global string
+	hooks  []func() int
+)
+
+func box(v any) {}
+
+func enqueue(f func() int) { hooks = append(hooks, f) }
+
+//sentinel:hotpath
+func crank(id core.SiteID, name string, n int, stamps []core.Stamp) {
+	fmt.Println(name)     // want `hotalloc: fmt\.Println call`
+	_ = id + ":suffix"    // want `hotalloc: string concatenation of a core\.SiteID`
+	global += name        // want `hotalloc: string concatenation \(\+=\)`
+	_ = []byte(name)      // want `hotalloc: \[\]byte conversion from string`
+	_ = string(n)         // want `hotalloc: string conversion of an integer`
+	_ = map[string]int{}  // want `hotalloc: map literal \(map\[string\]int\)`
+	_ = make([]int, 0, 4) // want `hotalloc: make of \[\]int`
+	for _, s := range stamps {
+		box(s) // want `core\.Stamp boxed into an interface parameter`
+	}
+	for i := 0; i < n; i++ {
+		enqueue(func() int { return i }) // want `hotalloc: closure capturing loop variable "i"`
+	}
+	_ = make(map[int]bool) //lint:allow hotalloc — fixture: sanctioned one-time table
+	step(name)
+}
+
+// step is hot by reachability from crank, not by marker.
+func step(name string) {
+	_ = fmt.Sprintf("%s!", name) // want `hotalloc: fmt\.Sprintf call .* in hot-path function step`
+}
+
+// cold carries the same constructs but is unreachable from any root:
+// no diagnostics, only facts.
+func cold(name string) {
+	fmt.Println(name)
+	_ = map[string]int{}
+	_ = name + "!"
+}

@@ -116,9 +116,11 @@ func newInfo() *types.Info {
 func sizes() types.Sizes { return types.SizesFor("gc", runtime.GOARCH) }
 
 // Load lists the patterns (e.g. "./...") relative to modRoot and returns
-// every module package parsed and type-checked.  Test files are not
-// included — the vet driver covers test variants; see the package
-// comment.
+// every module package parsed and type-checked, in dependency order
+// (dependencies before dependents, as `go list -deps` emits them) — the
+// order an interprocedural walk needs so each package's facts exist
+// before its importers run.  Test files are not included — the vet
+// driver covers test variants; see the package comment.
 func Load(modRoot string, patterns ...string) ([]*Package, error) {
 	listed, err := goList(modRoot, patterns...)
 	if err != nil {
@@ -141,7 +143,6 @@ func Load(modRoot string, patterns ...string) ([]*Package, error) {
 		}
 		out = append(out, pkg)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
 }
 

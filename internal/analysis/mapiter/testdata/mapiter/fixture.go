@@ -1,11 +1,21 @@
 // Package fixture exercises the mapiter analyzer: range over a map is
-// flagged; slice iteration and //lint:allow-ed order-insensitive folds
+// flagged whatever expression produces the map — identifier, struct
+// field, function result — as is range over a maps.Keys/Values/All
+// iterator; slice iteration and //lint:allow-ed order-insensitive folds
 // are not.
 package fixture
 
+import "maps"
+
+type holder struct {
+	counts map[string]int
+}
+
+func table() map[string]int { return map[string]int{"a": 1} }
+
 func bad(m map[string]int) int {
 	n := 0
-	for _, v := range m { // want `mapiter: ranging over a map`
+	for _, v := range m { // want `mapiter: range over map\[string\]int`
 		n += v
 	}
 	return n
@@ -13,8 +23,38 @@ func bad(m map[string]int) int {
 
 func badKeyed(m map[int]struct{}) []int {
 	var out []int
-	for k := range m { // want `mapiter: ranging over a map`
+	for k := range m { // want `mapiter: range over map\[int\]struct\{\}`
 		out = append(out, k)
+	}
+	return out
+}
+
+func badField(h *holder) int {
+	n := 0
+	for _, v := range h.counts { // want `mapiter: range over map\[string\]int`
+		n += v
+	}
+	return n
+}
+
+func badResult() int {
+	n := 0
+	for _, v := range table() { // want `mapiter: range over map\[string\]int`
+		n += v
+	}
+	return n
+}
+
+func badIterator(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) { // want `mapiter: range over maps\.Keys iterator`
+		out = append(out, k)
+	}
+	for v := range maps.Values(m) { // want `mapiter: range over maps\.Values iterator`
+		_ = v
+	}
+	for k, v := range maps.All(m) { // want `mapiter: range over maps\.All iterator`
+		_, _ = k, v
 	}
 	return out
 }

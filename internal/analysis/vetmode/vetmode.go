@@ -12,11 +12,23 @@
 // the standard file:line:col format.  Exit codes follow vet convention:
 // 0 clean, 1 operational error, 2 diagnostics reported.
 //
-// Dependencies are visited by go vet in "vetx only" mode (facts
-// pre-computation).  This suite defines no facts, so those invocations
-// write an empty facts file and return immediately — which is what makes
+// Dependencies are visited by go vet in "vetx only" mode — facts
+// precomputation.  Since the interprocedural upgrade the suite really
+// uses it: for module packages the tool type-checks the sources and runs
+// each analyzer's Facts pass, serializing the resulting per-function
+// summaries (see the facts package) to Config.VetxOutput.  cmd/go then
+// hands that file to every direct importer through Config.PackageVetx.
+// Because only *direct* imports' vetx files arrive, each export re-emits
+// the imported facts it consumed, so the transitive closure flows one
+// hop at a time.  Packages outside the module (the stdlib) export an
+// empty facts file and return immediately, which keeps
 // `go vet -vettool=sentinel-lint ./...` cheap despite visiting the
 // transitive closure.
+//
+// After the suite runs on a reporting package, the shared //lint:allow
+// index is audited: directives that suppressed nothing are themselves
+// diagnostics (see analysis.StaleAllows), so the exception list cannot
+// rot.
 package vetmode
 
 import (
@@ -33,6 +45,7 @@ import (
 	"sort"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/facts"
 )
 
 // Config is the JSON schema `go vet` hands the tool; field names are
@@ -56,32 +69,60 @@ type Config struct {
 }
 
 // Run executes the suite for one vet config file and returns the process
-// exit code.
+// exit code, printing findings to stderr.
 func Run(cfgFile string, suite []*analysis.Analyzer) int {
+	return RunTo(os.Stderr, cfgFile, suite)
+}
+
+// RunTo is Run with the diagnostic stream injectable, for tests.
+func RunTo(w io.Writer, cfgFile string, suite []*analysis.Analyzer) int {
 	cfg, err := readConfig(cfgFile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(w, err)
 		return 1
 	}
-	// The facts file must exist for go vet's cache even though the suite
-	// defines no facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
-	}
-	var applicable []*analysis.Analyzer
+	return runConfig(w, cfg, suite)
+}
+
+func runConfig(w io.Writer, cfg *Config, suite []*analysis.Analyzer) int {
+	// Which analyzers report here, and which compute facts here?
+	var reporting, computing []*analysis.Analyzer
 	for _, a := range suite {
 		if a.AppliesTo == nil || a.AppliesTo(cfg.ImportPath) {
-			applicable = append(applicable, a)
+			reporting = append(reporting, a)
+		}
+		if a.Facts != nil && a.FactsFor != nil && a.FactsFor(cfg.ImportPath) {
+			computing = append(computing, a)
 		}
 	}
-	if len(applicable) == 0 {
+
+	// Nothing to do for this package (stdlib, or a module package every
+	// analyzer ignores): write the empty facts file go vet's cache needs
+	// and return.
+	if (cfg.VetxOnly && len(computing) == 0) || (len(reporting) == 0 && len(computing) == 0) {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintln(w, err)
+				return 1
+			}
+		}
 		return 0
+	}
+
+	// Dependency facts: cmd/go hands us the vetx file of every direct
+	// import; each of those re-exports its own imports' facts, closing
+	// the transitive chain.
+	set := facts.NewSet()
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			fmt.Fprintln(w, err)
+			return 1
+		}
+		if err := set.ImportData(data); err != nil {
+			fmt.Fprintf(w, "%s: %s: %v\n", cfg.ImportPath, vetx, err)
+			return 1
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -89,7 +130,10 @@ func Run(cfgFile string, suite []*analysis.Analyzer) int {
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			if cfg.VetxOnly || cfg.SucceedOnTypecheckFailure {
+				return writeVetx(w, cfg, nil)
+			}
+			fmt.Fprintln(w, err)
 			return 1
 		}
 		files = append(files, f)
@@ -129,27 +173,100 @@ func Run(cfgFile string, suite []*analysis.Analyzer) int {
 	}
 	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0
+		// In facts mode a failed type-check only costs precision for the
+		// dependents; exporting nothing keeps the walk alive, matching
+		// SucceedOnTypecheckFailure for reporting packages.
+		if cfg.VetxOnly || cfg.SucceedOnTypecheckFailure {
+			return writeVetx(w, cfg, nil)
 		}
-		fmt.Fprintf(os.Stderr, "%s: type-check: %v\n", cfg.ImportPath, err)
+		fmt.Fprintf(w, "%s: type-check: %v\n", cfg.ImportPath, err)
 		return 1
 	}
 
+	// One allow index per package, shared across the suite so the
+	// stale-allow audit sees every analyzer's suppressions.
+	allows := analysis.CollectAllows(fset, files)
+
 	exit := 0
-	for _, a := range applicable {
-		diags, err := analysis.Run(a, fset, files, pkg, info)
+	if cfg.VetxOnly {
+		for _, a := range computing {
+			pass := analysis.NewPass(a, fset, files, pkg, info, set, allows)
+			if err := a.Facts(pass); err != nil {
+				fmt.Fprintf(w, "%s: %s: %v\n", cfg.ImportPath, a.Name, err)
+				exit = 1
+			}
+		}
+		if code := writeVetx(w, cfg, set); code != 0 {
+			return code
+		}
+		return exit
+	}
+
+	ran := make(map[*analysis.Analyzer]bool, len(reporting))
+	for _, a := range reporting {
+		ran[a] = true
+		pass := analysis.NewPass(a, fset, files, pkg, info, set, allows)
+		diags, err := analysis.RunPass(pass)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %s: %v\n", cfg.ImportPath, a.Name, err)
+			fmt.Fprintf(w, "%s: %s: %v\n", cfg.ImportPath, a.Name, err)
 			exit = 1
 			continue
 		}
 		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			fmt.Fprintf(w, "%s: %s\n", fset.Position(d.Pos), d.Message)
 			exit = 2
 		}
 	}
+	// Facts for the dependents of this package, from analyzers that did
+	// not already export them while reporting (Run subsumes Facts).
+	for _, a := range computing {
+		if ran[a] {
+			continue
+		}
+		pass := analysis.NewPass(a, fset, files, pkg, info, set, allows)
+		if err := a.Facts(pass); err != nil {
+			fmt.Fprintf(w, "%s: %s: %v\n", cfg.ImportPath, a.Name, err)
+			exit = 1
+		}
+	}
+	// The allow audit runs only where the full suite reported; on a
+	// facts-only package a directive naming a reporting-domain analyzer
+	// would be falsely stale.
+	if len(reporting) > 0 {
+		known := make(map[string]bool, len(suite))
+		for _, a := range suite {
+			known[a.Name] = true
+		}
+		for _, d := range allows.StaleAllows(known) {
+			fmt.Fprintf(w, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			exit = 2
+		}
+	}
+	if code := writeVetx(w, cfg, set); code != 0 {
+		return code
+	}
 	return exit
+}
+
+// writeVetx serializes the fact set (nil → empty file) to the config's
+// VetxOutput, if any.
+func writeVetx(w io.Writer, cfg *Config, set *facts.Set) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	var data []byte
+	if set != nil {
+		var err error
+		if data, err = set.ExportData(); err != nil {
+			fmt.Fprintln(w, err)
+			return 1
+		}
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+		fmt.Fprintln(w, err)
+		return 1
+	}
+	return 0
 }
 
 func readConfig(name string) (*Config, error) {

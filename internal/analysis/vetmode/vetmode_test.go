@@ -1,0 +1,248 @@
+package vetmode
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/facts"
+	"repro/internal/analysis/mapiter"
+)
+
+// listPkg is the subset of `go list -json` output the tests need to
+// assemble vet configs the way cmd/go does.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+}
+
+// scratchModule builds a throwaway module named "repro" (so the suite's
+// reporting domains apply to it) with a facts-only package whose helper
+// iterates a map, and a detect-path package that calls the helper.  It
+// returns the per-package metadata with compiled export data.
+func scratchModule(t *testing.T) map[string]*listPkg {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module repro\n\ngo 1.24.0\n")
+	write("internal/core/helper.go", `package core
+
+// Sum drains a counter map; iteration order is observable through
+// nothing here, but the fact must still flow to callers.
+func Sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+`)
+	write("internal/detector/top.go", `package detector
+
+import "repro/internal/core"
+
+// Tally inherits core.Sum's map iteration through the call graph.
+func Tally(m map[string]int) int { return core.Sum(m) }
+`)
+
+	cmd := exec.Command("go", "list", "-export", "-json", "-deps", "./...")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list -export: %v", err)
+	}
+	pkgs := make(map[string]*listPkg)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			t.Fatal(err)
+		}
+		pkgs[p.ImportPath] = p
+	}
+	for _, path := range []string{"repro/internal/core", "repro/internal/detector"} {
+		if pkgs[path] == nil || pkgs[path].Export == "" {
+			t.Fatalf("go list gave no export data for %s", path)
+		}
+	}
+	return pkgs
+}
+
+// configFor mimics the vet config cmd/go writes for one package: source
+// files, identity import map, and export data for every dependency.
+func configFor(t *testing.T, pkgs map[string]*listPkg, path, vetxOut string) *Config {
+	t.Helper()
+	p := pkgs[path]
+	cfg := &Config{
+		ID:          path,
+		Compiler:    "gc",
+		Dir:         p.Dir,
+		ImportPath:  path,
+		GoVersion:   "go1.24.0",
+		ImportMap:   map[string]string{},
+		PackageFile: map[string]string{},
+		PackageVetx: map[string]string{},
+		VetxOutput:  vetxOut,
+	}
+	for _, f := range p.GoFiles {
+		cfg.GoFiles = append(cfg.GoFiles, filepath.Join(p.Dir, f))
+	}
+	for _, imp := range p.Imports {
+		cfg.ImportMap[imp] = imp
+	}
+	for ip, dep := range pkgs {
+		if ip != path && dep.Export != "" {
+			cfg.PackageFile[ip] = dep.Export
+		}
+	}
+	return cfg
+}
+
+func TestVetxFactsRoundTrip(t *testing.T) {
+	pkgs := scratchModule(t)
+	tmp := t.TempDir()
+	suite := []*analysis.Analyzer{mapiter.Analyzer}
+
+	// Dependency pass, as cmd/go runs it: VetxOnly on the facts-only
+	// package, output serialized to its vetx file.
+	coreVetx := filepath.Join(tmp, "core.vetx")
+	coreCfg := configFor(t, pkgs, "repro/internal/core", coreVetx)
+	coreCfg.VetxOnly = true
+	var out bytes.Buffer
+	if code := runConfig(&out, coreCfg, suite); code != 0 {
+		t.Fatalf("core facts pass exited %d: %s", code, out.String())
+	}
+	data, err := os.ReadFile(coreVetx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := facts.NewSet()
+	if err := set.ImportData(data); err != nil {
+		t.Fatal(err)
+	}
+	if dump := set.Dump(); !strings.Contains(dump, "repro/internal/core.Sum") || !strings.Contains(dump, "mapiter: range over map[string]int") {
+		t.Fatalf("core vetx lacks Sum's map-iteration fact:\n%s", dump)
+	}
+
+	// Reporting pass on the dependent: the helper's fact must arrive
+	// through PackageVetx and surface as a call-site diagnostic.
+	topVetx := filepath.Join(tmp, "top.vetx")
+	topCfg := configFor(t, pkgs, "repro/internal/detector", topVetx)
+	topCfg.PackageVetx["repro/internal/core"] = coreVetx
+	out.Reset()
+	if code := runConfig(&out, topCfg, suite); code != 2 {
+		t.Fatalf("reporting pass exited %d, want 2:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "mapiter: call to core.Sum transitively iterates a map") {
+		t.Fatalf("inherited diagnostic missing:\n%s", out.String())
+	}
+
+	// The dependent's own vetx re-exports the imported facts, so a
+	// second-hop consumer sees the transitive closure.
+	data, err = os.ReadFile(topVetx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set2 := facts.NewSet()
+	if err := set2.ImportData(data); err != nil {
+		t.Fatal(err)
+	}
+	if dump := set2.Dump(); !strings.Contains(dump, "repro/internal/core.Sum") {
+		t.Fatalf("dependent vetx does not re-export imported facts:\n%s", dump)
+	}
+}
+
+func TestVetTestVariantNormalized(t *testing.T) {
+	pkgs := scratchModule(t)
+	tmp := t.TempDir()
+	suite := []*analysis.Analyzer{mapiter.Analyzer}
+
+	coreVetx := filepath.Join(tmp, "core.vetx")
+	coreCfg := configFor(t, pkgs, "repro/internal/core", coreVetx)
+	coreCfg.VetxOnly = true
+	var out bytes.Buffer
+	if code := runConfig(&out, coreCfg, suite); code != 0 {
+		t.Fatalf("core facts pass exited %d: %s", code, out.String())
+	}
+
+	// cmd/go decorates test variants as "p [p.test]"; the analyzer
+	// domains and fact lookups must see the plain path.
+	topCfg := configFor(t, pkgs, "repro/internal/detector", filepath.Join(tmp, "top.vetx"))
+	topCfg.ImportPath = "repro/internal/detector [repro/internal/detector.test]"
+	topCfg.ID = topCfg.ImportPath
+	topCfg.PackageVetx["repro/internal/core"] = coreVetx
+	out.Reset()
+	if code := runConfig(&out, topCfg, suite); code != 2 {
+		t.Fatalf("test-variant pass exited %d, want 2:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "mapiter: call to core.Sum") {
+		t.Fatalf("test-variant diagnostic missing:\n%s", out.String())
+	}
+}
+
+func TestVetxOnlySkipsNonComputingPackages(t *testing.T) {
+	// A stdlib-looking package no analyzer computes facts for must write
+	// an empty vetx and exit clean without parsing anything.
+	tmp := t.TempDir()
+	vetx := filepath.Join(tmp, "fmt.vetx")
+	cfg := &Config{ImportPath: "fmt", VetxOnly: true, VetxOutput: vetx}
+	var out bytes.Buffer
+	if code := runConfig(&out, cfg, []*analysis.Analyzer{mapiter.Analyzer}); code != 0 {
+		t.Fatalf("stdlib facts pass exited %d: %s", code, out.String())
+	}
+	data, err := os.ReadFile(vetx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("stdlib vetx should be empty, got %q", data)
+	}
+	set := facts.NewSet()
+	if err := set.ImportData(data); err != nil {
+		t.Fatalf("empty vetx must import cleanly: %v", err)
+	}
+}
+
+func TestSucceedOnTypecheckFailure(t *testing.T) {
+	tmp := t.TempDir()
+	src := filepath.Join(tmp, "broken.go")
+	if err := os.WriteFile(src, []byte("package broken\n\nfunc f() { undefinedIdent() }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(tmp, "broken.vetx")
+	cfg := &Config{
+		ID:                        "repro/internal/broken",
+		Compiler:                  "gc",
+		ImportPath:                "repro/internal/broken",
+		GoVersion:                 "go1.24.0",
+		GoFiles:                   []string{src},
+		ImportMap:                 map[string]string{},
+		PackageFile:               map[string]string{},
+		VetxOutput:                vetx,
+		SucceedOnTypecheckFailure: true,
+	}
+	var out bytes.Buffer
+	if code := runConfig(&out, cfg, []*analysis.Analyzer{mapiter.Analyzer}); code != 0 {
+		t.Fatalf("SucceedOnTypecheckFailure pass exited %d: %s", code, out.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("vetx not written on tolerated type-check failure: %v", err)
+	}
+}

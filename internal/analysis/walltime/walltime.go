@@ -11,38 +11,61 @@
 // existing test; it silently destroys replayability.  This analyzer makes
 // the rule mechanical.
 //
+// The check is interprocedural: every module package exports a
+// per-function fact — "this function transitively reaches an ambient
+// clock or the global generator" — computed bottom-up over the static
+// call graph (see the interproc and facts packages).  In the packages
+// the analyzer reports on, a call to a function whose fact fires, but
+// which lives outside the analyzer's own reporting domain, is flagged at
+// the call site with the inherited provenance, so a helper two calls
+// deep cannot reintroduce wall time unseen.  References to the forbidden
+// functions as values (`d.now = time.Now`) are flagged like calls: the
+// capture, not the invocation, is where the ambient clock enters.
+//
 // Wall-clock instrumentation that measures the engine without feeding the
 // simulation (the pipeline Driver's stage-latency clock, cmd/ablation's
-// ns/op sampling) is exempted with //lint:allow walltime and a reason.
-// Test files are exempt, like the rest of the suite: tests legitimately
-// sleep to exercise real concurrency, and cannot leak wall time into the
-// simulation they drive through the deterministic API.
+// ns/op sampling) is exempted with //lint:allow walltime and a reason;
+// an allowed function also exports no fact — the sanction covers its
+// callers.  Test files are exempt, like the rest of the suite.
 package walltime
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/facts"
+	"repro/internal/analysis/interproc"
 )
+
+const name = "walltime"
 
 // Analyzer is the walltime checker.
 var Analyzer = &analysis.Analyzer{
-	Name:      "walltime",
-	Doc:       "forbid time.Now/time.Since and package-global math/rand in simulation and detection code (internal/clock and seeded *rand.Rand only)",
+	Name:      name,
+	Doc:       "forbid time.Now/time.Since and package-global math/rand in simulation and detection code (internal/clock and seeded *rand.Rand only), interprocedurally via call-graph facts",
 	AppliesTo: appliesTo,
+	FactsFor:  factsFor,
 	Run:       run,
+	Facts:     computeFacts,
 }
 
-// appliesTo restricts the check to this module, minus the linter itself.
+// appliesTo restricts reporting to this module, minus the linter itself.
 func appliesTo(path string) bool {
+	path = facts.NormPath(path)
 	if path != "repro" && !strings.HasPrefix(path, "repro/") {
 		return false
 	}
 	return !strings.HasPrefix(path, "repro/internal/analysis") &&
 		!strings.HasPrefix(path, "repro/cmd/sentinel-lint")
 }
+
+// factsFor computes facts for every module package reporting covers or
+// feeds, so summaries exist wherever a checked package's call graph may
+// lead.
+func factsFor(path string) bool { return appliesTo(path) }
 
 // forbiddenTime are the ambient-time entry points of package time.
 // Constructors of timers and tickers are included: they capture the wall
@@ -62,44 +85,164 @@ var allowedRand = map[string]bool{
 	"NewZipf": true,
 }
 
-func run(pass *analysis.Pass) error {
+// classify reports the violation in a selector expression, "" if none:
+// a use (call or value reference) of a forbidden time function or a
+// global math/rand accessor.
+func classify(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	// Only uses of the *functions* count; a type reference like
+	// *rand.Rand in a declaration is exactly the sanctioned pattern.
+	if _, isFunc := pass.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+		return ""
+	}
+	switch pkgName.Imported().Path() {
+	case "time":
+		if forbiddenTime[sel.Sel.Name] {
+			return "time." + sel.Sel.Name
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRand[sel.Sel.Name] {
+			return "rand." + sel.Sel.Name
+		}
+	}
+	return ""
+}
+
+// analyze does the shared work: direct findings, fact propagation and
+// export.  It returns what run needs for reporting.
+type result struct {
+	graph *interproc.PkgGraph
+	// direct maps each function to its first direct violation ("" none),
+	// with the op position alongside for reporting.
+	direct map[*interproc.FuncNode]string
+	pos    map[*interproc.FuncNode][]directOp
+	// outside holds direct violations lexically outside any function
+	// declaration (package-level var initializers).
+	outside []directOp
+	// summary is the propagated per-function fact.
+	summary map[*interproc.FuncNode]string
+}
+
+type directOp struct {
+	pos  ast.Node
+	what string
+}
+
+func analyze(pass *analysis.Pass) *result {
+	res := &result{
+		graph:  interproc.Graph(pass),
+		direct: make(map[*interproc.FuncNode]string),
+		pos:    make(map[*interproc.FuncNode][]directOp),
+	}
+	for _, n := range res.graph.Funcs {
+		if pass.Allows.AllowedFunc(name, n.Decl) {
+			continue
+		}
+		ast.Inspect(n.Decl, func(node ast.Node) bool {
+			sel, ok := node.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			what := classify(pass, sel)
+			if what == "" || pass.Allows.Allowed(name, pass.Fset, sel.Pos()) {
+				return true
+			}
+			res.pos[n] = append(res.pos[n], directOp{pos: sel, what: what})
+			if res.direct[n] == "" {
+				res.direct[n] = what + " at " + interproc.ShortPos(pass.Fset, sel.Pos())
+			}
+			return true
+		})
+	}
+	// Package-level initializers outside any function body.
 	for _, f := range pass.Files {
 		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
 			continue
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+		for _, decl := range f.Decls {
+			if _, ok := decl.(*ast.FuncDecl); ok {
+				continue
 			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			id, ok := sel.X.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
-			if !ok {
-				return true
-			}
-			switch pkgName.Imported().Path() {
-			case "time":
-				if forbiddenTime[sel.Sel.Name] {
-					pass.Reportf(call.Pos(),
-						"walltime: time.%s reads the ambient clock; simulated time comes from internal/clock (//lint:allow walltime for pure instrumentation)",
-						sel.Sel.Name)
+			ast.Inspect(decl, func(node ast.Node) bool {
+				sel, ok := node.(*ast.SelectorExpr)
+				if !ok {
+					return true
 				}
-			case "math/rand", "math/rand/v2":
-				if !allowedRand[sel.Sel.Name] {
-					pass.Reportf(call.Pos(),
-						"walltime: rand.%s uses the package-global generator; use an explicitly seeded *rand.Rand so runs are reproducible",
-						sel.Sel.Name)
+				if what := classify(pass, sel); what != "" &&
+					!pass.Allows.Allowed(name, pass.Fset, sel.Pos()) {
+					res.outside = append(res.outside, directOp{pos: sel, what: what})
 				}
+				return true
+			})
+		}
+	}
+	res.summary = interproc.Propagate(res.graph, pass.Fset, res.direct, func(fn *types.Func) string {
+		f, _ := pass.Facts.Lookup(fn)
+		return f.Walltime
+	}, func(pos token.Pos) bool { return pass.Allows.Allowed(name, pass.Fset, pos) })
+	own := pass.Facts.Own(pass.Pkg.Path())
+	for n, why := range res.summary {
+		if why == "" {
+			continue
+		}
+		key := facts.Key(n.Obj)
+		own.Update(key, func(f *facts.Fact) { f.Walltime = why })
+	}
+	return res
+}
+
+// computeFacts is the facts-only entry point for packages outside the
+// reporting domain.
+func computeFacts(pass *analysis.Pass) error {
+	analyze(pass)
+	return nil
+}
+
+func run(pass *analysis.Pass) error {
+	res := analyze(pass)
+	report := func(op directOp) {
+		if strings.HasPrefix(op.what, "time.") {
+			pass.Reportf(op.pos.Pos(),
+				"walltime: %s reads the ambient clock; simulated time comes from internal/clock (//lint:allow walltime for pure instrumentation)",
+				op.what)
+		} else {
+			pass.Reportf(op.pos.Pos(),
+				"walltime: %s uses the package-global generator; use an explicitly seeded *rand.Rand so runs are reproducible",
+				op.what)
+		}
+	}
+	for _, n := range res.graph.Funcs {
+		for _, op := range res.pos[n] {
+			report(op)
+		}
+		// Inherited violations: a call to a function outside this
+		// analyzer's reporting domain whose fact fires.  Callees inside
+		// the domain are reported directly in their own package.
+		for _, c := range n.Calls {
+			if res.graph.Node(c.Callee) != nil {
+				continue
 			}
-			return true
-		})
+			if pkg := c.Callee.Pkg(); pkg == nil || appliesTo(pkg.Path()) {
+				continue
+			}
+			f, ok := pass.Facts.Lookup(c.Callee)
+			if !ok || f.Walltime == "" {
+				continue
+			}
+			pass.Reportf(c.Pos,
+				"walltime: call to %s.%s reaches the ambient clock or global rand (%s); the invariant follows the call graph",
+				c.Callee.Pkg().Name(), c.Callee.Name(), f.Walltime)
+		}
+	}
+	for _, op := range res.outside {
+		report(op)
 	}
 	return nil
 }

@@ -126,8 +126,10 @@ func (c *linkCoalescer) flush(now clock.Microticks) {
 			c.recycleEnvs(envs)
 		case sys.cfg.Serialize:
 			buf := c.getBuf()
+			//lint:allow hotalloc — AppendBatch allocates only on its error path (unencodable batch), and the panic below formats only then
 			buf, err := sys.codec.AppendBatch(buf, c.stage(envs))
 			if err != nil {
+				//lint:allow hotalloc — panic message on a corrupt batch; never formats on the steady path
 				panic(fmt.Sprintf("ddetect: batch not encodable: %v", err))
 			}
 			clear(c.wenvs) // drop the staged occurrence references

@@ -166,6 +166,7 @@ func (r *reorderer) siteID(from core.Site) core.SiteID {
 	if r.roster != nil && from >= 0 && int(from) < r.roster.Len() {
 		return r.roster.ID(from)
 	}
+	//lint:allow hotalloc — fallback rendering for error messages only; every accepted message resolves through the roster above
 	return core.SiteID(fmt.Sprintf("#%d", from))
 }
 
@@ -174,13 +175,16 @@ func (r *reorderer) siteID(from core.Site) core.SiteID {
 func (r *reorderer) source(from core.Site, seq uint64) (*sourceState, error) {
 	i := r.slot(from)
 	if i < 0 {
+		//lint:allow hotalloc — error path: a protocol violation (unknown source) terminates the run, so its formatting cost is irrelevant
 		return nil, fmt.Errorf("ddetect: message from unknown source %q", r.siteID(from))
 	}
 	st := &r.sources[i]
 	if seq < st.nextSeq {
+		//lint:allow hotalloc — error path: duplicate sequence numbers are protocol violations, never the steady state
 		return nil, fmt.Errorf("ddetect: duplicate seq %d from %q (next %d)", seq, r.siteID(from), st.nextSeq)
 	}
 	if _, dup := st.pending[seq]; dup {
+		//lint:allow hotalloc — error path: duplicate buffered sequences are protocol violations, never the steady state
 		return nil, fmt.Errorf("ddetect: duplicate buffered seq %d from %q", seq, r.siteID(from))
 	}
 	return st, nil
@@ -189,6 +193,8 @@ func (r *reorderer) source(from core.Site, seq uint64) (*sourceState, error) {
 // accept ingests a single-envelope message from a source with its link
 // sequence number, draining any in-order run it completes.  The common
 // in-order case bypasses the pending map entirely.
+//
+//sentinel:hotpath
 func (r *reorderer) accept(from core.Site, seq uint64, env envelope) error {
 	st, err := r.source(from, seq)
 	if err != nil {
@@ -201,8 +207,10 @@ func (r *reorderer) accept(from core.Site, seq uint64, env envelope) error {
 		return nil
 	}
 	if st.pending == nil {
+		//lint:allow hotalloc — lazy one-time map per source, only materialized the first time that source delivers out of order
 		st.pending = make(map[uint64][]envelope)
 	}
+	//lint:allow hotalloc — the pending run is retained until the sequence gap fills; the buffer is the point of the reorderer
 	st.pending[seq] = []envelope{env}
 	r.buffered++
 	return nil
@@ -213,6 +221,8 @@ func (r *reorderer) accept(from core.Site, seq uint64, env envelope) error {
 // in-order case ingests straight from the caller's slice, which the
 // caller may recycle as soon as acceptBatch returns; only an out-of-order
 // arrival copies the run into an owned buffer.
+//
+//sentinel:hotpath
 func (r *reorderer) acceptBatch(from core.Site, seq uint64, envs []envelope) error {
 	st, err := r.source(from, seq)
 	if err != nil {
@@ -227,6 +237,7 @@ func (r *reorderer) acceptBatch(from core.Site, seq uint64, envs []envelope) err
 		return nil
 	}
 	if st.pending == nil {
+		//lint:allow hotalloc — lazy one-time map per source, only materialized the first time that source delivers out of order
 		st.pending = make(map[uint64][]envelope)
 	}
 	st.pending[seq] = append([]envelope(nil), envs...)
@@ -370,6 +381,8 @@ func (m ReleaseMode) slack() int64 {
 // grown.  This is what shards the crank's release scan — of thousands of
 // sites, only the ones with fresh arrivals or watermark movement do any
 // work, and only they consult the frontier vector.
+//
+//sentinel:hotpath
 func (r *reorderer) release(mode ReleaseMode, fn func(envelope)) int {
 	if !r.stale || len(r.ready) == 0 {
 		return 0

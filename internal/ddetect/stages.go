@@ -53,6 +53,7 @@ func (st *ingestStage) Name() string { return "ingest" }
 // unbatched transport.
 //
 //lint:allow stagefx — ingest runs single-threaded on the crank goroutine before the detect barrier; its heartbeat counters and coalescer flush execute in deterministic site/link order regardless of worker count
+//sentinel:hotpath
 func (st *ingestStage) Tick(now clock.Microticks) int {
 	sys := st.sys
 	n := st.raised
@@ -173,7 +174,7 @@ func (st *transportStage) Name() string { return "transport" }
 // Tick drains due messages into per-site reorderers; the count it reports
 // is envelopes, not bus messages.
 //
-//lint:allow stagefx — transport is the designated consumer of the bus: it runs single-threaded on the crank goroutine before the detect barrier, so its DrainDue cannot race the coalescer's flushes
+//sentinel:hotpath
 func (st *transportStage) Tick(now clock.Microticks) int {
 	sys := st.sys
 	st.now = now
@@ -185,6 +186,7 @@ func (st *transportStage) Tick(now clock.Microticks) int {
 		// seal, before any traffic); resolving the destination is one
 		// slice index, no string hash.
 		if m.ToSite < 0 || int(m.ToSite) >= len(sys.sites) {
+			//lint:allow hotalloc — panic message on a routing bug; never formats on the steady path
 			panic(fmt.Sprintf("ddetect: message to unknown site %q", m.To))
 		}
 		dst := sys.sites[m.ToSite]
@@ -196,7 +198,9 @@ func (st *transportStage) Tick(now clock.Microticks) int {
 		case []byte:
 			if wire.IsBatch(p) {
 				st.decoded = st.decoded[:0]
+				//lint:allow hotalloc — DecodeBatch allocates only when rejecting a corrupt frame, and the panic below formats only then
 				if err := sys.codec.DecodeBatch(p, st.collect); err != nil {
+					//lint:allow hotalloc — panic message on a corrupt batch; never formats on the steady path
 					panic(fmt.Sprintf("ddetect: corrupt batch: %v", err))
 				}
 				st.acceptRun(dst, m.FromSite, m.From, m.Seq, st.decoded)
@@ -298,7 +302,7 @@ func (st *releaseStage) deliver(env envelope) {
 
 // Tick releases watermark-stable events into the detect inboxes.
 //
-//lint:allow stagefx — release runs single-threaded on the crank goroutine before the detect barrier; its latency counters are updated in deterministic (site, release-key) order
+//sentinel:hotpath
 func (st *releaseStage) Tick(now clock.Microticks) int {
 	sys := st.sys
 	if st.fn == nil {
@@ -336,6 +340,7 @@ type detectStage struct {
 
 func (st *detectStage) Name() string { return "detect" }
 
+//sentinel:hotpath
 func (st *detectStage) Tick(now clock.Microticks) int {
 	sys := st.sys
 	n := 0
@@ -368,6 +373,7 @@ type publishStage struct {
 
 func (st *publishStage) Name() string { return "publish" }
 
+//sentinel:hotpath
 func (st *publishStage) Tick(now clock.Microticks) int {
 	sys := st.sys
 	n := 0

@@ -48,6 +48,7 @@ type passNode struct {
 	out  emitFunc
 }
 
+//sentinel:hotpath
 func (n *passNode) onChild(_ int, o *event.Occurrence) {
 	n.out(event.NewComposite(n.name, n.site, o))
 }
@@ -61,6 +62,7 @@ type orNode struct {
 	out  emitFunc
 }
 
+//sentinel:hotpath
 func (n *orNode) onChild(_ int, o *event.Occurrence) {
 	n.out(event.NewComposite(n.name, n.site, o))
 }
@@ -87,6 +89,7 @@ type binaryNode struct {
 	eligible []int
 }
 
+//sentinel:hotpath
 func (n *binaryNode) onChild(idx int, o *event.Occurrence) {
 	if n.seq {
 		n.onSeq(idx, o)
@@ -128,6 +131,7 @@ func (n *binaryNode) onSeq(idx int, o *event.Occurrence) {
 		}
 		n.buf[0] = removeIndices(n.buf[0], eligible)
 	case Cumulative:
+		//lint:allow hotalloc — the constituents slice is retained by the emitted occurrence; the allocation is the product, not garbage
 		constituents := make([]*event.Occurrence, 0, len(eligible)+1)
 		for _, i := range eligible {
 			constituents = append(constituents, n.buf[0][i])
@@ -147,37 +151,46 @@ func (n *binaryNode) onAnd(idx int, o *event.Occurrence) {
 		n.buf[idx] = append(n.buf[idx], o)
 		return
 	}
-	// emit orders constituents left child first regardless of arrival.
-	emit := func(others []*event.Occurrence) {
-		constituents := make([]*event.Occurrence, 0, len(others)+1)
+	// emitOne pairs the arriving occurrence with a single buffered
+	// partner, left child first regardless of arrival.  It hands the pair
+	// to NewComposite as plain variadic arguments: the four
+	// single-partner contexts used to wrap each partner in a transient
+	// one-element slice per emission, which was pure garbage on the
+	// detect path.
+	emitOne := func(b *event.Occurrence) {
 		if idx == 1 {
-			constituents = append(constituents, others...)
-			constituents = append(constituents, o)
+			n.out(event.NewComposite(n.name, n.site, b, o))
 		} else {
-			constituents = append(constituents, o)
-			constituents = append(constituents, others...)
+			n.out(event.NewComposite(n.name, n.site, o, b))
 		}
-		n.out(event.NewComposite(n.name, n.site, constituents...))
 	}
 	switch n.ctx {
 	case Unrestricted:
 		for _, b := range n.buf[other] {
-			emit([]*event.Occurrence{b})
+			emitOne(b)
 		}
 		n.buf[idx] = append(n.buf[idx], o)
 	case Recent:
-		emit([]*event.Occurrence{n.buf[other][len(n.buf[other])-1]})
+		emitOne(n.buf[other][len(n.buf[other])-1])
 		n.buf[idx] = append(n.buf[idx][:0], o)
 	case Chronicle:
-		emit([]*event.Occurrence{n.buf[other][0]})
-		n.buf[other] = removeIndices(n.buf[other], []int{0})
+		emitOne(n.buf[other][0])
+		n.buf[other] = removeIndices(n.buf[other], zeroIndex)
 	case Continuous:
 		for _, b := range n.buf[other] {
-			emit([]*event.Occurrence{b})
+			emitOne(b)
 		}
 		n.buf[other] = n.buf[other][:0]
 	case Cumulative:
-		emit(n.buf[other])
+		others := n.buf[other]
+		//lint:allow hotalloc — the constituents slice is retained by the emitted occurrence; the allocation is the product, not garbage
+		constituents := make([]*event.Occurrence, 0, len(others)+1)
+		if idx == 1 {
+			constituents = append(append(constituents, others...), o)
+		} else {
+			constituents = append(append(constituents, o), others...)
+		}
+		n.out(event.NewComposite(n.name, n.site, constituents...))
 		n.buf[other] = n.buf[other][:0]
 	}
 }
@@ -225,6 +238,7 @@ type childOcc struct {
 	occ *event.Occurrence
 }
 
+//sentinel:hotpath
 func (n *anyNode) onChild(idx int, o *event.Occurrence) {
 	if n.ctx == Recent {
 		n.buf[idx] = n.buf[idx][:0]
@@ -291,6 +305,7 @@ func (n *anyNode) emitCombo(o childOcc, sel []int) {
 	if cap(n.combo) < n.m {
 		// Pre-size so recursive appends never outgrow the scratch (depth
 		// is at most m), which would silently drop the reuse.
+		//lint:allow hotalloc — scratch grown once to m and reused across every later emission
 		n.combo = make([]childOcc, 0, n.m)
 	}
 	n.emitCombos(o, sel, 0, n.combo[:0])
@@ -318,6 +333,7 @@ func (n *anyNode) emitCombos(o childOcc, sel []int, depth int, acc []childOcc) {
 // by buffer order) for deterministic parameter lists.
 func (n *anyNode) emitOrdered(sel []childOcc) {
 	sort.SliceStable(sel, func(i, j int) bool { return sel[i].c < sel[j].c })
+	//lint:allow hotalloc — the constituents slice is retained by the emitted occurrence; the allocation is the product, not garbage
 	constituents := make([]*event.Occurrence, len(sel))
 	for i, s := range sel {
 		constituents[i] = s.occ
@@ -339,6 +355,7 @@ func choose(scratch []int, items []int, k int, fn func([]int)) []int {
 		return scratch
 	}
 	if cap(scratch) < k {
+		//lint:allow hotalloc — scratch grown once to k and returned to the caller for reuse across combinations
 		scratch = make([]int, 0, k)
 	}
 	sel := scratch[:0]
@@ -378,6 +395,7 @@ type notNode struct {
 	eligible []int
 }
 
+//sentinel:hotpath
 func (n *notNode) onChild(idx int, o *event.Occurrence) {
 	switch idx {
 	case 1: // initiator E1
@@ -423,6 +441,7 @@ func (n *notNode) onChild(idx int, o *event.Occurrence) {
 			n.inits = removeIndices(n.inits, eligible)
 			n.pruneE2s()
 		case Cumulative:
+			//lint:allow hotalloc — the constituents slice is retained by the emitted occurrence; the allocation is the product, not garbage
 			constituents := make([]*event.Occurrence, 0, len(eligible)+1)
 			for _, i := range eligible {
 				constituents = append(constituents, n.inits[i])
@@ -492,6 +511,7 @@ type aperiodicNode struct {
 	closed   []*apWindow
 }
 
+//sentinel:hotpath
 func (n *aperiodicNode) onChild(idx int, o *event.Occurrence) {
 	switch idx {
 	case 0: // E1 opens a window
@@ -555,6 +575,7 @@ func (n *aperiodicNode) onChild(idx int, o *event.Occurrence) {
 			for _, w := range ws {
 				constituents = append(constituents, w.init)
 			}
+			//lint:allow hotalloc — dedup map allocated once per closing terminator, not per monitored E2; terminators are the rare event of the A* operator
 			seen := make(map[*event.Occurrence]bool)
 			for _, w := range ws {
 				for _, e2 := range w.acc {
@@ -575,8 +596,10 @@ func (n *aperiodicNode) onChild(idx int, o *event.Occurrence) {
 		case Cumulative:
 			emitWindow(closed)
 		default: // Unrestricted, Recent, Continuous: one composite per window
-			for _, w := range closed {
-				emitWindow([]*apWindow{w})
+			// Subslicing closed hands emitWindow a one-window view without
+			// the transient one-element slice a literal would allocate.
+			for i := range closed {
+				emitWindow(closed[i : i+1])
 			}
 		}
 	}
@@ -595,6 +618,10 @@ type periodicNode struct {
 	period     clock.Microticks
 	out        emitFunc
 	sched      scheduler
+	// tickType is the precomputed name+".tick" event type: ticks fire on
+	// every period of every open window, so the concatenation is hoisted
+	// to construction instead of rebuilt per tick.
+	tickType string
 
 	windows []*pWindow
 }
@@ -614,6 +641,7 @@ func (n *periodicNode) bindScheduler(s scheduler) error {
 	return nil
 }
 
+//sentinel:hotpath
 func (n *periodicNode) onChild(idx int, o *event.Occurrence) {
 	switch idx {
 	case 0: // E1 opens a periodic window
@@ -653,8 +681,9 @@ func (n *periodicNode) scheduleTick(w *pWindow, due clock.Microticks) {
 			return
 		}
 		w.ticks++
-		tick := event.NewPrimitive(n.name+".tick", event.Temporal, n.sched.stampAt(at),
-			event.Params{"count": w.ticks})
+		//lint:allow hotalloc — the count parameter map is retained by the emitted tick occurrence; the allocation is the product, not garbage
+		params := event.Params{"count": w.ticks}
+		tick := event.NewPrimitive(n.tickType, event.Temporal, n.sched.stampAt(at), params)
 		if n.cumulative {
 			w.acc = append(w.acc, tick)
 		} else {
@@ -674,6 +703,9 @@ type plusNode struct {
 	delta clock.Microticks
 	out   emitFunc
 	sched scheduler
+	// timerType is the precomputed name+".timer" event type, hoisted to
+	// construction so each PLUS firing builds no string.
+	timerType string
 }
 
 func (n *plusNode) bindScheduler(s scheduler) error {
@@ -684,9 +716,10 @@ func (n *plusNode) bindScheduler(s scheduler) error {
 	return nil
 }
 
+//sentinel:hotpath
 func (n *plusNode) onChild(_ int, o *event.Occurrence) {
 	n.sched.schedule(n.sched.now()+n.delta, func(at clock.Microticks) {
-		tick := event.NewPrimitive(n.name+".timer", event.Temporal, n.sched.stampAt(at), nil)
+		tick := event.NewPrimitive(n.timerType, event.Temporal, n.sched.stampAt(at), nil)
 		n.out(event.NewComposite(n.name, n.site, o, tick))
 	})
 }

@@ -245,6 +245,8 @@ func (b *Bus) enqueue(m Message) {
 
 // Send enqueues a single-envelope message at reference time now and
 // returns it with its link sequence number and delivery time filled in.
+//
+//sentinel:hotpath
 func (b *Bus) Send(now clock.Microticks, from, to core.SiteID, payload any) Message {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -280,6 +282,8 @@ func (b *Bus) Send(now clock.Microticks, from, to core.SiteID, payload any) Mess
 // frame of bytes bytes; pass bytes 0 for in-memory payloads).  The batch
 // consumes exactly one latency/jitter/loss draw: it models one physical
 // frame on the link.
+//
+//sentinel:hotpath
 func (b *Bus) SendBatch(now clock.Microticks, from, to core.SiteID, payload any, envelopes, bytes int) Message {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -293,6 +297,8 @@ func (b *Bus) SendBatch(now clock.Microticks, from, to core.SiteID, payload any,
 // SendBatchSite is SendBatch addressed by dense roster indexes — the form
 // the transport coalescer uses once the topology is sealed.  Link
 // resolution is a slice index plus a short scan; no string is hashed.
+//
+//sentinel:hotpath
 func (b *Bus) SendBatchSite(now clock.Microticks, from, to core.Site, payload any, envelopes, bytes int) Message {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -341,6 +347,8 @@ func (b *Bus) sendBatchLocked(now clock.Microticks, ls *linkState, from, to core
 // deterministic delivery order, so detection results can be compared
 // byte for byte.  payloadAt is invoked with the bus lock held and must
 // not call back into the Bus.
+//
+//sentinel:hotpath
 func (b *Bus) SendUnbatched(now clock.Microticks, from, to core.SiteID, n int, payloadAt func(int) any) {
 	if n <= 0 {
 		return
@@ -355,6 +363,8 @@ func (b *Bus) SendUnbatched(now clock.Microticks, from, to core.SiteID, n int, p
 }
 
 // SendUnbatchedSite is SendUnbatched addressed by dense roster indexes.
+//
+//sentinel:hotpath
 func (b *Bus) SendUnbatchedSite(now clock.Microticks, from, to core.Site, n int, payloadAt func(int) any) {
 	if n <= 0 {
 		return
@@ -398,6 +408,8 @@ func (b *Bus) sendUnbatchedLocked(ls *linkState, now clock.Microticks, from, to 
 // This is the batch form the transport stage drains the bus with: one
 // lock acquisition and one pre-sized append run per tick instead of a
 // lock round trip per message.
+//
+//sentinel:hotpath
 func (b *Bus) DrainDue(now clock.Microticks, buf []Message) []Message {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -413,6 +425,7 @@ func (b *Bus) DrainDue(now clock.Microticks, buf []Message) []Message {
 		return buf
 	}
 	if free := cap(buf) - len(buf); free < due {
+		//lint:allow hotalloc — amortized growth of the caller-owned reuse buffer; steady state reuses the grown capacity tick after tick
 		grown := make([]Message, len(buf), len(buf)+due)
 		copy(grown, buf)
 		buf = grown
@@ -426,6 +439,8 @@ func (b *Bus) DrainDue(now clock.Microticks, buf []Message) []Message {
 
 // DeliverDue pops every message due at or before now, in deterministic
 // (DeliverAt, send order) order, and hands each to fn.
+//
+//sentinel:hotpath
 func (b *Bus) DeliverDue(now clock.Microticks, fn func(Message)) int {
 	n := 0
 	for {

@@ -39,6 +39,7 @@ func appendBatchWith(dst []byte, envs []Envelope, enc func([]byte, Envelope) ([]
 		return nil, errors.New("wire: empty batch")
 	}
 	if len(envs) > maxBatch {
+		//lint:allow hotalloc — error path: oversized batches are a caller bug, never the steady state
 		return nil, fmt.Errorf("wire: batch of %d envelopes exceeds %d", len(envs), maxBatch)
 	}
 	dst = append(dst, KindBatch)
@@ -83,6 +84,7 @@ func decodeBatchWith(buf []byte, dec func([]byte) (Envelope, error), fn func(Env
 		return err
 	}
 	if kind != KindBatch {
+		//lint:allow hotalloc — error path: rejecting a non-batch frame; never formats on valid input
 		return fmt.Errorf("%w: kind %d is not a batch frame", ErrBadTag, kind)
 	}
 	n, err := r.uvarint()
@@ -134,6 +136,7 @@ func validateOccurrence(o *event.Occurrence, depth int) error {
 	if depth > maxDepth {
 		return fmt.Errorf("wire: occurrence tree deeper than %d", maxDepth)
 	}
+	//lint:allow mapiter — type checks only: validity is order-independent (at worst the key named in the error varies, and errors never reach the occurrence stream)
 	for k, v := range o.Params {
 		switch v.(type) {
 		case int64, int, uint64, float64, string, bool:

@@ -163,6 +163,8 @@ func (c *Codec) EncodeAppend(dst []byte, e Envelope) ([]byte, error) {
 }
 
 // Encode is the allocating form of EncodeAppend.
+//
+//lint:allow hotalloc — the encoded frame is the product handed to the transport; callers that can reuse buffers use EncodeAppend
 func (c *Codec) Encode(e Envelope) ([]byte, error) {
 	return c.EncodeAppend(make([]byte, 0, 64), e)
 }
@@ -310,6 +312,7 @@ func (c *Codec) Decode(buf []byte) (Envelope, error) {
 	case KindBatch:
 		return Envelope{}, ErrNestedBatch
 	case KindRoster:
+		//lint:allow hotalloc — error path: corrupt-input rejection; never formats on valid frames
 		return Envelope{}, fmt.Errorf("%w: roster frame in envelope position", ErrBadTag)
 	}
 	r := &reader{buf: buf}
@@ -322,6 +325,7 @@ func (c *Codec) Decode(buf []byte) (Envelope, error) {
 	switch kind {
 	case KindFrontierDelta:
 		if c.Granule <= 0 {
+			//lint:allow hotalloc — error path: misconfigured codec rejection; never formats on valid frames
 			return Envelope{}, fmt.Errorf("%w: frontier delta without a granule", ErrBadTag)
 		}
 		delta, err := r.varint()
@@ -338,9 +342,11 @@ func (c *Codec) Decode(buf []byte) (Envelope, error) {
 		e.Kind = KindEvent
 		e.Occ = o
 	default:
+		//lint:allow hotalloc — error path: corrupt-input rejection; never formats on valid frames
 		return Envelope{}, fmt.Errorf("%w: envelope kind %d", ErrBadTag, kind)
 	}
 	if r.pos != len(buf) {
+		//lint:allow hotalloc — error path: corrupt-input rejection; never formats on valid frames
 		return Envelope{}, fmt.Errorf("wire: %d trailing bytes", len(buf)-r.pos)
 	}
 	return e, nil
