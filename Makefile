@@ -43,7 +43,7 @@ race:
 # The Workers=0 vs Workers>1 byte-identical occurrence stream regression
 # (internal/ddetect/determinism_test.go), under the race detector.
 determinism:
-	$(GO) test -race -run 'TestPipelineDeterminism' -v ./internal/ddetect
+	$(GO) test -race -run 'TestPipelineDeterminism|TestPoolingDeterminism' -v ./internal/ddetect
 
 # The PR-5 tentpole regression: the full observability stack (tracer into
 # span log + flight recorder, metrics registry) must be a pure observer —
@@ -58,37 +58,39 @@ trace-overhead:
 	SENTINEL_TRACE_OVERHEAD=1 $(GO) test -run 'TestTraceOverheadSmoke' -v .
 
 # Full benchmark run (root harness + eventlog + transport + obs layers),
-# archived machine-readably at the repo root.  BENCH_pr6.json, when
+# archived machine-readably at the repo root.  BENCH_pr7.json, when
 # present, is embedded so the report carries its own before/after
-# comparison of the PR-7 hot-path allocation sweep (the e2e rows drop
-# ~340 allocs/op — one Params map per detected composite).
+# comparison of the PR-8 pooled occurrence lifecycle (the 16-site e2e
+# row drops from ~10.7k to ~3.1k allocs/op).
 BENCH_PKGS := . ./internal/eventlog ./internal/network ./internal/wire ./internal/obs
 
 bench:
 	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
 	$(GO) test -bench . -benchmem -benchtime=200ms -count=3 -run '^$$' $(BENCH_PKGS) \
-		| tee /tmp/bench_pr7.txt
-	$(BENCHJSON) -out BENCH_pr7.json \
-		$$(test -f BENCH_pr6.json && echo -baseline BENCH_pr6.json) \
-		< /tmp/bench_pr7.txt
+		| tee /tmp/bench_pr8.txt
+	$(BENCHJSON) -out BENCH_pr8.json \
+		$$(test -f BENCH_pr7.json && echo -baseline BENCH_pr7.json) \
+		< /tmp/bench_pr8.txt
 
-# Smoke pass doubling as the allocs/op budget: every benchmark must run
-# to completion, and no benchmark's allocs/op may grow more than 10%
-# over the archived BENCH_pr7.json baseline.  100 iterations, not 1, so
-# one-time warmup allocations (pool fills, lazy maps, buffer growth)
-# amortize out of the per-op average instead of reading as phantom
-# regressions — at 20x the residue still inflated small benchmarks by a
-# whole alloc/op.
+# Smoke pass doubling as the perf budget: every benchmark must run to
+# completion, no benchmark's allocs/op may grow more than 5% over the
+# archived BENCH_pr8.json baseline (tightened from 10% now the pooled
+# lifecycle leaves little slack to hide in), and the sustained-throughput
+# gate must clear 1M events/sec.  100 iterations, not 1, so one-time
+# warmup allocations (pool fills, lazy maps, buffer growth) amortize out
+# of the per-op average instead of reading as phantom regressions — at
+# 20x the residue still inflated small benchmarks by a whole alloc/op.
 bench-smoke:
 	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
 	$(GO) test -bench . -benchmem -benchtime=100x -run '^$$' $(BENCH_PKGS) > /tmp/bench_smoke.txt
 	$(BENCHJSON) -out /tmp/bench_smoke.json < /tmp/bench_smoke.txt
-	$(BENCHJSON) -compare -max-alloc-regress 10 BENCH_pr7.json /tmp/bench_smoke.json > /dev/null
+	$(BENCHJSON) -compare -max-alloc-regress 5 -min-metric events/sec=1000000 \
+		BENCH_pr8.json /tmp/bench_smoke.json > /dev/null
 
-# Delta table between the archived PR-6 and PR-7 benchmark runs.
+# Delta table between the archived PR-7 and PR-8 benchmark runs.
 bench-diff:
 	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
-	$(BENCHJSON) -compare BENCH_pr6.json BENCH_pr7.json
+	$(BENCHJSON) -compare BENCH_pr7.json BENCH_pr8.json
 
 # The PR-6 scale deliverable as a CI gate: a 512-site end-to-end run must
 # complete (and stay fast — the timeout is the assertion; before the dense

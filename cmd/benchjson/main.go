@@ -59,12 +59,48 @@ type Report struct {
 	Baseline []Record `json:"baseline,omitempty"`
 }
 
+// minMetric is one -min-metric floor: every benchmark in the new report
+// that emits the named custom metric must reach the floor, and at least
+// one benchmark must emit it at all (so deleting the gated benchmark
+// cannot silently pass the gate).
+type minMetric struct {
+	name  string
+	floor float64
+}
+
+// minMetricFlags collects repeated -min-metric name=value occurrences.
+type minMetricFlags []minMetric
+
+func (m *minMetricFlags) String() string {
+	var parts []string
+	for _, mm := range *m {
+		parts = append(parts, fmt.Sprintf("%s=%g", mm.name, mm.floor))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *minMetricFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	floor, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad floor in %q: %v", s, err)
+	}
+	*m = append(*m, minMetric{name: name, floor: floor})
+	return nil
+}
+
 func main() {
 	out := flag.String("out", "", "output JSON file (default stdout)")
 	baseline := flag.String("baseline", "", "existing benchjson report whose records are embedded as the baseline")
 	compare := flag.Bool("compare", false, "compare two report files (old.json new.json) and print a delta table")
 	maxAllocRegress := flag.Float64("max-alloc-regress", -1,
 		"with -compare: fail (exit 1) if any benchmark's median allocs/op grew more than this percentage over the old report (0 = any growth fails)")
+	var minMetrics minMetricFlags
+	flag.Var(&minMetrics, "min-metric",
+		"with -compare: name=value floor on a custom b.ReportMetric unit in the new report (repeatable); fails if any benchmark's median falls below it, or if no benchmark reports it")
 	flag.Parse()
 
 	if *compare {
@@ -87,6 +123,16 @@ func main() {
 						os.Exit(1)
 					}
 				}
+				if err == nil && len(minMetrics) > 0 {
+					bad := metricShortfalls(newRep.Records, minMetrics)
+					if len(bad) > 0 {
+						for _, b := range bad {
+							fmt.Fprintln(os.Stderr, "benchjson:", b)
+						}
+						fmt.Fprintln(os.Stderr, "benchjson: metric floor not met")
+						os.Exit(1)
+					}
+				}
 			}
 		}
 		if err != nil {
@@ -97,6 +143,10 @@ func main() {
 	}
 	if *maxAllocRegress >= 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: -max-alloc-regress only applies with -compare")
+		os.Exit(2)
+	}
+	if len(minMetrics) > 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: -min-metric only applies with -compare")
 		os.Exit(2)
 	}
 
@@ -251,6 +301,38 @@ func allocRegressions(oldRecs, newRecs []Record, maxPct float64) []string {
 		o, n := *oa.AllocsPerOp, *na.AllocsPerOp
 		if n > o*(1+maxPct/100) {
 			bad = append(bad, fmt.Sprintf("%s: allocs/op %.1f -> %.1f (limit %+.1f%%)", name, o, n, maxPct))
+		}
+	}
+	return bad
+}
+
+// metricShortfalls enforces the -min-metric floors against the new
+// report: per floor, every benchmark emitting the metric must have a
+// median at or above it, and the metric must appear somewhere — a gate
+// whose benchmark vanished should fail loudly, not pass vacuously.
+func metricShortfalls(recs []Record, mins []minMetric) []string {
+	var bad []string
+	for _, mm := range mins {
+		vals := map[string][]float64{}
+		var order []string
+		for _, r := range recs {
+			v, ok := r.Metrics[mm.name]
+			if !ok {
+				continue
+			}
+			if _, seen := vals[r.Name]; !seen {
+				order = append(order, r.Name)
+			}
+			vals[r.Name] = append(vals[r.Name], v)
+		}
+		if len(order) == 0 {
+			bad = append(bad, fmt.Sprintf("no benchmark reports metric %q (floor %g)", mm.name, mm.floor))
+			continue
+		}
+		for _, name := range order {
+			if m := median(vals[name]); m < mm.floor {
+				bad = append(bad, fmt.Sprintf("%s: %s %.4g below floor %g", name, mm.name, m, mm.floor))
+			}
 		}
 	}
 	return bad

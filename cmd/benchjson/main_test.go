@@ -152,6 +152,47 @@ func TestAllocRegressions(t *testing.T) {
 	}
 }
 
+func TestMetricShortfalls(t *testing.T) {
+	recs := []Record{
+		{Name: "BenchmarkThroughput", NsPerOp: 10, Metrics: map[string]float64{"events/sec": 2.0e6}},
+		{Name: "BenchmarkThroughput", NsPerOp: 10, Metrics: map[string]float64{"events/sec": 1.4e6}},
+		{Name: "BenchmarkThroughput", NsPerOp: 10, Metrics: map[string]float64{"events/sec": 0.2e6}}, // outlier repeat
+		{Name: "BenchmarkOther", NsPerOp: 10, Metrics: map[string]float64{"hit-rate": 0.5}},
+	}
+	// Median (1.4e6) clears the floor despite the cold repeat.
+	if bad := metricShortfalls(recs, []minMetric{{name: "events/sec", floor: 1e6}}); len(bad) != 0 {
+		t.Fatalf("shortfalls = %v, want none (median clears the floor)", bad)
+	}
+	// A floor above the median trips on the benchmark.
+	bad := metricShortfalls(recs, []minMetric{{name: "events/sec", floor: 1.5e6}})
+	if len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkThroughput") {
+		t.Fatalf("shortfalls = %v, want BenchmarkThroughput", bad)
+	}
+	// A floor on a metric nothing reports fails loudly, not vacuously.
+	bad = metricShortfalls(recs, []minMetric{{name: "gone/sec", floor: 1}})
+	if len(bad) != 1 || !strings.Contains(bad[0], "gone/sec") {
+		t.Fatalf("shortfalls = %v, want a missing-metric failure", bad)
+	}
+}
+
+func TestMinMetricFlagParse(t *testing.T) {
+	var m minMetricFlags
+	if err := m.Set("events/sec=1000000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("hit-rate=0.95"); err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m[0].name != "events/sec" || m[0].floor != 1e6 || m[1].floor != 0.95 {
+		t.Fatalf("flags = %+v", m)
+	}
+	for _, bad := range []string{"noequals", "=5", "x=notanumber"} {
+		if err := m.Set(bad); err == nil {
+			t.Fatalf("Set(%q) accepted", bad)
+		}
+	}
+}
+
 func TestParseEmptyErrors(t *testing.T) {
 	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\n"))); err == nil {
 		t.Fatal("expected an error on input with no benchmark lines")

@@ -47,6 +47,9 @@ type options struct {
 	seed    int64
 	workers int
 	stats   bool
+	// noPool disables the occurrence pool (the determinism differential
+	// mode; detections are byte-identical either way).
+	noPool bool
 	// metrics selects a registry export appended to the report: "",
 	// "prom" (Prometheus text) or "json" (expvar-style).
 	metrics string
@@ -70,7 +73,8 @@ func main() {
 	skew := flag.Int64("skew", 30, "max clock offset ± (microticks, < Π/2)")
 	seed := flag.Int64("seed", 42, "random seed")
 	workers := flag.Int("workers", 0, "detect-stage worker count (0 = sequential; results identical)")
-	stats := flag.Bool("stats", false, "print per-stage pipeline counters and latency histograms")
+	stats := flag.Bool("stats", false, "print per-stage pipeline counters, latency histograms and pool counters")
+	noPool := flag.Bool("no-pool", false, "disable the occurrence pool (differential mode; identical detections)")
 	metrics := flag.String("metrics", "", "append a metrics export to the report: prom or json")
 	flightrec := flag.Int("flightrec", 0, "keep and dump the last N spans per site")
 	traceFile := flag.String("trace", "", "write the event lineage as Chrome trace_event JSON to this file")
@@ -83,7 +87,7 @@ func main() {
 	o := options{
 		sites: *sites, events: *events, meanGap: *meanGap,
 		latency: *latency, jitter: *jitter, drop: *drop, skew: *skew, seed: *seed,
-		workers: *workers, stats: *stats, metrics: *metrics, flightrec: *flightrec,
+		workers: *workers, stats: *stats, noPool: *noPool, metrics: *metrics, flightrec: *flightrec,
 	}
 	for _, f := range []struct {
 		path string
@@ -115,7 +119,8 @@ func simulate(w io.Writer, o options) {
 			DropRate: *drop, RetransmitDelay: 4 * *latency,
 			Seed: workload.SubSeed(*seed, "net"),
 		},
-		Pipeline: pipeline.Config{Workers: o.workers},
+		Pipeline:       pipeline.Config{Workers: o.workers},
+		DisablePooling: o.noPool,
 	}
 	if *drop > 0 && cfg.Net.RetransmitDelay == 0 {
 		cfg.Net.RetransmitDelay = 100
@@ -242,6 +247,14 @@ func simulate(w io.Writer, o options) {
 			fmt.Fprintf(w, "  %-10s %8d %10d %12v %10v %10v\n",
 				sg.Name, sg.Ticks, sg.Items, sg.Busy.Round(time.Microsecond),
 				sg.MaxTick.Round(time.Microsecond), sg.Hist.Quantile(0.99))
+		}
+		ps := sys.PoolStats()
+		if ps.Gets > 0 {
+			hit := 1 - float64(ps.Misses)/float64(ps.Gets)
+			fmt.Fprintf(w, "occurrence pool: gets=%d puts=%d misses=%d hit-rate=%.3f double-puts-averted=%d\n",
+				ps.Gets, ps.Puts, ps.Misses, hit, ps.DoublePuts)
+		} else {
+			fmt.Fprintln(w, "occurrence pool: disabled (tracer attached or -no-pool)")
 		}
 	}
 

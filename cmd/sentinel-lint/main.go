@@ -18,6 +18,10 @@
 //	            roster indexes instead)
 //	stagefx   — bus sends, subscriber fan-out and Stats mutation stay
 //	            in the publish stage (PR-1 pipeline rule)
+//	poolfx    — (*sync.Pool).Put of a struct must zero every slice,
+//	            map and interface field in the recycling function, so
+//	            a recycled object cannot resurrect old state (PR-8
+//	            occurrence-pool rule)
 //	obsfx     — internal/obs sinks are the only observability effects
 //	            in stage context (no fmt/log/os printing, no tracer in
 //	            the worker-side detect stage), and internal/obs itself

@@ -8,6 +8,7 @@ import (
 	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/mapiter"
 	"repro/internal/analysis/obsfx"
+	"repro/internal/analysis/poolfx"
 	"repro/internal/analysis/sitemap"
 	"repro/internal/analysis/stagefx"
 	"repro/internal/analysis/stampcmp"
@@ -23,6 +24,7 @@ func All() []*analysis.Analyzer {
 		hotalloc.Analyzer,
 		sitemap.Analyzer,
 		stagefx.Analyzer,
+		poolfx.Analyzer,
 		obsfx.Analyzer,
 	}
 }

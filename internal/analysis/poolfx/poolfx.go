@@ -1,0 +1,200 @@
+// Package poolfx flags (*sync.Pool).Put calls that return a struct to a
+// pool without zeroing its reference-carrying fields.
+//
+// A pooled object outlives its users: whatever pointers it still holds
+// when it goes back into the pool are retained until the *next*
+// generation overwrites them — a silent leak at best, and with the
+// occurrence pool (internal/event) a correctness hazard, because a
+// recycled Occurrence that still references constituents or parameter
+// maps resurrects freed state into an unrelated event.  The recycling
+// function must therefore sever every slice, map and interface field
+// before the Put (nil it, clear() it, or truncate it — truncation is a
+// deliberate capacity-keeping reuse, which is the pool's point).
+//
+// The check is function-local by design: the function that calls Put is
+// the recycler, and the zeroing discipline belongs next to the Put so a
+// reader can audit it in one screen (event.Pool.put is the template).
+// For each Put whose argument is a pointer to a named struct, every
+// field of that struct whose underlying type is a slice, map or
+// interface must appear as an assignment target (x.F = ..., including
+// x.F = x.F[:0]) or as the operand of the clear builtin somewhere in the
+// enclosing function.  Pointer and string fields are out of scope —
+// pools of linked nodes legitimately keep intrusive pointers, and the
+// noise would drown the signal.  Pools of boxed slices (*[]byte and
+// friends) are exempt wholesale: retaining the backing array is their
+// entire purpose.  Test files are exempt.
+//
+// The escape hatch is //lint:allow poolfx with a reason, audited for
+// staleness like every other directive.
+package poolfx
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/facts"
+)
+
+const name = "poolfx"
+
+// Analyzer is the poolfx checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      name,
+	Doc:       "flag (*sync.Pool).Put of a struct whose slice/map/interface fields are not all zeroed in the recycling function",
+	AppliesTo: appliesTo,
+	Run:       run,
+}
+
+func appliesTo(path string) bool {
+	path = facts.NormPath(path)
+	if path != "repro" && !strings.HasPrefix(path, "repro/") {
+		return false
+	}
+	return !strings.HasPrefix(path, "repro/internal/analysis") &&
+		!strings.HasPrefix(path, "repro/cmd/sentinel-lint")
+}
+
+// isPoolPut reports whether call is (*sync.Pool).Put.
+func isPoolPut(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Pool"
+}
+
+// refFields returns the fields of the pointed-to named struct (nil if
+// the argument is not a pointer to a named struct) whose underlying type
+// is a slice, map or interface.
+func refFields(t types.Type) []*types.Var {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var refs []*types.Var
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch f.Type().Underlying().(type) {
+		case *types.Slice, *types.Map, *types.Interface:
+			refs = append(refs, f)
+		}
+	}
+	return refs
+}
+
+// fieldObj resolves a selector expression to the struct field it names,
+// nil for anything else (method values, package selectors).
+func fieldObj(pass *analysis.Pass, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	v, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// zeroedFields collects every struct field the function assigns to or
+// clears: the LHS of any assignment (including x.F = x.F[:0]) and the
+// operand of every clear(...) call.
+func zeroedFields(pass *analysis.Pass, decl *ast.FuncDecl) map[*types.Var]bool {
+	zeroed := map[*types.Var]bool{}
+	ast.Inspect(decl, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if f := fieldObj(pass, lhs); f != nil {
+					zeroed[f] = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 1 {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "clear" {
+					if f := fieldObj(pass, n.Args[0]); f != nil {
+						zeroed[f] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return zeroed
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil || pass.Allows.AllowedFunc(name, decl) {
+				continue
+			}
+			var zeroed map[*types.Var]bool // lazy: most functions have no Put
+			ast.Inspect(decl.Body, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 || !isPoolPut(pass, call) {
+					return true
+				}
+				refs := refFields(pass.TypeOf(call.Args[0]))
+				if len(refs) == 0 {
+					return true
+				}
+				if zeroed == nil {
+					zeroed = zeroedFields(pass, decl)
+				}
+				var missing []string
+				for _, fld := range refs {
+					if !zeroed[fld] {
+						missing = append(missing, fld.Name())
+					}
+				}
+				if len(missing) > 0 {
+					pass.Reportf(call.Pos(),
+						"poolfx: Put returns a *%s to the pool without zeroing reference field(s) %s — nil, clear or truncate them in this function so the recycled object cannot resurrect old state, or //lint:allow poolfx with a reason",
+						typeName(pass, call.Args[0]), strings.Join(missing, ", "))
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// typeName renders the pointed-to struct's name relative to the package.
+func typeName(pass *analysis.Pass, arg ast.Expr) string {
+	t := pass.TypeOf(arg)
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		return types.TypeString(ptr.Elem(), types.RelativeTo(pass.Pkg))
+	}
+	return types.TypeString(t, types.RelativeTo(pass.Pkg))
+}

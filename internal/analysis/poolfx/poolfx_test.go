@@ -1,0 +1,28 @@
+package poolfx
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("testdata", "poolfx"))
+}
+
+func TestAppliesTo(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/event":           true,
+		"repro/internal/ddetect":         true,
+		"repro/internal/wire":            true,
+		"repro":                          true,
+		"repro/internal/analysis/poolfx": false,
+		"repro/cmd/sentinel-lint":        false,
+		"golang.org/x/tools/go/analysis": false,
+	} {
+		if got := Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

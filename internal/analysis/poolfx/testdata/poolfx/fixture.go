@@ -1,0 +1,59 @@
+// Package fixture exercises the poolfx analyzer: a (*sync.Pool).Put of
+// a pointer-to-struct whose slice/map/interface reference fields are not
+// all severed in the recycling function is flagged, per missing field.
+// Truncation and clear() count as severing; boxed-slice pools and
+// non-struct payloads are out of scope.
+package fixture
+
+import "sync"
+
+type obj struct {
+	name   string // strings are out of scope
+	id     int
+	kids   []*obj
+	params map[string]any
+	val    any
+	buf    []byte
+}
+
+var pool sync.Pool
+
+func badPut(o *obj) {
+	o.kids = nil
+	// params, val and buf still reference old state.
+	pool.Put(o) // want `poolfx: Put returns a \*obj to the pool without zeroing reference field\(s\) params, val, buf`
+}
+
+func goodPut(o *obj) {
+	for i := range o.kids {
+		o.kids[i] = nil
+	}
+	o.kids = o.kids[:0] // truncation keeps capacity; the assignment counts
+	clear(o.params)     // clear() counts
+	o.val = nil
+	o.buf = o.buf[:0]
+	pool.Put(o)
+}
+
+func allowedPut(o *obj) {
+	//lint:allow poolfx — fixture: the next generation overwrites every field before use
+	pool.Put(o)
+}
+
+// Boxed-slice pools retain their backing array on purpose.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func slicePut(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// A Put on some other type named Pool is not sync.Pool's.
+type fakePool struct{}
+
+func (fakePool) Put(any) {}
+
+func notSyncPool(o *obj) {
+	var p fakePool
+	p.Put(o)
+}

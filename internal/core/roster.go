@@ -142,6 +142,11 @@ func (t RStamp) Concurrent(u RStamp) bool {
 	return !t.Less(u) && !u.Less(t)
 }
 
+// WeakLE is Stamp.WeakLE ("⪯", Definition 4.8) on interned stamps.
+func (t RStamp) WeakLE(u RStamp) bool {
+	return t.Less(u) || t.Concurrent(u)
+}
+
 // CompareCanonicalR is CompareCanonical on interned stamps.  Roster
 // interning preserves ID order, so the integer site comparison here
 // orders exactly as the string comparison does — the property that lets

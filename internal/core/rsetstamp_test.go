@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// rosterN builds a roster of n sites s00..s(n-1).
+func rosterN(n int) *Roster {
+	ids := make([]SiteID, n)
+	for i := range ids {
+		ids[i] = SiteID(fmt.Sprintf("s%02d", i))
+	}
+	return NewRoster(ids)
+}
+
+// randValidSet builds a random *valid* SetStamp over the roster's sites:
+// random member stamps folded through MaxSet, which canonicalizes and
+// keeps only the mutually concurrent maxima — the only shape the interned
+// algebra accepts (engine-constructed sets always have it).
+func randValidSet(rng *rand.Rand, r *Roster) SetStamp {
+	k := 1 + rng.Intn(5)
+	stamps := make([]Stamp, k)
+	for i := range stamps {
+		g := int64(rng.Intn(6))
+		stamps[i] = Stamp{
+			Site:   r.ids[rng.Intn(r.Len())],
+			Global: g,
+			Local:  g*10 + int64(rng.Intn(10)),
+		}
+	}
+	return MaxSet(stamps)
+}
+
+func intern(t *testing.T, r *Roster, s SetStamp) RSetStamp {
+	t.Helper()
+	rs, ok := r.AppendCanon(nil, s)
+	if !ok {
+		t.Fatalf("AppendCanon rejected roster-member set %s", s)
+	}
+	if !siteStrictR(rs) {
+		t.Fatalf("interned set not siteStrict: %v (from %s)", rs, s)
+	}
+	return rs
+}
+
+// TestRSetStampRelationsMatchSetStamp pins the interned relations against
+// the string SetStamp algebra — which is itself pinned against the
+// quadratic reference.go transcriptions by diff_test.go — on random valid
+// sets.  This is the differential chain that lets string SiteIDs survive
+// only at the wire/rosterless boundary.
+func TestRSetStampRelationsMatchSetStamp(t *testing.T) {
+	r := rosterN(7)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 4000; trial++ {
+		a := randValidSet(rng, r)
+		b := randValidSet(rng, r)
+		ra := intern(t, r, a)
+		rb := intern(t, r, b)
+		if got, want := ra.Less(rb), a.Less(b); got != want {
+			t.Fatalf("Less mismatch: %s vs %s: interned %v, string %v", a, b, got, want)
+		}
+		if got, want := ra.ConcurrentWith(rb), a.ConcurrentWith(b); got != want {
+			t.Fatalf("ConcurrentWith mismatch: %s vs %s: interned %v, string %v", a, b, got, want)
+		}
+		if got, want := ra.WeakLE(rb), a.WeakLE(b); got != want {
+			t.Fatalf("WeakLE mismatch: %s vs %s: interned %v, string %v", a, b, got, want)
+		}
+		// Reference transcription cross-check on the same pair: the
+		// interned path must agree with reference.go directly, not just
+		// through the string fast path.
+		if got, want := ra.Less(rb), lessRef(a, b); got != want {
+			t.Fatalf("Less vs reference mismatch: %s vs %s: interned %v, ref %v", a, b, got, want)
+		}
+	}
+}
+
+// TestRMaxIntoMatchesMax pins the interned Max fold: RMaxInto then
+// materialization must produce byte-for-byte the set Max produces on the
+// string forms (the property the pooled composite constructor relies on
+// for deterministic eventlogs).
+func TestRMaxIntoMatchesMax(t *testing.T) {
+	r := rosterN(7)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4000; trial++ {
+		a := randValidSet(rng, r)
+		b := randValidSet(rng, r)
+		ra := intern(t, r, a)
+		rb := intern(t, r, b)
+		folded := RMaxInto(nil, ra, rb)
+		got := r.AppendStamps(nil, folded)
+		want := Max(a, b)
+		if !got.Equal(want) {
+			t.Fatalf("Max mismatch: %s vs %s: interned %s, string %s", a, b, got, want)
+		}
+		if !siteStrictR(folded) {
+			t.Fatalf("RMaxInto result not canonical: %v", folded)
+		}
+	}
+}
+
+// TestRSetStampMaxGlobalComponent pins the release-key component choice:
+// same winner as the string form, including ties (earliest in canonical
+// order).
+func TestRSetStampMaxGlobalComponent(t *testing.T) {
+	r := rosterN(7)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		s := randValidSet(rng, r)
+		rs := intern(t, r, s)
+		got := rs.MaxGlobalComponent()
+		want := s.MaxGlobalComponent()
+		if r.ids[got.Site] != want.Site || got.Global != want.Global || got.Local != want.Local {
+			t.Fatalf("MaxGlobalComponent mismatch on %s: interned %v, string %v", s, got, want)
+		}
+	}
+}
+
+// TestAppendCanonRejectsForeignSites pins the rosterless boundary: a set
+// containing a non-member site cannot be interned and stays in string
+// form.
+func TestAppendCanonRejectsForeignSites(t *testing.T) {
+	r := rosterN(3)
+	s := SetStamp{{Site: "s00", Global: 1, Local: 10}, {Site: "zz", Global: 1, Local: 11}}
+	if got, ok := r.AppendCanon(nil, s); ok {
+		t.Fatalf("AppendCanon accepted foreign site: %v", got)
+	}
+	// Partial progress must be discarded: reusing the same dst must not
+	// leak the components interned before the rejection.
+	dst := make(RSetStamp, 0, 4)
+	out, ok := r.AppendCanon(dst, s)
+	if ok || len(out) != 0 {
+		t.Fatalf("AppendCanon left partial output: %v ok=%v", out, ok)
+	}
+}

@@ -158,11 +158,19 @@ func (s SetStamp) String() string { return FormatStamps(s) }
 // concurrency collapses to simultaneity (Proposition 4.2(5)), a valid
 // SetStamp has at most one component per site; hence len(Sites) == len(s).
 func (s SetStamp) Sites() []SiteID {
-	out := make([]SiteID, 0, len(s))
+	return s.AppendSites(make([]SiteID, 0, len(s)))
+}
+
+// AppendSites is Sites with caller-provided storage: it appends the
+// component sites to dst and returns the extended slice, allocating only
+// when dst's capacity runs out.  Diagnostic accessors on release/detect
+// paths use this form so a reused scratch buffer makes the per-event cost
+// zero allocations (hotalloc audit, PR 8).
+func (s SetStamp) AppendSites(dst []SiteID) []SiteID {
 	for _, t := range s {
-		out = append(out, t.Site)
+		dst = append(dst, t.Site)
 	}
-	return out
+	return dst
 }
 
 // MaxGlobal returns the largest global component, a convenient scalar

@@ -43,12 +43,23 @@ type linkCoalescer struct {
 	order []*linkBatch
 
 	// freeEnvs recycles flushed batch slices for in-memory payloads; the
-	// transport stage returns each slice after unpacking it.  freeBufs
-	// does the same for serialized frames, and wenvs is the reused
-	// wire-envelope staging slice for batch encoding.
+	// transport stage returns each slice after unpacking it.  freeRuns
+	// recycles the envRun boxes those slices ship in, freeBufs does the
+	// same for serialized frames, and wenvs is the reused wire-envelope
+	// staging slice for batch encoding.
 	freeEnvs [][]envelope
+	freeRuns []*envRun
 	freeBufs [][]byte
 	wenvs    []wire.Envelope
+}
+
+// envRun is the bus payload of an in-memory coalesced batch.  Boxing the
+// run as a pointer costs nothing per flush; boxing the []envelope slice
+// header directly into the Message's any field copied it to the heap on
+// every send — the single largest allocation site of the 16-site
+// end-to-end profile before this container existed.
+type envRun struct {
+	envs []envelope
 }
 
 // linkBatch is one link's accumulating envelope run, addressed by dense
@@ -68,8 +79,18 @@ func packLink(from, to core.Site) uint64 {
 }
 
 // add queues one envelope for the (from,to) link, to be sent at the next
-// flush.
+// flush.  An event envelope's queued pointer is a stored reference: add is
+// the single choke point through which every remote delivery passes —
+// raises, heartbeat-era forwards, hierarchical composite forwards — so the
+// transport's Retain lives here and is dropped wherever the envelope's
+// journey ends (the detect stage after dispatch for in-memory payloads,
+// the serializing flush after encoding).
+//
+//sentinel:hotpath
 func (c *linkCoalescer) add(from, to core.Site, env envelope) {
+	if env.Kind == envEvent {
+		env.Occ.Retain()
+	}
 	k := packLink(from, to)
 	lb := c.byLink[k]
 	if lb == nil {
@@ -123,6 +144,12 @@ func (c *linkCoalescer) flush(now clock.Microticks) {
 			sys.bus.SendUnbatchedSite(now, lb.from, lb.to, len(envs), func(i int) any {
 				return sys.payload(envs[i])
 			})
+			if sys.cfg.Serialize {
+				// The wire frames carry copies; the originals' transport
+				// references end here.  Unserialized payloads box the
+				// envelope itself, so the reference rides the message.
+				releaseOccs(envs)
+			}
 			c.recycleEnvs(envs)
 		case sys.cfg.Serialize:
 			buf := c.getBuf()
@@ -134,11 +161,16 @@ func (c *linkCoalescer) flush(now clock.Microticks) {
 			}
 			clear(c.wenvs) // drop the staged occurrence references
 			sys.bus.SendBatchSite(now, lb.from, lb.to, buf, len(envs), len(buf))
+			// The receiver decodes fresh occurrences from the frame; the
+			// in-memory originals' transport references end at the encode.
+			releaseOccs(envs)
 			c.recycleEnvs(envs)
 		default:
-			// In-memory payload: ownership of the slice transfers to the
-			// message; the transport stage recycles it after unpacking.
-			sys.bus.SendBatchSite(now, lb.from, lb.to, envs, len(envs), 0)
+			// In-memory payload: ownership of the envelopes — and their
+			// occurrence references — transfers to the message inside a
+			// pooled envRun box; the transport stage recycles both after
+			// unpacking.
+			sys.bus.SendBatchSite(now, lb.from, lb.to, c.getRun(envs), len(envs), 0)
 		}
 	}
 	c.order = c.order[:0]
@@ -162,11 +194,40 @@ func (c *linkCoalescer) stage(envs []envelope) []wire.Envelope {
 	return wenvs
 }
 
+// releaseOccs drops the transport's occurrence references after a run was
+// serialized: the receiving side decodes fresh objects, so the in-memory
+// originals' transport life ends at the encode.
+func releaseOccs(envs []envelope) {
+	for _, env := range envs {
+		if env.Kind == envEvent {
+			env.Occ.Release()
+		}
+	}
+}
+
 // recycleEnvs returns a flushed (or unpacked) batch slice to the free
-// list, dropping its occurrence references first.
+// list, dropping its occurrence pointers first.
 func (c *linkCoalescer) recycleEnvs(envs []envelope) {
 	clear(envs)
 	c.freeEnvs = append(c.freeEnvs, envs[:0])
+}
+
+// getRun boxes a flushed envelope slice in a pooled envRun for the bus.
+func (c *linkCoalescer) getRun(envs []envelope) *envRun {
+	n := len(c.freeRuns)
+	if n == 0 {
+		return &envRun{envs: envs}
+	}
+	run := c.freeRuns[n-1]
+	c.freeRuns = c.freeRuns[:n-1]
+	run.envs = envs
+	return run
+}
+
+// recycleRun returns an unpacked envRun box to the free list.
+func (c *linkCoalescer) recycleRun(run *envRun) {
+	run.envs = nil
+	c.freeRuns = append(c.freeRuns, run)
 }
 
 // getBuf pops a recycled wire-frame buffer (or nil, letting AppendBatch

@@ -28,6 +28,9 @@ type scenarioOpts struct {
 	// test log on failure); TestObsDeterminism needs a genuinely bare
 	// baseline to compare against.
 	noObs bool
+	// inspect, when set, runs against the settled system before it is
+	// discarded (pool-counter assertions and the like).
+	inspect func(*System)
 }
 
 func defaultScenario() scenarioOpts {
@@ -101,6 +104,9 @@ func runScenario(t testing.TB, o scenarioOpts) ([]byte, Stats) {
 	}
 	if err := sys.Settle(50_000); err != nil {
 		t.Fatal(err)
+	}
+	if o.inspect != nil {
+		o.inspect(sys)
 	}
 	return buf.Bytes(), sys.Stats()
 }
@@ -182,6 +188,82 @@ func TestBatchingDeterminism(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestPoolingDeterminism is the PR-8 lifecycle regression: recycling
+// occurrences through the generation-checked pool must be invisible to
+// detection.  Across seeds × site counts × worker counts, the occurrence
+// log must be byte-identical with pooling on and off (Config.
+// DisablePooling is the differential mode), and the pooled runs must
+// actually recycle — puts close to gets — or the comparison would be
+// vacuous.  The scenarios run uninstrumented (noObs) because an attached
+// tracer auto-disables pooling; that interlock is pinned here too.
+func TestPoolingDeterminism(t *testing.T) {
+	for _, seed := range []int64{5, 31} {
+		for _, sites := range []int{3, 6} {
+			for _, workers := range []int{0, 4} {
+				var pooled event.PoolStats
+				o := scenarioOpts{
+					sites: sites, count: 250, seed: seed, workers: workers, noObs: true,
+					inspect: func(sys *System) { pooled = sys.PoolStats() },
+				}
+				baseLog, baseStats := runScenario(t, o)
+				if baseStats.Detections == 0 {
+					t.Fatalf("seed=%d sites=%d workers=%d: no detections; comparison is vacuous",
+						seed, sites, workers)
+				}
+				if pooled.Gets == 0 {
+					t.Fatalf("seed=%d sites=%d workers=%d: pool never used; comparison is vacuous",
+						seed, sites, workers)
+				}
+				// Everything but the per-definition recorder references and
+				// any still-buffered partial matches must have been recycled.
+				if pooled.Puts == 0 || pooled.Puts < pooled.Gets/2 {
+					t.Errorf("seed=%d sites=%d workers=%d: pool stats %+v — occurrences leak instead of recycling",
+						seed, sites, workers, pooled)
+				}
+				if pooled.DoublePuts != 0 {
+					t.Errorf("seed=%d sites=%d workers=%d: %d double releases averted",
+						seed, sites, workers, pooled.DoublePuts)
+				}
+				var unpooled event.PoolStats
+				uo := o
+				uo.mutate = func(c *Config) { c.DisablePooling = true }
+				uo.inspect = func(sys *System) { unpooled = sys.PoolStats() }
+				log, st := runScenario(t, uo)
+				if unpooled.Gets != 0 {
+					t.Fatalf("seed=%d sites=%d workers=%d: DisablePooling still drew %d from the pool",
+						seed, sites, workers, unpooled.Gets)
+				}
+				if !bytes.Equal(baseLog, log) {
+					t.Errorf("seed=%d sites=%d workers=%d: occurrence log (%d bytes) differs with pooling off (%d bytes)",
+						seed, sites, workers, len(log), len(baseLog))
+				}
+				if st.Detections != baseStats.Detections || st.Released != baseStats.Released {
+					t.Errorf("seed=%d sites=%d workers=%d: det=%d rel=%d unpooled, want det=%d rel=%d",
+						seed, sites, workers, st.Detections, st.Released,
+						baseStats.Detections, baseStats.Released)
+				}
+			}
+		}
+	}
+}
+
+// TestTracerDisablesPooling pins the seal()-time interlock: span identity
+// is keyed by occurrence pointer, so an attached tracer must switch the
+// system to unpooled allocation.
+func TestTracerDisablesPooling(t *testing.T) {
+	o := defaultScenario()
+	o.count = 120
+	var ps event.PoolStats
+	o.inspect = func(sys *System) { ps = sys.PoolStats() }
+	_, st := runScenario(t, o) // default scenario attaches a flight recorder
+	if st.Detections == 0 {
+		t.Fatal("no detections")
+	}
+	if ps.Gets != 0 {
+		t.Fatalf("traced system drew %d occurrences from the pool; tracer must disable pooling", ps.Gets)
 	}
 }
 

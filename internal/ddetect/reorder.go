@@ -400,6 +400,30 @@ func (r *reorderer) release(mode ReleaseMode, fn func(envelope)) int {
 	return n
 }
 
+// releaseInto is release with the callback replaced by a caller-owned
+// buffer: stable envelopes are appended to dst in release order and the
+// extended slice returned.  It exists for the release stage's parallel
+// advance phase — each worker pops its own site's heap into the site's
+// released buffer, and the crank accounts the results in site order
+// afterwards, so heap maintenance (the sift-heavy part) runs fanned out
+// while every observable side effect stays sequential.
+//
+//sentinel:hotpath
+func (r *reorderer) releaseInto(mode ReleaseMode, dst []envelope) []envelope {
+	if !r.stale || len(r.ready) == 0 {
+		return dst
+	}
+	r.stale = false
+	minF := r.minFrontier()
+	if minF == math.MinInt64 {
+		return dst
+	}
+	for len(r.ready) > 0 && r.ready[0].key.global <= minF+mode.slack() {
+		dst = append(dst, r.ready.pop().env)
+	}
+	return dst
+}
+
 // pendingEvents reports buffered FIFO gaps plus unreleased ready events,
 // for quiescence checks.
 func (r *reorderer) pendingEvents() int { return r.buffered + len(r.ready) }
@@ -418,8 +442,18 @@ type key struct {
 }
 
 // releaseKey interns the occurrence's max-global stamp component into the
-// dense ordering key.
+// dense ordering key.  An occurrence carrying an interned stamp (pooled
+// raise, roster-aware decode) yields its component pre-interned — no
+// roster map lookup; the two paths agree because interning preserves
+// SiteID order and the component selection rule is identical
+// (TestRSetStampMaxGlobalComponent pins it against the string form).
+//
+//sentinel:hotpath
 func (r *reorderer) releaseKey(o *event.Occurrence, arrival uint64) key {
+	if len(o.Interned) > 0 {
+		best := o.Interned.MaxGlobalComponent()
+		return key{global: best.Global, site: best.Site, local: best.Local, arrival: arrival}
+	}
 	best := o.Stamp.MaxGlobalComponent()
 	return key{global: best.Global, site: r.roster.MustSite(best.Site), local: best.Local, arrival: arrival}
 }

@@ -103,7 +103,17 @@ func (st *ingestStage) raise(s *Site, typ string, class event.Class, params even
 	if s.crashed {
 		return nil, fmt.Errorf("%w: %q", ErrCrashed, s.ID)
 	}
-	occ := event.NewPrimitive(typ, class, s.StampNow(), params)
+	var occ *event.Occurrence
+	if pool := sys.opool; pool != nil {
+		// Pooled raise: the occurrence, its singleton stamp and the
+		// interned component (filled from the site's dense index — no
+		// roster lookup) come from recycled storage; params stay
+		// caller-owned.  The creator reference is dropped below once the
+		// deliveries hold their own.
+		occ = pool.GetPrimitive(typ, class, s.StampNow(), s.idx, params)
+	} else {
+		occ = event.NewPrimitive(typ, class, s.StampNow(), params)
+	}
 	if sys.cfg.Serialize {
 		if err := wire.ValidateOccurrence(occ); err != nil {
 			return nil, fmt.Errorf("ddetect: occurrence not encodable: %w", err)
@@ -150,6 +160,12 @@ func (st *ingestStage) raise(s *Site, typ string, class event.Class, params even
 			sys.inFlightEvents++
 		}
 	}
+	// Drop the creator's reference: the deliveries queued above hold their
+	// own.  The returned occurrence is a borrow, valid until the detect
+	// stage consumes the deliveries in a later Step; an unconsumed raise
+	// (the early return above) keeps the creator reference and stays a
+	// plain heap borrow forever.
+	occ.Release()
 	return occ, nil
 }
 
@@ -191,10 +207,11 @@ func (st *transportStage) Tick(now clock.Microticks) int {
 		}
 		dst := sys.sites[m.ToSite]
 		switch p := m.Payload.(type) {
-		case []envelope:
-			st.acceptRun(dst, m.FromSite, m.From, m.Seq, p)
-			n += len(p)
-			sys.coal.recycleEnvs(p)
+		case *envRun:
+			st.acceptRun(dst, m.FromSite, m.From, m.Seq, p.envs)
+			n += len(p.envs)
+			sys.coal.recycleEnvs(p.envs)
+			sys.coal.recycleRun(p)
 		case []byte:
 			if wire.IsBatch(p) {
 				st.decoded = st.decoded[:0]
@@ -268,53 +285,57 @@ func (st *transportStage) acceptOne(dst *Site, from core.Site, peer core.SiteID,
 
 // releaseStage pops every watermark-stable event, in each site's
 // deterministic (global, site, local, arrival) order, into the site's
-// detect inbox, accounting raise-to-release latency.  The callback handed
-// to the reorderer is built once and re-targeted via the now/cur fields,
-// so the per-tick, per-site release loop allocates nothing.
+// detect inbox, accounting raise-to-release latency.
+//
+// The stage runs in two phases.  The advance phase fans the per-site
+// reorderer stepping — the stale-flag check, the frontier minimum, the
+// sift-heavy heap pops — across the worker pool; each worker appends its
+// own site's stable envelopes to that site's released buffer, touching
+// nothing shared.  The accounting phase then walks the sites in ID order
+// on the crank goroutine and applies every observable side effect — the
+// Stats counters, the latency histogram, the trace spans, the inbox
+// append — exactly as the sequential loop did, so the history is
+// byte-identical (spans included) for every worker count.
 type releaseStage struct {
 	sys *System
-	now clock.Microticks
-	cur *Site
-	fn  func(envelope)
 }
 
 func (st *releaseStage) Name() string { return "release" }
 
-// deliver is the release callback, hoisted out of Tick so the per-site
-// loop reuses one closure instead of allocating one per site per tick.
-//
-//lint:allow stagefx — deliver is invoked only from release Tick, single-threaded on the crank goroutine before the detect barrier; its latency counters are updated in deterministic (site, release-key) order
-func (st *releaseStage) deliver(env envelope) {
-	sys := st.sys
-	sys.stats.Released++
-	lat := st.now - env.RaisedAt
-	sys.stats.LatencySum += lat
-	if lat > sys.stats.LatencyMax {
-		sys.stats.LatencyMax = lat
-	}
-	sys.hRelease.Observe(int64(lat))
-	if tr := sys.tr; tr != nil {
-		tr.Emit(obs.SpanEvent{ID: tr.ID(env.Occ), At: int64(st.now), Kind: obs.KindRelease,
-			Site: string(st.cur.ID), SiteRef: int32(st.cur.idx) + 1, Type: env.Occ.Type})
-	}
-	st.cur.inbox = append(st.cur.inbox, env.Occ)
-}
-
 // Tick releases watermark-stable events into the detect inboxes.
 //
+//lint:allow stagefx — the accounting loop below runs single-threaded on the crank goroutine; the fanned-out advance phase touches only per-site reorderer state and per-site buffers
 //sentinel:hotpath
 func (st *releaseStage) Tick(now clock.Microticks) int {
 	sys := st.sys
-	if st.fn == nil {
-		st.fn = st.deliver
-	}
-	st.now = now
+	sites := sys.sites
+	sys.pool.Run(len(sites), func(i int) {
+		s := sites[i]
+		s.released = s.re.releaseInto(sys.cfg.Release, s.released[:0])
+	})
 	n := 0
-	for _, s := range sys.sites {
-		st.cur = s
-		n += s.re.release(sys.cfg.Release, st.fn)
+	for _, s := range sites {
+		if len(s.released) == 0 {
+			continue
+		}
+		for _, env := range s.released {
+			sys.stats.Released++
+			lat := now - env.RaisedAt
+			sys.stats.LatencySum += lat
+			if lat > sys.stats.LatencyMax {
+				sys.stats.LatencyMax = lat
+			}
+			sys.hRelease.Observe(int64(lat))
+			if tr := sys.tr; tr != nil {
+				tr.Emit(obs.SpanEvent{ID: tr.ID(env.Occ), At: int64(now), Kind: obs.KindRelease,
+					Site: string(s.ID), SiteRef: int32(s.idx) + 1, Type: env.Occ.Type})
+			}
+			s.inbox = append(s.inbox, env.Occ)
+		}
+		n += len(s.released)
+		clear(s.released)
+		s.released = s.released[:0]
 	}
-	st.cur = nil
 	return n
 }
 
@@ -355,6 +376,12 @@ func (st *detectStage) Tick(now clock.Microticks) int {
 	sys.pool.Run(len(active), func(i int) {
 		s := active[i]
 		s.det.PublishBatch(s.inbox)
+		// Dispatch done: drop the delivery references taken at coal.add /
+		// selfDeliver.  Whatever the graph buffered holds its own.
+		for j, o := range s.inbox {
+			s.inbox[j] = nil
+			o.Release()
+		}
 		s.inbox = s.inbox[:0]
 		s.det.AdvanceTo(now)
 	})
@@ -424,12 +451,20 @@ func (st *publishStage) Tick(now clock.Microticks) int {
 				tr.Emit(obs.SpanEvent{ID: id, At: int64(now), Kind: obs.KindPublish,
 					Site: string(s.ID), SiteRef: int32(s.idx) + 1, Type: o.Type})
 			}
-			for _, h := range sys.handlers[o.Type] {
+			hs := sys.handlers[o.Type]
+			for _, h := range hs {
 				h(o)
 			}
 			sys.forwardComposite(s, o)
+			// Drop the recorder's reference.  Handlers have run by now:
+			// System.Subscribe's contract is a borrow — the occurrence is
+			// valid for the duration of each handler call, and a handler
+			// that keeps the pointer must Retain it — so publish is where
+			// the detection's tree returns to the pool.
+			o.Release()
 			n++
 		}
+		clear(s.detected)
 		s.detected = s.detected[:0]
 	}
 	// Flush the hierarchical forwards (and anything a handler raised)

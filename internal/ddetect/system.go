@@ -46,6 +46,15 @@ type Config struct {
 	// as an internal/eventlog record, enabling replay-based recovery of
 	// detector state after a crash.
 	Journal io.Writer
+	// DisablePooling turns off occurrence recycling: every raise and
+	// every composite allocates fresh storage that falls to the garbage
+	// collector, exactly the pre-pool behaviour.  Detection output is
+	// byte-identical either way (TestPoolingDeterminism) — this is the
+	// differential mode that proves pooling is a pure memory
+	// optimization.  Pooling is also suspended automatically while
+	// Config.Trace is set: the tracer keys span identity by occurrence
+	// pointer, which recycling would alias.
+	DisablePooling bool
 	// EnforceSimultaneity applies the paper's Section 3.1 assumptions 3
 	// and 4: no two database events and no two explicit events may be
 	// simultaneous.  With it set, raising a second Database or Explicit
@@ -210,14 +219,22 @@ type System struct {
 	// publish stage fans detections out to them on the crank goroutine.
 	handlers map[string][]detector.Handler
 
-	// pipe composes the five stage drivers; pool is the detect stage's
-	// worker pool; ingest is kept aside because Site.Raise drives it
-	// between ticks; coal is the per-link transport coalescer the ingest
-	// and publish stages queue into and flush (see coalesce.go).
+	// pipe composes the five stage drivers; pool is the worker pool the
+	// release and detect stages fan out on; ingest is kept aside because
+	// Site.Raise drives it between ticks; coal is the per-link transport
+	// coalescer the ingest and publish stages queue into and flush (see
+	// coalesce.go).
 	pipe   *pipeline.Driver
 	pool   *pipeline.Pool
 	ingest *ingestStage
 	coal   *linkCoalescer
+
+	// opool recycles occurrences, their stamp storage and constituent
+	// lists through the whole lifecycle — raise, transport, detection,
+	// publish (see internal/event's pool.go for the ownership rules).
+	// nil when pooling is off (Config.DisablePooling, or tracing active);
+	// every Retain/Release in the engine is then a no-op.
+	opool *event.Pool
 
 	// inFlightEvents counts event envelopes on the bus (heartbeats are
 	// perpetual and excluded), for the quiescence check.
@@ -347,6 +364,15 @@ func (sys *System) collectMetrics(emit func(name string, value float64)) {
 	emit("sentinel_net_batches_total", float64(net.Batches))
 	emit("sentinel_net_payload_bytes_total", float64(net.PayloadBytes))
 	emit("sentinel_net_max_in_flight", float64(net.MaxInFlight))
+	// Occurrence pool counters.  Gets/puts/double-puts are logical
+	// lifecycle transitions and as deterministic as the run; misses are
+	// timing-dependent (the runtime may drop pooled objects under GC
+	// pressure) and exported for capacity insight, not for diffing.
+	ps := sys.opool.Stats()
+	emit("sentinel_pool_gets_total", float64(ps.Gets))
+	emit("sentinel_pool_puts_total", float64(ps.Puts))
+	emit("sentinel_pool_misses_total", float64(ps.Misses))
+	emit("sentinel_pool_double_puts_averted_total", float64(ps.DoublePuts))
 	for _, ss := range sys.pipe.Stats() {
 		emit(fmt.Sprintf("sentinel_stage_items_total{stage=%q}", ss.Name), float64(ss.Items))
 		emit(fmt.Sprintf("sentinel_stage_ticks_total{stage=%q}", ss.Name), float64(ss.Ticks))
@@ -385,12 +411,16 @@ type Site struct {
 	crashed bool
 
 	// Inter-stage buffers, each owned by exactly one stage at a time:
-	// inbox carries watermark-released occurrences from the release
-	// stage to the detect stage; detected carries this site's composite
-	// detections (appended by the per-definition recorder, in detection
-	// order) from the detect stage to the publish stage.  In parallel
-	// mode the detect-stage worker that owns this site is the only
-	// goroutine touching either.
+	// released carries the envelopes this site's reorderer popped during
+	// the parallel advance phase of the release stage to its sequential
+	// accounting phase (see releaseStage.Tick); inbox carries
+	// watermark-released occurrences from the release stage to the
+	// detect stage; detected carries this site's composite detections
+	// (appended by the per-definition recorder, in detection order) from
+	// the detect stage to the publish stage.  In parallel mode the
+	// worker that owns this site is the only goroutine touching any of
+	// them.
+	released []envelope
 	inbox    []*event.Occurrence
 	detected []*event.Occurrence
 }
@@ -555,6 +585,7 @@ func (sys *System) DefineAt(host core.SiteID, name, expression string, ctx detec
 	// parallel mode this closure runs on the worker that owns s, which
 	// is the only goroutine appending to s.detected.
 	s.det.Subscribe(name, func(o *event.Occurrence) {
+		o.Retain() // the publish stage owns this reference and releases it
 		s.detected = append(s.detected, o)
 	})
 	return def, nil
@@ -587,6 +618,13 @@ func (sys *System) hostOf(name string) *Site {
 // crank goroutine during the publish stage, after the detect barrier, in
 // deterministic (site, detection) order — never concurrently, whatever
 // the worker count.
+//
+// The occurrence passed to a handler is a borrow: it (and its
+// constituent tree) is valid for the duration of the call, after which
+// the publish stage may recycle it through the occurrence pool.  A
+// handler that stores the pointer past its return must call Retain (and
+// Release when done); handlers that only read fields, serialize, or
+// count need nothing.
 func (sys *System) Subscribe(name string, h detector.Handler) error {
 	if sys.hostOf(name) == nil {
 		return fmt.Errorf("ddetect: no site defines %q", name)
@@ -639,7 +677,20 @@ func (sys *System) seal() {
 			s.re = newSelfReorderer(sys.roster, s.idx)
 		}
 	}
+	// Occurrence pooling needs the sealed roster (interned stamp
+	// components) and is suspended under tracing: the tracer keys span
+	// identity by occurrence pointer, which recycling would alias.
+	if !sys.cfg.DisablePooling && sys.tr == nil {
+		sys.opool = event.NewPool(sys.roster)
+		for _, s := range sys.sites {
+			s.det.UsePool(sys.opool)
+		}
+	}
 }
+
+// PoolStats returns a snapshot of the occurrence pool counters (zero when
+// pooling is off).
+func (sys *System) PoolStats() event.PoolStats { return sys.opool.Stats() }
 
 // StampNow returns the site's current primitive timestamp.
 func (s *Site) StampNow() core.Stamp {
@@ -656,7 +707,10 @@ func (s *Site) Detector() *detector.Detector { return s.det }
 
 // Raise raises a primitive event at this site, stamped by its clock, and
 // forwards it to every site whose definitions need it (the ingest stage).
-// It returns the occurrence.
+// The returned occurrence is a borrow: with pooling active it stays valid
+// only until the Step that consumes its deliveries, after which it may be
+// recycled — read or copy what you need (the stamp, the type) before
+// stepping.  An occurrence no definition consumes is never recycled.
 func (s *Site) Raise(typ string, class event.Class, params event.Params) (*event.Occurrence, error) {
 	return s.sys.ingest.raise(s, typ, class, params)
 }
@@ -742,7 +796,10 @@ func (sys *System) unpayload(p any) envelope {
 
 // selfDeliver puts a local occurrence through the site's own reorderer
 // stream so local and remote events interleave in one linear extension.
+// Like coal.add it takes the delivery's reference on the occurrence; the
+// detect stage releases it after dispatch.
 func (s *Site) selfDeliver(env envelope) {
+	env.Occ.Retain()
 	s.selfSeq++
 	if err := s.re.accept(s.idx, s.selfSeq, env); err != nil {
 		panic(err) // programming error: self stream is always in order

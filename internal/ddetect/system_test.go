@@ -30,7 +30,9 @@ func newTwoSiteSystem(t *testing.T, net network.Config) (*System, *Site, *Site) 
 func collect(t *testing.T, sys *System, name string) *[]*event.Occurrence {
 	t.Helper()
 	var got []*event.Occurrence
-	if err := sys.Subscribe(name, func(o *event.Occurrence) { got = append(got, o) }); err != nil {
+	// Subscribe hands out a borrow; Retain keeps the stored occurrences
+	// (and their trees) out of the pool for the test's lifetime.
+	if err := sys.Subscribe(name, func(o *event.Occurrence) { got = append(got, o.Retain()) }); err != nil {
 		t.Fatal(err)
 	}
 	return &got

@@ -25,7 +25,7 @@ func TestDistributedPeriodic(t *testing.T) {
 		t.Fatal(err)
 	}
 	var ticks []*event.Occurrence
-	if err := sys.Subscribe("Watch", func(o *event.Occurrence) { ticks = append(ticks, o) }); err != nil {
+	if err := sys.Subscribe("Watch", func(o *event.Occurrence) { ticks = append(ticks, o.Retain()) }); err != nil {
 		t.Fatal(err)
 	}
 	ward.MustRaise("Admit", event.Explicit, nil)
@@ -63,7 +63,7 @@ func TestDistributedPlus(t *testing.T) {
 		t.Fatal(err)
 	}
 	var fired []*event.Occurrence
-	if err := sys.Subscribe("Escalate", func(o *event.Occurrence) { fired = append(fired, o) }); err != nil {
+	if err := sys.Subscribe("Escalate", func(o *event.Occurrence) { fired = append(fired, o.Retain()) }); err != nil {
 		t.Fatal(err)
 	}
 	edge.MustRaise("Alarm", event.Explicit, nil)
@@ -92,7 +92,7 @@ func TestDistributedMaskedSequence(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []*event.Occurrence
-	if err := sys.Subscribe("BigThenClose", func(o *event.Occurrence) { got = append(got, o) }); err != nil {
+	if err := sys.Subscribe("BigThenClose", func(o *event.Occurrence) { got = append(got, o.Retain()) }); err != nil {
 		t.Fatal(err)
 	}
 	edge.MustRaise("Trade", event.Explicit, event.Params{"qty": 5})

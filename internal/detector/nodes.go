@@ -22,6 +22,14 @@ type emitFunc func(*event.Occurrence)
 // Definition 5.3 — if an occurrence a with T(a) < T(b) exists, a is
 // delivered before b.  Occurrences delivered later are therefore never
 // happen-before buffered ones.
+//
+// Buffering follows the pool ledger (event.Pool): every pointer a node
+// stores past onChild's return — a buffer slot, a window, a timer
+// closure — takes a reference with Retain, and every removal drops it
+// with Release.  Emission goes through Detector.emit, which retains the
+// constituents into the composite and drops the composite's creator
+// reference after the output chain returns.  With no pool attached every
+// ledger call is a no-op, so unpooled detection is bit-identical.
 type opNode interface {
 	onChild(idx int, o *event.Occurrence)
 }
@@ -40,31 +48,52 @@ type scheduler interface {
 	schedule(due clock.Microticks, fire func(due clock.Microticks))
 }
 
+// retain takes a buffer reference on o and returns it, so appends read
+// naturally: buf = append(buf, retain(o)).
+//
+//sentinel:hotpath
+func retain(o *event.Occurrence) *event.Occurrence {
+	o.Retain()
+	return o
+}
+
+// releaseAll drops the buffer references of every occurrence in buf, nils
+// the slots (consumed occurrences must not stay reachable — or recycled
+// ones dangling — through the buffer's capacity) and returns the empty
+// slice for reuse.
+func releaseAll(buf []*event.Occurrence) []*event.Occurrence {
+	for i, o := range buf {
+		buf[i] = nil
+		o.Release()
+	}
+	return buf[:0]
+}
+
 // passNode wraps a bare constituent as a named composite occurrence, used
 // when a definition's root is a single primitive or named event.
 type passNode struct {
+	det  *Detector
 	name string
-	site core.SiteID
 	out  emitFunc
 }
 
 //sentinel:hotpath
 func (n *passNode) onChild(_ int, o *event.Occurrence) {
-	n.out(event.NewComposite(n.name, n.site, o))
+	n.det.emit(n.out, n.name, o)
 }
 
 // orNode implements OR: the composite occurs whenever either constituent
 // occurs.  There is no initiator/terminator pairing, so the parameter
 // context is irrelevant.
 type orNode struct {
+	det  *Detector
 	name string
-	site core.SiteID
 	out  emitFunc
 }
 
 //sentinel:hotpath
 func (n *orNode) onChild(_ int, o *event.Occurrence) {
-	n.out(event.NewComposite(n.name, n.site, o))
+	n.det.emit(n.out, n.name, o)
 }
 
 // binaryNode implements AND (seq=false) and SEQ (seq=true).
@@ -77,8 +106,8 @@ func (n *orNode) onChild(_ int, o *event.Occurrence) {
 // terminates against buffered occurrences of the other side with no
 // ordering requirement (Section 5.3: conjunction in any order).
 type binaryNode struct {
+	det  *Detector
 	name string
-	site core.SiteID
 	ctx  Context
 	seq  bool
 	out  emitFunc
@@ -101,15 +130,15 @@ func (n *binaryNode) onChild(idx int, o *event.Occurrence) {
 func (n *binaryNode) onSeq(idx int, o *event.Occurrence) {
 	if idx == 0 { // initiator
 		if n.ctx == Recent {
-			n.buf[0] = n.buf[0][:0]
+			n.buf[0] = releaseAll(n.buf[0])
 		}
-		n.buf[0] = append(n.buf[0], o)
+		n.buf[0] = append(n.buf[0], retain(o))
 		return
 	}
 	// Terminator: eligible initiators happen before it.
 	eligible := n.eligible[:0]
 	for i, init := range n.buf[0] {
-		if init.Stamp.Less(o.Stamp) {
+		if event.StampLess(init, o) {
 			eligible = append(eligible, i)
 		}
 	}
@@ -120,24 +149,24 @@ func (n *binaryNode) onSeq(idx int, o *event.Occurrence) {
 	switch n.ctx {
 	case Unrestricted, Recent:
 		for _, i := range eligible {
-			n.out(event.NewComposite(n.name, n.site, n.buf[0][i], o))
+			n.det.emit(n.out, n.name, n.buf[0][i], o)
 		}
 	case Chronicle:
-		n.out(event.NewComposite(n.name, n.site, n.buf[0][eligible[0]], o))
+		n.det.emit(n.out, n.name, n.buf[0][eligible[0]], o)
 		n.buf[0] = removeIndices(n.buf[0], eligible[:1])
 	case Continuous:
 		for _, i := range eligible {
-			n.out(event.NewComposite(n.name, n.site, n.buf[0][i], o))
+			n.det.emit(n.out, n.name, n.buf[0][i], o)
 		}
 		n.buf[0] = removeIndices(n.buf[0], eligible)
 	case Cumulative:
-		//lint:allow hotalloc — the constituents slice is retained by the emitted occurrence; the allocation is the product, not garbage
+		//lint:allow hotalloc — the constituents slice is retained by the emitted occurrence (or copied into pooled storage); the allocation is the product, not garbage
 		constituents := make([]*event.Occurrence, 0, len(eligible)+1)
 		for _, i := range eligible {
 			constituents = append(constituents, n.buf[0][i])
 		}
 		constituents = append(constituents, o)
-		n.out(event.NewComposite(n.name, n.site, constituents...))
+		n.det.emit(n.out, n.name, constituents...)
 		n.buf[0] = removeIndices(n.buf[0], eligible)
 	}
 }
@@ -146,22 +175,21 @@ func (n *binaryNode) onAnd(idx int, o *event.Occurrence) {
 	other := 1 - idx
 	if len(n.buf[other]) == 0 {
 		if n.ctx == Recent {
-			n.buf[idx] = n.buf[idx][:0]
+			n.buf[idx] = releaseAll(n.buf[idx])
 		}
-		n.buf[idx] = append(n.buf[idx], o)
+		n.buf[idx] = append(n.buf[idx], retain(o))
 		return
 	}
 	// emitOne pairs the arriving occurrence with a single buffered
 	// partner, left child first regardless of arrival.  It hands the pair
-	// to NewComposite as plain variadic arguments: the four
-	// single-partner contexts used to wrap each partner in a transient
-	// one-element slice per emission, which was pure garbage on the
-	// detect path.
+	// to emit as plain variadic arguments: the four single-partner
+	// contexts used to wrap each partner in a transient one-element slice
+	// per emission, which was pure garbage on the detect path.
 	emitOne := func(b *event.Occurrence) {
 		if idx == 1 {
-			n.out(event.NewComposite(n.name, n.site, b, o))
+			n.det.emit(n.out, n.name, b, o)
 		} else {
-			n.out(event.NewComposite(n.name, n.site, o, b))
+			n.det.emit(n.out, n.name, o, b)
 		}
 	}
 	switch n.ctx {
@@ -169,10 +197,10 @@ func (n *binaryNode) onAnd(idx int, o *event.Occurrence) {
 		for _, b := range n.buf[other] {
 			emitOne(b)
 		}
-		n.buf[idx] = append(n.buf[idx], o)
+		n.buf[idx] = append(n.buf[idx], retain(o))
 	case Recent:
 		emitOne(n.buf[other][len(n.buf[other])-1])
-		n.buf[idx] = append(n.buf[idx][:0], o)
+		n.buf[idx] = append(releaseAll(n.buf[idx]), retain(o))
 	case Chronicle:
 		emitOne(n.buf[other][0])
 		n.buf[other] = removeIndices(n.buf[other], zeroIndex)
@@ -180,18 +208,18 @@ func (n *binaryNode) onAnd(idx int, o *event.Occurrence) {
 		for _, b := range n.buf[other] {
 			emitOne(b)
 		}
-		n.buf[other] = n.buf[other][:0]
+		n.buf[other] = releaseAll(n.buf[other])
 	case Cumulative:
 		others := n.buf[other]
-		//lint:allow hotalloc — the constituents slice is retained by the emitted occurrence; the allocation is the product, not garbage
+		//lint:allow hotalloc — the constituents slice is retained by the emitted occurrence (or copied into pooled storage); the allocation is the product, not garbage
 		constituents := make([]*event.Occurrence, 0, len(others)+1)
 		if idx == 1 {
 			constituents = append(append(constituents, others...), o)
 		} else {
 			constituents = append(append(constituents, o), others...)
 		}
-		n.out(event.NewComposite(n.name, n.site, constituents...))
-		n.buf[other] = n.buf[other][:0]
+		n.det.emit(n.out, n.name, constituents...)
+		n.buf[other] = releaseAll(n.buf[other])
 	}
 }
 
@@ -209,8 +237,8 @@ func (n *binaryNode) onAnd(idx int, o *event.Occurrence) {
 // all; Unrestricted emits one composite per selection of m−1 buffered
 // occurrences of distinct other constituents and consumes nothing.
 type anyNode struct {
+	det  *Detector
 	name string
-	site core.SiteID
 	ctx  Context
 	m    int
 	out  emitFunc
@@ -241,9 +269,9 @@ type childOcc struct {
 //sentinel:hotpath
 func (n *anyNode) onChild(idx int, o *event.Occurrence) {
 	if n.ctx == Recent {
-		n.buf[idx] = n.buf[idx][:0]
+		n.buf[idx] = releaseAll(n.buf[idx])
 	}
-	n.buf[idx] = append(n.buf[idx], o)
+	n.buf[idx] = append(n.buf[idx], retain(o))
 
 	eligible := n.eligible[:0] // children with occurrences available, o's child first
 	eligible = append(eligible, idx)
@@ -287,10 +315,13 @@ func (n *anyNode) onChild(idx int, o *event.Occurrence) {
 			for _, b := range n.buf[c] {
 				sel = append(sel, childOcc{c: c, occ: b})
 			}
-			n.buf[c] = n.buf[c][:0]
 		}
 		n.emitOrdered(sel)
 		n.combo = sel[:0]
+		// Consume after the emission holds its constituent references.
+		for _, c := range eligible {
+			n.buf[c] = releaseAll(n.buf[c])
+		}
 	}
 }
 
@@ -333,12 +364,12 @@ func (n *anyNode) emitCombos(o childOcc, sel []int, depth int, acc []childOcc) {
 // by buffer order) for deterministic parameter lists.
 func (n *anyNode) emitOrdered(sel []childOcc) {
 	sort.SliceStable(sel, func(i, j int) bool { return sel[i].c < sel[j].c })
-	//lint:allow hotalloc — the constituents slice is retained by the emitted occurrence; the allocation is the product, not garbage
+	//lint:allow hotalloc — the constituents slice is retained by the emitted occurrence (or copied into pooled storage); the allocation is the product, not garbage
 	constituents := make([]*event.Occurrence, len(sel))
 	for i, s := range sel {
 		constituents[i] = s.occ
 	}
-	n.out(event.NewComposite(n.name, n.site, constituents...))
+	n.det.emit(n.out, n.name, constituents...)
 }
 
 // choose invokes fn with each size-k subset of items, preserving order.
@@ -384,8 +415,8 @@ func choose(scratch []int, items []int, k int, fn func([]int)) []int {
 // delivered before an initiator can never satisfy T(e1) < T(e2), so E2
 // occurrences are buffered only while some live initiator precedes them.
 type notNode struct {
+	det  *Detector
 	name string
-	site core.SiteID
 	ctx  Context
 	out  emitFunc
 
@@ -400,14 +431,14 @@ func (n *notNode) onChild(idx int, o *event.Occurrence) {
 	switch idx {
 	case 1: // initiator E1
 		if n.ctx == Recent {
-			n.inits = n.inits[:0]
+			n.inits = releaseAll(n.inits)
 			n.pruneE2s()
 		}
-		n.inits = append(n.inits, o)
+		n.inits = append(n.inits, retain(o))
 	case 0: // E2 — potential spoiler
 		for _, init := range n.inits {
-			if init.Stamp.Less(o.Stamp) {
-				n.e2s = append(n.e2s, o)
+			if event.StampLess(init, o) {
+				n.e2s = append(n.e2s, retain(o))
 				return
 			}
 		}
@@ -417,7 +448,7 @@ func (n *notNode) onChild(idx int, o *event.Occurrence) {
 		t3 := o.Stamp
 		eligible := n.eligible[:0]
 		for i, init := range n.inits {
-			if init.Stamp.Less(t3) && !n.spoiled(init.Stamp, t3) {
+			if event.StampLess(init, o) && !n.spoiled(init.Stamp, t3) {
 				eligible = append(eligible, i)
 			}
 		}
@@ -428,26 +459,26 @@ func (n *notNode) onChild(idx int, o *event.Occurrence) {
 		switch n.ctx {
 		case Unrestricted, Recent:
 			for _, i := range eligible {
-				n.out(event.NewComposite(n.name, n.site, n.inits[i], o))
+				n.det.emit(n.out, n.name, n.inits[i], o)
 			}
 		case Chronicle:
-			n.out(event.NewComposite(n.name, n.site, n.inits[eligible[0]], o))
+			n.det.emit(n.out, n.name, n.inits[eligible[0]], o)
 			n.inits = removeIndices(n.inits, eligible[:1])
 			n.pruneE2s()
 		case Continuous:
 			for _, i := range eligible {
-				n.out(event.NewComposite(n.name, n.site, n.inits[i], o))
+				n.det.emit(n.out, n.name, n.inits[i], o)
 			}
 			n.inits = removeIndices(n.inits, eligible)
 			n.pruneE2s()
 		case Cumulative:
-			//lint:allow hotalloc — the constituents slice is retained by the emitted occurrence; the allocation is the product, not garbage
+			//lint:allow hotalloc — the constituents slice is retained by the emitted occurrence (or copied into pooled storage); the allocation is the product, not garbage
 			constituents := make([]*event.Occurrence, 0, len(eligible)+1)
 			for _, i := range eligible {
 				constituents = append(constituents, n.inits[i])
 			}
 			constituents = append(constituents, o)
-			n.out(event.NewComposite(n.name, n.site, constituents...))
+			n.det.emit(n.out, n.name, constituents...)
 			n.inits = removeIndices(n.inits, eligible)
 			n.pruneE2s()
 		}
@@ -465,18 +496,23 @@ func (n *notNode) spoiled(t1, t3 core.SetStamp) bool {
 	return false
 }
 
-// pruneE2s drops E2 occurrences no live initiator precedes.
+// pruneE2s drops (and releases) E2 occurrences no live initiator
+// precedes, nil-ing the vacated tail.
 func (n *notNode) pruneE2s() {
 	w := 0
 outer:
 	for _, e2 := range n.e2s {
 		for _, init := range n.inits {
-			if init.Stamp.Less(e2.Stamp) {
+			if event.StampLess(init, e2) {
 				n.e2s[w] = e2
 				w++
 				continue outer
 			}
 		}
+		e2.Release()
+	}
+	for i := w; i < len(n.e2s); i++ {
+		n.e2s[i] = nil
 	}
 	n.e2s = n.e2s[:w]
 }
@@ -485,6 +521,14 @@ outer:
 type apWindow struct {
 	init *event.Occurrence
 	acc  []*event.Occurrence // accumulated E2s (A*) or ticks (P*)
+}
+
+// release drops the window's buffer references when it is discarded or
+// after its closing emission.
+func (w *apWindow) release() {
+	w.init.Release()
+	w.init = nil
+	w.acc = releaseAll(w.acc)
 }
 
 // aperiodicNode implements A(E1, E2, E3) and, with cumulative=true,
@@ -497,8 +541,8 @@ type apWindow struct {
 // occurrences per window and fires once when E3 closes the window,
 // carrying the E2s strictly inside the open interval.
 type aperiodicNode struct {
+	det        *Detector
 	name       string
-	site       core.SiteID
 	ctx        Context
 	cumulative bool
 	out        emitFunc
@@ -516,13 +560,17 @@ func (n *aperiodicNode) onChild(idx int, o *event.Occurrence) {
 	switch idx {
 	case 0: // E1 opens a window
 		if n.ctx == Recent {
+			for i, w := range n.windows {
+				w.release()
+				n.windows[i] = nil
+			}
 			n.windows = n.windows[:0]
 		}
-		n.windows = append(n.windows, &apWindow{init: o})
+		n.windows = append(n.windows, &apWindow{init: retain(o)})
 	case 1: // E2
 		eligible := n.eligible[:0]
 		for _, w := range n.windows {
-			if w.init.Stamp.Less(o.Stamp) {
+			if event.StampLess(w.init, o) {
 				eligible = append(eligible, w)
 			}
 		}
@@ -533,38 +581,45 @@ func (n *aperiodicNode) onChild(idx int, o *event.Occurrence) {
 		if n.cumulative {
 			switch n.ctx {
 			case Chronicle:
-				eligible[0].acc = append(eligible[0].acc, o)
+				eligible[0].acc = append(eligible[0].acc, retain(o))
 			default:
 				for _, w := range eligible {
-					w.acc = append(w.acc, o)
+					w.acc = append(w.acc, retain(o))
 				}
 			}
 			return
 		}
 		switch n.ctx {
 		case Chronicle:
-			n.out(event.NewComposite(n.name, n.site, eligible[0].init, o))
+			n.det.emit(n.out, n.name, eligible[0].init, o)
 		case Recent:
-			n.out(event.NewComposite(n.name, n.site, eligible[len(eligible)-1].init, o))
+			n.det.emit(n.out, n.name, eligible[len(eligible)-1].init, o)
 		default: // Unrestricted, Continuous, Cumulative: every open window
 			for _, w := range eligible {
-				n.out(event.NewComposite(n.name, n.site, w.init, o))
+				n.det.emit(n.out, n.name, w.init, o)
 			}
 		}
 	case 2: // E3 closes windows
-		t3 := o.Stamp
 		closed := n.closed[:0]
 		live := n.windows[:0]
 		for _, w := range n.windows {
-			if w.init.Stamp.Less(t3) {
+			if event.StampLess(w.init, o) {
 				closed = append(closed, w)
 			} else {
 				live = append(live, w)
 			}
 		}
+		for i := len(live); i < len(n.windows); i++ {
+			n.windows[i] = nil
+		}
 		n.windows = live
 		n.closed = closed[:0]
 		if !n.cumulative || len(closed) == 0 {
+			// A closed window emits nothing here in the non-cumulative
+			// operator; its buffered references end with it.
+			for _, w := range closed {
+				w.release()
+			}
 			return
 		}
 		emitWindow := func(ws []*apWindow) {
@@ -579,14 +634,14 @@ func (n *aperiodicNode) onChild(idx int, o *event.Occurrence) {
 			seen := make(map[*event.Occurrence]bool)
 			for _, w := range ws {
 				for _, e2 := range w.acc {
-					if !seen[e2] && e2.Stamp.Less(t3) {
+					if !seen[e2] && event.StampLess(e2, o) {
 						seen[e2] = true
 						constituents = append(constituents, e2)
 					}
 				}
 			}
 			constituents = append(constituents, o)
-			n.out(event.NewComposite(n.name, n.site, constituents...))
+			n.det.emit(n.out, n.name, constituents...)
 		}
 		switch n.ctx {
 		case Chronicle:
@@ -602,6 +657,9 @@ func (n *aperiodicNode) onChild(idx int, o *event.Occurrence) {
 				emitWindow(closed[i : i+1])
 			}
 		}
+		for _, w := range closed {
+			w.release()
+		}
 	}
 }
 
@@ -611,8 +669,8 @@ func (n *aperiodicNode) onChild(idx int, o *event.Occurrence) {
 // 0 = E1, 1 = E3.  Ticks are temporal occurrences stamped by the
 // detector's TimeSource at their due instant.
 type periodicNode struct {
+	det        *Detector
 	name       string
-	site       core.SiteID
 	ctx        Context
 	cumulative bool
 	period     clock.Microticks
@@ -633,6 +691,15 @@ type pWindow struct {
 	closed bool
 }
 
+// close marks the window dead for its pending timer and drops its buffer
+// references.
+func (w *pWindow) close() {
+	w.closed = true
+	w.init.Release()
+	w.init = nil
+	w.acc = releaseAll(w.acc)
+}
+
 func (n *periodicNode) bindScheduler(s scheduler) error {
 	if s == nil {
 		return fmt.Errorf("detector: %s needs a TimeSource for periodic timers", n.name)
@@ -646,30 +713,33 @@ func (n *periodicNode) onChild(idx int, o *event.Occurrence) {
 	switch idx {
 	case 0: // E1 opens a periodic window
 		if n.ctx == Recent {
-			for _, w := range n.windows {
-				w.closed = true
+			for i, w := range n.windows {
+				w.close()
+				n.windows[i] = nil
 			}
 			n.windows = n.windows[:0]
 		}
-		w := &pWindow{init: o}
+		w := &pWindow{init: retain(o)}
 		n.windows = append(n.windows, w)
 		n.scheduleTick(w, n.sched.now()+n.period)
 	case 1: // E3 closes windows it follows
-		t3 := o.Stamp
 		live := n.windows[:0]
 		for _, w := range n.windows {
-			if w.init.Stamp.Less(t3) {
-				w.closed = true
+			if event.StampLess(w.init, o) {
 				if n.cumulative {
 					var constituents []*event.Occurrence
 					constituents = append(constituents, w.init)
 					constituents = append(constituents, w.acc...)
 					constituents = append(constituents, o)
-					n.out(event.NewComposite(n.name, n.site, constituents...))
+					n.det.emit(n.out, n.name, constituents...)
 				}
+				w.close()
 			} else {
 				live = append(live, w)
 			}
+		}
+		for i := len(live); i < len(n.windows); i++ {
+			n.windows[i] = nil
 		}
 		n.windows = live
 	}
@@ -683,11 +753,14 @@ func (n *periodicNode) scheduleTick(w *pWindow, due clock.Microticks) {
 		w.ticks++
 		//lint:allow hotalloc — the count parameter map is retained by the emitted tick occurrence; the allocation is the product, not garbage
 		params := event.Params{"count": w.ticks}
+		// Ticks are plain heap occurrences (not pooled): their lifetime is
+		// the emitted composite's, and temporal firings are orders of
+		// magnitude rarer than the event path the pool serves.
 		tick := event.NewPrimitive(n.tickType, event.Temporal, n.sched.stampAt(at), params)
 		if n.cumulative {
 			w.acc = append(w.acc, tick)
 		} else {
-			n.out(event.NewComposite(n.name, n.site, w.init, tick))
+			n.det.emit(n.out, n.name, w.init, tick)
 		}
 		n.scheduleTick(w, at+n.period)
 	})
@@ -698,8 +771,8 @@ func (n *periodicNode) scheduleTick(w *pWindow, due clock.Microticks) {
 // occurrence with a temporal occurrence stamped at the due instant, so the
 // composite timestamp reflects the fire time via the Max operator.
 type plusNode struct {
+	det   *Detector
 	name  string
-	site  core.SiteID
 	delta clock.Microticks
 	out   emitFunc
 	sched scheduler
@@ -718,25 +791,33 @@ func (n *plusNode) bindScheduler(s scheduler) error {
 
 //sentinel:hotpath
 func (n *plusNode) onChild(_ int, o *event.Occurrence) {
+	// The timer closure stores o past onChild's return, so it holds a
+	// buffer reference until it fires (a timer that never fires leaks the
+	// reference — the ledger's safe direction).
+	o.Retain()
 	n.sched.schedule(n.sched.now()+n.delta, func(at clock.Microticks) {
 		tick := event.NewPrimitive(n.timerType, event.Temporal, n.sched.stampAt(at), nil)
-		n.out(event.NewComposite(n.name, n.site, o, tick))
+		n.det.emit(n.out, n.name, o, tick)
+		o.Release()
 	})
 }
 
 // removeIndices removes the (ascending) indices from s in a single
-// compaction pass, preserving order.  The prefix before the first removed
-// index is left untouched, and the vacated tail is nil-ed so consumed
-// occurrences don't stay reachable through the buffer's capacity.
+// compaction pass, preserving order, releasing each removed occurrence's
+// buffer reference.  The prefix before the first removed index is left
+// untouched, and the vacated tail is nil-ed so consumed occurrences don't
+// stay reachable through the buffer's capacity.
 func removeIndices(s []*event.Occurrence, idx []int) []*event.Occurrence {
 	if len(idx) == 0 {
 		return s
 	}
 	w := idx[0]
+	s[w].Release()
 	k := 1
 	for i := w + 1; i < len(s); i++ {
 		if k < len(idx) && idx[k] == i {
 			k++
+			s[i].Release()
 			continue
 		}
 		s[w] = s[i]

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -131,6 +132,31 @@ type Occurrence struct {
 	// Constituents are the child occurrences of a composite occurrence,
 	// in detection order.
 	Constituents []*Occurrence
+	// Interned is the roster-interned form of Stamp, carried only by
+	// occurrences built through a Pool attached to a sealed roster
+	// (string sites survive at the wire/rosterless boundary and in
+	// reference.go).  When two occurrences both carry it, stamp
+	// comparisons run integer-only; when either lacks it, callers fall
+	// back to the string algebra — the two agree on every valid set
+	// (rsetstamp_test.go), so the fallback is invisible in output.
+	Interned core.RSetStamp
+
+	// Pool lifecycle state (see pool.go).  pool is nil for ordinary
+	// heap-allocated occurrences, for which Retain/Release are no-ops.
+	pool  *Pool
+	refs  atomic.Int32
+	gen   uint32
+	freed bool
+	// Inline and reusable storage: stamp0/istamp0 back the singleton
+	// stamp of a pooled primitive; sbuf/sbuf2 and ibuf/ibuf2 are the
+	// ping-pong fold buffers a pooled composite builds its stamp in; the
+	// recycled Constituents slice keeps its capacity across generations.
+	stamp0  [1]core.Stamp
+	istamp0 [1]core.RStamp
+	sbuf    core.SetStamp
+	sbuf2   core.SetStamp
+	ibuf    core.RSetStamp
+	ibuf2   core.RSetStamp
 }
 
 // NewPrimitive builds a primitive occurrence from a single stamp.
@@ -194,11 +220,54 @@ func (o *Occurrence) Flatten() []*Occurrence {
 	if len(o.Constituents) == 0 {
 		return []*Occurrence{o}
 	}
-	var out []*Occurrence
-	for _, c := range o.Constituents {
-		out = append(out, c.Flatten()...)
+	return o.AppendFlatten(nil)
+}
+
+// AppendFlatten is Flatten with caller-provided storage: the primitive
+// occurrences are appended to dst and the extended slice returned, so a
+// reused scratch buffer makes repeated flattening allocation-free.
+func (o *Occurrence) AppendFlatten(dst []*Occurrence) []*Occurrence {
+	if len(o.Constituents) == 0 {
+		return append(dst, o)
 	}
-	return out
+	for _, c := range o.Constituents {
+		dst = c.AppendFlatten(dst)
+	}
+	return dst
+}
+
+// StampLess compares two occurrences' timestamps under the composite "<"
+// (Definition 5.3(2)), integer-only when both carry interned stamps and
+// via the string algebra otherwise.  The two paths agree on every valid
+// set (core's differential tests), so which one runs is unobservable in
+// detection output.
+//
+//sentinel:hotpath
+func StampLess(a, b *Occurrence) bool {
+	if len(a.Interned) > 0 && len(b.Interned) > 0 {
+		return a.Interned.Less(b.Interned)
+	}
+	return a.Stamp.Less(b.Stamp)
+}
+
+// StampConcurrent is StampLess for the composite "~" (Definition 5.3(1)).
+//
+//sentinel:hotpath
+func StampConcurrent(a, b *Occurrence) bool {
+	if len(a.Interned) > 0 && len(b.Interned) > 0 {
+		return a.Interned.ConcurrentWith(b.Interned)
+	}
+	return a.Stamp.ConcurrentWith(b.Stamp)
+}
+
+// StampWeakLE is StampLess for the composite "⪯" (Definition 5.4).
+//
+//sentinel:hotpath
+func StampWeakLE(a, b *Occurrence) bool {
+	if len(a.Interned) > 0 && len(b.Interned) > 0 {
+		return a.Interned.WeakLE(b.Interned)
+	}
+	return a.Stamp.WeakLE(b.Stamp)
 }
 
 // ErrDuplicateType reports a second registration of an event type name.

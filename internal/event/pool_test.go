@@ -1,0 +1,185 @@
+package event
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func testRoster() *core.Roster {
+	return core.NewRoster([]core.SiteID{"a", "b", "c"})
+}
+
+func stampAt(site core.SiteID, g, l int64) core.Stamp {
+	return core.Stamp{Site: site, Global: g, Local: l}
+}
+
+// TestPoolPrimitiveLifecycle checks the basic get → release → recycle
+// round trip, the generation counter, and the field-zeroing contract.
+func TestPoolPrimitiveLifecycle(t *testing.T) {
+	r := testRoster()
+	p := NewPool(r)
+	o := p.GetPrimitive("A", Explicit, stampAt("a", 3, 30), r.MustSite("a"), Params{"n": 1})
+	if !o.Pooled() || o.Refs() != 1 {
+		t.Fatalf("fresh pooled occurrence: pooled=%v refs=%d", o.Pooled(), o.Refs())
+	}
+	if len(o.Interned) != 1 || o.Interned[0].Site != r.MustSite("a") {
+		t.Fatalf("interned singleton not filled: %v", o.Interned)
+	}
+	gen := o.Gen()
+	o.Release()
+	if o.Gen() != gen+1 {
+		t.Fatalf("recycle did not bump generation: %d -> %d", gen, o.Gen())
+	}
+	if o.Params != nil || o.Stamp != nil || o.Interned != nil || o.Constituents != nil && len(o.Constituents) != 0 {
+		t.Fatalf("recycled occurrence not cleared: %+v", o)
+	}
+	st := p.Stats()
+	if st.Gets != 1 || st.Puts != 1 || st.Misses != 1 {
+		t.Fatalf("stats after one round trip: %+v", st)
+	}
+	// The next get must reuse the recycled object (single goroutine, so
+	// the sync.Pool's private slot serves it back).
+	o2 := p.GetPrimitive("B", Explicit, stampAt("b", 4, 40), r.MustSite("b"), nil)
+	if st := p.Stats(); st.Misses != 1 && o2 != o {
+		t.Fatalf("expected pool hit on second get: %+v", st)
+	}
+}
+
+// TestPoolCompositeMatchesNewComposite pins the pooled constructor against
+// the plain one: same type/site/constituents and byte-identical stamps,
+// whether the fold ran interned or string-form.
+func TestPoolCompositeMatchesNewComposite(t *testing.T) {
+	r := testRoster()
+	p := NewPool(r)
+	a := p.GetPrimitive("A", Explicit, stampAt("a", 3, 30), r.MustSite("a"), nil)
+	b := p.GetPrimitive("B", Explicit, stampAt("b", 3, 31), r.MustSite("b"), nil)
+	c := p.GetPrimitive("C", Explicit, stampAt("c", 9, 90), r.MustSite("c"), nil)
+
+	want := NewComposite("X", "c", a, b, c)
+	got := p.GetComposite("X", "c", []*Occurrence{a, b, c})
+	if !got.Stamp.Equal(want.Stamp) {
+		t.Fatalf("pooled composite stamp %s, plain %s", got.Stamp, want.Stamp)
+	}
+	if len(got.Interned) != len(got.Stamp) {
+		t.Fatalf("interned fold length %d vs stamp %d", len(got.Interned), len(got.Stamp))
+	}
+	if a.Refs() != 2 || b.Refs() != 2 || c.Refs() != 2 {
+		t.Fatalf("constituents not retained: %d %d %d", a.Refs(), b.Refs(), c.Refs())
+	}
+
+	// Mixed interned/uninterned constituents fall back to the string fold
+	// with the same resulting stamp.
+	plain := NewPrimitive("D", Explicit, stampAt("a", 9, 91), nil)
+	got2 := p.GetComposite("Y", "a", []*Occurrence{c, plain})
+	want2 := NewComposite("Y", "a", c, plain)
+	if !got2.Stamp.Equal(want2.Stamp) {
+		t.Fatalf("mixed composite stamp %s, plain %s", got2.Stamp, want2.Stamp)
+	}
+	if got2.Interned != nil {
+		t.Fatalf("mixed composite should not carry an interned stamp: %v", got2.Interned)
+	}
+
+	// Cascade: releasing the creator refs and then the composites frees
+	// everything bottom-up.
+	a.Release()
+	b.Release()
+	c.Release()
+	gen := a.Gen()
+	got2.Release() // frees got2, releases c and plain
+	got.Release()  // frees got, releases a, b, c -> all recycled
+	if a.Gen() != gen+1 {
+		t.Fatalf("constituent not cascaded on composite recycle")
+	}
+	st := p.Stats()
+	if st.Puts != 5 { // a, b, c, got, got2
+		t.Fatalf("expected 5 puts after cascade, got %+v", st)
+	}
+}
+
+// TestPoolDoublePutAvertedAndStrict checks both double-put modes: counted
+// and averted by default, panic under Strict — the generation-counter
+// safety rail the race tests exercise.
+func TestPoolDoublePutAvertedAndStrict(t *testing.T) {
+	r := testRoster()
+	p := NewPool(r)
+	o := p.GetPrimitive("A", Explicit, stampAt("a", 1, 10), r.MustSite("a"), nil)
+	o.Release()
+	o.Release() // double put: averted, counted
+	if st := p.Stats(); st.DoublePuts != 1 {
+		t.Fatalf("double put not counted: %+v", st)
+	}
+
+	p.Strict = true
+	o2 := p.GetPrimitive("B", Explicit, stampAt("b", 1, 10), r.MustSite("b"), nil)
+	o2.Release()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("Strict pool did not panic on double put")
+			}
+		}()
+		o2.Release()
+	}()
+}
+
+// TestPoolUseAfterPutDetection demonstrates the generation check: a holder
+// of a stale pointer can detect that the object was recycled (and possibly
+// reissued) underneath it.
+func TestPoolUseAfterPutDetection(t *testing.T) {
+	r := testRoster()
+	p := NewPool(r)
+	o := p.GetPrimitive("A", Explicit, stampAt("a", 1, 10), r.MustSite("a"), nil)
+	gen := o.Gen()
+	o.Release()
+	if o.Gen() == gen {
+		t.Fatalf("stale holder cannot detect recycle: generation unchanged")
+	}
+}
+
+// TestPoolConcurrentRetainRelease hammers one shared occurrence from many
+// goroutines under -race: the refcount must neither recycle early nor
+// leak the final reference.
+func TestPoolConcurrentRetainRelease(t *testing.T) {
+	r := testRoster()
+	p := NewPool(r)
+	p.Strict = true
+	const workers = 8
+	const rounds = 2000
+	o := p.GetPrimitive("A", Explicit, stampAt("a", 1, 10), r.MustSite("a"), nil)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				o.Retain()
+				o.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if o.Refs() != 1 {
+		t.Fatalf("refcount drifted under concurrency: %d", o.Refs())
+	}
+	o.Release()
+	if st := p.Stats(); st.Puts != 1 || st.DoublePuts != 0 {
+		t.Fatalf("unexpected stats after concurrent churn: %+v", st)
+	}
+}
+
+// TestUnpooledOpsAreNoops pins the property the engine's unconditional
+// ledger relies on: Retain/Release on plain or nil occurrences do nothing.
+func TestUnpooledOpsAreNoops(t *testing.T) {
+	o := NewPrimitive("A", Explicit, stampAt("a", 1, 10), nil)
+	o.Retain()
+	o.Release()
+	o.Release()
+	if o.Pooled() {
+		t.Fatalf("plain occurrence claims to be pooled")
+	}
+	var nilOcc *Occurrence
+	nilOcc.Retain()
+	nilOcc.Release()
+}

@@ -216,14 +216,23 @@ func (c *Codec) appendOccurrenceIdx(b []byte, o *event.Occurrence, depth int) ([
 
 // site reads one interned site identity, validating against the roster.
 func (c *Codec) site(r *reader) (core.SiteID, error) {
-	v, err := r.uvarint()
+	idx, err := c.siteIdx(r)
 	if err != nil {
 		return "", err
 	}
-	if c.Roster == nil || v >= uint64(c.Roster.Len()) {
-		return "", fmt.Errorf("%w: index %d", ErrUnknownSite, v)
+	return c.Roster.ID(idx), nil
+}
+
+// siteIdx reads one interned site identity as its dense roster index.
+func (c *Codec) siteIdx(r *reader) (core.Site, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return core.NoSite, err
 	}
-	return c.Roster.ID(core.Site(v)), nil
+	if c.Roster == nil || v >= uint64(c.Roster.Len()) {
+		return core.NoSite, fmt.Errorf("%w: index %d", ErrUnknownSite, v)
+	}
+	return core.Site(v), nil
 }
 
 func (c *Codec) occurrenceIdx(r *reader, depth int) (*event.Occurrence, error) {
@@ -254,8 +263,13 @@ func (c *Codec) occurrenceIdx(r *reader, depth int) (*event.Occurrence, error) {
 		return nil, fmt.Errorf("%w: %d stamp components", ErrTruncated, nStamps)
 	}
 	stamp := make(core.SetStamp, 0, nStamps)
+	interned := make(core.RSetStamp, 0, nStamps)
 	for i := uint64(0); i < nStamps; i++ {
-		ts, err := c.site(r)
+		// The frame carries the dense index; materialize both forms in
+		// one pass, so decoded occurrences keep the interned stamp the
+		// sender's pool built (release watermarking and comparisons on
+		// the receiving side stay integer-only).
+		tsIdx, err := c.siteIdx(r)
 		if err != nil {
 			return nil, err
 		}
@@ -267,7 +281,8 @@ func (c *Codec) occurrenceIdx(r *reader, depth int) (*event.Occurrence, error) {
 		if err != nil {
 			return nil, err
 		}
-		stamp = append(stamp, core.Stamp{Site: ts, Global: g, Local: l})
+		stamp = append(stamp, core.Stamp{Site: c.Roster.ID(tsIdx), Global: g, Local: l})
+		interned = append(interned, core.RStamp{Site: tsIdx, Global: g, Local: l})
 	}
 	params, err := r.params()
 	if err != nil {
@@ -281,12 +296,13 @@ func (c *Codec) occurrenceIdx(r *reader, depth int) (*event.Occurrence, error) {
 		return nil, fmt.Errorf("%w: %d constituents", ErrTruncated, nKids)
 	}
 	o := &event.Occurrence{
-		Type:   typ,
-		Class:  event.Class(classByte),
-		Site:   site,
-		Seq:    seq,
-		Stamp:  stamp,
-		Params: params,
+		Type:     typ,
+		Class:    event.Class(classByte),
+		Site:     site,
+		Seq:      seq,
+		Stamp:    stamp,
+		Interned: interned,
+		Params:   params,
 	}
 	for i := uint64(0); i < nKids; i++ {
 		k, err := c.occurrenceIdx(r, depth+1)

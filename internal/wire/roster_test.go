@@ -29,6 +29,31 @@ func codecOccurrence() *event.Occurrence {
 	return o
 }
 
+// assertInterned checks that a decoded occurrence tree carries the
+// roster-interned form of every stamp.
+func assertInterned(t *testing.T, r *core.Roster, o *event.Occurrence) {
+	t.Helper()
+	want, ok := r.AppendCanon(nil, o.Stamp)
+	if !ok {
+		t.Fatalf("stamp %s not internable against the roster", o.Stamp)
+	}
+	if !reflect.DeepEqual(o.Interned, want) {
+		t.Fatalf("decoded %s: interned stamp = %v, want %v", o.Type, o.Interned, want)
+	}
+	for _, c := range o.Constituents {
+		assertInterned(t, r, c)
+	}
+}
+
+// stripInterned drops the decode-side enrichment so DeepEqual can compare
+// against the encoder's input, which never carried it.
+func stripInterned(o *event.Occurrence) {
+	o.Interned = nil
+	for _, c := range o.Constituents {
+		stripInterned(c)
+	}
+}
+
 func TestRosterFrameRoundTrip(t *testing.T) {
 	r := testRoster()
 	buf := AppendRoster(nil, r)
@@ -82,6 +107,10 @@ func TestCodecEventIdxRoundTrip(t *testing.T) {
 	if got.Kind != KindEvent || got.RaisedAt != 1234 {
 		t.Fatalf("envelope header = %+v", got)
 	}
+	// Decoding enriches: the dense indexes already on the wire are kept
+	// as the interned stamp, so the receiving side compares integer-only.
+	assertInterned(t, c.Roster, got.Occ)
+	stripInterned(got.Occ)
 	if !reflect.DeepEqual(got.Occ, e.Occ) {
 		t.Fatalf("occurrence round trip:\n got %+v\nwant %+v", got.Occ, e.Occ)
 	}
@@ -229,6 +258,8 @@ func TestCodecBatchRoundTrip(t *testing.T) {
 			t.Fatalf("member %d = %+v, want %+v", i, got[i], envs[i])
 		}
 	}
+	assertInterned(t, c.Roster, got[0].Occ)
+	stripInterned(got[0].Occ)
 	if !reflect.DeepEqual(got[0].Occ, envs[0].Occ) {
 		t.Fatal("member occurrence mismatch")
 	}

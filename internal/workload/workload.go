@@ -98,6 +98,10 @@ type StreamConfig struct {
 	Seed int64
 	// Class applies to all items (Explicit by default).
 	Class event.Class
+	// OmitParams leaves every Item's Params nil instead of attaching the
+	// {"n": i} sequence map.  Benchmarks that raise with nil params set it
+	// so schedule generation stays allocation-flat per item.
+	OmitParams bool
 }
 
 // GenStream generates a Poisson-like stream: exponential inter-arrival
@@ -115,13 +119,16 @@ func GenStream(cfg StreamConfig) *Trace {
 			gap = 1
 		}
 		at += gap
-		tr.Items = append(tr.Items, Item{
-			At:     at,
-			Site:   cfg.Sites[r.Intn(len(cfg.Sites))],
-			Type:   cfg.Types[r.Intn(len(cfg.Types))],
-			Class:  cfg.Class,
-			Params: event.Params{"n": i},
-		})
+		it := Item{
+			At:    at,
+			Site:  cfg.Sites[r.Intn(len(cfg.Sites))],
+			Type:  cfg.Types[r.Intn(len(cfg.Types))],
+			Class: cfg.Class,
+		}
+		if !cfg.OmitParams {
+			it.Params = event.Params{"n": i}
+		}
+		tr.Items = append(tr.Items, it)
 	}
 	return tr
 }

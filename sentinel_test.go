@@ -30,7 +30,7 @@ func TestFacadeQuickstart(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []*sentinel.Occurrence
-	if err := sys.Subscribe("RoundTrip", func(o *sentinel.Occurrence) { got = append(got, o) }); err != nil {
+	if err := sys.Subscribe("RoundTrip", func(o *sentinel.Occurrence) { got = append(got, o.Retain()) }); err != nil {
 		t.Fatal(err)
 	}
 	ldn.MustRaise("Buy", sentinel.Explicit, sentinel.Params{"qty": 100})
@@ -127,12 +127,19 @@ func TestDistributedMatchesCentralized(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			// Raise the trace and remember each occurrence's stamp.
-			var raised []*event.Occurrence
+			// Raise the trace and remember each occurrence's stamp.  The
+			// stamp is copied out immediately: a Raise-returned occurrence
+			// is a borrow, valid only until the next Step consumes its
+			// deliveries (the pool may then recycle it).
+			type raisedEvent struct {
+				typ   string
+				stamp core.Stamp
+			}
+			var raised []raisedEvent
 			for _, item := range trace.Items {
 				sys.Run(item.At, 50)
 				o := sys.Site(item.Site).MustRaise(item.Type, sentinel.Explicit, nil)
-				raised = append(raised, o)
+				raised = append(raised, raisedEvent{typ: o.Type, stamp: o.Stamp[0]})
 			}
 			if err := sys.Settle(50_000); err != nil {
 				t.Fatal(err)
@@ -140,9 +147,9 @@ func TestDistributedMatchesCentralized(t *testing.T) {
 
 			// --- centralized oracle: same stamped occurrences, published
 			// in the linear-extension order (global, site, local) ---
-			sorted := append([]*event.Occurrence{}, raised...)
+			sorted := append([]raisedEvent{}, raised...)
 			sort.SliceStable(sorted, func(i, j int) bool {
-				a, b := sorted[i].Stamp[0], sorted[j].Stamp[0]
+				a, b := sorted[i].stamp, sorted[j].stamp
 				if a.Global != b.Global {
 					return a.Global < b.Global
 				}
@@ -166,7 +173,7 @@ func TestDistributedMatchesCentralized(t *testing.T) {
 				})
 			}
 			for _, o := range sorted {
-				det.Publish(event.NewPrimitive(o.Type, o.Class, o.Stamp[0], o.Params))
+				det.Publish(event.NewPrimitive(o.typ, event.Explicit, o.stamp, nil))
 			}
 
 			// --- compare (order-insensitive across definitions, since
