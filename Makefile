@@ -58,39 +58,42 @@ trace-overhead:
 	SENTINEL_TRACE_OVERHEAD=1 $(GO) test -run 'TestTraceOverheadSmoke' -v .
 
 # Full benchmark run (root harness + eventlog + transport + obs layers),
-# archived machine-readably at the repo root.  BENCH_pr7.json, when
+# archived machine-readably at the repo root.  BENCH_pr8.json, when
 # present, is embedded so the report carries its own before/after
-# comparison of the PR-8 pooled occurrence lifecycle (the 16-site e2e
-# row drops from ~10.7k to ~3.1k allocs/op).
+# comparison of the PR-9 interned dispatch (plus the new
+# BenchmarkManyDefinitions multi-tenant sweep, which has no PR-8 row).
 BENCH_PKGS := . ./internal/eventlog ./internal/network ./internal/wire ./internal/obs
 
 bench:
 	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
 	$(GO) test -bench . -benchmem -benchtime=200ms -count=3 -run '^$$' $(BENCH_PKGS) \
-		| tee /tmp/bench_pr8.txt
-	$(BENCHJSON) -out BENCH_pr8.json \
-		$$(test -f BENCH_pr7.json && echo -baseline BENCH_pr7.json) \
-		< /tmp/bench_pr8.txt
+		| tee /tmp/bench_pr9.txt
+	$(BENCHJSON) -out BENCH_pr9.json \
+		$$(test -f BENCH_pr8.json && echo -baseline BENCH_pr8.json) \
+		< /tmp/bench_pr9.txt
 
 # Smoke pass doubling as the perf budget: every benchmark must run to
 # completion, no benchmark's allocs/op may grow more than 5% over the
-# archived BENCH_pr8.json baseline (tightened from 10% now the pooled
-# lifecycle leaves little slack to hide in), and the sustained-throughput
-# gate must clear 1M events/sec.  100 iterations, not 1, so one-time
-# warmup allocations (pool fills, lazy maps, buffer growth) amortize out
-# of the per-op average instead of reading as phantom regressions — at
-# 20x the residue still inflated small benchmarks by a whole alloc/op.
+# archived BENCH_pr9.json baseline, the sustained-throughput gate must
+# clear 1M events/sec, and the multi-tenant dispatch gate must clear 10k
+# dispatches/sec on every BenchmarkManyDefinitions cell (the 10k-def
+# cells would fail this before interned dispatch).  100 iterations, not
+# 1, so one-time warmup allocations (pool fills, lazy maps, buffer
+# growth) amortize out of the per-op average instead of reading as
+# phantom regressions — at 20x the residue still inflated small
+# benchmarks by a whole alloc/op.
 bench-smoke:
 	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
 	$(GO) test -bench . -benchmem -benchtime=100x -run '^$$' $(BENCH_PKGS) > /tmp/bench_smoke.txt
 	$(BENCHJSON) -out /tmp/bench_smoke.json < /tmp/bench_smoke.txt
 	$(BENCHJSON) -compare -max-alloc-regress 5 -min-metric events/sec=1000000 \
-		BENCH_pr8.json /tmp/bench_smoke.json > /dev/null
+		-min-metric dispatch/sec=10000 \
+		BENCH_pr9.json /tmp/bench_smoke.json > /dev/null
 
-# Delta table between the archived PR-7 and PR-8 benchmark runs.
+# Delta table between the archived PR-8 and PR-9 benchmark runs.
 bench-diff:
 	$(GO) build -o $(BENCHJSON) ./cmd/benchjson
-	$(BENCHJSON) -compare BENCH_pr7.json BENCH_pr8.json
+	$(BENCHJSON) -compare BENCH_pr8.json BENCH_pr9.json
 
 # The PR-6 scale deliverable as a CI gate: a 512-site end-to-end run must
 # complete (and stay fast — the timeout is the assertion; before the dense

@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/core"
@@ -859,15 +860,23 @@ func BenchmarkSubexpressionSharing(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(d.NodeCount()), "nodes")
 			pattern := [4]string{"A", "B", "C", "D"}
+			// Warm past the one-time growth of node buffers and the delivery
+			// heap so short -benchtime=100x smoke runs see steady state.
+			const warm = 256
+			for i := 0; i < warm; i++ {
+				d.Publish(event.NewPrimitive(pattern[i%4], event.Explicit,
+					core.DeriveStamp("s1", int64(i)*25, 10), nil))
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				local := int64(i) * 25
+				local := int64(warm+i) * 25
 				d.Publish(event.NewPrimitive(pattern[i%4], event.Explicit,
 					core.DeriveStamp("s1", local, 10), nil))
 			}
+			b.StopTimer()
+			b.ReportMetric(float64(d.NodeCount()), "nodes")
 		})
 	}
 }
@@ -1047,6 +1056,88 @@ func TestTraceOverheadSmoke(t *testing.T) {
 	if ratio > 1.08 {
 		t.Fatalf("enabled-but-unsunk tracing costs %.1f%% (min of %d), budget is 8%%",
 			(ratio-1)*100, rounds)
+	}
+}
+
+// --- Multi-tenant scaling: dispatch cost vs definition count ----------------
+
+// BenchmarkManyDefinitions pins the hash-consed compiler's claim in the
+// 10k-definition regime: per-event dispatch cost tracks the number of
+// definitions that *match* the event's type — held roughly constant here
+// by scaling the alphabet with the definition count — not the total
+// definition count, so defs=10000 ns/op stays within a small factor of
+// defs=100.  The overlap knob sweeps tenancy overlap: at 90% most bodies
+// embed one of 16 shared core subexpressions, which the interner
+// collapses to single operator subgraphs (visible in the nodes metric).
+// compile-ms records the one-time cost of defining the whole set; the
+// 10k case must stay in the hundreds of milliseconds.
+func BenchmarkManyDefinitions(b *testing.B) {
+	for _, nDefs := range []int{100, 1000, 10000} {
+		for _, overlap := range []float64{0, 0.5, 0.9} {
+			nDefs, overlap := nDefs, overlap
+			b.Run(fmt.Sprintf("defs=%d/overlap=%.0f%%", nDefs, overlap*100), func(b *testing.B) {
+				p := nDefs / 8
+				if p < 8 {
+					p = 8
+				}
+				types := workload.TypeNames(p)
+				reg := event.NewRegistry()
+				for _, t := range types {
+					reg.MustDeclare(t, event.Explicit)
+				}
+				defs := workload.GenDefs(workload.DefsConfig{
+					Count: nDefs, Types: types, Overlap: overlap, Seed: 99,
+				})
+				d := detector.New("s1", reg, nil)
+				// Pool composites the way a sealed production system does
+				// (§2h): detections at 90% overlap come in phase bursts (one
+				// shared subexpression completing fires every embedder), and
+				// unpooled composite garbage would swamp the dispatch-cost
+				// signal this benchmark gates.
+				d.UsePool(event.NewPool(core.NewRoster([]core.SiteID{"s1"})))
+				start := time.Now()
+				for _, def := range defs {
+					if _, err := d.DefineString(def.Name, def.Expr, detector.Chronicle); err != nil {
+						b.Fatal(err)
+					}
+				}
+				compile := time.Since(start)
+				// Pre-resolve type IDs the way the ingest stage does, so the
+				// loop measures the dense fast path an online system runs.
+				ids := make([]event.TypeID, len(types))
+				for i, t := range types {
+					ids[i] = reg.TypeID(t)
+				}
+				publish := func(i int) {
+					occ := event.NewPrimitive(types[i%p], event.Explicit,
+						core.DeriveStamp("s1", int64(i)*25, 10), nil)
+					occ.TypeID = ids[i%p]
+					d.Publish(occ)
+				}
+				// Warm to steady state — node buffers, the delivery heap and
+				// the finish queue grow to their working capacity over the
+				// first alphabet cycles, and a 100x smoke run would otherwise
+				// book that one-time growth as per-op allocation.  Each node
+				// sees only every p-th event, so it takes several full cycles
+				// for buffer capacities to stop doubling.
+				warm := 10 * p
+				if warm < 512 {
+					warm = 512
+				}
+				for i := 0; i < warm; i++ {
+					publish(i)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					publish(warm + i)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "dispatch/sec")
+				b.ReportMetric(float64(compile.Nanoseconds())/1e6, "compile-ms")
+				b.ReportMetric(float64(d.NodeCount()), "nodes")
+			})
+		}
 	}
 }
 

@@ -47,9 +47,18 @@ type options struct {
 	seed    int64
 	workers int
 	stats   bool
+	// defs > 0 replaces the fixed four-definition setup with a generated
+	// multi-tenant definition set of that size (workload.GenDefs), hosted
+	// round-robin across the sites; overlap is its shared-subexpression
+	// fraction.
+	defs    int
+	overlap float64
 	// noPool disables the occurrence pool (the determinism differential
 	// mode; detections are byte-identical either way).
 	noPool bool
+	// noSharing disables common-subexpression sharing in every site's
+	// detector (the other differential mode; same contract).
+	noSharing bool
 	// metrics selects a registry export appended to the report: "",
 	// "prom" (Prometheus text) or "json" (expvar-style).
 	metrics string
@@ -74,7 +83,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	workers := flag.Int("workers", 0, "detect-stage worker count (0 = sequential; results identical)")
 	stats := flag.Bool("stats", false, "print per-stage pipeline counters, latency histograms and pool counters")
+	defsN := flag.Int("defs", 0, "generate this many definitions instead of the fixed four (multi-tenant mode)")
+	overlap := flag.Float64("overlap", 0.5, "shared-subexpression fraction of generated definitions (with -defs)")
 	noPool := flag.Bool("no-pool", false, "disable the occurrence pool (differential mode; identical detections)")
+	noSharing := flag.Bool("no-sharing", false, "disable common-subexpression sharing (differential mode; identical detections)")
 	metrics := flag.String("metrics", "", "append a metrics export to the report: prom or json")
 	flightrec := flag.Int("flightrec", 0, "keep and dump the last N spans per site")
 	traceFile := flag.String("trace", "", "write the event lineage as Chrome trace_event JSON to this file")
@@ -84,10 +96,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "distsim: -metrics must be prom or json, got %q\n", *metrics)
 		os.Exit(2)
 	}
+	if *overlap < 0 || *overlap > 1 {
+		fmt.Fprintf(os.Stderr, "distsim: -overlap must be in [0,1], got %g\n", *overlap)
+		os.Exit(2)
+	}
 	o := options{
 		sites: *sites, events: *events, meanGap: *meanGap,
 		latency: *latency, jitter: *jitter, drop: *drop, skew: *skew, seed: *seed,
-		workers: *workers, stats: *stats, noPool: *noPool, metrics: *metrics, flightrec: *flightrec,
+		workers: *workers, stats: *stats, noPool: *noPool, noSharing: *noSharing,
+		metrics: *metrics, flightrec: *flightrec,
+		defs: *defsN, overlap: *overlap,
 	}
 	for _, f := range []struct {
 		path string
@@ -121,6 +139,7 @@ func simulate(w io.Writer, o options) {
 		},
 		Pipeline:       pipeline.Config{Workers: o.workers},
 		DisablePooling: o.noPool,
+		DisableSharing: o.noSharing,
 	}
 	if *drop > 0 && cfg.Net.RetransmitDelay == 0 {
 		cfg.Net.RetransmitDelay = 100
@@ -166,25 +185,54 @@ func simulate(w io.Writer, o options) {
 	}
 
 	types := []string{"A", "B", "C", "D"}
-	for _, typ := range types {
-		if err := sys.Declare(typ, event.Explicit); err != nil {
-			panic(err)
+	var defNames []string
+	if o.defs > 0 {
+		// Multi-tenant mode: a generated alphabet sized to hold per-type
+		// fan-in roughly constant, and o.defs definitions hosted
+		// round-robin across the sites.
+		p := o.defs / 8
+		if p < 8 {
+			p = 8
 		}
-	}
-	defs := []struct{ name, expr string }{
-		{"Seq", "A ; B"},
-		{"Conj", "C AND D"},
-		{"Guard", "NOT(C)[A, D]"},
-		{"Sweep", "A*(A, B, C)"},
-	}
-	for _, d := range defs {
-		if _, err := sys.DefineAt(siteIDs[0], d.name, d.expr, detector.Chronicle); err != nil {
-			panic(err)
+		types = workload.TypeNames(p)
+		gen := workload.GenDefs(workload.DefsConfig{
+			Count: o.defs, Types: types, Overlap: o.overlap,
+			Seed: workload.SubSeed(*seed, "defs"),
+		})
+		for _, typ := range types {
+			if err := sys.Declare(typ, event.Explicit); err != nil {
+				panic(err)
+			}
+		}
+		for i, d := range gen {
+			host := siteIDs[i%len(siteIDs)]
+			if _, err := sys.DefineAt(host, d.Name, d.Expr, detector.Chronicle); err != nil {
+				panic(err)
+			}
+			defNames = append(defNames, d.Name)
+		}
+	} else {
+		for _, typ := range types {
+			if err := sys.Declare(typ, event.Explicit); err != nil {
+				panic(err)
+			}
+		}
+		defs := []struct{ name, expr string }{
+			{"Seq", "A ; B"},
+			{"Conj", "C AND D"},
+			{"Guard", "NOT(C)[A, D]"},
+			{"Sweep", "A*(A, B, C)"},
+		}
+		for _, d := range defs {
+			if _, err := sys.DefineAt(siteIDs[0], d.name, d.expr, detector.Chronicle); err != nil {
+				panic(err)
+			}
+			defNames = append(defNames, d.name)
 		}
 	}
 	setSizes := map[int]int{}
-	for _, d := range defs {
-		if err := sys.Subscribe(d.name, func(o *event.Occurrence) {
+	for _, name := range defNames {
+		if err := sys.Subscribe(name, func(o *event.Occurrence) {
 			setSizes[len(o.Stamp)]++
 		}); err != nil {
 			panic(err)
@@ -216,6 +264,10 @@ func simulate(w io.Writer, o options) {
 
 	st := sys.Stats()
 	fmt.Fprintf(w, "sites=%d events=%d horizon=%d microticks\n", *sites, *events, trace.Horizon())
+	if o.defs > 0 {
+		fmt.Fprintf(w, "definitions=%d overlap=%.2f alphabet=%d (multi-tenant mode)\n",
+			o.defs, o.overlap, len(types))
+	}
 	fmt.Fprintf(w, "network: latency=%d jitter=%d drop=%.2f  sent=%d retransmitted=%d\n",
 		*latency, *jitter, *drop, st.Net.Sent, st.Net.Retransmitted)
 	ratio := float64(st.Net.Envelopes)
@@ -227,10 +279,24 @@ func simulate(w io.Writer, o options) {
 	fmt.Fprintf(w, "released=%d detections=%d unconsumed=%d\n", st.Released, st.Detections, st.Unconsumed)
 	fmt.Fprintf(w, "latency: mean=%.1f max=%d microticks (raise -> watermark release)\n",
 		st.MeanLatency(), st.LatencyMax)
-	fmt.Fprintln(w, "\ndetections per definition (detect latency in event-time microticks):")
-	for _, ds := range st.Definitions {
-		fmt.Fprintf(w, "  %-8s %6d  latency mean=%.1f max=%d\n",
-			ds.Name, ds.Detections, ds.MeanLatency(), ds.LatencyMax)
+	if o.defs > 0 {
+		// Per-definition lines would be thousands deep; summarize.
+		active := 0
+		var total uint64
+		for _, ds := range st.Definitions {
+			if ds.Detections > 0 {
+				active++
+				total += ds.Detections
+			}
+		}
+		fmt.Fprintf(w, "\ndefinitions with detections: %d/%d (total %d)\n",
+			active, len(st.Definitions), total)
+	} else {
+		fmt.Fprintln(w, "\ndetections per definition (detect latency in event-time microticks):")
+		for _, ds := range st.Definitions {
+			fmt.Fprintf(w, "  %-8s %6d  latency mean=%.1f max=%d\n",
+				ds.Name, ds.Detections, ds.MeanLatency(), ds.LatencyMax)
+		}
 	}
 	fmt.Fprintln(w, "\ncomposite timestamp set sizes (|T(e)|): count")
 	for size := 1; size <= *sites; size++ {

@@ -186,6 +186,48 @@ func TestSimulateObsDeterministic(t *testing.T) {
 	}
 }
 
+// TestSimulateMultiTenant pins the -defs mode: a generated definition
+// set replaces the fixed four, the report switches to the aggregate
+// summary, and the run stays deterministic.
+func TestSimulateMultiTenant(t *testing.T) {
+	o := baseOptions()
+	o.sites = 4
+	o.events = 400
+	o.defs = 100
+	o.overlap = 0.5
+	out := runSim(t, o)
+	// Definitions are hosted round-robin across all 4 sites, so every
+	// site consumes (and releases) the full stream: 4 x 400.
+	for _, want := range []string{
+		"definitions=100 overlap=0.50 alphabet=12 (multi-tenant mode)",
+		"released=1600",
+		"definitions with detections:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("multi-tenant report lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "detections per definition") {
+		t.Errorf("multi-tenant mode should summarize, not list per-definition rows:\n%s", out)
+	}
+	var active, totalDefs, detections int
+	if _, err := fmt.Sscanf(out[strings.Index(out, "definitions with detections"):],
+		"definitions with detections: %d/%d (total %d)", &active, &totalDefs, &detections); err != nil {
+		t.Fatalf("cannot parse summary line: %v\n%s", err, out)
+	}
+	if totalDefs != 100 || active == 0 || detections == 0 {
+		t.Fatalf("multi-tenant run detected nothing: active=%d/%d total=%d", active, totalDefs, detections)
+	}
+	if again := runSim(t, o); again != out {
+		t.Fatalf("multi-tenant run not deterministic:\n%s\n---\n%s", again, out)
+	}
+	unshared := o
+	unshared.noSharing = true
+	if diff := runSim(t, unshared); diff != out {
+		t.Fatalf("-no-sharing changed the report:\n%s\n---\n%s", diff, out)
+	}
+}
+
 func TestSimulateStatsSection(t *testing.T) {
 	o := baseOptions()
 	o.stats = true

@@ -12,6 +12,7 @@ import (
 	"repro/internal/analysis/sitemap"
 	"repro/internal/analysis/stagefx"
 	"repro/internal/analysis/stampcmp"
+	"repro/internal/analysis/strindex"
 	"repro/internal/analysis/walltime"
 )
 
@@ -22,6 +23,7 @@ func All() []*analysis.Analyzer {
 		stampcmp.Analyzer,
 		mapiter.Analyzer,
 		hotalloc.Analyzer,
+		strindex.Analyzer,
 		sitemap.Analyzer,
 		stagefx.Analyzer,
 		poolfx.Analyzer,

@@ -1,0 +1,41 @@
+// Package fixture exercises the strindex analyzer.  publish is a
+// declared //sentinel:hotpath root; route inherits the discipline by
+// local reachability; cold has the same lookups and stays silent.  Dense
+// integer-indexed tables are the sanctioned shape and never flagged.
+package fixture
+
+type typeID int32
+
+type siteID string // a named string type: hashing it per event is the same bug
+
+type table struct {
+	byName map[string][]int
+	bySite map[siteID]int
+	dense  [][]int
+}
+
+var sink int
+
+//sentinel:hotpath
+func publish(t *table, name string, site siteID, id typeID) {
+	sink = t.byName[name][0]         // want `strindex: string-keyed map index \(map\[string\]\[\]int\) in hot-path function publish`
+	if _, ok := t.byName[name]; ok { // want `strindex: string-keyed map index`
+		sink++
+	}
+	sink += t.bySite[site] // want `strindex: string-keyed map index \(map\[siteID\]int\)`
+	sink += t.dense[id][0] // dense TypeID-indexed table: the sanctioned shape
+	//lint:allow strindex — fixture: sanctioned declare-time binding
+	sink += t.bySite[site]
+	route(t, name)
+}
+
+// route is hot by reachability from publish, not by marker.
+func route(t *table, name string) {
+	t.byName[name] = nil // want `strindex: string-keyed map index .* in hot-path function route`
+}
+
+// cold does the same lookups but is unreachable from any root.
+func cold(t *table, name string) {
+	sink = len(t.byName[name])
+	delete(t.byName, name)
+}

@@ -97,7 +97,8 @@ func (st *ingestStage) Tick(now clock.Microticks) int {
 func (st *ingestStage) raise(s *Site, typ string, class event.Class, params event.Params) (*event.Occurrence, error) {
 	sys := st.sys
 	sys.seal()
-	if !sys.reg.Has(typ) {
+	typeID := sys.reg.TypeID(typ)
+	if typeID == 0 {
 		return nil, fmt.Errorf("%w: %q", event.ErrUnknownType, typ)
 	}
 	if s.crashed {
@@ -114,6 +115,10 @@ func (st *ingestStage) raise(s *Site, typ string, class event.Class, params even
 	} else {
 		occ = event.NewPrimitive(typ, class, s.StampNow(), params)
 	}
+	// The existence check above already paid the name lookup; carrying
+	// the dense ID from here on keeps every downstream dispatch — local
+	// delivery and each receiving site's detector — string-free.
+	occ.TypeID = typeID
 	if sys.cfg.Serialize {
 		if err := wire.ValidateOccurrence(occ); err != nil {
 			return nil, fmt.Errorf("ddetect: occurrence not encodable: %w", err)

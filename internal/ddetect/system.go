@@ -55,6 +55,13 @@ type Config struct {
 	// Config.Trace is set: the tracer keys span identity by occurrence
 	// pointer, which recycling would alias.
 	DisablePooling bool
+	// DisableSharing turns off common-subexpression sharing in every
+	// site's detector: each definition compiles a private operator
+	// subgraph, the pre-CSE behaviour.  Detection output is
+	// byte-identical either way (TestSharingDeterminism) — this is the
+	// differential mode that proves the shared detection graph is a pure
+	// compile/dispatch optimization.
+	DisableSharing bool
 	// EnforceSimultaneity applies the paper's Section 3.1 assumptions 3
 	// and 4: no two database events and no two explicit events may be
 	// simultaneous.  With it set, raising a second Database or Explicit
@@ -388,6 +395,9 @@ func (sys *System) collectMetrics(emit func(name string, value float64)) {
 		emit(fmt.Sprintf("sentinel_detector_state_size{site=%q}", s.ID), float64(is.StateSize))
 		emit(fmt.Sprintf("sentinel_detector_dropped_total{site=%q}", s.ID), float64(is.Dropped))
 		emit(fmt.Sprintf("sentinel_detector_pending_timers{site=%q}", s.ID), float64(is.PendingTimers))
+		emit(fmt.Sprintf("sentinel_detector_nodes{site=%q}", s.ID), float64(is.NodeCount))
+		emit(fmt.Sprintf("sentinel_detector_shared_subexprs{site=%q}", s.ID), float64(is.SharedSubexprs))
+		emit(fmt.Sprintf("sentinel_detector_interned_subtrees{site=%q}", s.ID), float64(is.InternedSubtrees))
 	}
 }
 
@@ -500,6 +510,9 @@ func (sys *System) AddSite(id core.SiteID, offset clock.Microticks, driftPPM int
 		sys: sys,
 		clk: sc,
 		det: detector.New(id, sys.reg, siteTime{sys: sys.clk, clk: sc, id: id}),
+	}
+	if sys.cfg.DisableSharing {
+		s.det.SetSharing(false)
 	}
 	sys.sites = append(sys.sites, s)
 	sort.Slice(sys.sites, func(i, j int) bool { return sys.sites[i].ID < sys.sites[j].ID })
@@ -658,7 +671,7 @@ func (sys *System) seal() {
 		s.idx = core.Site(i)
 	}
 	sys.bus.SetRoster(sys.roster)
-	sys.codec = &wire.Codec{Roster: sys.roster, Granule: int64(sys.cfg.Clock.GlobalGranularity)}
+	sys.codec = &wire.Codec{Roster: sys.roster, Granule: int64(sys.cfg.Clock.GlobalGranularity), Types: sys.reg}
 	sink := make([]bool, len(sys.sites))
 	sys.needersIdx = make(map[string][]core.Site, len(sys.needers))
 	for typ, hosts := range sys.needers { //lint:allow mapiter — per-type entries are independent and each dense list inherits its string list's ID-sorted order; hbSinks below is appended in sys.sites order

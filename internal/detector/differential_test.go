@@ -1,0 +1,131 @@
+package detector
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/eventlog"
+)
+
+// genRandomExpr produces a random well-formed expression over the
+// alphabet: binary operators recurse, ANY and NOT stay over primitives
+// (their argument grammar is the narrowest).  Small alphabet + bounded
+// depth makes structural collisions — the subtrees hash-consing folds —
+// common by construction.
+func genRandomExpr(r *rand.Rand, types []string, depth int) string {
+	if depth <= 0 || r.Intn(4) == 0 {
+		return types[r.Intn(len(types))]
+	}
+	switch r.Intn(5) {
+	case 0:
+		return fmt.Sprintf("(%s ; %s)",
+			genRandomExpr(r, types, depth-1), genRandomExpr(r, types, depth-1))
+	case 1:
+		return fmt.Sprintf("(%s OR %s)",
+			genRandomExpr(r, types, depth-1), genRandomExpr(r, types, depth-1))
+	case 2:
+		return fmt.Sprintf("(%s AND %s)",
+			genRandomExpr(r, types, depth-1), genRandomExpr(r, types, depth-1))
+	case 3:
+		i := r.Intn(len(types))
+		return fmt.Sprintf("ANY(2, %s, %s, %s)",
+			types[i], types[(i+1)%len(types)], types[(i+2)%len(types)])
+	default:
+		i := r.Intn(len(types))
+		return fmt.Sprintf("NOT(%s)[%s, %s]",
+			types[(i+1)%len(types)], types[i], types[(i+2)%len(types)])
+	}
+}
+
+// TestSharingDifferentialProperty is the property-based differential
+// oracle for the hash-consed compiler: across random definition sets
+// (random bodies, random parameter contexts, deliberately injected
+// common subexpressions) and random single-site streams, the detector
+// with sharing enabled must produce the byte-identical occurrence stream
+// as the one with sharing disabled.  Sharing must also actually occur in
+// a healthy fraction of trials, or the property is vacuous.
+func TestSharingDifferentialProperty(t *testing.T) {
+	types := []string{"A", "B", "C", "D", "E"}
+	// Consuming contexts only: Unrestricted keeps every partial match
+	// alive, so random nested expressions over a 300-event stream would be
+	// combinatorial — the differential claim is about compilation, and the
+	// four consuming contexts cover every sharing-relevant code path.
+	ctxs := []Context{Recent, Chronicle, Continuous, Cumulative}
+	ops := []string{";", "OR", "AND"}
+	sharedTrials, detections := 0, 0
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		poolRand := rand.New(rand.NewSource(int64(1000 + trial)))
+		pool := make([]string, 4)
+		for i := range pool {
+			pool[i] = genRandomExpr(poolRand, types, 2)
+		}
+		nDefs := 5 + poolRand.Intn(20)
+
+		run := func(sharing bool) ([]byte, IntrospectStats) {
+			reg := event.NewRegistry()
+			for _, typ := range types {
+				reg.MustDeclare(typ, event.Explicit)
+			}
+			d := New("s1", reg, nil)
+			d.SetSharing(sharing)
+			var buf bytes.Buffer
+			log := eventlog.NewWriter(&buf)
+			// One generator per arm, same seed: both arms draw the identical
+			// definition set and stream.
+			r := rand.New(rand.NewSource(int64(5000 + trial)))
+			for i := 0; i < nDefs; i++ {
+				var body string
+				if r.Intn(2) == 0 {
+					// Half the definitions embed pool subexpressions, so common
+					// subtrees appear across definitions, not just by luck.
+					body = fmt.Sprintf("(%s %s %s)",
+						pool[r.Intn(len(pool))], ops[r.Intn(len(ops))], pool[r.Intn(len(pool))])
+				} else {
+					body = genRandomExpr(r, types, 3)
+				}
+				name := fmt.Sprintf("R%02d", i)
+				if _, err := d.DefineString(name, body, ctxs[r.Intn(len(ctxs))]); err != nil {
+					t.Fatalf("trial %d: define %q: %v", trial, body, err)
+				}
+				d.Subscribe(name, func(o *event.Occurrence) {
+					if err := log.Append(o); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+			for i := 0; i < 300; i++ {
+				d.Publish(event.NewPrimitive(types[r.Intn(len(types))], event.Explicit,
+					core.DeriveStamp("s1", int64(i)*10+int64(r.Intn(5)), 10), nil))
+			}
+			return buf.Bytes(), d.Introspect()
+		}
+
+		onLog, onStats := run(true)
+		offLog, offStats := run(false)
+		if !bytes.Equal(onLog, offLog) {
+			t.Errorf("trial %d: occurrence stream differs with sharing on (%d bytes) vs off (%d bytes)",
+				trial, len(onLog), len(offLog))
+		}
+		if onStats.SharedSubexprs > 0 {
+			sharedTrials++
+			if offStats.NodeCount <= onStats.NodeCount {
+				t.Errorf("trial %d: sharing did not shrink the graph (%d shared nodes vs %d unshared)",
+					trial, onStats.NodeCount, offStats.NodeCount)
+			}
+		}
+		if len(onLog) > 0 {
+			detections++
+		}
+	}
+	if sharedTrials < trials/2 {
+		t.Fatalf("only %d/%d trials exercised subexpression sharing; the property is vacuous", sharedTrials, trials)
+	}
+	if detections < trials/2 {
+		t.Fatalf("only %d/%d trials produced detections; the property is vacuous", detections, trials)
+	}
+}

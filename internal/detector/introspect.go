@@ -74,16 +74,25 @@ type IntrospectStats struct {
 	// OrderViolations is OrderViolations: out-of-order publishes seen
 	// with order checking enabled.
 	OrderViolations uint64
+	// SharedSubexprs is the number of (context, subtree) entries in the
+	// CSE cache — compiled sub-expressions reused across definitions.
+	SharedSubexprs int
+	// InternedSubtrees is the number of distinct expression subtrees
+	// hash-consed by the compiler; NodeCount / InternedSubtrees > 1
+	// would mean sharing is off or contexts diverge.
+	InternedSubtrees int
 }
 
 // Introspect returns the current health gauges.  Like the accessors it
 // bundles, it must not run concurrently with Publish.
 func (d *Detector) Introspect() IntrospectStats {
 	return IntrospectStats{
-		StateSize:       d.StateSize(),
-		NodeCount:       len(d.nodes),
-		PendingTimers:   d.timers.Len(),
-		Dropped:         d.dropped,
-		OrderViolations: d.orderViolations,
+		StateSize:        d.StateSize(),
+		NodeCount:        len(d.nodes),
+		PendingTimers:    d.timers.Len(),
+		Dropped:          d.dropped,
+		OrderViolations:  d.orderViolations,
+		SharedSubexprs:   len(d.shared),
+		InternedSubtrees: d.interner.Len(),
 	}
 }

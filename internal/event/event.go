@@ -67,6 +67,15 @@ type Type struct {
 	Class Class
 }
 
+// TypeID is a dense registry-assigned identifier for an event type,
+// numbered from 1 in declaration order.  0 is the unresolved sentinel —
+// the zero value of an occurrence built outside a registry — so slices
+// indexed by TypeID reserve slot 0 and dispatch falls back to a name
+// lookup when it sees it.  IDs mirror PR 6's core.Site roster interning,
+// but for event *types*: the detector's routing tables index dense
+// []TypeID slices instead of hashing type-name strings per occurrence.
+type TypeID int32
+
 // Params is an event occurrence's parameter list.  Keys are parameter
 // names; values are application data (object identity, attribute values,
 // tick counts, …).
@@ -115,6 +124,12 @@ func (p Params) String() string {
 type Occurrence struct {
 	// Type is the event type name.
 	Type string
+	// TypeID is the dense registry ID for Type, or 0 when the occurrence
+	// was built without a registry in reach (hand-built tests, rosterless
+	// wire decode).  The detector resolves 0 lazily on publish; every
+	// in-pipeline producer (ingest, wire decode, composite emission) sets
+	// it so the hot dispatch path never touches the type-name string.
+	TypeID TypeID
 	// Class distinguishes primitive classes from composite occurrences.
 	Class Class
 	// Site is the site at which the occurrence was raised (primitive) or
@@ -287,11 +302,22 @@ type Registry struct {
 	// vastly outnumber writes, hence the RWMutex.
 	mu    sync.RWMutex
 	types map[string]Type
+	// Dense interning: ids maps name → TypeID (from 1, declaration
+	// order) and byID is the inverse with slot 0 reserved for the
+	// unresolved sentinel.  Declaration order is deterministic in this
+	// codebase (definitions and alphabets are set up in program order
+	// before traffic), so IDs are reproducible run to run.
+	ids  map[string]TypeID
+	byID []Type
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{types: make(map[string]Type)}
+	return &Registry{
+		types: make(map[string]Type),
+		ids:   make(map[string]TypeID),
+		byID:  make([]Type, 1), // slot 0 = unresolved sentinel
+	}
 }
 
 // Declare registers an event type.
@@ -306,6 +332,8 @@ func (r *Registry) Declare(name string, class Class) (Type, error) {
 	}
 	t := Type{Name: name, Class: class}
 	r.types[name] = t
+	r.ids[name] = TypeID(len(r.byID))
+	r.byID = append(r.byID, t)
 	return t, nil
 }
 
@@ -335,6 +363,47 @@ func (r *Registry) Has(name string) bool {
 	defer r.mu.RUnlock()
 	_, ok := r.types[name]
 	return ok
+}
+
+// TypeID returns the dense ID registered for name, or 0 if the name is
+// unknown.
+//
+//sentinel:hotpath
+func (r *Registry) TypeID(name string) TypeID {
+	r.mu.RLock()
+	//lint:allow strindex — the registry IS the name→ID boundary; callers resolve once and interned dispatch carries the TypeID from there
+	id := r.ids[name]
+	r.mu.RUnlock()
+	return id
+}
+
+// NameOf returns the type name for a dense ID, or "" for 0 and
+// out-of-range IDs.
+func (r *Registry) NameOf(id TypeID) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if id <= 0 || int(id) >= len(r.byID) {
+		return ""
+	}
+	return r.byID[id].Name
+}
+
+// TypeOf returns the Type for a dense ID and whether the ID is valid.
+func (r *Registry) TypeOf(id TypeID) (Type, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if id <= 0 || int(id) >= len(r.byID) {
+		return Type{}, false
+	}
+	return r.byID[id], true
+}
+
+// Count returns the number of declared types.  Valid TypeIDs are
+// 1..Count inclusive, so a slice of length Count+1 indexes every type.
+func (r *Registry) Count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byID) - 1
 }
 
 // Names returns the registered type names in sorted order.

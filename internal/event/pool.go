@@ -260,6 +260,7 @@ func (p *Pool) put(o *Occurrence) {
 	}
 	o.Constituents = cs[:0]
 	o.Type = ""
+	o.TypeID = 0
 	o.Class = 0
 	o.Site = ""
 	o.Seq = 0

@@ -1,0 +1,76 @@
+package event
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Dense IDs number from 1 in declaration order; 0 is the unresolved
+// sentinel for unknown names and invalid IDs.
+func TestRegistryTypeIDs(t *testing.T) {
+	r := NewRegistry()
+	if got := r.Count(); got != 0 {
+		t.Fatalf("empty registry Count = %d, want 0", got)
+	}
+	if id := r.TypeID("A"); id != 0 {
+		t.Fatalf("undeclared TypeID = %d, want 0", id)
+	}
+	names := []string{"A", "B", "Pair"}
+	classes := []Class{Explicit, Database, Composite}
+	for i, n := range names {
+		r.MustDeclare(n, classes[i])
+	}
+	for i, n := range names {
+		want := TypeID(i + 1)
+		if id := r.TypeID(n); id != want {
+			t.Errorf("TypeID(%q) = %d, want %d", n, id, want)
+		}
+		if got := r.NameOf(TypeID(i + 1)); got != n {
+			t.Errorf("NameOf(%d) = %q, want %q", i+1, got, n)
+		}
+		typ, ok := r.TypeOf(TypeID(i + 1))
+		if !ok || typ.Name != n || typ.Class != classes[i] {
+			t.Errorf("TypeOf(%d) = %+v, %v", i+1, typ, ok)
+		}
+	}
+	if got := r.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	for _, bad := range []TypeID{0, -1, 4, 99} {
+		if got := r.NameOf(bad); got != "" {
+			t.Errorf("NameOf(%d) = %q, want \"\"", bad, got)
+		}
+		if _, ok := r.TypeOf(bad); ok {
+			t.Errorf("TypeOf(%d) reported ok", bad)
+		}
+	}
+}
+
+// A duplicate declaration must not burn an ID.
+func TestRegistryTypeIDNoGapOnDuplicate(t *testing.T) {
+	r := NewRegistry()
+	r.MustDeclare("A", Explicit)
+	if _, err := r.Declare("A", Explicit); err == nil {
+		t.Fatal("duplicate Declare succeeded")
+	}
+	r.MustDeclare("B", Explicit)
+	if id := r.TypeID("B"); id != 2 {
+		t.Fatalf("TypeID(B) = %d after duplicate declare, want 2", id)
+	}
+	if got := r.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+}
+
+// Recycling clears TypeID like every other identity field.
+func TestPoolClearsTypeID(t *testing.T) {
+	p := NewPool(nil)
+	o := p.GetPrimitive("A", Explicit, stampAt("s1", 1, 10), core.NoSite, nil)
+	o.TypeID = 7
+	o.Release()
+	o2 := p.GetPrimitive("B", Explicit, stampAt("s1", 2, 20), core.NoSite, nil)
+	if o2.TypeID != 0 {
+		t.Fatalf("recycled occurrence carries TypeID %d, want 0", o2.TypeID)
+	}
+}

@@ -1,0 +1,216 @@
+package expr
+
+// Hash-consing of event expressions.  An Interner maps structurally equal
+// subtrees to the same dense NodeID, turning the AST forest of a
+// definition set into a DAG: common-subexpression lookup becomes integer
+// equality instead of re-serializing ctx.String()+expr.String() keys on
+// every compile.  At 10k overlapping definitions the old scheme rebuilt
+// O(|expr|) strings per node per compile; interning visits each node once
+// and hashes a constant-size shallow record (kind tag + payload + child
+// IDs), so compiling N definitions is linear in total AST size.
+//
+// IDs are stable for the lifetime of the Interner and dense from 0, which
+// makes them usable as slice indexes in downstream caches (the detector's
+// shared-node table keys on {context, NodeID}).
+
+// NodeID identifies an interned subtree.  Two subtrees receive the same
+// NodeID iff they are structurally equal (expr.Equal).
+type NodeID int32
+
+// node kind tags for shallow hashing; distinct per concrete AST type so
+// (A OR B) and (A AND B) with identical children never collide on
+// structure alone.
+const (
+	kindPrim uint64 = iota + 1
+	kindOr
+	kindAnd
+	kindSeq
+	kindAny
+	kindNot
+	kindAperiodic
+	kindPeriodic
+	kindPlus
+)
+
+// internedNode is the canonical record for one NodeID: a representative
+// AST node plus the interned IDs of its children (in Children() order).
+type internedNode struct {
+	rep  Node
+	kids []NodeID
+	hash uint64
+}
+
+// Interner hash-conses expression subtrees into dense NodeIDs.  The zero
+// value is not usable; call NewInterner.  Not safe for concurrent use.
+type Interner struct {
+	table map[uint64][]NodeID // shallow hash → candidate IDs
+	nodes []internedNode      // NodeID → canonical record
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{table: make(map[uint64][]NodeID)}
+}
+
+// Len returns the number of distinct subtrees interned so far.
+func (in *Interner) Len() int { return len(in.nodes) }
+
+// Node returns the representative AST node for id.
+func (in *Interner) Node(id NodeID) Node { return in.nodes[id].rep }
+
+// Children returns the interned child IDs of id, aligned with the
+// representative node's Children() order.  The returned slice is owned by
+// the interner and must not be mutated.
+func (in *Interner) Children(id NodeID) []NodeID { return in.nodes[id].kids }
+
+// Intern returns the canonical ID for the subtree rooted at n, interning
+// children first so equal subtrees anywhere in the forest share IDs.
+func (in *Interner) Intern(n Node) NodeID {
+	children := n.Children()
+	var kids []NodeID
+	if len(children) > 0 {
+		kids = make([]NodeID, len(children))
+		for i, c := range children {
+			kids[i] = in.Intern(c)
+		}
+	}
+	h := shallowHash(n, kids)
+	for _, id := range in.table[h] {
+		cand := &in.nodes[id]
+		if shallowEqual(n, cand.rep, kids, cand.kids) {
+			return id
+		}
+	}
+	id := NodeID(len(in.nodes))
+	in.nodes = append(in.nodes, internedNode{rep: n, kids: kids, hash: h})
+	in.table[h] = append(in.table[h], id)
+	return id
+}
+
+// FNV-1a, the repo-standard seed hash (workload.SubSeed uses the same
+// constants).
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func hashByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func hashU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = hashByte(h, byte(v>>(8*uint(i))))
+	}
+	return h
+}
+
+func hashString(h uint64, s string) uint64 {
+	h = hashU64(h, uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h = hashByte(h, s[i])
+	}
+	return h
+}
+
+func hashBool(h uint64, b bool) uint64 {
+	if b {
+		return hashByte(h, 1)
+	}
+	return hashByte(h, 0)
+}
+
+// shallowHash hashes one node's own payload plus its (already canonical)
+// child IDs.  Structural equality of subtrees then reduces to shallow
+// equality at every level, because equal children have equal IDs.
+func shallowHash(n Node, kids []NodeID) uint64 {
+	h := fnvOffset
+	switch x := n.(type) {
+	case *Prim:
+		h = hashU64(h, kindPrim)
+		h = hashString(h, x.Name)
+		h = hashMask(h, x.Mask)
+	case *Or:
+		h = hashU64(h, kindOr)
+	case *And:
+		h = hashU64(h, kindAnd)
+	case *Seq:
+		h = hashU64(h, kindSeq)
+	case *Any:
+		h = hashU64(h, kindAny)
+		h = hashU64(h, uint64(x.M))
+	case *Not:
+		h = hashU64(h, kindNot)
+	case *Aperiodic:
+		h = hashU64(h, kindAperiodic)
+		h = hashBool(h, x.Cumulative)
+	case *Periodic:
+		h = hashU64(h, kindPeriodic)
+		h = hashU64(h, uint64(x.Period))
+		h = hashBool(h, x.Cumulative)
+	case *Plus:
+		h = hashU64(h, kindPlus)
+		h = hashU64(h, uint64(x.Delta))
+	}
+	for _, k := range kids {
+		h = hashU64(h, uint64(k))
+	}
+	return h
+}
+
+// hashMask folds a mask's conditions into the hash.  Values are the
+// parser's literal types (int64, float64, string, bool); float64 hashes
+// by decimal rendering so 1.0 vs the int64 1 stay distinct (they are
+// distinct under maskEqual's interface comparison too).
+func hashMask(h uint64, m Mask) uint64 {
+	h = hashU64(h, uint64(len(m)))
+	for _, c := range m {
+		h = hashString(h, c.Key)
+		h = hashU64(h, uint64(c.Op))
+		h = hashString(h, formatLiteral(c.Value))
+	}
+	return h
+}
+
+// shallowEqual reports equality of two nodes given that their children
+// compare by canonical ID.  b is a previously interned representative, so
+// matching kind plus payload plus kid IDs implies structural equality.
+func shallowEqual(a, b Node, akids, bkids []NodeID) bool {
+	if len(akids) != len(bkids) {
+		return false
+	}
+	for i := range akids {
+		if akids[i] != bkids[i] {
+			return false
+		}
+	}
+	switch x := a.(type) {
+	case *Prim:
+		y, ok := b.(*Prim)
+		return ok && x.Name == y.Name && maskEqual(x.Mask, y.Mask)
+	case *Or:
+		_, ok := b.(*Or)
+		return ok
+	case *And:
+		_, ok := b.(*And)
+		return ok
+	case *Seq:
+		_, ok := b.(*Seq)
+		return ok
+	case *Any:
+		y, ok := b.(*Any)
+		return ok && x.M == y.M
+	case *Not:
+		_, ok := b.(*Not)
+		return ok
+	case *Aperiodic:
+		y, ok := b.(*Aperiodic)
+		return ok && x.Cumulative == y.Cumulative
+	case *Periodic:
+		y, ok := b.(*Periodic)
+		return ok && x.Cumulative == y.Cumulative && x.Period == y.Period
+	case *Plus:
+		y, ok := b.(*Plus)
+		return ok && x.Delta == y.Delta
+	default:
+		return false
+	}
+}

@@ -1,0 +1,169 @@
+package expr
+
+import (
+	"fmt"
+	"testing"
+)
+
+func parseT(t *testing.T, s string) Node {
+	t.Helper()
+	n, err := Parse(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return n
+}
+
+// Structurally equal subtrees intern to the same ID even when they come
+// from different parses, and distinct subtrees never collide.
+func TestInternCanonical(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern(parseT(t, "(A ; B)"))
+	b := in.Intern(parseT(t, "(A ; B)"))
+	if a != b {
+		t.Fatalf("equal trees interned to %d and %d", a, b)
+	}
+	c := in.Intern(parseT(t, "(B ; A)"))
+	if c == a {
+		t.Fatalf("(B ; A) shares ID %d with (A ; B)", a)
+	}
+	// Same children, different operator kind.
+	d := in.Intern(parseT(t, "(A AND B)"))
+	e := in.Intern(parseT(t, "(A OR B)"))
+	if d == e || d == a {
+		t.Fatalf("operator kinds collided: seq=%d and=%d or=%d", a, d, e)
+	}
+}
+
+// Interning a larger tree reuses the IDs of already-interned subtrees:
+// the forest becomes a DAG.
+func TestInternSharesSubtrees(t *testing.T) {
+	in := NewInterner()
+	sub := in.Intern(parseT(t, "(A ; B)"))
+	root := in.Intern(parseT(t, "((A ; B) OR C)"))
+	kids := in.Children(root)
+	if len(kids) != 2 || kids[0] != sub {
+		t.Fatalf("root children = %v, want [%d, _]", kids, sub)
+	}
+	// A and B themselves are shared: total distinct nodes are
+	// A, B, (A ; B), C, ((A ; B) OR C) = 5.
+	if in.Len() != 5 {
+		t.Fatalf("interner holds %d nodes, want 5", in.Len())
+	}
+}
+
+// Payload fields that are not children (ANY m, P period, PLUS delta,
+// cumulative flags, masks) must distinguish nodes.
+func TestInternPayloadDistinguishes(t *testing.T) {
+	in := NewInterner()
+	cases := [][2]string{
+		{"ANY(1, A, B)", "ANY(2, A, B)"},
+		{"P(A, 5t, B)", "P(A, 6t, B)"},
+		{"P(A, 5t, B)", "P*(A, 5t, B)"},
+		{"PLUS(A, 5t)", "PLUS(A, 6t)"},
+		{"A(A, B, C)", "A*(A, B, C)"},
+		{"A[x == 1]", "A[x == 2]"},
+		{"A[x == 1]", "A"},
+		{"A[x == 1]", "A[x >= 1]"},
+		{"A[x == 1]", "A[y == 1]"},
+	}
+	for _, c := range cases {
+		l := in.Intern(parseT(t, c[0]))
+		r := in.Intern(parseT(t, c[1]))
+		if l == r {
+			t.Errorf("%q and %q interned to the same ID %d", c[0], c[1], l)
+		}
+	}
+	// Mask literal types: 1 (int64) vs 1.0 (float64) differ under
+	// maskEqual, so they must differ under interning too.
+	l := in.Intern(&Prim{Name: "A", Mask: Mask{{Key: "x", Op: OpEq, Value: int64(1)}}})
+	r := in.Intern(&Prim{Name: "A", Mask: Mask{{Key: "x", Op: OpEq, Value: float64(1)}}})
+	if l == r {
+		t.Errorf("int64(1) and float64(1) mask literals interned to the same ID")
+	}
+}
+
+// Interned IDs agree with expr.Equal across a generated corpus: same ID
+// iff structurally equal.
+func TestInternMatchesEqual(t *testing.T) {
+	exprs := []string{
+		"A", "B", "(A ; B)", "(A ; B)", "(B ; A)", "(A OR B)", "(A AND B)",
+		"ANY(2, A, B, C)", "ANY(3, A, B, C)",
+		"NOT(B)[A, C]", "NOT(A)[B, C]",
+		"A(A, B, C)", "A*(A, B, C)",
+		"P(A, 1s, B)", "P(A, 2s, B)", "P*(A, 1s, B)",
+		"PLUS(A, 1s)", "PLUS(B, 1s)",
+		"((A ; B) OR (A ; B))", "((A ; B) OR C)",
+		"A[x == 1]", "A[x == 1, y == \"s\"]",
+	}
+	in := NewInterner()
+	trees := make([]Node, len(exprs))
+	ids := make([]NodeID, len(exprs))
+	for i, s := range exprs {
+		trees[i] = parseT(t, s)
+		ids[i] = in.Intern(trees[i])
+	}
+	for i := range trees {
+		for j := range trees {
+			eq := Equal(trees[i], trees[j])
+			same := ids[i] == ids[j]
+			if eq != same {
+				t.Errorf("%q vs %q: Equal=%v but sameID=%v", exprs[i], exprs[j], eq, same)
+			}
+		}
+	}
+	// Representative nodes round-trip: the stored rep is structurally
+	// equal to what was interned.
+	for i, id := range ids {
+		if !Equal(in.Node(id), trees[i]) {
+			t.Errorf("representative for %q is not Equal to the interned tree", exprs[i])
+		}
+	}
+}
+
+// Children IDs align with the representative's Children() order for
+// every operator shape, including Periodic whose Period is payload.
+func TestInternChildrenAlignment(t *testing.T) {
+	in := NewInterner()
+	for _, s := range []string{
+		"(A ; B)", "ANY(2, A, B, C)", "NOT(B)[A, C]",
+		"A(A, B, C)", "P(A, 1s, B)", "PLUS(A, 1s)",
+	} {
+		n := parseT(t, s)
+		id := in.Intern(n)
+		kids := in.Children(id)
+		want := in.Node(id).Children()
+		if len(kids) != len(want) {
+			t.Fatalf("%q: %d kid IDs for %d children", s, len(kids), len(want))
+		}
+		for i, c := range want {
+			if !Equal(in.Node(kids[i]), c) {
+				t.Errorf("%q child %d: interned kid does not match Children()[%d]", s, i, i)
+			}
+		}
+	}
+}
+
+// Interning N structurally identical definitions is O(total nodes), not
+// O(N * re-serialized key length): a smoke guard that Len stays flat.
+func TestInternDedupAtScale(t *testing.T) {
+	in := NewInterner()
+	first := in.Intern(parseT(t, "((A ; B) AND PLUS(C, 10s))"))
+	for i := 0; i < 500; i++ {
+		if id := in.Intern(parseT(t, "((A ; B) AND PLUS(C, 10s))")); id != first {
+			t.Fatalf("iteration %d interned to %d, want %d", i, id, first)
+		}
+	}
+	if in.Len() != 6 { // A, B, (A;B), C, PLUS(C,10s), root
+		t.Fatalf("interner holds %d nodes, want 6", in.Len())
+	}
+	// Distinct trees still get fresh IDs after heavy dedup traffic.
+	seen := map[NodeID]bool{}
+	for i := 0; i < 50; i++ {
+		id := in.Intern(parseT(t, fmt.Sprintf("PLUS(A, %dt)", i+1)))
+		if seen[id] {
+			t.Fatalf("duplicate ID %d for distinct delta %d", id, i+1)
+		}
+		seen[id] = true
+	}
+}

@@ -35,6 +35,11 @@ const (
 	// KindFrontierDelta is KindHeartbeat with the global frontier encoded
 	// as a delta against the raise time's granule.
 	KindFrontierDelta byte = 6
+	// KindEventTyped is KindEventIdx with the event type carried as its
+	// dense registry TypeID (uvarint) instead of a length-prefixed
+	// string; undeclared names (anonymous inner composites like
+	// "(A ; B)") travel as a 0 marker followed by the string form.
+	KindEventTyped byte = 7
 )
 
 // Errors specific to roster frames.
@@ -46,6 +51,9 @@ var (
 	// ascending — duplicates and disorder are both corruption, since
 	// NewRoster output is canonical by construction.
 	ErrDuplicateSite = errors.New("wire: roster sites not strictly ascending")
+	// ErrUnknownTypeID marks a typed frame whose type index is outside
+	// the codec's registry, or a typed frame decoded without one.
+	ErrUnknownTypeID = errors.New("wire: event type index outside registry")
 )
 
 // maxRosterSites bounds a roster frame's claimed membership.
@@ -120,6 +128,13 @@ type Codec struct {
 	// (clock's local-per-global ratio), the shared reference the frontier
 	// delta is taken against.
 	Granule int64
+	// Types, when non-nil alongside Roster, upgrades event frames to
+	// KindEventTyped: type identities travel as dense registry IDs the
+	// same way site identities travel as roster indexes, and decode
+	// fills Occurrence.TypeID so the receiving detector dispatches
+	// without a name lookup.  Both ends must share the declaration
+	// order (in the simulator they share the registry itself).
+	Types *event.Registry
 }
 
 // frontierBase is the shared reference point a heartbeat's global
@@ -152,9 +167,14 @@ func (c *Codec) EncodeAppend(dst []byte, e Envelope) ([]byte, error) {
 		if e.Occ == nil {
 			return nil, errors.New("wire: event envelope without occurrence")
 		}
+		if c.Types != nil {
+			dst = append(dst, KindEventTyped)
+			dst = appendVarint(dst, e.RaisedAt)
+			return c.appendOccurrenceIdx(dst, e.Occ, 0, true)
+		}
 		dst = append(dst, KindEventIdx)
 		dst = appendVarint(dst, e.RaisedAt)
-		return c.appendOccurrenceIdx(dst, e.Occ, 0)
+		return c.appendOccurrenceIdx(dst, e.Occ, 0, false)
 	case KindBatch:
 		return nil, ErrNestedBatch
 	default:
@@ -180,11 +200,28 @@ func (c *Codec) appendSite(dst []byte, id core.SiteID) ([]byte, error) {
 
 // appendOccurrenceIdx is appendOccurrence with every site identity —
 // the occurrence's own and each stamp component's — as a roster index.
-func (c *Codec) appendOccurrenceIdx(b []byte, o *event.Occurrence, depth int) ([]byte, error) {
+// With typed set, the type name is interned too: occurrences usually
+// carry their TypeID already (set at raise or by the emitting detector);
+// a zero falls back to one registry lookup, and names the registry does
+// not know (anonymous inner composites) are escaped as 0 + string.
+func (c *Codec) appendOccurrenceIdx(b []byte, o *event.Occurrence, depth int, typed bool) ([]byte, error) {
 	if depth > maxDepth {
 		return nil, fmt.Errorf("wire: occurrence tree deeper than %d", maxDepth)
 	}
-	b = appendString(b, o.Type)
+	if typed {
+		id := o.TypeID
+		if id == 0 {
+			id = c.Types.TypeID(o.Type)
+		}
+		if id != 0 {
+			b = appendUvarint(b, uint64(id))
+		} else {
+			b = appendUvarint(b, 0)
+			b = appendString(b, o.Type)
+		}
+	} else {
+		b = appendString(b, o.Type)
+	}
 	b = append(b, byte(o.Class))
 	b, err := c.appendSite(b, o.Site)
 	if err != nil {
@@ -206,7 +243,7 @@ func (c *Codec) appendOccurrenceIdx(b []byte, o *event.Occurrence, depth int) ([
 	}
 	b = appendUvarint(b, uint64(len(o.Constituents)))
 	for _, k := range o.Constituents {
-		b, err = c.appendOccurrenceIdx(b, k, depth+1)
+		b, err = c.appendOccurrenceIdx(b, k, depth+1, typed)
 		if err != nil {
 			return nil, err
 		}
@@ -235,11 +272,18 @@ func (c *Codec) siteIdx(r *reader) (core.Site, error) {
 	return core.Site(v), nil
 }
 
-func (c *Codec) occurrenceIdx(r *reader, depth int) (*event.Occurrence, error) {
+func (c *Codec) occurrenceIdx(r *reader, depth int, typed bool) (*event.Occurrence, error) {
 	if depth > maxDepth {
 		return nil, fmt.Errorf("wire: occurrence tree deeper than %d", maxDepth)
 	}
-	typ, err := r.str(maxString)
+	var typ string
+	var typeID event.TypeID
+	var err error
+	if typed {
+		typeID, typ, err = c.typeRef(r)
+	} else {
+		typ, err = r.str(maxString)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -297,6 +341,7 @@ func (c *Codec) occurrenceIdx(r *reader, depth int) (*event.Occurrence, error) {
 	}
 	o := &event.Occurrence{
 		Type:     typ,
+		TypeID:   typeID,
 		Class:    event.Class(classByte),
 		Site:     site,
 		Seq:      seq,
@@ -305,13 +350,42 @@ func (c *Codec) occurrenceIdx(r *reader, depth int) (*event.Occurrence, error) {
 		Params:   params,
 	}
 	for i := uint64(0); i < nKids; i++ {
-		k, err := c.occurrenceIdx(r, depth+1)
+		k, err := c.occurrenceIdx(r, depth+1, typed)
 		if err != nil {
 			return nil, err
 		}
 		o.Constituents = append(o.Constituents, k)
 	}
 	return o, nil
+}
+
+// typeRef reads one interned type identity: a dense registry ID, or the
+// 0 escape followed by the literal name (which may still resolve — a
+// registry that learned the name after the sender encoded it).
+func (c *Codec) typeRef(r *reader) (event.TypeID, string, error) {
+	if c.Types == nil {
+		return 0, "", fmt.Errorf("%w: typed frame without a registry", ErrUnknownTypeID)
+	}
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, "", err
+	}
+	if v == 0 {
+		typ, err := r.str(maxString)
+		if err != nil {
+			return 0, "", err
+		}
+		return c.Types.TypeID(typ), typ, nil
+	}
+	id := event.TypeID(v)
+	if uint64(id) != v { // overflow
+		return 0, "", fmt.Errorf("%w: index %d", ErrUnknownTypeID, v)
+	}
+	name := c.Types.NameOf(id)
+	if name == "" {
+		return 0, "", fmt.Errorf("%w: index %d", ErrUnknownTypeID, v)
+	}
+	return id, name, nil
 }
 
 // Decode parses any envelope frame — interned, delta, or the legacy
@@ -351,7 +425,14 @@ func (c *Codec) Decode(buf []byte) (Envelope, error) {
 		e.Kind = KindHeartbeat
 		e.Global = c.frontierBase(raisedAt) + delta
 	case KindEventIdx:
-		o, err := c.occurrenceIdx(r, 0)
+		o, err := c.occurrenceIdx(r, 0, false)
+		if err != nil {
+			return Envelope{}, err
+		}
+		e.Kind = KindEvent
+		e.Occ = o
+	case KindEventTyped:
+		o, err := c.occurrenceIdx(r, 0, true)
 		if err != nil {
 			return Envelope{}, err
 		}

@@ -1,0 +1,129 @@
+package workload
+
+// Multi-tenant definition-set generation: a deterministic, seeded
+// generator for the thousands-of-definitions regime the north star
+// implies (millions of users each installing a handful of rules).  The
+// overlap knob controls what fraction of definitions embed a
+// subexpression drawn from a small shared core pool — the structural
+// property the detector's hash-consed compiler exploits — so benchmarks
+// can sweep 0% (every rule private) to 90%+ (heavy tenancy overlap on a
+// few popular patterns).
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DefSpec is one generated definition: a unique name, an expression in
+// the concrete syntax of internal/expr, and a parameter-context index
+// into detector.Contexts() (kept as a plain int so this package does not
+// depend on the detector).
+type DefSpec struct {
+	Name string
+	Expr string
+	Ctx  int
+}
+
+// DefsConfig describes a generated definition set.
+type DefsConfig struct {
+	// Count is the number of definitions.
+	Count int
+	// Types is the primitive alphabet expressions draw from.  Size it to
+	// the definition count (e.g. Count/8) to hold per-type fan-in
+	// constant across scales, or keep it small to concentrate load.
+	Types []string
+	// Overlap in [0,1] is the fraction of definitions whose body embeds
+	// a subexpression from the shared core pool; the rest get bodies
+	// derived from their own index, distinct by construction.
+	Overlap float64
+	// CorePool is the number of distinct shared subexpressions (default
+	// 16): smaller pools mean more tenants per shared subtree.
+	CorePool int
+	// Contexts is the number of parameter-context indexes to draw Ctx
+	// from (default 1, i.e. every definition gets Ctx 0).
+	Contexts int
+	// Seed fixes the generated set.
+	Seed int64
+}
+
+// GenDefs generates a deterministic definition set.  Definition names
+// are "Def00000"-style (zero-padded to sort lexically in index order)
+// and never collide with the alphabet.  Overlapping definitions embed
+// "(core OR extra)" so the core subtree is structurally shared while the
+// whole body stays distinct per definition; non-overlapping definitions
+// are operator/pair combinations of their own index, so two of them
+// share at most a primitive leaf.
+func GenDefs(cfg DefsConfig) []DefSpec {
+	if cfg.Count <= 0 || len(cfg.Types) < 2 || cfg.Overlap < 0 || cfg.Overlap > 1 {
+		panic(fmt.Sprintf("workload: degenerate defs config %+v", cfg))
+	}
+	corePool := cfg.CorePool
+	if corePool <= 0 {
+		corePool = 16
+	}
+	contexts := cfg.Contexts
+	if contexts <= 0 {
+		contexts = 1
+	}
+	r := rand.New(rand.NewSource(SubSeed(cfg.Seed, "defs")))
+	P := len(cfg.Types)
+	ops := []string{";", "OR", "AND"}
+
+	// The shared core pool: distinct binary subexpressions over the
+	// alphabet, indexed deterministically so pool entry k is the same
+	// for every run of the same config.
+	core := make([]string, corePool)
+	for k := range core {
+		a := cfg.Types[k%P]
+		b := cfg.Types[(k/P+k+1)%P]
+		core[k] = fmt.Sprintf("(%s %s %s)", a, ops[k%len(ops)], b)
+	}
+
+	width := 5
+	for limit := 100000; cfg.Count > limit; limit *= 10 {
+		width++
+	}
+	defs := make([]DefSpec, cfg.Count)
+	for u := range defs {
+		var body string
+		if r.Float64() < cfg.Overlap {
+			// Tenant rule embedding a popular shared pattern: the core
+			// subtree compiles once per (context, subtree); the OR wrapper
+			// stays private to the definition.
+			c := core[r.Intn(corePool)]
+			extra := cfg.Types[r.Intn(P)]
+			body = fmt.Sprintf("(%s OR %s)", c, extra)
+		} else {
+			// Private rule derived from the definition index: the pair
+			// (u mod P, u/P mod P) with a varying operator is distinct from
+			// every other private rule while u < P².
+			a := cfg.Types[u%P]
+			b := cfg.Types[(u/P)%P]
+			op := ops[(u/(P*P))%len(ops)]
+			body = fmt.Sprintf("(%s %s %s)", a, op, b)
+		}
+		defs[u] = DefSpec{
+			Name: fmt.Sprintf("Def%0*d", width, u),
+			Expr: body,
+			Ctx:  r.Intn(contexts),
+		}
+	}
+	return defs
+}
+
+// TypeNames generates an n-type primitive alphabet ("Ev00".."EvNN"),
+// zero-padded like SiteIDs so lexical order equals index order.
+func TypeNames(n int) []string {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: TypeNames(%d)", n))
+	}
+	width := 2
+	for limit := 100; n > limit; limit *= 10 {
+		width++
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("Ev%0*d", width, i)
+	}
+	return out
+}

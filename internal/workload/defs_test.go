@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// The generator is deterministic: one config, one definition set.
+func TestGenDefsDeterministic(t *testing.T) {
+	cfg := DefsConfig{Count: 200, Types: TypeNames(16), Overlap: 0.5, Contexts: 5, Seed: 42}
+	a := GenDefs(cfg)
+	b := GenDefs(cfg)
+	if len(a) != 200 {
+		t.Fatalf("generated %d defs, want 200", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("def %d differs across runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// Every generated expression parses, every name is unique, and contexts
+// stay inside the requested range.
+func TestGenDefsWellFormed(t *testing.T) {
+	defs := GenDefs(DefsConfig{Count: 500, Types: TypeNames(8), Overlap: 0.7, Contexts: 5, Seed: 7})
+	names := make(map[string]bool, len(defs))
+	for _, d := range defs {
+		if names[d.Name] {
+			t.Fatalf("duplicate name %q", d.Name)
+		}
+		names[d.Name] = true
+		if _, err := expr.Parse(d.Expr); err != nil {
+			t.Fatalf("%s: %q does not parse: %v", d.Name, d.Expr, err)
+		}
+		if d.Ctx < 0 || d.Ctx >= 5 {
+			t.Fatalf("%s: context %d outside [0,5)", d.Name, d.Ctx)
+		}
+	}
+}
+
+// The overlap knob controls structural sharing: at 0 every body is
+// distinct; at high overlap many bodies embed one of the few core
+// subexpressions.
+func TestGenDefsOverlapKnob(t *testing.T) {
+	types := TypeNames(16)
+	zero := GenDefs(DefsConfig{Count: 256, Types: types, Overlap: 0, Seed: 1})
+	seen := make(map[string]bool)
+	for _, d := range zero {
+		if seen[d.Expr] {
+			t.Fatalf("overlap 0 produced duplicate body %q", d.Expr)
+		}
+		seen[d.Expr] = true
+	}
+	high := GenDefs(DefsConfig{Count: 256, Types: types, Overlap: 0.9, CorePool: 4, Seed: 1})
+	shared := 0
+	for _, d := range high {
+		// Core-embedding bodies are "((A op B) OR C)" — nested parens.
+		if strings.Count(d.Expr, "(") == 2 {
+			shared++
+		}
+	}
+	if shared < 180 || shared > 256 {
+		t.Fatalf("overlap 0.9: %d/256 defs embed a core subexpression", shared)
+	}
+}
+
+// TypeNames pads like SiteIDs: lexical order equals index order.
+func TestTypeNames(t *testing.T) {
+	names := TypeNames(101)
+	if names[0] != "Ev000" || names[100] != "Ev100" {
+		t.Fatalf("padding: got %q..%q", names[0], names[100])
+	}
+	small := TypeNames(8)
+	if small[7] != "Ev07" {
+		t.Fatalf("small alphabet: got %q", small[7])
+	}
+}
