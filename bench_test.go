@@ -8,6 +8,7 @@ package sentinel_test
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
@@ -91,16 +92,25 @@ func BenchmarkSec51Example(b *testing.B) {
 // --- CEX: transitivity-witness search for the ∃∃ ordering -----------------
 
 func BenchmarkCounterexampleSearch(b *testing.B) {
+	// One op sweeps a fixed seed set, so the measured work — and
+	// allocs/op in particular — is identical at any b.N.  Seeding by the
+	// raw iteration index made allocs/op a function of the iteration
+	// count (different seeds search different distances before finding a
+	// witness or exhausting the trial cap), which let the bench-smoke
+	// allocs budget drift against the 200ms archived baseline.
+	const seeds = 4
 	b.ReportAllocs()
 	found := 0
 	for i := 0; i < b.N; i++ {
-		r := rand.New(rand.NewSource(int64(i)))
-		gen := core.Generator(r, 4, 4, 10, 400)
-		if w := core.FindNonTransitiveTriple(core.LessExistsExists, gen, 5_000); w != nil {
-			found++
+		for s := int64(0); s < seeds; s++ {
+			r := rand.New(rand.NewSource(s))
+			gen := core.Generator(r, 4, 4, 10, 400)
+			if w := core.FindNonTransitiveTriple(core.LessExistsExists, gen, 5_000); w != nil {
+				found++
+			}
 		}
 	}
-	b.ReportMetric(float64(found)/float64(b.N), "witness-rate")
+	b.ReportMetric(float64(found)/float64(b.N*seeds), "witness-rate")
 }
 
 // --- ALT: comparability of the candidate orderings ------------------------
@@ -383,8 +393,29 @@ func BenchmarkEndToEndDetection(b *testing.B) {
 // pool-hit-rate metric pins that the loop actually runs on recycled
 // occurrences (≈1.0 after warmup) rather than the allocator.
 func BenchmarkSustainedThroughput(b *testing.B) {
+	runSustained(b)
+}
+
+// BenchmarkSustainedThroughputTraced is the same sustained loop with the
+// always-on observability posture attached: a real span sink (discarded
+// writes) head-sampled at 1%, plus the metrics registry.  It emits the
+// same events/sec and pool-hit-rate metrics, so the bench-smoke floors —
+// 1M events/sec, hit-rate ≥0.95 — gate the traced pipeline too: the
+// generation-keyed span identity must not cost the pooling win.
+func BenchmarkSustainedThroughputTraced(b *testing.B) {
+	runSustained(b, func(c *ddetect.Config) {
+		c.Trace = obs.NewTracer(obs.NewSpanLog(io.Discard))
+		c.Sample = obs.NewSampler(1, 0.01)
+	})
+}
+
+func runSustained(b *testing.B, mutate ...func(*ddetect.Config)) {
 	const sites = 8
-	sys := ddetect.MustNewSystem(ddetect.Config{})
+	cfg := ddetect.Config{}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	sys := ddetect.MustNewSystem(cfg)
 	ids := workload.SiteIDs(sites)
 	for _, id := range ids {
 		sys.MustAddSite(id, 0, 0)
@@ -976,30 +1007,53 @@ func BenchmarkPipelineWorkers(b *testing.B) {
 // --- OBS: observability overhead ------------------------------------------
 
 // detachedTracer arms tracing with no sink attached: every span point in
-// the pipeline executes (ID assignment, event construction, the Emit
-// call) but nothing is written.  This isolates the instrumentation cost
-// itself — the acceptance number for the PR-5 observability layer is
-// "detached" within 2% of "off" at 16 sites.
+// the pipeline executes (the sample decision, the gate checks) but IDs
+// are never assigned and nothing is written.  This isolates the cost of
+// carrying the instrumentation hooks themselves.
 func detachedTracer(c *ddetect.Config) { c.Trace = obs.NewTracer(nil) }
 
-// noPooling pins the occurrence pool off.  An attached tracer disables
-// pooling anyway (spans key on occurrence pointer identity, which reuse
-// would alias — DESIGN.md §2h), so the trace-overhead comparisons run
-// both arms unpooled: otherwise they measure the pooling win, which is
-// gated separately by bench-smoke, instead of the tracer's own cost.
+// sampledTracer is the always-on production posture this PR's overhead
+// gate is about: a real sink (writes discarded, so the measurement is
+// the tracer's own cost, not an encoder's) head-sampled at 1% under a
+// fixed seed.  Pooling stays on — generation-stamped span identity
+// composes with slot reuse, so the traced arm runs the same pooled hot
+// path as the untraced one.
+func sampledTracer(c *ddetect.Config) { sampledTracerAt(0.01)(c) }
+
+// sampledTracerAt parameterizes the rate for the EXPERIMENTS.md overhead
+// sweep (1% / 10% / 100% against untraced, all pooled).
+func sampledTracerAt(rate float64) func(*ddetect.Config) {
+	return func(c *ddetect.Config) {
+		c.Trace = obs.NewTracer(obs.NewSpanLog(io.Discard))
+		c.Sample = obs.NewSampler(7, rate)
+	}
+}
+
+// noPooling pins the occurrence pool off — the determinism differential
+// mode.  Since the generation-keyed span identity landed, tracing no
+// longer implies this: overhead comparisons run both arms pooled.
 func noPooling(c *ddetect.Config) { c.DisablePooling = true }
 
-// BenchmarkTraceOverhead measures the end-to-end 16-site detection run
-// with tracing off versus enabled-but-unsunk.  Full-stack cost with real
-// sinks attached is workload-dependent and reported by distsim instead.
+// BenchmarkTraceOverhead measures the end-to-end 16-site detection run —
+// pooled in every arm — with tracing off, enabled-but-unsunk, and the
+// 1%-sampled production posture.  Full-stack cost with heavyweight sinks
+// (Chrome trace, flight recorder) is workload-dependent and reported by
+// distsim instead.
 func BenchmarkTraceOverhead(b *testing.B) {
 	net := network.Config{BaseLatency: 20, Jitter: 40, Seed: 9}
 	modes := []struct {
 		name   string
 		mutate []func(*ddetect.Config)
 	}{
-		{"off", []func(*ddetect.Config){noPooling}},
+		{"off", nil},
 		{"detached", []func(*ddetect.Config){detachedTracer}},
+		{"sampled1pct", []func(*ddetect.Config){sampledTracer}},
+		{"sampled10pct", []func(*ddetect.Config){sampledTracerAt(0.10)}},
+		{"sampled100pct", []func(*ddetect.Config){sampledTracerAt(1.0)}},
+		// The unpooled traced arm sizes what the deleted tracer/pooling
+		// interlock used to cost: its delta against sampled1pct is the
+		// pooling win the old behavior gave up whenever a tracer attached.
+		{"sampled1pct-nopool", []func(*ddetect.Config){sampledTracer, noPooling}},
 	}
 	for _, mode := range modes {
 		mode := mode
@@ -1014,13 +1068,16 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	}
 }
 
-// TestTraceOverheadSmoke is the CI guard for the instrumentation cost:
-// enabled-but-unsunk tracing must not regress the pipeline-workers
-// workload by more than 8% comparing the minima of interleaved
-// measurements.
-// (The budget was 5% when the untraced pipeline allocated per event;
-// the PR-8 pooling work shrank the denominator — the tracer's absolute
-// cost is unchanged, but it is now a larger fraction of a leaner run.)
+// TestTraceOverheadSmoke is the CI guard for the always-on tracing cost:
+// a real-sink tracer at 1% head sampling must not regress the pooled
+// pipeline-workers workload by more than 3% comparing the minima of
+// interleaved measurements.
+// (Earlier PRs compared an unsunk tracer against an *unpooled* baseline
+// under an 8% budget, because an attached tracer used to force pooling
+// off.  Generation-keyed span identity removed that interlock, so both
+// arms now run the production pooled path and the budget tightens to the
+// sampled posture's real cost: the per-raise hash plus a 1% trickle of
+// span writes.)
 // Benchmark-grade timing in a test is noisy, so it only runs when asked:
 //
 //	SENTINEL_TRACE_OVERHEAD=1 go test -run TestTraceOverheadSmoke -v .
@@ -1040,8 +1097,8 @@ func TestTraceOverheadSmoke(t *testing.T) {
 	traced := make([]float64, 0, rounds)
 	measure()                     // warm-up discarded
 	for i := 0; i < rounds; i++ { // interleave so drift hits both arms
-		off = append(off, measure(noPooling))
-		traced = append(traced, measure(detachedTracer))
+		off = append(off, measure())
+		traced = append(traced, measure(sampledTracer))
 	}
 	// Compare minima, not medians: scheduler and neighbor noise only
 	// ever adds time, so the fastest of five interleaved rounds is the
@@ -1052,9 +1109,9 @@ func TestTraceOverheadSmoke(t *testing.T) {
 	}
 	mOff, mTraced := minOf(off), minOf(traced)
 	ratio := mTraced / mOff
-	t.Logf("min ns/op: off=%.0f detached-tracing=%.0f (%.1f%%)", mOff, mTraced, (ratio-1)*100)
-	if ratio > 1.08 {
-		t.Fatalf("enabled-but-unsunk tracing costs %.1f%% (min of %d), budget is 8%%",
+	t.Logf("min ns/op: off=%.0f sampled-1%%-tracing=%.0f (%.1f%%)", mOff, mTraced, (ratio-1)*100)
+	if ratio > 1.03 {
+		t.Fatalf("1%%-sampled tracing costs %.1f%% (min of %d), budget is 3%%",
 			(ratio-1)*100, rounds)
 	}
 }

@@ -10,11 +10,15 @@
 // trace microsecond = one simulated microtick), -spanlog FILE writes the
 // same spans as greppable key=value lines, -metrics prom|json appends a
 // metrics export to the report, and -flightrec N dumps the last N spans
-// per site at the end of the run.  All of it is a pure observer: the
-// simulation output is identical with every flag on or off.
+// per site at the end of the run.  -sample RATE head-samples the span
+// stream (deterministically, seeded from -seed; lineage stays complete),
+// -pprof FILE writes a heap profile after the run and folds the runtime
+// collectors (heap, GC, goroutines) into -metrics.  All of it is a pure
+// observer: the simulation output is identical with every flag on or off.
 //
 //	distsim -sites 8 -events 5000 -latency 20 -jitter 60 -drop 0.05 -workers 4 -stats
 //	distsim -sites 4 -events 2000 -trace trace.json -metrics prom -flightrec 32
+//	distsim -events 20000 -spanlog spans.log -sample 0.01 -pprof heap.pb.gz -metrics prom
 package main
 
 import (
@@ -23,6 +27,8 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/clock"
@@ -65,11 +71,18 @@ type options struct {
 	// flightrec > 0 keeps the last N spans per site and dumps them at
 	// the end of the report.
 	flightrec int
+	// sample >= 0 head-samples the span stream at that rate, seeded from
+	// the run seed (negative keeps every span).  Sampling thins tracer
+	// output only; the report is identical at every rate.
+	sample float64
 	// trace and spanlog, when non-nil, receive the Chrome trace_event
-	// JSON and the line-oriented span log (main points them at the
-	// -trace and -spanlog files).
+	// JSON and the line-oriented span log; pprof receives a heap profile
+	// written after the run settles (main points them at the -trace,
+	// -spanlog and -pprof files).  A pprof destination also folds the
+	// runtime collectors into the -metrics registry.
 	trace   io.Writer
 	spanlog io.Writer
+	pprof   io.Writer
 }
 
 func main() {
@@ -91,9 +104,15 @@ func main() {
 	flightrec := flag.Int("flightrec", 0, "keep and dump the last N spans per site")
 	traceFile := flag.String("trace", "", "write the event lineage as Chrome trace_event JSON to this file")
 	spanFile := flag.String("spanlog", "", "write the event lineage as key=value span lines to this file")
+	sample := flag.Float64("sample", -1, "head-sample trace spans at this rate in [0,1] (deterministic per -seed; negative keeps everything)")
+	pprofFile := flag.String("pprof", "", "write a heap profile to this file and fold runtime collectors into -metrics")
 	flag.Parse()
 	if *metrics != "" && *metrics != "prom" && *metrics != "json" {
 		fmt.Fprintf(os.Stderr, "distsim: -metrics must be prom or json, got %q\n", *metrics)
+		os.Exit(2)
+	}
+	if *sample > 1 {
+		fmt.Fprintf(os.Stderr, "distsim: -sample must be in [0,1] (or negative for off), got %g\n", *sample)
 		os.Exit(2)
 	}
 	if *overlap < 0 || *overlap > 1 {
@@ -104,13 +123,13 @@ func main() {
 		sites: *sites, events: *events, meanGap: *meanGap,
 		latency: *latency, jitter: *jitter, drop: *drop, skew: *skew, seed: *seed,
 		workers: *workers, stats: *stats, noPool: *noPool, noSharing: *noSharing,
-		metrics: *metrics, flightrec: *flightrec,
+		metrics: *metrics, flightrec: *flightrec, sample: *sample,
 		defs: *defsN, overlap: *overlap,
 	}
 	for _, f := range []struct {
 		path string
 		dst  *io.Writer
-	}{{*traceFile, &o.trace}, {*spanFile, &o.spanlog}} {
+	}{{*traceFile, &o.trace}, {*spanFile, &o.spanlog}, {*pprofFile, &o.pprof}} {
 		if f.path == "" {
 			continue
 		}
@@ -165,10 +184,20 @@ func simulate(w io.Writer, o options) {
 	if len(sinks) > 0 {
 		cfg.Trace = obs.NewTracer(sinks)
 	}
+	if o.sample >= 0 {
+		// Head sampling is seeded from the run seed: the same run keeps the
+		// same spans, whatever the worker count, transport or pooling mode.
+		cfg.Sample = obs.NewSampler(uint64(workload.SubSeed(*seed, "sample")), o.sample)
+	}
 	var reg *obs.Registry
 	if o.metrics != "" {
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
+		if o.pprof != nil {
+			// Process-health gauges are genuinely nondeterministic, so they
+			// join the export only alongside an explicit profiling request.
+			obs.RegisterRuntimeCollector(reg)
+		}
 	}
 
 	sys := ddetect.MustNewSystem(cfg)
@@ -320,7 +349,14 @@ func simulate(w io.Writer, o options) {
 			fmt.Fprintf(w, "occurrence pool: gets=%d puts=%d misses=%d hit-rate=%.3f double-puts-averted=%d\n",
 				ps.Gets, ps.Puts, ps.Misses, hit, ps.DoublePuts)
 		} else {
-			fmt.Fprintln(w, "occurrence pool: disabled (tracer attached or -no-pool)")
+			fmt.Fprintln(w, "occurrence pool: disabled (-no-pool)")
+		}
+		fmt.Fprintln(w, "stage legs (event-time microticks per lifecycle hop):")
+		for _, ls := range st.Legs {
+			if ls.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-22s count=%-8d mean=%-8.1f max=%d\n", ls.Leg, ls.Count, ls.Mean(), ls.Max)
 		}
 	}
 
@@ -349,5 +385,13 @@ func simulate(w io.Writer, o options) {
 	}
 	if spanLog != nil && spanLog.Err() != nil {
 		panic(spanLog.Err())
+	}
+	if o.pprof != nil {
+		// Settle the heap first so the profile shows what the run retains,
+		// not what the collector hasn't reclaimed yet.
+		runtime.GC()
+		if err := pprof.Lookup("heap").WriteTo(o.pprof, 0); err != nil {
+			panic(err)
+		}
 	}
 }

@@ -18,6 +18,7 @@ func baseOptions() options {
 	return options{
 		sites: 3, events: 300, meanGap: 60,
 		latency: 20, jitter: 40, drop: 0, skew: 30, seed: 42,
+		sample: -1, // negative = keep every span (the -sample flag default)
 	}
 }
 
@@ -234,9 +235,64 @@ func TestSimulateStatsSection(t *testing.T) {
 	out := runSim(t, o)
 	for _, want := range []string{
 		"pipeline stages", "ingest", "transport", "release", "detect", "publish",
+		"occurrence pool: gets=",
+		"stage legs", "raise_to_send", "send_to_recv", "recv_to_release", "release_to_publish",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("-stats report lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "tracer attached") {
+		t.Errorf("stale pool/tracer interlock wording in report:\n%s", out)
+	}
+}
+
+// TestSimulateSampledTrace pins the -sample flag: the report is identical
+// at every rate, rate 0 suppresses lineage spans entirely, and a partial
+// rate thins the span log without breaking it.
+func TestSimulateSampledTrace(t *testing.T) {
+	bare := runSim(t, baseOptions())
+	run := func(rate float64) (string, string) {
+		o := baseOptions()
+		var spans strings.Builder
+		o.spanlog = &spans
+		o.sample = rate
+		return runSim(t, o), spans.String()
+	}
+	repFull, spansFull := run(1)
+	repNone, spansNone := run(0)
+	repSome, spansSome := run(0.1)
+	for rate, rep := range map[float64]string{1: repFull, 0: repNone, 0.1: repSome} {
+		if rep != bare {
+			t.Errorf("-sample %g perturbed the report:\n%s\n---\n%s", rate, rep, bare)
+		}
+	}
+	if strings.Contains(spansNone, "kind=raise") {
+		t.Error("-sample 0 still emitted lineage spans")
+	}
+	if !strings.Contains(spansSome, "kind=raise") || len(spansSome) >= len(spansFull) {
+		t.Errorf("-sample 0.1 should thin the span log: %d vs %d bytes at rate 1",
+			len(spansSome), len(spansFull))
+	}
+	if _, again := run(0.1); again != spansSome {
+		t.Error("sampled span log not deterministic run to run")
+	}
+}
+
+// TestSimulatePprof pins the -pprof flag: a heap profile lands in the
+// destination and the runtime collectors join the metrics export.
+func TestSimulatePprof(t *testing.T) {
+	o := baseOptions()
+	var profile strings.Builder
+	o.pprof = &profile
+	o.metrics = "prom"
+	out := runSim(t, o)
+	if profile.Len() == 0 {
+		t.Fatal("-pprof wrote no heap profile")
+	}
+	for _, want := range []string{"go_heap_alloc_bytes", "go_gc_cycles_total", "go_goroutines"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-pprof -metrics export lacks runtime sample %q", want)
 		}
 	}
 }

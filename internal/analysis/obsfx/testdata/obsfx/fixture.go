@@ -39,7 +39,7 @@ type detectStage struct{ tr *obs.Tracer }
 // Tick runs on worker goroutines: even the sanctioned tracer is
 // off-limits here.
 func (st *detectStage) Tick() {
-	_ = st.tr.ID("occ")                             // want `obsfx: Tracer\.ID in the detect stage`
+	_ = st.tr.ID("occ", 0)                          // want `obsfx: Tracer\.ID in the detect stage`
 	st.tr.Emit(obs.SpanEvent{Kind: obs.KindDetect}) // want `obsfx: Tracer\.Emit in the detect stage`
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/event"
 	"repro/internal/obs"
 	"repro/internal/wire"
 )
@@ -122,17 +123,23 @@ func (c *linkCoalescer) flush(now clock.Microticks) {
 	for _, lb := range c.order {
 		envs := lb.envs
 		lb.envs = nil
-		if tr := sys.tr; tr != nil {
-			// One send span per event envelope, stamped with the flush
-			// instant — the moment the occurrence actually hits the bus
-			// (heartbeats are perpetual noise and go untraced).  Span
+		tr := sys.tr
+		var from, to core.SiteID
+		if tr != nil {
+			from, to = sys.roster.ID(lb.from), sys.roster.ID(lb.to)
+		}
+		for _, env := range envs {
+			if env.Kind != envEvent {
+				continue
+			}
+			// The flush instant is the moment the occurrence actually hits
+			// the bus: the raise→send latency mark and — when tracing, for
+			// sampled lineages — one send span per event envelope
+			// (heartbeats are perpetual noise and go unattributed).  Span
 			// fields stay strings, so traces diff against old captures.
-			from, to := sys.roster.ID(lb.from), sys.roster.ID(lb.to)
-			for _, env := range envs {
-				if env.Kind != envEvent {
-					continue
-				}
-				tr.Emit(obs.SpanEvent{ID: tr.ID(env.Occ), At: int64(now), Kind: obs.KindSend,
+			sys.mark(env.Occ, event.MarkSend, now)
+			if tr != nil && env.Occ.Sample != event.SampleDrop {
+				tr.Emit(obs.SpanEvent{ID: tr.ID(env.Occ, env.Occ.Gen()), At: int64(now), Kind: obs.KindSend,
 					Site: string(from), SiteRef: int32(lb.from) + 1, Peer: string(to), Type: env.Occ.Type})
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/clock"
+	"repro/internal/event"
 	"repro/internal/obs"
 )
 
@@ -34,7 +35,10 @@ func attachFlightRecorder(t testing.TB, cfg *Config, perSite int) *obs.FlightRec
 // metrics registry with the system collector — must be a pure observer.
 // Across seeds and site counts the occurrence log is byte-identical with
 // the stack attached and detached, and the span stream itself is
-// byte-identical across worker counts (span IDs are crank-ordered).
+// byte-identical across worker counts (span IDs are crank-ordered),
+// across pooling modes (span identity is generation-stamped) and for
+// every sampling rate (the PR-10 matrix below: rates 0/0.1/1 × workers
+// 0/4 × pooled/unpooled).  Every traced run draws from the pool.
 func TestObsDeterminism(t *testing.T) {
 	for _, seed := range []int64{7, 31} {
 		for _, sites := range []int{3, 6} {
@@ -44,27 +48,41 @@ func TestObsDeterminism(t *testing.T) {
 				t.Fatalf("seed=%d sites=%d: no detections; comparison is vacuous", seed, sites)
 			}
 
-			runObs := func(workers int) ([]byte, []byte, *obs.Registry) {
+			runObs := func(workers int, disablePooling bool, rate float64) ([]byte, []byte, *obs.Registry) {
 				var spans bytes.Buffer
 				var reg *obs.Registry
+				var ps event.PoolStats
 				o := scenarioOpts{sites: sites, count: 250, seed: seed, workers: workers, noObs: true}
 				o.mutate = func(c *Config) {
+					c.DisablePooling = disablePooling
 					c.Trace = obs.NewTracer(obs.MultiSink{
 						obs.NewSpanLog(&spans),
 						obs.NewFlightRecorder(16),
 					})
+					if rate >= 0 {
+						c.Sample = obs.NewSampler(42, rate)
+					}
 					reg = obs.NewRegistry()
 					c.Metrics = reg
 				}
+				o.inspect = func(sys *System) { ps = sys.PoolStats() }
 				log, st := runScenario(t, o)
 				if st.Detections != bareStats.Detections {
-					t.Fatalf("seed=%d sites=%d workers=%d: %d detections with obs, %d without",
-						seed, sites, workers, st.Detections, bareStats.Detections)
+					t.Fatalf("seed=%d sites=%d workers=%d pooled=%v rate=%v: %d detections with obs, %d without",
+						seed, sites, workers, !disablePooling, rate, st.Detections, bareStats.Detections)
+				}
+				if !disablePooling && ps.Gets == 0 {
+					t.Fatalf("seed=%d sites=%d workers=%d rate=%v: traced run never drew from the pool",
+						seed, sites, workers, rate)
+				}
+				if disablePooling && ps.Gets != 0 {
+					t.Fatalf("seed=%d sites=%d workers=%d rate=%v: DisablePooling still drew %d from the pool",
+						seed, sites, workers, rate, ps.Gets)
 				}
 				return log, spans.Bytes(), reg
 			}
 
-			obsLog, spans0, reg := runObs(0)
+			obsLog, spans0, reg := runObs(0, false, -1)
 			if !bytes.Equal(bareLog, obsLog) {
 				t.Errorf("seed=%d sites=%d: occurrence log differs with observability attached (%d vs %d bytes)",
 					seed, sites, len(obsLog), len(bareLog))
@@ -89,10 +107,13 @@ func TestObsDeterminism(t *testing.T) {
 			if !strings.Contains(prom.String(), "sentinel_release_latency_microticks_count") {
 				t.Errorf("seed=%d sites=%d: native release histogram missing from export", seed, sites)
 			}
+			if !strings.Contains(prom.String(), `sentinel_stage_leg_microticks_count{leg="send_to_recv"}`) {
+				t.Errorf("seed=%d sites=%d: labeled stage-leg histogram missing from export", seed, sites)
+			}
 
 			// Worker counts must not perturb the span stream: every span
 			// point sits on the crank goroutine.
-			obsLogPar, spansPar, _ := runObs(4)
+			obsLogPar, spansPar, _ := runObs(4, false, -1)
 			if !bytes.Equal(bareLog, obsLogPar) {
 				t.Errorf("seed=%d sites=%d workers=4: occurrence log differs with observability attached", seed, sites)
 			}
@@ -100,7 +121,101 @@ func TestObsDeterminism(t *testing.T) {
 				t.Errorf("seed=%d sites=%d: span stream differs between workers=0 (%d bytes) and workers=4 (%d bytes)",
 					seed, sites, len(spans0), len(spansPar))
 			}
+
+			// Pooling must not perturb the span stream either: span
+			// identity is keyed (pointer, generation), so the ID sequence
+			// is a function of the occurrence stream alone.
+			unpooledLog, spansUnpooled, _ := runObs(0, true, -1)
+			if !bytes.Equal(bareLog, unpooledLog) {
+				t.Errorf("seed=%d sites=%d: occurrence log differs traced+DisablePooling", seed, sites)
+			}
+			if !bytes.Equal(spans0, spansUnpooled) {
+				t.Errorf("seed=%d sites=%d: span stream differs traced+pooled (%d bytes) vs traced+DisablePooling (%d bytes)",
+					seed, sites, len(spans0), len(spansUnpooled))
+			}
+
+			// The sampling matrix runs once (the heaviest combination):
+			// for each head rate the eventlog stays byte-identical to bare
+			// and the span stream is invariant across workers and pooling.
+			if seed != 7 || sites != 6 {
+				continue
+			}
+			for _, rate := range []float64{0, 0.1, 1.0} {
+				ref := [][]byte(nil)
+				for _, workers := range []int{0, 4} {
+					for _, disablePooling := range []bool{false, true} {
+						log, spans, _ := runObs(workers, disablePooling, rate)
+						if !bytes.Equal(bareLog, log) {
+							t.Errorf("rate=%v workers=%d pooled=%v: occurrence log differs from bare",
+								rate, workers, !disablePooling)
+						}
+						ref = append(ref, spans)
+					}
+				}
+				for i := 1; i < len(ref); i++ {
+					if !bytes.Equal(ref[0], ref[i]) {
+						t.Errorf("rate=%v: sampled span stream differs across the workers×pooling matrix (variant %d: %d vs %d bytes)",
+							rate, i, len(ref[i]), len(ref[0]))
+					}
+				}
+				switch rate {
+				case 0:
+					if bytes.Contains(ref[0], []byte("kind=raise")) {
+						t.Errorf("rate=0: lineage spans leaked through a keep-nothing sampler")
+					}
+					if !bytes.Contains(ref[0], []byte("kind=note")) {
+						t.Errorf("rate=0: stage notes should survive sampling")
+					}
+				case 1.0:
+					if !bytes.Equal(ref[0], spans0) {
+						t.Errorf("rate=1: sampled span stream differs from the unsampled one (%d vs %d bytes)",
+							len(ref[0]), len(spans0))
+					}
+				default:
+					if !bytes.Contains(ref[0], []byte("kind=raise")) || len(ref[0]) >= len(spans0) {
+						t.Errorf("rate=%v: expected a thinned-but-nonempty lineage stream (%d vs %d bytes unsampled)",
+							rate, len(ref[0]), len(spans0))
+					}
+					assertCompleteLineage(t, ref[0])
+				}
+			}
 		}
+	}
+}
+
+// assertCompleteLineage parses a span log and checks the head-sampling
+// lineage guarantee: every ID a detect span links to has already
+// appeared in the stream (as a raise, or a recv for serialize-decoded
+// constituents) — a sampled detection never references a dropped span.
+func assertCompleteLineage(t *testing.T, spans []byte) {
+	t.Helper()
+	seen := map[string]bool{}
+	detects := 0
+	for _, line := range strings.Split(string(spans), "\n") {
+		fields := strings.Fields(line)
+		var id, links string
+		for _, f := range fields {
+			switch {
+			case strings.HasPrefix(f, "id="):
+				id = f[len("id="):]
+			case strings.HasPrefix(f, "links="):
+				links = f[len("links="):]
+			}
+		}
+		if links != "" {
+			detects++
+			for _, l := range strings.Split(links, ",") {
+				if !seen[l] {
+					t.Errorf("detect span links id=%s which never appeared: %s", l, line)
+				}
+			}
+		}
+		if id != "" && id != "0" {
+			seen[id] = true
+		}
+	}
+	if detects == 0 {
+		t.Error("no linked detect spans in the sampled stream; lineage check is vacuous")
 	}
 }
 

@@ -143,12 +143,18 @@ func (st *ingestStage) raise(s *Site, typ string, class event.Class, params even
 	env := envelope{Kind: envEvent, Occ: occ, RaisedAt: now}
 	sys.stats.Raised++
 	st.raised++
-	if tr := sys.tr; tr != nil {
+	// First stage crossing: no leg to attribute yet, just stamp the mark.
+	occ.Mark = event.MarkRaise
+	occ.MarkAt = int64(now)
+	if sys.smp != nil {
+		sys.decideSample(occ)
+	}
+	if tr := sys.tr; tr != nil && occ.Sample != event.SampleDrop {
 		var detail string
 		if tr.Active() {
 			detail = occ.Stamp.String()
 		}
-		tr.Emit(obs.SpanEvent{ID: tr.ID(occ), At: int64(now), Kind: obs.KindRaise,
+		tr.Emit(obs.SpanEvent{ID: tr.ID(occ, occ.Gen()), At: int64(now), Kind: obs.KindRaise,
 			Site: string(s.ID), SiteRef: int32(s.idx) + 1, Type: typ, Detail: detail})
 	}
 	needers := sys.needersIdx[typ]
@@ -259,14 +265,11 @@ func (st *transportStage) collect(we wire.Envelope) error {
 // acceptRun hands one coalesced envelope run to the reorderer.  The dense
 // from index feeds the reorderer; the string peer only labels spans.
 func (st *transportStage) acceptRun(dst *Site, from core.Site, peer core.SiteID, seq uint64, envs []envelope) {
-	tr := st.sys.tr
+	sys := st.sys
 	for _, env := range envs {
 		if env.Kind == envEvent {
-			st.sys.inFlightEvents--
-			if tr != nil {
-				tr.Emit(obs.SpanEvent{ID: tr.ID(env.Occ), At: int64(st.now), Kind: obs.KindRecv,
-					Site: string(dst.ID), SiteRef: int32(dst.idx) + 1, Peer: string(peer), Type: env.Occ.Type})
-			}
+			sys.inFlightEvents--
+			sys.acceptEvent(env.Occ, dst, peer, st.now)
 		}
 	}
 	if err := dst.re.acceptBatch(from, seq, envs); err != nil {
@@ -278,13 +281,28 @@ func (st *transportStage) acceptRun(dst *Site, from core.Site, peer core.SiteID,
 func (st *transportStage) acceptOne(dst *Site, from core.Site, peer core.SiteID, seq uint64, env envelope) {
 	if env.Kind == envEvent {
 		st.sys.inFlightEvents--
-		if tr := st.sys.tr; tr != nil {
-			tr.Emit(obs.SpanEvent{ID: tr.ID(env.Occ), At: int64(st.now), Kind: obs.KindRecv,
-				Site: string(dst.ID), SiteRef: int32(dst.idx) + 1, Peer: string(peer), Type: env.Occ.Type})
-		}
+		st.sys.acceptEvent(env.Occ, dst, peer, st.now)
 	}
 	if err := dst.re.accept(from, seq, env); err != nil {
 		panic(err) // bus sequencing guarantees make this unreachable
+	}
+}
+
+// acceptEvent applies the per-arrival observability: the recv latency
+// mark, the serialize-mode sample recomputation (a decoded occurrence is
+// a fresh object whose in-memory sample bit did not travel — the
+// decision is a pure function of raise identity, so recomputing it here
+// yields the bit the origin stamped), and the recv span.
+//
+//sentinel:hotpath
+func (sys *System) acceptEvent(occ *event.Occurrence, dst *Site, peer core.SiteID, now clock.Microticks) {
+	if occ.Sample == event.SampleUndecided && sys.smp != nil {
+		sys.decideSample(occ)
+	}
+	sys.mark(occ, event.MarkRecv, now)
+	if tr := sys.tr; tr != nil && occ.Sample != event.SampleDrop {
+		tr.Emit(obs.SpanEvent{ID: tr.ID(occ, occ.Gen()), At: int64(now), Kind: obs.KindRecv,
+			Site: string(dst.ID), SiteRef: int32(dst.idx) + 1, Peer: string(peer), Type: occ.Type})
 	}
 }
 
@@ -331,8 +349,9 @@ func (st *releaseStage) Tick(now clock.Microticks) int {
 				sys.stats.LatencyMax = lat
 			}
 			sys.hRelease.Observe(int64(lat))
-			if tr := sys.tr; tr != nil {
-				tr.Emit(obs.SpanEvent{ID: tr.ID(env.Occ), At: int64(now), Kind: obs.KindRelease,
+			sys.mark(env.Occ, event.MarkRelease, now)
+			if tr := sys.tr; tr != nil && env.Occ.Sample != event.SampleDrop {
+				tr.Emit(obs.SpanEvent{ID: tr.ID(env.Occ, env.Occ.Gen()), At: int64(now), Kind: obs.KindRelease,
 					Site: string(s.ID), SiteRef: int32(s.idx) + 1, Type: env.Occ.Type})
 			}
 			s.inbox = append(s.inbox, env.Occ)
@@ -440,22 +459,31 @@ func (st *publishStage) Tick(now clock.Microticks) int {
 				}
 			}
 			sys.hDetect.Observe(int64(lat))
-			if tr := sys.tr; tr != nil {
+			sys.observeHold(o, now)
+			if sys.smp != nil {
+				sys.decideSample(o)
+			}
+			if tr := sys.tr; tr != nil && o.Sample != event.SampleDrop {
 				links := tr.LinkBuf()
 				for _, c := range o.Constituents {
-					links = append(links, tr.ID(c))
+					links = append(links, tr.ID(c, c.Gen()))
 				}
 				var detail string
 				if tr.Active() {
 					detail = o.Stamp.String()
 				}
-				id := tr.ID(o)
+				id := tr.ID(o, o.Gen())
 				tr.Emit(obs.SpanEvent{ID: id, At: int64(now), Kind: obs.KindDetect,
 					Site: string(s.ID), SiteRef: int32(s.idx) + 1, Type: o.Type, Detail: detail, Links: links})
 				tr.KeepLinkBuf(links)
 				tr.Emit(obs.SpanEvent{ID: id, At: int64(now), Kind: obs.KindPublish,
 					Site: string(s.ID), SiteRef: int32(s.idx) + 1, Type: o.Type})
 			}
+			// A detection's publish is its raise as far as downstream legs
+			// are concerned: hierarchical forwards attribute raise→send,
+			// send→recv, … like any primitive from here.
+			o.Mark = event.MarkRaise
+			o.MarkAt = int64(now)
 			hs := sys.handlers[o.Type]
 			for _, h := range hs {
 				h(o)

@@ -51,9 +51,10 @@ type Config struct {
 	// collector, exactly the pre-pool behaviour.  Detection output is
 	// byte-identical either way (TestPoolingDeterminism) — this is the
 	// differential mode that proves pooling is a pure memory
-	// optimization.  Pooling is also suspended automatically while
-	// Config.Trace is set: the tracer keys span identity by occurrence
-	// pointer, which recycling would alias.
+	// optimization.  Tracing composes with pooling: span identity is
+	// keyed by (pointer, pool generation), so recycling a slot starts a
+	// fresh span instead of aliasing the old one
+	// (TestTracerComposesWithPooling).
 	DisablePooling bool
 	// DisableSharing turns off common-subexpression sharing in every
 	// site's detector: each definition compiles a private operator
@@ -81,11 +82,28 @@ type Config struct {
 	// observer: span IDs are assigned in crank-order (deterministic for
 	// every worker count), all timestamps are simulated microticks, and
 	// the occurrence stream is byte-identical with tracing on or off
-	// (TestObsDeterminism).  In Serialize mode, occurrences decoded on
-	// the receiving side are distinct objects and get fresh span IDs;
-	// the send/recv hop is still visible via site+peer+type.  A tracing
-	// run retains an ID per traced occurrence, so prefer bounded runs.
+	// (TestObsDeterminism).  Tracing composes with pooling — span
+	// identity is keyed by (pointer, pool generation), mirroring the
+	// pool's own use-after-put check, so a recycled slot starts a fresh
+	// span — and the span stream is identical pooled or unpooled.  In
+	// Serialize mode, occurrences decoded on the receiving side are
+	// distinct objects and get fresh span IDs; the send/recv hop is
+	// still visible via site+peer+type.  A tracing run retains an ID per
+	// traced occurrence, so prefer bounded runs or a Sample rate for
+	// long-lived systems.
 	Trace *obs.Tracer
+	// Sample, when non-nil alongside Trace, head-samples the span
+	// stream: each raise is kept or dropped by a seeded hash of its
+	// identity (type, origin site, stamp) — no ambient randomness — and
+	// the decision propagates through constituent capture, so a
+	// composite detection is sampled exactly when every constituent is
+	// and a sampled detection always carries complete lineage.  An
+	// explicit per-definition rate (Sampler.SetRate) thins that
+	// definition's detections further; it can only drop, never resurrect
+	// a lineage the head decision dropped.  Stats, eventlogs and
+	// detection are sampling-blind (TestObsDeterminism runs the matrix
+	// at rates 0, 0.1 and 1).  A nil Sampler keeps every span.
+	Sample *obs.Sampler
 	// Metrics, when non-nil, is populated with the system's native
 	// instruments (release/detection latency histograms) and a collector
 	// bridging the Stats/StageStats/network.Stats counters, so one
@@ -125,6 +143,12 @@ type Stats struct {
 	// Definitions holds per-definition detection counts and latencies,
 	// sorted by definition name.
 	Definitions []DefStats
+	// Legs holds per-leg pipeline latency aggregates (raise→send,
+	// send→recv, recv→release, raise→release for self-delivered events,
+	// release→publish for detection constituents), indexed by StageLeg.
+	// All deltas are simulated microticks, so the aggregates are as
+	// deterministic as the run.
+	Legs []LegStats
 }
 
 // MeanLatency returns the mean raise-to-release latency in microticks:
@@ -162,6 +186,77 @@ func (d DefStats) MeanLatency() float64 {
 		return 0
 	}
 	return float64(d.LatencySum) / float64(d.Detections)
+}
+
+// StageLeg identifies one pipeline-leg transition in the per-stage
+// latency attribution.  The engine stamps each occurrence with the last
+// stage boundary it crossed (event.StageMark) and the simulated instant
+// it did; each subsequent crossing attributes the delta to one leg.
+// Detect and publish share a tick instant (detections buffered by the
+// detect barrier complete in the same tick's publish stage), so the
+// raise→send→recv→release→detect→publish chain collapses its final two
+// hops into release→publish.
+type StageLeg uint8
+
+const (
+	// LegRaiseSend: raise to the coalescer flush that put the occurrence
+	// on the bus.
+	LegRaiseSend StageLeg = iota
+	// LegSendRecv: bus flight time, flush to transport-stage accept.
+	LegSendRecv
+	// LegRecvRelease: reorder-buffer dwell, accept to watermark release.
+	LegRecvRelease
+	// LegRaiseRelease: the self-delivery shortcut — an occurrence
+	// consumed at its origin site never crosses the bus, so its one
+	// observable hop is raise to watermark release.
+	LegRaiseRelease
+	// LegReleasePublish: detector hold — how long a constituent waited
+	// between its watermark release and the publication of a detection
+	// it participated in.  Observed per (constituent, detection) pair,
+	// so a constituent reused by a Recent context is attributed once per
+	// detection.
+	LegReleasePublish
+
+	numLegs
+)
+
+// String returns the leg name used in metric labels and reports.
+func (l StageLeg) String() string {
+	switch l {
+	case LegRaiseSend:
+		return "raise_to_send"
+	case LegSendRecv:
+		return "send_to_recv"
+	case LegRecvRelease:
+		return "recv_to_release"
+	case LegRaiseRelease:
+		return "raise_to_release_local"
+	case LegReleasePublish:
+		return "release_to_publish"
+	}
+	return "unknown"
+}
+
+// LegStats aggregates one leg's simulated-time deltas.  For an
+// occurrence consumed at several sites the mark follows the most recent
+// crossing in crank order — a deterministic approximation that keeps the
+// attribution at two fields per occurrence instead of per-delivery
+// state.
+type LegStats struct {
+	// Leg names the transition.
+	Leg StageLeg
+	// Count, Sum and Max aggregate the observed deltas in microticks.
+	Count uint64
+	Sum   clock.Microticks
+	Max   clock.Microticks
+}
+
+// Mean returns the mean delta in microticks.
+func (l LegStats) Mean() float64 {
+	if l.Count == 0 {
+		return 0
+	}
+	return float64(l.Sum) / float64(l.Count)
 }
 
 // System is a simulated multi-site detection deployment.  It owns the
@@ -210,10 +305,13 @@ type System struct {
 	journal *eventlog.Writer
 
 	// tr is the lineage tracer (nil when Config.Trace is unset: every
-	// span point then costs one nil check).  defStats accumulates
-	// per-definition detection stats, keyed by name; defNames keeps the
-	// names sorted so snapshots and exporters never iterate the map.
+	// span point then costs one nil check); smp is the head sampler
+	// gating its span stream (nil keeps everything).  defStats
+	// accumulates per-definition detection stats, keyed by name;
+	// defNames keeps the names sorted so snapshots and exporters never
+	// iterate the map.
 	tr       *obs.Tracer
+	smp      *obs.Sampler
 	defStats map[string]*DefStats
 	defNames []string
 	// hRelease and hDetect are the system's native metric instruments
@@ -221,6 +319,15 @@ type System struct {
 	// raise-to-release and detection latency.
 	hRelease *obs.Histogram
 	hDetect  *obs.Histogram
+	// legs aggregates per-leg pipeline latency always (plain field
+	// arithmetic, no allocation); hLegs mirrors each leg into a registry
+	// histogram when Config.Metrics is set (nil no-ops otherwise), and
+	// defHold does the same per definition for the release→publish hold
+	// of its constituents (created at DefineAt, nil map without
+	// Metrics).
+	legs    [numLegs]LegStats
+	hLegs   [numLegs]*obs.Histogram
+	defHold map[string]*obs.Histogram
 
 	// handlers holds System.Subscribe handlers by definition name; the
 	// publish stage fans detections out to them on the crank goroutine.
@@ -239,8 +346,10 @@ type System struct {
 	// opool recycles occurrences, their stamp storage and constituent
 	// lists through the whole lifecycle — raise, transport, detection,
 	// publish (see internal/event's pool.go for the ownership rules).
-	// nil when pooling is off (Config.DisablePooling, or tracing active);
-	// every Retain/Release in the engine is then a no-op.
+	// nil only when pooling is off (Config.DisablePooling); every
+	// Retain/Release in the engine is then a no-op.  Tracing does not
+	// suspend it: span identity is generation-stamped, so recycling is
+	// invisible to the tracer.
 	opool *event.Pool
 
 	// inFlightEvents counts event envelopes on the bus (heartbeats are
@@ -268,7 +377,11 @@ func NewSystem(cfg Config) (*System, error) {
 		nextHB:   cfg.HeartbeatEvery,
 		pool:     pipeline.NewPool(cfg.Pipeline.Workers),
 		tr:       cfg.Trace,
+		smp:      cfg.Sample,
 		defStats: make(map[string]*DefStats),
+	}
+	for i := range sys.legs {
+		sys.legs[i].Leg = StageLeg(i)
 	}
 	if reg := cfg.Metrics; reg != nil {
 		// Bucket bounds in microticks, spanning sub-granule to
@@ -276,6 +389,11 @@ func NewSystem(cfg Config) (*System, error) {
 		bounds := []int64{10, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000}
 		sys.hRelease = reg.Histogram("sentinel_release_latency_microticks", bounds...)
 		sys.hDetect = reg.Histogram("sentinel_detect_latency_microticks", bounds...)
+		for i := range sys.hLegs {
+			sys.hLegs[i] = reg.Histogram(
+				fmt.Sprintf("sentinel_stage_leg_microticks{leg=%q}", StageLeg(i)), bounds...)
+		}
+		sys.defHold = make(map[string]*obs.Histogram)
 		reg.RegisterCollector(sys.collectMetrics)
 	}
 	if cfg.Journal != nil {
@@ -346,6 +464,7 @@ func (sys *System) Stats() Stats {
 			st.Definitions = append(st.Definitions, *sys.defStats[name])
 		}
 	}
+	st.Legs = append([]LegStats(nil), sys.legs[:]...)
 	return st
 }
 
@@ -372,13 +491,15 @@ func (sys *System) collectMetrics(emit func(name string, value float64)) {
 	emit("sentinel_net_payload_bytes_total", float64(net.PayloadBytes))
 	emit("sentinel_net_max_in_flight", float64(net.MaxInFlight))
 	// Occurrence pool counters.  Gets/puts/double-puts are logical
-	// lifecycle transitions and as deterministic as the run; misses are
-	// timing-dependent (the runtime may drop pooled objects under GC
-	// pressure) and exported for capacity insight, not for diffing.
+	// lifecycle transitions and as deterministic as the run.  Misses are
+	// deliberately NOT exported: they are timing-dependent (the runtime
+	// may drop pooled objects under GC pressure — and does so randomly
+	// under the race detector), which would break the run-to-run
+	// byte-identical registry export; read them from PoolStats() or the
+	// distsim -stats section instead.
 	ps := sys.opool.Stats()
 	emit("sentinel_pool_gets_total", float64(ps.Gets))
 	emit("sentinel_pool_puts_total", float64(ps.Puts))
-	emit("sentinel_pool_misses_total", float64(ps.Misses))
 	emit("sentinel_pool_double_puts_averted_total", float64(ps.DoublePuts))
 	for _, ss := range sys.pipe.Stats() {
 		emit(fmt.Sprintf("sentinel_stage_items_total{stage=%q}", ss.Name), float64(ss.Items))
@@ -399,6 +520,115 @@ func (sys *System) collectMetrics(emit func(name string, value float64)) {
 		emit(fmt.Sprintf("sentinel_detector_shared_subexprs{site=%q}", s.ID), float64(is.SharedSubexprs))
 		emit(fmt.Sprintf("sentinel_detector_interned_subtrees{site=%q}", s.ID), float64(is.InternedSubtrees))
 	}
+}
+
+// legFor maps a (last crossed, now crossing) stage-mark pair to the leg
+// it observes, or numLegs for transitions that carry no attribution
+// (repeat crossings by multi-consumer events, serialize-decoded
+// occurrences whose pre-decode history ended at the encode).
+func legFor(from, to event.StageMark) StageLeg {
+	switch {
+	case from == event.MarkRaise && to == event.MarkSend:
+		return LegRaiseSend
+	case from == event.MarkSend && to == event.MarkRecv:
+		return LegSendRecv
+	case from == event.MarkRecv && to == event.MarkRelease:
+		return LegRecvRelease
+	case from == event.MarkRaise && to == event.MarkRelease:
+		return LegRaiseRelease
+	}
+	return numLegs
+}
+
+// mark records that o just crossed stage boundary m at the simulated
+// instant now: defined transitions attribute the delta since the last
+// crossing to their leg, every crossing restamps the mark.  Runs on the
+// crank goroutine only (ingest raise, coalescer flush, transport accept,
+// release accounting), so the leg aggregates are single-writer like
+// every other Stats counter.
+//
+//sentinel:hotpath
+func (sys *System) mark(o *event.Occurrence, m event.StageMark, now clock.Microticks) {
+	if leg := legFor(o.Mark, m); leg < numLegs {
+		d := now - clock.Microticks(o.MarkAt)
+		ls := &sys.legs[leg]
+		ls.Count++
+		ls.Sum += d
+		if d > ls.Max {
+			ls.Max = d
+		}
+		sys.hLegs[leg].Observe(int64(d))
+	}
+	o.Mark = m
+	o.MarkAt = int64(now)
+}
+
+// observeHold attributes, for each constituent the detection o captured,
+// the wait between the constituent's watermark release and this publish
+// instant — the detector-hold leg — plus the per-definition hold
+// histogram when metrics are attached.  Constituent marks are left
+// untouched: a constituent a Recent context reuses is attributed once
+// per detection it participates in, each time from its release instant.
+//
+//sentinel:hotpath
+func (sys *System) observeHold(o *event.Occurrence, now clock.Microticks) {
+	var h *obs.Histogram
+	if sys.defHold != nil {
+		h = sys.defHold[o.Type]
+	}
+	for _, c := range o.Constituents {
+		if c.Mark != event.MarkRelease {
+			continue
+		}
+		d := now - clock.Microticks(c.MarkAt)
+		ls := &sys.legs[LegReleasePublish]
+		ls.Count++
+		ls.Sum += d
+		if d > ls.Max {
+			ls.Max = d
+		}
+		sys.hLegs[LegReleasePublish].Observe(int64(d))
+		h.Observe(int64(d))
+	}
+}
+
+// decideSample resolves the head-sampling decision for an occurrence
+// whose bit is still unset: primitives hash their raise identity (type,
+// origin site, stamp — the same inputs whether computed at raise or
+// recomputed after a serialize-mode decode), composites AND their
+// constituents' decisions so a kept detection always carries complete
+// lineage, and a definition name carrying an explicit per-name rate is
+// thinned further by a hash of the detection's own identity.  Callers
+// gate on sys.smp != nil; the result is also stamped on o so each
+// occurrence is decided once.
+//
+//sentinel:hotpath
+func (sys *System) decideSample(o *event.Occurrence) event.SampleState {
+	if o.Sample != event.SampleUndecided {
+		return o.Sample
+	}
+	smp := sys.smp
+	keep := true
+	if len(o.Constituents) == 0 {
+		st0 := o.Stamp[0]
+		keep = smp.Keep(o.Type, string(st0.Site), st0.Global, st0.Local)
+	} else {
+		for _, c := range o.Constituents {
+			if sys.decideSample(c) == event.SampleDrop {
+				keep = false
+				break
+			}
+		}
+		if keep && smp.HasRate(o.Type) {
+			keep = smp.Keep(o.Type, string(o.Site), o.Stamp.MaxGlobal(), 0)
+		}
+	}
+	if keep {
+		o.Sample = event.SampleKeep
+	} else {
+		o.Sample = event.SampleDrop
+	}
+	return o.Sample
 }
 
 // Site is one site runtime: a clock, a detector and a reorderer.
@@ -590,6 +820,11 @@ func (sys *System) DefineAt(host core.SiteID, name, expression string, ctx detec
 		sys.defStats[name] = &DefStats{Name: name}
 		sys.defNames = append(sys.defNames, name)
 		sort.Strings(sys.defNames)
+		if sys.defHold != nil {
+			sys.defHold[name] = sys.cfg.Metrics.Histogram(
+				fmt.Sprintf("sentinel_def_hold_microticks{def=%q}", name),
+				10, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000)
+		}
 	}
 	// Recorder: buffer every detection of this definition on its host
 	// site, in detection order.  The publish stage completes them after
@@ -691,9 +926,10 @@ func (sys *System) seal() {
 		}
 	}
 	// Occurrence pooling needs the sealed roster (interned stamp
-	// components) and is suspended under tracing: the tracer keys span
-	// identity by occurrence pointer, which recycling would alias.
-	if !sys.cfg.DisablePooling && sys.tr == nil {
+	// components).  Tracing no longer suspends it: span identity is
+	// keyed by (pointer, generation), so a recycled slot cannot alias a
+	// previous tenant's span.
+	if !sys.cfg.DisablePooling {
 		sys.opool = event.NewPool(sys.roster)
 		for _, s := range sys.sites {
 			s.det.UsePool(sys.opool)

@@ -115,6 +115,38 @@ func (p Params) String() string {
 	return b.String()
 }
 
+// SampleState is the tri-state head-sampling decision carried by an
+// occurrence.  The zero value is Undecided so hand-built and decoded
+// occurrences default to "not yet decided", which span gates treat as
+// kept — only an explicit Drop suppresses lineage spans.
+type SampleState uint8
+
+const (
+	// SampleUndecided means no sampler has ruled on this occurrence.
+	SampleUndecided SampleState = iota
+	// SampleKeep marks the occurrence's lineage as sampled.
+	SampleKeep
+	// SampleDrop suppresses the occurrence's lineage spans.
+	SampleDrop
+)
+
+// StageMark names the pipeline-stage boundary an occurrence last crossed
+// (see Occurrence.Mark).  The zero value means "no crossing recorded".
+type StageMark uint8
+
+const (
+	// MarkNone is the unset sentinel.
+	MarkNone StageMark = iota
+	// MarkRaise: entered the system at its origin site.
+	MarkRaise
+	// MarkSend: left the origin inside a transport envelope.
+	MarkSend
+	// MarkRecv: arrived at a consumer site.
+	MarkRecv
+	// MarkRelease: handed to the detectors by the reorder buffer.
+	MarkRelease
+)
+
 // Occurrence is one occurrence of an event — the operational counterpart
 // of "E(ts) = true".  Primitive occurrences have a singleton Stamp and no
 // constituents.  Composite occurrences carry the max-set timestamp built
@@ -155,6 +187,22 @@ type Occurrence struct {
 	// back to the string algebra — the two agree on every valid set
 	// (rsetstamp_test.go), so the fallback is invisible in output.
 	Interned core.RSetStamp
+
+	// Sample is the head-sampling decision for this occurrence's lineage
+	// spans (obs.Sampler): undecided until the engine stamps it at raise
+	// (or, for composites, at publish as the AND over constituents).  It
+	// gates span emission only — stats, eventlogs and detection are
+	// sampling-blind.  Cleared on recycle like every other pooled field.
+	Sample SampleState
+
+	// Mark/MarkAt track the last pipeline-stage boundary this occurrence
+	// crossed (MarkRaise…MarkRelease) and the simulated microtick it did,
+	// feeding the engine's per-stage latency attribution.  For an
+	// occurrence consumed at several sites the mark follows the most
+	// recent crossing in crank order — a deterministic approximation
+	// documented with the stage legs in internal/ddetect.
+	Mark   StageMark
+	MarkAt int64
 
 	// Pool lifecycle state (see pool.go).  pool is nil for ordinary
 	// heap-allocated occurrences, for which Retain/Release are no-ops.

@@ -267,6 +267,9 @@ func (p *Pool) put(o *Occurrence) {
 	o.Params = nil
 	o.Stamp = nil
 	o.Interned = nil
+	o.Sample = SampleUndecided
+	o.Mark = MarkNone
+	o.MarkAt = 0
 	o.stamp0[0] = core.Stamp{}
 	o.istamp0[0] = core.RStamp{}
 	o.sbuf = o.sbuf[:0]

@@ -39,11 +39,19 @@ func TestPoolPrimitiveLifecycle(t *testing.T) {
 	if st.Gets != 1 || st.Puts != 1 || st.Misses != 1 {
 		t.Fatalf("stats after one round trip: %+v", st)
 	}
-	// The next get must reuse the recycled object (single goroutine, so
-	// the sync.Pool's private slot serves it back).
-	o2 := p.GetPrimitive("B", Explicit, stampAt("b", 4, 40), r.MustSite("b"), nil)
-	if st := p.Stats(); st.Misses != 1 && o2 != o {
-		t.Fatalf("expected pool hit on second get: %+v", st)
+	// The next get must reuse recycled storage (single goroutine, so the
+	// sync.Pool's private slot serves it back).  Under the race detector
+	// sync.Pool deliberately drops a quarter of Puts on the floor, so
+	// allow a few round trips rather than pinning the very next get.
+	reused := false
+	for i := 0; i < 32 && !reused; i++ {
+		before := p.Stats().Misses
+		o2 := p.GetPrimitive("B", Explicit, stampAt("b", 4, 40), r.MustSite("b"), nil)
+		reused = p.Stats().Misses == before
+		o2.Release()
+	}
+	if !reused {
+		t.Fatalf("no get reused recycled storage: %+v", p.Stats())
 	}
 }
 

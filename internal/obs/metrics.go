@@ -235,14 +235,16 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Histogram registers and returns a fixed-bucket histogram with the given
-// ascending upper bounds (nil on a nil registry).  Histogram names must
-// be plain (no {labels}): the exporters synthesize the per-bucket series.
+// ascending upper bounds (nil on a nil registry).  Names may carry a
+// {label="value"} suffix (the per-definition latency histograms do); the
+// Prometheus exporter splices the synthesized `le` bucket label into the
+// existing label set.
 func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
 	if r == nil {
 		return nil
 	}
-	if strings.ContainsRune(name, '{') {
-		panic(fmt.Sprintf("obs: histogram name %q must not carry labels", name))
+	if i := strings.IndexByte(name, '{'); i >= 0 && !strings.HasSuffix(name, "}") {
+		panic(fmt.Sprintf("obs: malformed histogram label suffix in %q", name))
 	}
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
@@ -312,6 +314,14 @@ func family(name string) string {
 	return name
 }
 
+// labelSet returns the inner text of a {label} suffix ("" when plain).
+func labelSet(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return strings.TrimSuffix(name[i+1:], "}")
+	}
+	return ""
+}
+
 // fmtFloat renders a sample value the way Prometheus and expvar expect:
 // integral values without a decimal point.
 func fmtFloat(v float64) string {
@@ -347,6 +357,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			continue
 		}
+		lbl := labelSet(s.Name)
 		cum := uint64(0)
 		for i, c := range s.Hist.Counts {
 			cum += c
@@ -354,11 +365,23 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if i < len(s.Hist.Bounds) {
 				le = strconv.FormatInt(s.Hist.Bounds[i], 10)
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", fam, le, cum); err != nil {
+			var err error
+			if lbl != "" {
+				_, err = fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", fam, lbl, le, cum)
+			} else {
+				_, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", fam, le, cum)
+			}
+			if err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", fam, s.Hist.Sum, fam, s.Hist.Total); err != nil {
+		var err error
+		if lbl != "" {
+			_, err = fmt.Fprintf(w, "%s_sum{%s} %d\n%s_count{%s} %d\n", fam, lbl, s.Hist.Sum, fam, lbl, s.Hist.Total)
+		} else {
+			_, err = fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", fam, s.Hist.Sum, fam, s.Hist.Total)
+		}
+		if err != nil {
 			return err
 		}
 	}

@@ -123,6 +123,67 @@ stage_items_total{stage="ingest"} 8
 	}
 }
 
+// TestWritePrometheusLabeledHistogram pins the labeled-histogram
+// rendering: the le bucket label is spliced into the declared label set
+// and the family line strips the labels.
+func TestWritePrometheusLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`leg_microticks{leg="send_to_recv"}`, 10, 100)
+	h.Observe(7)
+	h.Observe(70)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE leg_microticks histogram
+leg_microticks_bucket{leg="send_to_recv",le="10"} 1
+leg_microticks_bucket{leg="send_to_recv",le="100"} 2
+leg_microticks_bucket{leg="send_to_recv",le="+Inf"} 2
+leg_microticks_sum{leg="send_to_recv"} 77
+leg_microticks_count{leg="send_to_recv"} 2
+`
+	if buf.String() != want {
+		t.Fatalf("prometheus output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestHistogramMalformedLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("malformed label suffix did not panic")
+		}
+	}()
+	NewRegistry().Histogram(`bad{leg="x"`, 10)
+}
+
+// TestRuntimeCollector smoke-tests the opt-in process-health collector:
+// it registers without colliding and reports a plausible live heap.
+func TestRuntimeCollector(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeCollector(r)
+	snap := r.Snapshot()
+	got := map[string]float64{}
+	for _, s := range snap {
+		got[s.Name] = s.Value
+		if s.Name == "go_gc_cycles_total" && s.Kind != KindCounter {
+			t.Fatal("go_gc_cycles_total should be typed as a counter")
+		}
+	}
+	for _, name := range []string{
+		"go_heap_alloc_bytes", "go_heap_objects", "go_heap_sys_bytes",
+		"go_gc_cycles_total", "go_gc_pause_ns_total", "go_alloc_bytes_total",
+		"go_goroutines",
+	} {
+		if _, ok := got[name]; !ok {
+			t.Fatalf("runtime collector missing %s (snapshot %v)", name, got)
+		}
+	}
+	if got["go_heap_alloc_bytes"] <= 0 || got["go_goroutines"] < 1 {
+		t.Fatalf("implausible runtime sample: heap=%v goroutines=%v",
+			got["go_heap_alloc_bytes"], got["go_goroutines"])
+	}
+}
+
 func TestWriteJSON(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a_total").Add(2)
@@ -150,26 +211,28 @@ func TestWriteJSON(t *testing.T) {
 
 func TestTracerIDs(t *testing.T) {
 	var nilT *Tracer
-	if nilT.Active() || nilT.ID("x") != 0 {
+	if nilT.Active() || nilT.ID("x", 0) != 0 {
 		t.Fatal("nil tracer must be inert")
 	}
 	nilT.Emit(SpanEvent{})
-	nilT.Forget("x")
 
 	unsunk := NewTracer(nil)
-	if unsunk.Active() || unsunk.ID("x") != 0 {
+	if unsunk.Active() || unsunk.ID("x", 0) != 0 {
 		t.Fatal("unsunk tracer must skip ID bookkeeping along with emission")
 	}
 	unsunk.Emit(SpanEvent{ID: 1}) // unsunk: dropped, must not panic
 
 	tr := NewTracer(discardSink{})
 	a, b := &struct{ int }{1}, &struct{ int }{1}
-	if tr.ID(a) != 1 || tr.ID(b) != 2 || tr.ID(a) != 1 {
+	if tr.ID(a, 0) != 1 || tr.ID(b, 0) != 2 || tr.ID(a, 0) != 1 {
 		t.Fatal("IDs not sequential/stable by identity")
 	}
-	tr.Forget(a)
-	if tr.ID(a) != 3 {
-		t.Fatal("Forget must drop the mapping so a recycled pointer gets a fresh ID")
+	// Generation-stamped reuse: the same pointer at a later pool
+	// generation is a different lifetime and must get a fresh span ID,
+	// while the old (pointer, generation) key keeps answering for the
+	// spans already emitted.
+	if tr.ID(a, 1) != 3 || tr.ID(a, 0) != 1 || tr.ID(a, 1) != 3 {
+		t.Fatal("generation must separate lifetimes of a recycled pointer")
 	}
 }
 

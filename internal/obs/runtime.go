@@ -1,0 +1,28 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntimeCollector attaches Go runtime health metrics (heap, GC,
+// goroutines) to the registry as a pull-style collector: nothing is read
+// until someone exports, so attaching it costs the hot path nothing.
+//
+// These are the one deliberate exception to the package's
+// simulated-time-only rule: they describe the *process*, not the
+// simulation, and are timing-dependent by nature (GC cycles, live heap).
+// They are therefore opt-in — the determinism suites never register them —
+// and must never feed a determinism comparison.  runtime.ReadMemStats
+// stops the world briefly; exporting between ticks keeps that off the
+// crank.
+func RegisterRuntimeCollector(r *Registry) {
+	r.RegisterCollector(func(emit func(name string, value float64)) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		emit("go_heap_alloc_bytes", float64(ms.HeapAlloc))
+		emit("go_heap_objects", float64(ms.HeapObjects))
+		emit("go_heap_sys_bytes", float64(ms.HeapSys))
+		emit("go_gc_cycles_total", float64(ms.NumGC))
+		emit("go_gc_pause_ns_total", float64(ms.PauseTotalNs))
+		emit("go_alloc_bytes_total", float64(ms.TotalAlloc))
+		emit("go_goroutines", float64(runtime.NumGoroutine()))
+	})
+}

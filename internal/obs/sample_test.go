@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSamplerDegenerateRates(t *testing.T) {
+	var nilS *Sampler
+	if !nilS.Keep("A", "s1", 1, 1) {
+		t.Fatal("nil sampler must keep everything")
+	}
+	if nilS.Rate("A") != 1 || nilS.HasRate("A") {
+		t.Fatal("nil sampler must report rate 1 and no overrides")
+	}
+	all := NewSampler(7, 1)
+	none := NewSampler(7, 0)
+	for g := int64(0); g < 200; g++ {
+		if !all.Keep("A", "s1", g, g%5) {
+			t.Fatalf("rate 1 dropped (g=%d)", g)
+		}
+		if none.Keep("A", "s1", g, g%5) {
+			t.Fatalf("rate 0 kept (g=%d)", g)
+		}
+	}
+	if NewSampler(0, 2.5).Rate("x") != 1 || NewSampler(0, -3).Rate("x") != 0 {
+		t.Fatal("rates must clamp into [0, 1]")
+	}
+}
+
+// TestSamplerDeterminism pins the contract the span-stream matrix in
+// ddetect relies on: the decision is a pure function of (seed, identity),
+// so two samplers under the same seed agree on every raise, and a raise's
+// decision never changes between calls.
+func TestSamplerDeterminism(t *testing.T) {
+	a := NewSampler(42, 0.3)
+	b := NewSampler(42, 0.3)
+	c := NewSampler(43, 0.3)
+	divergent := false
+	for _, typ := range []string{"A", "B", "AB"} {
+		for _, site := range []string{"s1", "s2"} {
+			for g := int64(0); g < 300; g++ {
+				ka := a.Keep(typ, site, g, g%7)
+				if ka != b.Keep(typ, site, g, g%7) {
+					t.Fatalf("same seed disagrees at (%s,%s,%d)", typ, site, g)
+				}
+				if ka != a.Keep(typ, site, g, g%7) {
+					t.Fatalf("decision not stable at (%s,%s,%d)", typ, site, g)
+				}
+				if ka != c.Keep(typ, site, g, g%7) {
+					divergent = true
+				}
+			}
+		}
+	}
+	if !divergent {
+		t.Fatal("seeds 42 and 43 sampled identically over 1800 raises")
+	}
+	// "AB"+"C" and "A"+"BC" are distinct identities: the separator byte
+	// between type and site must keep their hashes apart.
+	if NewSampler(9, 0.5).hash("AB", "C", 1, 1) == NewSampler(9, 0.5).hash("A", "BC", 1, 1) {
+		t.Fatal("type/site concatenation collides")
+	}
+}
+
+func TestSamplerRateRoughlyHolds(t *testing.T) {
+	s := NewSampler(1234, 0.25)
+	kept := 0
+	const n = 20000
+	for g := int64(0); g < n; g++ {
+		if s.Keep("A", "s1", g, 0) {
+			kept++
+		}
+	}
+	frac := float64(kept) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("rate 0.25 kept %.4f of %d raises", frac, n)
+	}
+}
+
+func TestSamplerPerNameOverride(t *testing.T) {
+	s := NewSampler(5, 1).SetRate("B", 0)
+	if !s.HasRate("B") || s.HasRate("A") {
+		t.Fatal("HasRate must report exactly the overridden names")
+	}
+	if s.Rate("B") != 0 || s.Rate("A") != 1 {
+		t.Fatalf("Rate(B)=%v Rate(A)=%v", s.Rate("B"), s.Rate("A"))
+	}
+	for g := int64(0); g < 100; g++ {
+		if s.Keep("B", "s1", g, 0) {
+			t.Fatalf("overridden type kept at rate 0 (g=%d)", g)
+		}
+		if !s.Keep("A", "s1", g, 0) {
+			t.Fatalf("default-rate type dropped at rate 1 (g=%d)", g)
+		}
+	}
+}
+
+// TestFlightRecorderGenerationReuse pins satellite (b): a recycled pool
+// slot — the same pointer at a later generation — must surface in a dump
+// as a distinct span identity, not as a continuation of the earlier
+// lifetime, including after the per-site ring has wrapped.
+func TestFlightRecorderGenerationReuse(t *testing.T) {
+	f := NewFlightRecorder(3)
+	tr := NewTracer(f)
+	slot := &struct{ pad int }{}
+
+	// First lifetime of the slot: raise + release.
+	id0 := tr.ID(slot, 0)
+	tr.Emit(SpanEvent{ID: id0, At: 10, Kind: KindRaise, Site: "s1", Type: "A"})
+	tr.Emit(SpanEvent{ID: id0, At: 20, Kind: KindRelease, Site: "s1", Type: "A"})
+
+	// The slot goes back to the pool (generation bump) and is reused for a
+	// different occurrence; push enough spans to wrap the 3-deep ring past
+	// the first lifetime entirely.
+	id1 := tr.ID(slot, 1)
+	if id1 == id0 {
+		t.Fatalf("generation bump reused span id %d", id0)
+	}
+	tr.Emit(SpanEvent{ID: id1, At: 30, Kind: KindRaise, Site: "s1", Type: "B"})
+	tr.Emit(SpanEvent{ID: id1, At: 40, Kind: KindRelease, Site: "s1", Type: "B"})
+	tr.Emit(SpanEvent{ID: id1, At: 50, Kind: KindDetect, Site: "s1", Type: "B", Links: []uint64{id1}})
+
+	// Both lifetimes' keys keep answering with their own IDs.
+	if tr.ID(slot, 0) != id0 || tr.ID(slot, 1) != id1 {
+		t.Fatal("generation keys not stable after reuse")
+	}
+
+	var buf bytes.Buffer
+	if err := f.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `-- site s1: last 3 span(s), 2 dropped --
+at=30 kind=raise id=2 site=s1 type=B
+at=40 kind=release id=2 site=s1 type=B
+at=50 kind=detect id=2 site=s1 type=B links=2
+`
+	if buf.String() != want {
+		t.Fatalf("dump after slot reuse + wraparound:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	if strings.Contains(buf.String(), "type=A") {
+		t.Fatal("wrapped ring still shows the first lifetime")
+	}
+}

@@ -95,6 +95,18 @@ type Sink interface {
 	Span(ev SpanEvent)
 }
 
+// spanKey identifies a traced subject: the subject's identity (pointer)
+// plus its pool generation.  Pooled occurrences recycle their storage, so
+// a bare pointer would alias spans of unrelated events; stamping the key
+// with event.(*Occurrence).Gen() mirrors the pool's own use-after-put
+// check and makes each (slot, generation) lifetime a distinct span.
+// Unpooled subjects pass gen 0 — the key still holds the pointer, so the
+// GC cannot recycle the address underneath the mapping.
+type spanKey struct {
+	subject any
+	gen     uint32
+}
+
 // Tracer assigns span IDs to occurrences and forwards events to a sink.
 // A nil *Tracer no-ops everywhere, so instrumented code guards one
 // pointer check per span point.  A tracer with a nil sink is equally
@@ -107,7 +119,7 @@ type Sink interface {
 // goroutine, which is exactly what makes the IDs deterministic.
 type Tracer struct {
 	sink Sink
-	ids  map[any]uint64
+	ids  map[spanKey]uint64
 	next uint64
 	// links is a scratch buffer handed out by LinkBuf so KindDetect
 	// events can carry constituent IDs without a per-event allocation.
@@ -116,7 +128,7 @@ type Tracer struct {
 
 // NewTracer returns a tracer feeding sink (which may be nil).
 func NewTracer(sink Sink) *Tracer {
-	return &Tracer{sink: sink, ids: make(map[any]uint64)}
+	return &Tracer{sink: sink, ids: make(map[spanKey]uint64)}
 }
 
 // Active reports whether Emit would reach a sink.  Use it to skip
@@ -125,29 +137,29 @@ func (t *Tracer) Active() bool {
 	return t != nil && t.sink != nil
 }
 
-// ID returns the span ID for subject, assigning the next sequential ID
-// on first sight.  Subjects are compared by identity (pointer), so the
-// same *event.Occurrence keeps one ID across stages.  Returns 0 on a nil
-// or sinkless tracer; real IDs start at 1.
-func (t *Tracer) ID(subject any) uint64 {
+// ID returns the span ID for one lifetime of subject, assigning the next
+// sequential ID on first sight.  Subjects are compared by identity
+// (pointer) plus gen — the occurrence's pool generation
+// (event.(*Occurrence).Gen(), 0 for unpooled subjects) — so the same
+// *event.Occurrence keeps one ID across its pipeline stages while a
+// recycled slot starts a fresh span instead of inheriting the previous
+// tenant's.  Returns 0 on a nil or sinkless tracer; real IDs start at 1.
+//
+// The mapping is append-only: stale (slot, generation) keys from
+// completed lifetimes are retained, so a tracing run's working set grows
+// with the number of traced occurrences.  Prefer bounded runs or a
+// Sampler when tracing a long-lived system.
+func (t *Tracer) ID(subject any, gen uint32) uint64 {
 	if t == nil || t.sink == nil {
 		return 0
 	}
-	if id, ok := t.ids[subject]; ok {
+	k := spanKey{subject: subject, gen: gen}
+	if id, ok := t.ids[k]; ok {
 		return id
 	}
 	t.next++
-	t.ids[subject] = t.next
+	t.ids[k] = t.next
 	return t.next
-}
-
-// Forget drops the subject's ID mapping.  Call when an occurrence's
-// storage is about to be recycled into a pool, so a reused pointer does
-// not inherit the old span.
-func (t *Tracer) Forget(subject any) {
-	if t != nil {
-		delete(t.ids, subject)
-	}
 }
 
 // LinkBuf returns the tracer's scratch link buffer, emptied.  Append
